@@ -1,0 +1,298 @@
+//! # `lla-baselines` — classical deadline-slicing baselines
+//!
+//! The paper positions LLA against *deadline slicing* techniques (§7):
+//! offline algorithms that split an end-to-end deadline into per-subtask
+//! deadlines using simple rules, without modeling resource capacity —
+//! "neither BST nor AST account for resource capacity" is exactly the gap
+//! LLA fills. This crate implements the three classical slicing families
+//! so the difference can be *measured* (see the `baseline_comparison`
+//! binary in `lla-bench`):
+//!
+//! * [`EqualSlice`] — pure deadline division (Bettati & Liu's flow-shop
+//!   style / Kao & Garcia-Molina's ED): every subtask on a path gets an
+//!   equal fraction of the critical time.
+//! * [`EqualSlack`] — equal slack (EQS): each subtask gets its execution
+//!   time plus an equal share of the path's laxity.
+//! * [`ProportionalSlack`] — proportional / equal flexibility (EQF): the
+//!   deadline is divided in proportion to execution times,
+//!   `lat_s = c_s · C / Σ c`.
+//!
+//! All three assign latencies per task in isolation. The [`evaluate`]
+//! helper then measures what those latencies would cost on shared
+//! resources under the proportional-share model — revealing the capacity
+//! violations (or wasted utility) that LLA's price coordination avoids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lla_core::{Problem, Task};
+
+/// An offline per-task deadline-slicing policy.
+pub trait DeadlineAssigner {
+    /// A short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Assigns latencies to every subtask of `task`.
+    ///
+    /// Implementations see one task at a time — deadline slicing is
+    /// per-task by construction, which is precisely why it cannot react to
+    /// resource contention.
+    fn assign_task(&self, task: &Task) -> Vec<f64>;
+
+    /// Assigns latencies for every task of the problem.
+    fn assign(&self, problem: &Problem) -> Vec<Vec<f64>> {
+        problem.tasks().iter().map(|t| self.assign_task(t)).collect()
+    }
+}
+
+/// Per-subtask path statistics, conservative over *all* root-to-leaf
+/// paths containing the subtask.
+#[derive(Debug, Clone, Copy)]
+struct NodePathStats {
+    /// Largest hop count of any path through the node.
+    max_len: usize,
+    /// Largest summed execution time of any path through the node.
+    max_exec: f64,
+    /// Smallest per-hop slack `(C − exec(P))/|P|` of any path through the
+    /// node.
+    min_slack_per_hop: f64,
+}
+
+/// Computes [`NodePathStats`] by walking the task's enumerated paths.
+///
+/// Being conservative per node guarantees that every path constraint
+/// holds: each policy's per-path sum telescopes to at most `C` when every
+/// member uses the worst path it lies on.
+fn per_node_stats(task: &Task) -> Vec<NodePathStats> {
+    let mut stats = vec![
+        NodePathStats { max_len: 1, max_exec: 0.0, min_slack_per_hop: f64::INFINITY };
+        task.len()
+    ];
+    for path in task.graph().paths() {
+        let len = path.len();
+        let exec: f64 = path.subtasks().iter().map(|&v| task.subtasks()[v].exec_time()).sum();
+        let slack_per_hop = ((task.critical_time() - exec) / len as f64).max(0.0);
+        for &v in path.subtasks() {
+            let s = &mut stats[v];
+            s.max_len = s.max_len.max(len);
+            s.max_exec = s.max_exec.max(exec);
+            s.min_slack_per_hop = s.min_slack_per_hop.min(slack_per_hop);
+        }
+    }
+    for s in &mut stats {
+        if s.min_slack_per_hop == f64::INFINITY {
+            s.min_slack_per_hop = 0.0;
+        }
+        s.max_exec = s.max_exec.max(f64::MIN_POSITIVE);
+    }
+    stats
+}
+
+/// Pure deadline division: `lat_s = C / n` where `n` is the length of the
+/// *longest* path through the subtask (the conservative choice on DAGs).
+///
+/// Bettati & Liu's even distribution for flow shops; Kao &
+/// Garcia-Molina's *effective deadline* strategy degenerates to this when
+/// execution times are ignored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EqualSlice;
+
+impl DeadlineAssigner for EqualSlice {
+    fn name(&self) -> &'static str {
+        "equal-slice"
+    }
+
+    fn assign_task(&self, task: &Task) -> Vec<f64> {
+        per_node_stats(task)
+            .into_iter()
+            .map(|s| task.critical_time() / s.max_len as f64)
+            .collect()
+    }
+}
+
+/// Equal slack (EQS): `lat_s = c_s + (C − Σc)/n`, every subtask receiving
+/// the same absolute laxity; on DAGs each subtask uses the smallest
+/// per-hop slack among its paths (conservative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EqualSlack;
+
+impl DeadlineAssigner for EqualSlack {
+    fn name(&self) -> &'static str {
+        "equal-slack"
+    }
+
+    fn assign_task(&self, task: &Task) -> Vec<f64> {
+        per_node_stats(task)
+            .into_iter()
+            .zip(task.subtasks())
+            .map(|(s, sub)| sub.exec_time() + s.min_slack_per_hop)
+            .collect()
+    }
+}
+
+/// Proportional division / equal flexibility (EQF):
+/// `lat_s = c_s · C / Σc` — laxity distributed in proportion to execution
+/// time; on DAGs each subtask scales by its heaviest path (conservative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProportionalSlack;
+
+impl DeadlineAssigner for ProportionalSlack {
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn assign_task(&self, task: &Task) -> Vec<f64> {
+        per_node_stats(task)
+            .into_iter()
+            .zip(task.subtasks())
+            .map(|(s, sub)| sub.exec_time() * task.critical_time() / s.max_exec)
+            .collect()
+    }
+}
+
+/// What a latency assignment costs on the shared resources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Policy name.
+    pub name: &'static str,
+    /// Total system utility of the assignment.
+    pub utility: f64,
+    /// Whether both constraint families hold (0.1% tolerance).
+    pub feasible: bool,
+    /// `max_r (usage_r − B_r)`.
+    pub max_resource_violation: f64,
+    /// `max_p (path_latency/C − 1)`.
+    pub max_path_violation: f64,
+    /// Per-resource share sums.
+    pub usage: Vec<f64>,
+}
+
+/// Evaluates a slicing policy's assignment on the shared-resource model.
+pub fn evaluate(problem: &Problem, assigner: &dyn DeadlineAssigner) -> BaselineReport {
+    let lats = assigner.assign(problem);
+    BaselineReport {
+        name: assigner.name(),
+        utility: problem.total_utility(&lats),
+        feasible: problem.is_feasible(&lats, 1e-3),
+        max_resource_violation: problem.max_resource_violation(&lats),
+        max_path_violation: problem.max_path_violation(&lats),
+        usage: problem
+            .resources()
+            .iter()
+            .map(|r| problem.resource_usage(r.id(), &lats))
+            .collect(),
+    }
+}
+
+/// All three baselines, boxed, for sweep-style comparisons.
+pub fn all_baselines() -> Vec<Box<dyn DeadlineAssigner>> {
+    vec![Box::new(EqualSlice), Box::new(EqualSlack), Box::new(ProportionalSlack)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lla_core::{Resource, ResourceId, ResourceKind, TaskBuilder, TaskId};
+    use lla_workloads::base_workload;
+
+    fn chain_problem(c: f64, execs: &[f64]) -> Problem {
+        let resources: Vec<Resource> = (0..execs.len())
+            .map(|i| Resource::new(ResourceId::new(i), ResourceKind::Cpu))
+            .collect();
+        let mut b = TaskBuilder::new("t");
+        let idx: Vec<usize> = execs
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| b.subtask(format!("s{i}"), ResourceId::new(i), e))
+            .collect();
+        b.chain(&idx).unwrap();
+        b.critical_time(c);
+        Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn equal_slice_divides_deadline_evenly() {
+        let p = chain_problem(30.0, &[2.0, 4.0, 6.0]);
+        let lats = EqualSlice.assign(&p);
+        assert_eq!(lats[0], vec![10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn equal_slack_gives_same_laxity() {
+        let p = chain_problem(30.0, &[2.0, 4.0, 6.0]);
+        let lats = EqualSlack.assign(&p);
+        // Slack = 30 - 12 = 18, 6 each.
+        assert_eq!(lats[0], vec![8.0, 10.0, 12.0]);
+        // Path exactly meets the deadline.
+        assert!((lats[0].iter().sum::<f64>() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_scales_with_exec_time() {
+        let p = chain_problem(30.0, &[2.0, 4.0, 6.0]);
+        let lats = ProportionalSlack.assign(&p);
+        assert_eq!(lats[0], vec![5.0, 10.0, 15.0]);
+        assert!((lats[0].iter().sum::<f64>() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_baselines_meet_path_constraints_in_isolation() {
+        // Deadline slicing always satisfies the *path* constraint (that is
+        // its one job); capacity is where it fails.
+        let p = base_workload();
+        for b in all_baselines() {
+            let report = evaluate(&p, b.as_ref());
+            assert!(
+                report.max_path_violation <= 1e-9,
+                "{}: path violation {}",
+                report.name,
+                report.max_path_violation
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_overload_congested_resources() {
+        // On the paper's base workload (all resources near congestion at
+        // the optimum), capacity-blind slicing over-commits resources.
+        let p = base_workload();
+        let any_infeasible = all_baselines()
+            .iter()
+            .map(|b| evaluate(&p, b.as_ref()))
+            .any(|r| r.max_resource_violation > 0.0);
+        assert!(any_infeasible, "expected at least one baseline to overload a resource");
+    }
+
+    #[test]
+    fn fanout_uses_heaviest_path() {
+        // 0 -> 1 (light leaf), 0 -> 2 (heavy leaf).
+        let resources: Vec<Resource> = (0..3)
+            .map(|i| Resource::new(ResourceId::new(i), ResourceKind::Cpu))
+            .collect();
+        let mut b = TaskBuilder::new("t");
+        let root = b.subtask("r", ResourceId::new(0), 2.0);
+        let light = b.subtask("l", ResourceId::new(1), 1.0);
+        let heavy = b.subtask("h", ResourceId::new(2), 7.0);
+        b.edge(root, light).unwrap();
+        b.edge(root, heavy).unwrap();
+        b.critical_time(18.0);
+        let p = Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap();
+
+        let lats = ProportionalSlack.assign(&p);
+        // Root's heaviest path is (root, heavy): exec 9 => lat = 2*18/9 = 4.
+        assert!((lats[0][0] - 4.0).abs() < 1e-12);
+        // Heavy leaf: 7*18/9 = 14; root + heavy = 18 = C exactly.
+        assert!((lats[0][2] - 14.0).abs() < 1e-12);
+        // Light leaf sees its own path (exec 3): 1*18/3 = 6; root+light=10 < C.
+        assert!((lats[0][1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_are_complete() {
+        let p = base_workload();
+        let r = evaluate(&p, &EqualSlack);
+        assert_eq!(r.usage.len(), p.resources().len());
+        assert!(r.utility.is_finite());
+        assert_eq!(r.name, "equal-slack");
+    }
+}

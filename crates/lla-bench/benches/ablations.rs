@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * *sum* vs *path-weighted* utility aggregation (§3.2 — the paper found
+//!   no convergence difference);
+//! * the paper's congestion-doubling adaptive γ vs our sign-adaptive
+//!   extension vs fixed γ;
+//! * centralized iteration vs one distributed round (virtual runtime,
+//!   perfect network) — the cost of the message-passing deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lla_bench::paper_optimizer_config;
+use lla_core::{Aggregation, Optimizer, StepSizePolicy};
+use lla_dist::{DistConfig, DistributedLla};
+use lla_workloads::{base_workload, base_workload_with};
+use std::hint::black_box;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_aggregation");
+    group.sample_size(10);
+    for (name, aggregation) in
+        [("sum", Aggregation::Sum), ("path_weighted", Aggregation::PathWeighted)]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut opt = Optimizer::new(
+                    base_workload_with(aggregation, 2.0),
+                    paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
+                );
+                black_box(opt.run_to_convergence(3_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_step_policy");
+    group.sample_size(10);
+    let policies: Vec<(&str, StepSizePolicy)> = vec![
+        ("fixed_1", StepSizePolicy::fixed(1.0)),
+        ("paper_adaptive", StepSizePolicy::adaptive(1.0)),
+        ("sign_adaptive", StepSizePolicy::sign_adaptive(1.0)),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut opt = Optimizer::new(base_workload(), paper_optimizer_config(policy));
+                black_box(opt.run_to_convergence(2_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_distributed");
+    group.sample_size(10);
+
+    group.bench_function("centralized_100_iterations", |b| {
+        b.iter(|| {
+            let mut opt = Optimizer::new(
+                base_workload(),
+                paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
+            );
+            black_box(opt.run(100))
+        });
+    });
+
+    group.bench_function("distributed_100_rounds", |b| {
+        b.iter(|| {
+            let mut dist = DistributedLla::new(base_workload(), DistConfig::default());
+            dist.run_rounds(100);
+            black_box(dist.utility())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_step_policy, bench_distributed_overhead);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmarks the Figure 8 substrate: simulator throughput and one full
+//! closed-loop window (simulate → measure → correct → re-optimize →
+//! enact) on the §6.2 prototype workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lla_bench::paper_optimizer_config;
+use lla_core::StepSizePolicy;
+use lla_sim::{ClosedLoop, ClosedLoopConfig, SimConfig, Simulator};
+use lla_workloads::{prototype_workload, PrototypeParams};
+use std::hint::black_box;
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_loop");
+    group.sample_size(10);
+
+    group.bench_function("simulator_1s_prototype", |b| {
+        let problem = prototype_workload(&PrototypeParams::default());
+        let shares = vec![vec![0.26; 3], vec![0.26; 3], vec![0.19; 3], vec![0.19; 3]];
+        b.iter(|| {
+            let mut sim = Simulator::new(problem.clone(), &shares, SimConfig::default());
+            sim.run_until(1_000.0);
+            black_box(sim.completions(0))
+        });
+    });
+
+    group.bench_function("one_window_with_correction", |b| {
+        b.iter(|| {
+            let mut cl = ClosedLoop::new(
+                prototype_workload(&PrototypeParams::default()),
+                paper_optimizer_config(StepSizePolicy::sign_adaptive(1.0)),
+                SimConfig::default(),
+                ClosedLoopConfig {
+                    window: 1_000.0,
+                    correction_enabled: true,
+                    ..Default::default()
+                },
+            );
+            cl.run_windows(1);
+            black_box(cl.history().len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_loop);
+criterion_main!(benches);

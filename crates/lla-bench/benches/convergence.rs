@@ -1,0 +1,43 @@
+//! Measures time-to-convergence on the base workload under the step-size
+//! policies of Figure 5, and the Table 1 experiment end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lla_bench::{paper_optimizer_config, run_table1};
+use lla_core::{Aggregation, Optimizer, StepSizePolicy};
+use lla_workloads::base_workload;
+use std::hint::black_box;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(10);
+
+    group.bench_function("table1_adaptive_to_convergence", |b| {
+        b.iter(|| black_box(run_table1(Aggregation::PathWeighted, 3_000)));
+    });
+
+    group.bench_function("base_workload_sign_adaptive", |b| {
+        b.iter(|| {
+            let mut opt = Optimizer::new(
+                base_workload(),
+                paper_optimizer_config(StepSizePolicy::sign_adaptive(1.0)),
+            );
+            black_box(opt.run_to_convergence(3_000))
+        });
+    });
+
+    group.bench_function("base_workload_fixed_gamma1_500_iters", |b| {
+        // The paper's gamma=1 configuration needs ~500 iterations.
+        b.iter(|| {
+            let mut opt = Optimizer::new(
+                base_workload(),
+                paper_optimizer_config(StepSizePolicy::fixed(1.0)),
+            );
+            black_box(opt.run(500))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Measures the cost of a single LLA iteration (latency allocation +
+//! price computation) — the basis of the paper's §6.4 claim that optimizer
+//! overhead is below 1% of total computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lla_bench::paper_optimizer_config;
+use lla_core::{Optimizer, StepSizePolicy};
+use lla_workloads::{base_workload, prototype_workload, scaled_workload, PrototypeParams};
+use std::hint::black_box;
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration");
+
+    group.bench_function("base_workload_3_tasks", |b| {
+        let mut opt = Optimizer::new(
+            base_workload(),
+            paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
+        );
+        b.iter(|| black_box(opt.step()));
+    });
+
+    for replication in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("scaled_workload_tasks", replication * 3),
+            &replication,
+            |b, &replication| {
+                let mut opt = Optimizer::new(
+                    scaled_workload(replication, true),
+                    paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
+                );
+                b.iter(|| black_box(opt.step()));
+            },
+        );
+    }
+
+    group.bench_function("prototype_workload", |b| {
+        let mut opt = Optimizer::new(
+            prototype_workload(&PrototypeParams::default()),
+            paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
+        );
+        b.iter(|| black_box(opt.step()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

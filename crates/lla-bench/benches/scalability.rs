@@ -1,0 +1,43 @@
+//! Figure 6 as a benchmark: time-to-convergence as the task count scales
+//! 3 → 6 → 12 (the paper's claim: convergence speed is independent of
+//! the number of tasks; wall time per iteration grows with system size,
+//! iteration count does not).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lla_bench::{paper_optimizer_config, run_fig6_point};
+use lla_core::{Optimizer, StepSizePolicy};
+use lla_workloads::scaled_workload;
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+
+    for replication in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("fig6_to_convergence_tasks", replication * 3),
+            &replication,
+            |b, &replication| {
+                b.iter(|| black_box(run_fig6_point(replication, 6_000)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("100_iterations_tasks", replication * 3),
+            &replication,
+            |b, &replication| {
+                b.iter(|| {
+                    let mut opt = Optimizer::new(
+                        scaled_workload(replication, true),
+                        paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
+                    );
+                    black_box(opt.run(100))
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates **Figure 7**: using LLA to test the schedulability of a
+//! workload (§5.4).
+//!
+//! The 6-task workload keeps the *original* critical times (no
+//! overprovisioning) and is unschedulable. The paper's observations: even
+//! after 100 iterations neither the utility nor the per-resource share
+//! sums converge; the fluctuations dampen slowly (which could be mistaken
+//! for slow convergence), but the critical-path latencies sit at
+//! 1.75–2.41× their critical times, proving infeasibility.
+
+use lla_bench::run_fig7;
+use lla_core::{analyze_schedulability, SchedulabilityConfig, SchedulabilityVerdict};
+use lla_workloads::scaled_workload;
+
+fn main() {
+    const ITERS: usize = 300;
+    let result = run_fig7(ITERS);
+
+    println!("=== Figure 7: schedulability test on the unscaled 6-task workload ===\n");
+    println!("converged after {ITERS} iterations: {}", result.converged);
+    println!("\nper-task mean critical-path / critical-time ratio (last 50 iterations):");
+    for (t, r) in result.violation_ratios.iter().enumerate() {
+        println!("  task {}: {:.2}x", t + 1, r);
+    }
+    println!("\nper-resource mean share-sum / availability ratio (last 50 iterations):");
+    for (r, u) in result.resource_ratios.iter().enumerate() {
+        println!("  R{r}: {u:.2}x");
+    }
+    let max_res = result.resource_ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min_res = result.resource_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let utility: Vec<f64> = result.series.rows.iter().map(|r| r[1]).collect();
+    let usage0: Vec<f64> = result.series.rows.iter().map(|r| r[2]).collect();
+    println!("\nnon-convergence, visualized (min..max per series):");
+    print!(
+        "{}",
+        lla_bench::render::spark_table(
+            &[("utility", utility.as_slice()), ("usage R0", usage0.as_slice())],
+            60,
+        )
+    );
+
+    match result.series.write_csv("fig7_schedulability") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("csv not written: {e}"),
+    }
+
+    // The paper's §5.4 verdict via the schedulability API.
+    let verdict = analyze_schedulability(scaled_workload(2, false), &SchedulabilityConfig::default());
+    println!("\nschedulability verdict: {verdict:?}");
+
+    println!("\npaper claims:");
+    println!("  does not converge: {}", if !result.converged { "YES" } else { "NO" });
+    println!(
+        "  constraints persistently violated well beyond capacity\n\
+         \x20   (paper: critical paths at 1.75-2.41x critical time; ours: share sums at\n\
+         \x20   {:.2}-{:.2}x availability — under our clamped allocator the infeasibility\n\
+         \x20   parks on the resource constraints, same detection power): {}",
+        min_res,
+        max_res,
+        if max_res > 1.1 { "YES" } else { "NO" }
+    );
+    println!(
+        "  detected as unschedulable: {}",
+        if matches!(verdict, SchedulabilityVerdict::Unschedulable { .. }) { "YES" } else { "NO" }
+    );
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Table 1**: task parameters and optimization results on
+//! the 3-task base workload (§5.1–§5.2).
+//!
+//! The paper reports, per subtask, the latency assigned by LLA at the
+//! optimal utility, and per task the critical-path latency against the
+//! critical time — with every critical path within 1% below its critical
+//! time and all resources close to congestion.
+
+use lla_bench::{run_table1, Series};
+use lla_core::Aggregation;
+
+fn main() {
+    let result = run_table1(Aggregation::PathWeighted, 3_000);
+
+    println!("=== Table 1: base workload optimization results ===");
+    println!(
+        "converged: {} after {} iterations, total utility {:.2}\n",
+        result.converged, result.iterations, result.utility
+    );
+
+    let mut csv = Series::new(&["task", "subtask", "resource", "exec_time_ms", "latency_ms"]);
+    let problem_tasks = lla_workloads::base_workload().tasks().to_vec();
+    for (t, task) in problem_tasks.iter().enumerate() {
+        print!("{:>14}", task.name());
+        for s in task.subtasks() {
+            print!("  T{}{}", t + 1, s.id().index() + 1);
+        }
+        println!();
+        print!("{:>14}", "resource");
+        for s in task.subtasks() {
+            print!("  {:>4}", s.resource().index());
+        }
+        println!();
+        print!("{:>14}", "exec time");
+        for s in task.subtasks() {
+            print!("  {:>4.1}", s.exec_time());
+        }
+        println!();
+        print!("{:>14}", "latency");
+        for (i, s) in task.subtasks().iter().enumerate() {
+            let lat = result.allocation.latency(t, i);
+            print!("  {:>4.1}", lat);
+            csv.push(vec![
+                t as f64,
+                i as f64,
+                s.resource().index() as f64,
+                s.exec_time(),
+                lat,
+            ]);
+        }
+        println!();
+        let (cp, c) = result.critical[t];
+        println!(
+            "{:>14}  critical path {:.1} / critical time {:.0}  ({:.2}% below)\n",
+            "",
+            cp,
+            c,
+            (1.0 - cp / c) * 100.0
+        );
+    }
+
+    println!("per-resource share sums (availability 1.0):");
+    for (r, u) in result.usage.iter().enumerate() {
+        println!("  R{r}: {u:.3}");
+    }
+
+    match csv.write_csv("table1") {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncsv not written: {e}"),
+    }
+
+    println!("\npaper claims reproduced:");
+    for (t, &(cp, c)) in result.critical.iter().enumerate() {
+        // Within the optimizer's 0.1% feasibility tolerance of the
+        // boundary, and no more than 1% below it (the paper's claim).
+        let ok = cp <= c * 1.001 && cp >= 0.99 * c;
+        println!(
+            "  task {}: critical path within 1% of critical time: {} ({cp:.2} vs {c})",
+            t + 1,
+            if ok { "YES" } else { "NO" }
+        );
+    }
+    let near = result.usage.iter().filter(|&&u| u > 0.95).count();
+    println!("  resources close to congestion: {near}/{} above 0.95 usage", result.usage.len());
+}

@@ -1,0 +1,109 @@
+//! Minimal terminal rendering for experiment output: sparklines and
+//! multi-series ASCII charts, so the figure binaries can *show* the curves
+//! they regenerate.
+
+/// Unicode block characters from low to high.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Downsamples `series` to `width` buckets by averaging.
+fn downsample(series: &[f64], width: usize) -> Vec<f64> {
+    if series.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    let width = width.min(series.len());
+    (0..width)
+        .map(|b| {
+            let lo = b * series.len() / width;
+            let hi = (((b + 1) * series.len()) / width).max(lo + 1);
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Renders a series as a one-line unicode sparkline of at most `width`
+/// characters (averaged buckets). Empty input renders as an empty string.
+///
+/// # Example
+/// ```
+/// use lla_bench::render::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+/// assert_eq!(s.chars().count(), 4);
+/// ```
+pub fn sparkline(series: &[f64], width: usize) -> String {
+    let buckets = downsample(series, width);
+    if buckets.is_empty() {
+        return String::new();
+    }
+    let min = buckets.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = buckets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    buckets
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * (BLOCKS.len() - 1) as f64).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Renders labelled series as sparklines with shared scaling context:
+/// one line per series, `label  min..max  sparkline`.
+pub fn spark_table(series: &[(&str, &[f64])], width: usize) -> String {
+    let label_width = series.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, data) in series {
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&format!(
+            "{label:>label_width$}  [{min:>9.2} .. {max:>9.2}]  {}\n",
+            sparkline(data, width)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_is_monotone_for_ramp() {
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let s: Vec<char> = sparkline(&data, 8).chars().collect();
+        assert_eq!(s.len(), 8);
+        for w in s.windows(2) {
+            assert!(
+                BLOCKS.iter().position(|&b| b == w[0]) <= BLOCKS.iter().position(|&b| b == w[1]),
+                "ramp sparkline must be non-decreasing: {s:?}"
+            );
+        }
+        assert_eq!(*s.first().unwrap(), BLOCKS[0]);
+        assert_eq!(*s.last().unwrap(), BLOCKS[7]);
+    }
+
+    #[test]
+    fn sparkline_handles_edge_cases() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5.0], 10).chars().count(), 1);
+        // Constant series does not divide by zero.
+        let flat = sparkline(&[3.0; 20], 5);
+        assert_eq!(flat.chars().count(), 5);
+    }
+
+    #[test]
+    fn sparkline_width_caps_output() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        assert_eq!(sparkline(&data, 40).chars().count(), 40);
+    }
+
+    #[test]
+    fn spark_table_includes_ranges() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        let table = spark_table(&[("alpha", &a), ("b", &b)], 10);
+        assert!(table.contains("alpha"));
+        assert!(table.contains("1.00"));
+        assert!(table.contains("20.00"));
+        assert_eq!(table.lines().count(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error types for model construction and validation.
+
+use crate::ids::{ResourceId, SubtaskId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or validating the task/resource model.
+///
+/// Returned by [`TaskBuilder::build`](crate::TaskBuilder::build),
+/// [`Problem::new`](crate::Problem::new) and related constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The subtask graph contains a cycle; it must be a DAG.
+    GraphCycle {
+        /// Task whose graph is cyclic.
+        task: TaskId,
+    },
+    /// The subtask graph has no unique root (start subtask).
+    NoUniqueRoot {
+        /// Task whose graph is malformed.
+        task: TaskId,
+        /// Number of root candidates found.
+        roots: usize,
+    },
+    /// A subtask is unreachable from the root.
+    UnreachableSubtask {
+        /// The unreachable subtask.
+        subtask: SubtaskId,
+    },
+    /// An edge references a subtask index that does not exist.
+    UnknownSubtaskIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of subtasks in the task.
+        len: usize,
+    },
+    /// An edge connects a subtask to itself.
+    SelfLoop {
+        /// The offending index.
+        index: usize,
+    },
+    /// A subtask references a resource not present in the problem.
+    UnknownResource {
+        /// The offending subtask.
+        subtask: SubtaskId,
+        /// The missing resource.
+        resource: ResourceId,
+    },
+    /// Resource ids in a problem must be dense indices `0..n`.
+    NonDenseResourceIds {
+        /// The id that is out of place.
+        resource: ResourceId,
+        /// The expected index.
+        expected: usize,
+    },
+    /// Task ids in a problem must be dense indices `0..n`.
+    NonDenseTaskIds {
+        /// The id that is out of place.
+        task: TaskId,
+        /// The expected index.
+        expected: usize,
+    },
+    /// A numeric parameter was outside its valid domain.
+    InvalidParameter {
+        /// Human-readable description of the parameter.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A task has no subtasks.
+    EmptyTask {
+        /// The empty task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::GraphCycle { task } => {
+                write!(f, "subtask graph of {task} contains a cycle")
+            }
+            ModelError::NoUniqueRoot { task, roots } => {
+                write!(f, "subtask graph of {task} has {roots} roots, expected exactly 1")
+            }
+            ModelError::UnreachableSubtask { subtask } => {
+                write!(f, "subtask {subtask} is unreachable from the root")
+            }
+            ModelError::UnknownSubtaskIndex { index, len } => {
+                write!(f, "subtask index {index} out of range for task with {len} subtasks")
+            }
+            ModelError::SelfLoop { index } => {
+                write!(f, "subtask index {index} has a self-loop edge")
+            }
+            ModelError::UnknownResource { subtask, resource } => {
+                write!(f, "subtask {subtask} uses unknown resource {resource}")
+            }
+            ModelError::NonDenseResourceIds { resource, expected } => {
+                write!(f, "resource {resource} found where index {expected} was expected")
+            }
+            ModelError::NonDenseTaskIds { task, expected } => {
+                write!(f, "task {task} found where index {expected} was expected")
+            }
+            ModelError::InvalidParameter { what, value } => {
+                write!(f, "invalid value {value} for {what}")
+            }
+            ModelError::EmptyTask { task } => write!(f, "task {task} has no subtasks"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ModelError::GraphCycle { task: TaskId::new(2) };
+        let msg = e.to_string();
+        assert!(msg.starts_with("subtask graph"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases: Vec<ModelError> = vec![
+            ModelError::GraphCycle { task: TaskId::new(0) },
+            ModelError::NoUniqueRoot { task: TaskId::new(0), roots: 2 },
+            ModelError::UnreachableSubtask {
+                subtask: SubtaskId::new(TaskId::new(0), 1),
+            },
+            ModelError::UnknownSubtaskIndex { index: 9, len: 3 },
+            ModelError::SelfLoop { index: 1 },
+            ModelError::UnknownResource {
+                subtask: SubtaskId::new(TaskId::new(0), 0),
+                resource: ResourceId::new(5),
+            },
+            ModelError::NonDenseResourceIds { resource: ResourceId::new(3), expected: 1 },
+            ModelError::NonDenseTaskIds { task: TaskId::new(4), expected: 0 },
+            ModelError::InvalidParameter { what: "critical time", value: -1.0 },
+            ModelError::EmptyTask { task: TaskId::new(1) },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Typed identifiers for tasks, subtasks, resources and paths.
+//!
+//! Identifiers are small `Copy` newtypes ([C-NEWTYPE]) so that a resource
+//! index can never be confused with a task index. A [`SubtaskId`] and a
+//! [`PathId`] are scoped to their owning task: they pair the [`TaskId`] with
+//! a dense per-task index, which lets every per-subtask/per-path table in
+//! the optimizer be a flat `Vec` indexed without hashing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (`T_i` in the paper).
+///
+/// # Example
+/// ```
+/// use lla_core::TaskId;
+/// let id = TaskId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "T3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(usize);
+
+impl TaskId {
+    /// Creates a task id from a dense index.
+    pub fn new(index: usize) -> Self {
+        TaskId(index)
+    }
+
+    /// The dense index of this task within the problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a resource (a CPU or a network link).
+///
+/// # Example
+/// ```
+/// use lla_core::ResourceId;
+/// assert_eq!(ResourceId::new(7).to_string(), "R7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(usize);
+
+impl ResourceId {
+    /// Creates a resource id from a dense index.
+    pub fn new(index: usize) -> Self {
+        ResourceId(index)
+    }
+
+    /// The dense index of this resource within the problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifier of a subtask (`T_ij` in the paper), scoped to its task.
+///
+/// # Example
+/// ```
+/// use lla_core::{SubtaskId, TaskId};
+/// let id = SubtaskId::new(TaskId::new(1), 2);
+/// assert_eq!(id.task(), TaskId::new(1));
+/// assert_eq!(id.index(), 2);
+/// assert_eq!(id.to_string(), "T1.2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubtaskId {
+    task: TaskId,
+    index: usize,
+}
+
+impl SubtaskId {
+    /// Creates a subtask id from the owning task and the per-task index.
+    pub fn new(task: TaskId, index: usize) -> Self {
+        SubtaskId { task, index }
+    }
+
+    /// The owning task.
+    pub fn task(self) -> TaskId {
+        self.task
+    }
+
+    /// The dense index of this subtask within its task.
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+impl fmt::Display for SubtaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.task, self.index)
+    }
+}
+
+/// Identifier of a root-to-leaf path in a task's subtask graph.
+///
+/// # Example
+/// ```
+/// use lla_core::{PathId, TaskId};
+/// let id = PathId::new(TaskId::new(0), 1);
+/// assert_eq!(id.to_string(), "T0/p1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PathId {
+    task: TaskId,
+    index: usize,
+}
+
+impl PathId {
+    /// Creates a path id from the owning task and the per-task path index.
+    pub fn new(task: TaskId, index: usize) -> Self {
+        PathId { task, index }
+    }
+
+    /// The owning task.
+    pub fn task(self) -> TaskId {
+        self.task
+    }
+
+    /// The dense index of this path within its task's path enumeration.
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/p{}", self.task, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn task_id_roundtrip() {
+        for i in [0, 1, 17, usize::MAX] {
+            assert_eq!(TaskId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn resource_id_roundtrip() {
+        for i in [0, 5, 1000] {
+            assert_eq!(ResourceId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn subtask_id_components() {
+        let id = SubtaskId::new(TaskId::new(4), 9);
+        assert_eq!(id.task().index(), 4);
+        assert_eq!(id.index(), 9);
+    }
+
+    #[test]
+    fn path_id_components() {
+        let id = PathId::new(TaskId::new(2), 3);
+        assert_eq!(id.task(), TaskId::new(2));
+        assert_eq!(id.index(), 3);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for t in 0..4 {
+            for s in 0..4 {
+                set.insert(SubtaskId::new(TaskId::new(t), s));
+            }
+        }
+        assert_eq!(set.len(), 16);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TaskId::new(0).to_string(), "T0");
+        assert_eq!(ResourceId::new(3).to_string(), "R3");
+        assert_eq!(SubtaskId::new(TaskId::new(1), 2).to_string(), "T1.2");
+        assert_eq!(PathId::new(TaskId::new(1), 0).to_string(), "T1/p0");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_task_then_index() {
+        let a = SubtaskId::new(TaskId::new(0), 5);
+        let b = SubtaskId::new(TaskId::new(1), 0);
+        assert!(a < b);
+    }
+
+}

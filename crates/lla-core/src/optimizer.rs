@@ -1,0 +1,543 @@
+//! The LLA optimizer: the iteration loop tying allocation and pricing
+//! together (§4.1).
+//!
+//! LLA solves the optimization problem iteratively. A single iteration
+//! consists of **latency allocation** (each task controller predicts
+//! optimal latencies at fixed prices) and **price computation** (each
+//! resource and path adjusts its price at fixed latencies). The algorithm
+//! iterates indefinitely; allocations may be enacted periodically or when
+//! significant changes occur. [`Optimizer`] embodies this loop in a single
+//! address space; the `lla-dist` crate runs the same steps as
+//! message-passing actors.
+
+use crate::allocation::{allocate_latencies, AllocationSettings};
+use crate::lagrangian::{kkt_report, KktReport};
+use crate::prices::{PriceState, StepSizePolicy};
+use crate::problem::Problem;
+use crate::task::Task;
+use crate::trace::{Trace, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`Optimizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Step-size policy for price updates (paper's best: adaptive, γ₀ = 1).
+    pub step_policy: StepSizePolicy,
+    /// Latency-allocation solver settings.
+    pub allocation: AllocationSettings,
+    /// Relative utility-change threshold for convergence detection (the
+    /// paper's prototype stops refining below 1% = `0.01`).
+    pub convergence_tol: f64,
+    /// Number of consecutive below-threshold iterations required.
+    pub convergence_window: usize,
+    /// Feasibility tolerance used when declaring convergence.
+    pub feasibility_tol: f64,
+    /// Price-quiescence tolerance: convergence additionally requires the
+    /// last price update's largest relative movement
+    /// (`|Δprice|/(1+price)`) to fall below this. Guards against declaring
+    /// convergence mid-way through a slow price drift whose effect on
+    /// utility per iteration is tiny.
+    pub price_tol: f64,
+    /// Whether to record a full [`Trace`] (cheap; on by default).
+    pub record_trace: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            step_policy: StepSizePolicy::default(),
+            allocation: AllocationSettings::default(),
+            convergence_tol: 1e-6,
+            convergence_window: 10,
+            feasibility_tol: 1e-3,
+            price_tol: 1e-4,
+            record_trace: true,
+        }
+    }
+}
+
+/// The latencies LLA has assigned to every subtask, plus derived views.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    lats: Vec<Vec<f64>>,
+}
+
+impl Allocation {
+    /// Wraps raw per-task latency vectors.
+    pub fn from_lats(lats: Vec<Vec<f64>>) -> Self {
+        Allocation { lats }
+    }
+
+    /// `lats[t][s]`: latency of subtask `s` of task `t`, in milliseconds.
+    pub fn lats(&self) -> &[Vec<f64>] {
+        &self.lats
+    }
+
+    /// Latency of one subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn latency(&self, task: usize, subtask: usize) -> f64 {
+        self.lats[task][subtask]
+    }
+
+    /// The end-to-end (critical-path) latency of a task under this
+    /// allocation.
+    pub fn task_latency(&self, task: &Task) -> f64 {
+        task.critical_path(&self.lats[task.id().index()]).1
+    }
+
+    /// The share each subtask of `task` demands under this allocation.
+    pub fn shares(&self, problem: &Problem, task: &Task) -> Vec<f64> {
+        let t = task.id().index();
+        (0..task.len())
+            .map(|s| problem.share_model(task.subtask_id(s)).share_for_latency(self.lats[t][s]))
+            .collect()
+    }
+}
+
+/// Summary of one optimizer iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationReport {
+    /// Iteration number (0-based, monotonically increasing over the
+    /// optimizer's lifetime).
+    pub iteration: usize,
+    /// Total utility after the allocation step.
+    pub utility: f64,
+    /// `max_r (usage_r − B_r)`.
+    pub max_resource_violation: f64,
+    /// `max_p (path_latency/C − 1)`.
+    pub max_path_violation: f64,
+}
+
+/// Outcome of [`Optimizer::run_to_convergence`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Whether the convergence criterion fired within the budget.
+    pub converged: bool,
+    /// Iterations actually executed in this call.
+    pub iterations: usize,
+    /// Utility at the last iteration.
+    pub final_utility: f64,
+    /// Whether the final allocation satisfies both constraint families.
+    pub feasible: bool,
+}
+
+/// The LLA optimization loop over a [`Problem`].
+///
+/// See the crate-level documentation for a complete example. The optimizer
+/// is deliberately *online*: [`Optimizer::step`] can be called forever, the
+/// problem can be mutated between steps
+/// ([`set_resource_availability`](Optimizer::set_resource_availability),
+/// [`set_correction`](Optimizer::set_correction)), and the convergence
+/// detector re-arms automatically after every change.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    problem: Problem,
+    prices: PriceState,
+    lats: Vec<Vec<f64>>,
+    config: OptimizerConfig,
+    trace: Trace,
+    iteration: usize,
+    below_tol: usize,
+    last_utility: f64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the problem's
+    /// [`initial_allocation`](Problem::initial_allocation) and zero prices.
+    pub fn new(problem: Problem, config: OptimizerConfig) -> Self {
+        let lats = problem.initial_allocation();
+        let prices = PriceState::new(&problem, config.step_policy);
+        let last_utility = problem.total_utility(&lats);
+        Optimizer {
+            problem,
+            prices,
+            lats,
+            config,
+            trace: Trace::new(),
+            iteration: 0,
+            below_tol: 0,
+            last_utility,
+        }
+    }
+
+    /// The problem being optimized.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The current dual variables.
+    pub fn prices(&self) -> &PriceState {
+        &self.prices
+    }
+
+    /// The current allocation.
+    pub fn allocation(&self) -> Allocation {
+        Allocation::from_lats(self.lats.clone())
+    }
+
+    /// The current total utility.
+    pub fn utility(&self) -> f64 {
+        self.problem.total_utility(&self.lats)
+    }
+
+    /// The recorded trace (empty when `record_trace` is off).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Total iterations executed over the optimizer's lifetime.
+    pub fn iterations(&self) -> usize {
+        self.iteration
+    }
+
+    /// Updates a resource's availability `B_r` mid-run; LLA adapts.
+    pub fn set_resource_availability(&mut self, r: crate::ids::ResourceId, availability: f64) {
+        self.problem.set_resource_availability(r, availability);
+        self.rearm();
+    }
+
+    /// Updates a subtask's additive latency error correction `ê` (§6.3).
+    pub fn set_correction(&mut self, s: crate::ids::SubtaskId, correction: f64) {
+        self.problem.set_correction(s, correction);
+        self.rearm();
+    }
+
+    /// Updates a subtask's multiplicative demand correction (the
+    /// demand-scaling alternative to §6.3's additive model).
+    pub fn set_demand_scale(&mut self, s: crate::ids::SubtaskId, scale: f64) {
+        self.problem.set_demand_scale(s, scale);
+        self.rearm();
+    }
+
+    /// Re-arms the convergence detector (call after any external change to
+    /// the problem).
+    pub fn rearm(&mut self) {
+        self.below_tol = 0;
+    }
+
+    /// Executes one LLA iteration: latency allocation at current prices,
+    /// then price computation at the new latencies.
+    pub fn step(&mut self) -> IterationReport {
+        self.lats = allocate_latencies(&self.problem, &self.prices, &self.config.allocation, &self.lats);
+        self.prices.update(&self.problem, &self.lats);
+
+        let utility = self.problem.total_utility(&self.lats);
+        let report = IterationReport {
+            iteration: self.iteration,
+            utility,
+            max_resource_violation: self.problem.max_resource_violation(&self.lats),
+            max_path_violation: self.problem.max_path_violation(&self.lats),
+        };
+
+        if self.config.record_trace {
+            self.trace.push(TraceRecord {
+                iteration: self.iteration,
+                utility,
+                resource_usage: self
+                    .problem
+                    .resources()
+                    .iter()
+                    .map(|r| self.problem.resource_usage(r.id(), &self.lats))
+                    .collect(),
+                critical_path_ratio: self
+                    .problem
+                    .tasks()
+                    .iter()
+                    .map(|t| t.critical_path(&self.lats[t.id().index()]).1 / t.critical_time())
+                    .collect(),
+            });
+        }
+
+        let delta = (utility - self.last_utility).abs();
+        if delta <= self.config.convergence_tol * utility.abs().max(1.0) {
+            self.below_tol += 1;
+        } else {
+            self.below_tol = 0;
+        }
+        self.last_utility = utility;
+        self.iteration += 1;
+        report
+    }
+
+    /// Whether the convergence criterion currently holds: utility stable
+    /// for `convergence_window` iterations *and* the allocation feasible.
+    pub fn has_converged(&self) -> bool {
+        self.below_tol >= self.config.convergence_window
+            && self.prices.last_max_rel_step() <= self.config.price_tol
+            && self.problem.is_feasible(&self.lats, self.config.feasibility_tol)
+    }
+
+    /// Runs exactly `iters` iterations (batch mode).
+    pub fn run(&mut self, iters: usize) -> Vec<IterationReport> {
+        (0..iters).map(|_| self.step()).collect()
+    }
+
+    /// Runs until convergence or until `max_iters` iterations elapse.
+    pub fn run_to_convergence(&mut self, max_iters: usize) -> RunOutcome {
+        let mut executed = 0;
+        while executed < max_iters {
+            self.step();
+            executed += 1;
+            if self.has_converged() {
+                return RunOutcome {
+                    converged: true,
+                    iterations: executed,
+                    final_utility: self.last_utility,
+                    feasible: true,
+                };
+            }
+        }
+        RunOutcome {
+            converged: false,
+            iterations: executed,
+            final_utility: self.last_utility,
+            feasible: self.problem.is_feasible(&self.lats, self.config.feasibility_tol),
+        }
+    }
+
+    /// KKT optimality diagnostics at the current point.
+    pub fn kkt(&self) -> KktReport {
+        kkt_report(&self.problem, &self.lats, &self.prices, &self.config.allocation, 1e-9)
+    }
+
+    /// Replaces the current latencies (used by the distributed runtime to
+    /// mirror controller state into a local optimizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from the problem's.
+    pub fn set_lats(&mut self, lats: Vec<Vec<f64>>) {
+        assert_eq!(lats.len(), self.problem.tasks().len());
+        for (t, task) in self.problem.tasks().iter().enumerate() {
+            assert_eq!(lats[t].len(), task.len());
+        }
+        self.lats = lats;
+    }
+
+    /// Exports the optimizer's mutable state (prices, latencies, iteration
+    /// counter) for failover or migration: a replacement optimizer created
+    /// over an equal problem and restored from this state continues the
+    /// run exactly where this one left off.
+    pub fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            prices: self.prices.clone(),
+            lats: self.lats.clone(),
+            iteration: self.iteration,
+        }
+    }
+
+    /// Restores state captured with [`export_state`](Self::export_state).
+    ///
+    /// The trace and convergence window restart empty (they are
+    /// diagnostics, not algorithm state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's latency shape does not match the problem.
+    pub fn import_state(&mut self, state: OptimizerState) {
+        assert_eq!(state.lats.len(), self.problem.tasks().len(), "state shape mismatch");
+        for (t, task) in self.problem.tasks().iter().enumerate() {
+            assert_eq!(state.lats[t].len(), task.len(), "state shape mismatch");
+        }
+        self.last_utility = self.problem.total_utility(&state.lats);
+        self.prices = state.prices;
+        self.lats = state.lats;
+        self.iteration = state.iteration;
+        self.below_tol = 0;
+    }
+}
+
+/// The mutable state of an [`Optimizer`], as captured by
+/// [`Optimizer::export_state`]. The problem specification itself travels
+/// separately (it is configuration, not state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerState {
+    prices: PriceState,
+    lats: Vec<Vec<f64>>,
+    iteration: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ResourceId, TaskId};
+    use crate::resource::{Resource, ResourceKind};
+    use crate::task::TaskBuilder;
+    use crate::utility::UtilityFn;
+
+    /// Two tasks sharing two CPUs, comfortably schedulable.
+    fn small_problem() -> Problem {
+        let resources = vec![
+            Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+            Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0),
+        ];
+        let mut tasks = Vec::new();
+        for (i, c) in [(0usize, 40.0), (1usize, 60.0)] {
+            let mut b = TaskBuilder::new(format!("t{i}"));
+            let a = b.subtask("a", ResourceId::new(0), 2.0);
+            let d = b.subtask("b", ResourceId::new(1), 3.0);
+            b.edge(a, d).unwrap();
+            b.critical_time(c)
+                .utility(UtilityFn::linear_for_deadline(2.0, c));
+            tasks.push(b.build(TaskId::new(i)).unwrap());
+        }
+        Problem::new(resources, tasks).unwrap()
+    }
+
+    fn config() -> OptimizerConfig {
+        OptimizerConfig {
+            allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn converges_on_schedulable_problem() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let outcome = opt.run_to_convergence(5_000);
+        assert!(outcome.converged, "LLA must converge on a schedulable workload");
+        assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn converged_allocation_is_feasible_and_kkt_clean() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let outcome = opt.run_to_convergence(5_000);
+        assert!(outcome.converged);
+        let kkt = opt.kkt();
+        assert!(kkt.max_resource_violation <= 1e-6, "resource violated: {kkt:?}");
+        assert!(kkt.max_path_violation <= 1e-6, "path violated: {kkt:?}");
+        // Complementary slackness is approximate at finite step sizes.
+        assert!(kkt.max_complementary_slackness < 0.5, "slackness too large: {kkt:?}");
+    }
+
+    #[test]
+    fn utility_improves_over_initial() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let initial = opt.utility();
+        opt.run_to_convergence(5_000);
+        assert!(
+            opt.utility() >= initial - 1e-9,
+            "optimization should not end below the initial utility"
+        );
+    }
+
+    #[test]
+    fn trace_is_recorded() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.run(25);
+        assert_eq!(opt.trace().len(), 25);
+        assert_eq!(opt.iterations(), 25);
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let mut cfg = config();
+        cfg.record_trace = false;
+        let mut opt = Optimizer::new(small_problem(), cfg);
+        opt.run(10);
+        assert!(opt.trace().is_empty());
+    }
+
+    #[test]
+    fn availability_drop_reconverges_to_lower_utility() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let first = opt.run_to_convergence(5_000);
+        assert!(first.converged);
+        let u_before = opt.utility();
+        // Halve resource 0's availability; re-converge.
+        opt.set_resource_availability(ResourceId::new(0), 0.5);
+        assert!(!opt.has_converged(), "detector must re-arm after a change");
+        let second = opt.run_to_convergence(10_000);
+        assert!(second.converged, "must re-converge after availability change");
+        assert!(
+            opt.utility() <= u_before + 1e-6,
+            "less resource cannot increase utility: {} > {u_before}",
+            opt.utility()
+        );
+    }
+
+    #[test]
+    fn correction_shifts_allocation() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.run_to_convergence(5_000);
+        let lat_before = opt.allocation().latency(0, 0);
+        // Model over-predicted by 1ms: corrected model reaches the same
+        // latency with less share, so the optimizer can lower latencies.
+        let sid = opt.problem().tasks()[0].subtask_id(0);
+        opt.set_correction(sid, -1.0);
+        opt.run_to_convergence(5_000);
+        let lat_after = opt.allocation().latency(0, 0);
+        assert!(
+            lat_after < lat_before,
+            "negative correction should reduce assigned latency ({lat_after} !< {lat_before})"
+        );
+    }
+
+    #[test]
+    fn allocation_views() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.run_to_convergence(5_000);
+        let alloc = opt.allocation();
+        let task = &opt.problem().tasks()[0];
+        let shares = alloc.shares(opt.problem(), task);
+        assert_eq!(shares.len(), 2);
+        for (s, &lat) in shares.iter().zip(&alloc.lats()[0]) {
+            assert!(*s > 0.0 && *s <= 1.0, "share {s} out of range");
+            assert!(lat > 0.0);
+        }
+        assert!(alloc.task_latency(task) <= task.critical_time() + 1e-6);
+    }
+
+    #[test]
+    fn set_lats_validates_shape() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.set_lats(vec![vec![5.0, 5.0], vec![5.0, 5.0]]);
+        assert_eq!(opt.allocation().latency(1, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_lats_rejects_bad_shape() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.set_lats(vec![vec![5.0]]);
+    }
+
+    #[test]
+    fn failover_continues_exactly() {
+        // Run half the iterations, export, import into a fresh optimizer,
+        // and verify the trajectories coincide step by step.
+        let mut primary = Optimizer::new(small_problem(), config());
+        primary.run(120);
+        let state = primary.export_state();
+
+        let mut replacement = Optimizer::new(small_problem(), config());
+        replacement.import_state(state);
+        assert_eq!(replacement.iterations(), 120);
+
+        for i in 0..200 {
+            let a = primary.step();
+            let b = replacement.step();
+            assert!(
+                (a.utility - b.utility).abs() < 1e-12,
+                "failover diverged at step {i}: {} vs {}",
+                a.utility,
+                b.utility
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state shape mismatch")]
+    fn import_state_rejects_foreign_shape() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let mut other = Optimizer::new(small_problem(), config());
+        other.set_lats(vec![vec![5.0, 5.0], vec![5.0, 5.0]]);
+        let mut state = other.export_state();
+        state.lats.pop();
+        opt.import_state(state);
+    }
+}

@@ -1,0 +1,167 @@
+//! Latency percentiles and their composition along paths (§2.1).
+//!
+//! Utility may be computed from other than worst-case latency: a task can
+//! specify that its utility is a function of, say, the 99th percentile of
+//! its end-to-end latencies. If a path has `n` subtasks and each subtask's
+//! latency bound holds for a fraction `q/100` of its jobs *independently*,
+//! then the sum of the bounds holds for `(q/100)^n` of the job sets. To
+//! obtain an end-to-end percentile `p`, each subtask must therefore use the
+//! per-subtask percentile
+//!
+//! ```text
+//! q = p^(1/n) · 100^((n−1)/n)
+//! ```
+//!
+//! so that `q^n / 100^(n−1) = p` (both `p` and `q` expressed in `[0, 100]`).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Which latency statistic a task's utility is computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum PercentileSpec {
+    /// Worst-case latency (the default in the paper's experiments).
+    #[default]
+    WorstCase,
+    /// The `p`-th percentile of end-to-end latencies, `p ∈ (0, 100]`.
+    Percentile(f64),
+}
+
+
+impl PercentileSpec {
+    /// Validates the percentile value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when a percentile is outside
+    /// `(0, 100]` or non-finite.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if let PercentileSpec::Percentile(p) = *self {
+            if !p.is_finite() || p <= 0.0 || p > 100.0 {
+                return Err(ModelError::InvalidParameter {
+                    what: "latency percentile",
+                    value: p,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-subtask percentile to use on a path of length `path_len` so
+    /// that the summed bounds yield this end-to-end statistic.
+    ///
+    /// For [`WorstCase`](PercentileSpec::WorstCase) this is `None` (use the
+    /// worst-case model unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path_len == 0`.
+    pub fn per_subtask(&self, path_len: usize) -> Option<f64> {
+        match *self {
+            PercentileSpec::WorstCase => None,
+            PercentileSpec::Percentile(p) => Some(compose_path_percentile(p, path_len)),
+        }
+    }
+}
+
+/// Computes the per-subtask percentile `q = p^(1/n) · 100^((n−1)/n)` for an
+/// end-to-end percentile `p` over a path of `n` subtasks.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is outside `(0, 100]`.
+///
+/// # Example
+/// ```
+/// use lla_core::compose_path_percentile;
+/// // Two subtasks, median end-to-end: each needs sqrt(50)*10 ≈ 70.7th pct.
+/// let q = compose_path_percentile(50.0, 2);
+/// assert!((q - 70.710678).abs() < 1e-5);
+/// // And composing back: q^2 / 100 = 50.
+/// assert!((q * q / 100.0 - 50.0).abs() < 1e-9);
+/// ```
+pub fn compose_path_percentile(p: f64, n: usize) -> f64 {
+    assert!(n > 0, "path length must be positive");
+    assert!(
+        p > 0.0 && p <= 100.0,
+        "percentile must be in (0, 100], got {p}"
+    );
+    let n = n as f64;
+    p.powf(1.0 / n) * 100f64.powf((n - 1.0) / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_for_single_subtask() {
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert!((compose_path_percentile(p, 1) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_example_squares_back() {
+        // Paper: for two subtasks with the same percentile q, the sum yields
+        // the q²/100 percentile. So composing p over n=2 must invert that.
+        let p = 99.0;
+        let q = compose_path_percentile(p, 2);
+        assert!((q * q / 100.0 - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_inverts_for_any_length() {
+        for n in 1..=8usize {
+            for p in [10.0, 50.0, 90.0, 99.9] {
+                let q = compose_path_percentile(p, n);
+                let back = q.powi(n as i32) / 100f64.powi(n as i32 - 1);
+                assert!((back - p).abs() < 1e-6, "n={n} p={p} q={q} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_subtask_percentile_exceeds_end_to_end() {
+        // Each subtask must use a *higher* percentile than the end-to-end
+        // target (q >= p), approaching 100 as paths get longer.
+        let mut prev = 0.0;
+        for n in 1..=10usize {
+            let q = compose_path_percentile(90.0, n);
+            assert!(q >= 90.0 - 1e-9);
+            assert!(q >= prev);
+            assert!(q <= 100.0 + 1e-9);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn hundredth_percentile_is_fixed_point() {
+        for n in 1..=5usize {
+            assert!((compose_path_percentile(100.0, n) - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(PercentileSpec::WorstCase.validate().is_ok());
+        assert!(PercentileSpec::Percentile(99.0).validate().is_ok());
+        assert!(PercentileSpec::Percentile(0.0).validate().is_err());
+        assert!(PercentileSpec::Percentile(101.0).validate().is_err());
+        assert!(PercentileSpec::Percentile(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn spec_per_subtask() {
+        assert_eq!(PercentileSpec::WorstCase.per_subtask(3), None);
+        let q = PercentileSpec::Percentile(50.0).per_subtask(2).unwrap();
+        assert!((q - compose_path_percentile(50.0, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "path length must be positive")]
+    fn zero_length_path_panics() {
+        let _ = compose_path_percentile(50.0, 0);
+    }
+}

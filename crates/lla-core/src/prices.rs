@@ -1,0 +1,488 @@
+//! Price computation: projected gradient ascent on the dual (§4.3).
+//!
+//! A price is associated with each resource (`μ_r`) and each path (`λ_p`)
+//! and reflects its level of congestion. Prices are adjusted opposite to
+//! the gradient of the dual objective and projected onto `[0, ∞)`:
+//!
+//! ```text
+//! μ_r(t+1) = [ μ_r(t) − γ_r · (B_r − Σ_{s∈S_r} share_r(s, lat_s)) ]⁺   (Eq. 8)
+//! λ_p(t+1) = [ λ_p(t) − γ_p · (1 − Σ_{s∈p} lat_s / C_i) ]⁺            (Eq. 9)
+//! ```
+//!
+//! Step sizes trade convergence speed against oscillation. The paper's
+//! adaptive heuristic (§5.2) doubles a resource's step size — and that of
+//! every path traversing it — for as long as the resource stays congested,
+//! and reverts to the initial value as soon as it decongests.
+
+use crate::problem::Problem;
+use serde::{Deserialize, Serialize};
+
+/// How price-update step sizes `γ_r`, `γ_p` are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepSizePolicy {
+    /// A single fixed step size for all resources and paths (the paper's
+    /// baseline, evaluated at γ ∈ {0.1, 1, 10} in Figure 5).
+    Fixed {
+        /// The step size γ.
+        gamma: f64,
+    },
+    /// The paper's adaptive heuristic: start at `initial`; while a resource
+    /// is congested multiply its γ (and that of paths through it) by
+    /// `factor` each iteration, capped at `max`; revert to `initial` on
+    /// decongestion.
+    Adaptive {
+        /// Initial (and post-decongestion) step size.
+        initial: f64,
+        /// Multiplicative growth factor per congested iteration (paper: 2).
+        factor: f64,
+        /// Upper cap preventing numeric blow-up.
+        max: f64,
+    },
+    /// Sign-adaptive (Rprop-style) step sizes — our extension.
+    ///
+    /// The paper's heuristic only accelerates the *congested* direction; a
+    /// price that overshot decays at rate `γ·slack`, and near equilibrium
+    /// the slack is tiny, so recovery can take tens of thousands of
+    /// iterations. This variant grows a price's step size whenever its
+    /// gradient keeps the same sign on consecutive iterations (in either
+    /// direction) and resets it when the sign flips. The ablation bench
+    /// compares the two.
+    SignAdaptive {
+        /// Initial (and post-flip) step size.
+        initial: f64,
+        /// Multiplicative growth factor per same-sign iteration.
+        factor: f64,
+        /// Upper cap preventing numeric blow-up.
+        max: f64,
+    },
+}
+
+impl StepSizePolicy {
+    /// A fixed step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive and finite.
+    pub fn fixed(gamma: f64) -> Self {
+        assert!(gamma.is_finite() && gamma > 0.0, "step size must be positive");
+        StepSizePolicy::Fixed { gamma }
+    }
+
+    /// The paper's adaptive heuristic with doubling, capped at 64× the
+    /// initial step size.
+    ///
+    /// The paper reports the best results for `initial = 1`. The cap is our
+    /// addition: without it a long congestion episode grows γ so large that
+    /// prices overshoot by orders of magnitude and take thousands of
+    /// iterations to decay back (the projected-gradient decay rate is
+    /// proportional to the — small — constraint slack near equilibrium).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not strictly positive and finite.
+    pub fn adaptive(initial: f64) -> Self {
+        assert!(initial.is_finite() && initial > 0.0, "step size must be positive");
+        StepSizePolicy::Adaptive { initial, factor: 2.0, max: 64.0 * initial }
+    }
+
+    /// The sign-adaptive extension with doubling, capped at 64× the
+    /// initial step size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not strictly positive and finite.
+    pub fn sign_adaptive(initial: f64) -> Self {
+        assert!(initial.is_finite() && initial > 0.0, "step size must be positive");
+        StepSizePolicy::SignAdaptive { initial, factor: 2.0, max: 64.0 * initial }
+    }
+
+    /// The starting step size under this policy.
+    pub fn initial_gamma(&self) -> f64 {
+        match *self {
+            StepSizePolicy::Fixed { gamma } => gamma,
+            StepSizePolicy::Adaptive { initial, .. } => initial,
+            StepSizePolicy::SignAdaptive { initial, .. } => initial,
+        }
+    }
+}
+
+impl Default for StepSizePolicy {
+    /// Adaptive with initial γ = 1, the configuration the paper found best.
+    fn default() -> Self {
+        StepSizePolicy::adaptive(1.0)
+    }
+}
+
+/// The dual variables of LLA: one `μ_r` per resource and one `λ_p` per
+/// root-to-leaf path, plus their per-entity adaptive step sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceState {
+    mu: Vec<f64>,
+    /// `lambda[t][p]` for path `p` of task `t`.
+    lambda: Vec<Vec<f64>>,
+    gamma_r: Vec<f64>,
+    gamma_p: Vec<Vec<f64>>,
+    last_grad_r: Vec<f64>,
+    last_grad_p: Vec<Vec<f64>>,
+    last_max_rel_step: f64,
+    policy: StepSizePolicy,
+}
+
+impl PriceState {
+    /// Initializes zero prices for every resource and path of `problem`.
+    pub fn new(problem: &Problem, policy: StepSizePolicy) -> Self {
+        let g0 = policy.initial_gamma();
+        PriceState {
+            mu: vec![0.0; problem.resources().len()],
+            lambda: problem
+                .tasks()
+                .iter()
+                .map(|t| vec![0.0; t.graph().paths().len()])
+                .collect(),
+            gamma_r: vec![g0; problem.resources().len()],
+            gamma_p: problem
+                .tasks()
+                .iter()
+                .map(|t| vec![g0; t.graph().paths().len()])
+                .collect(),
+            last_grad_r: vec![0.0; problem.resources().len()],
+            last_grad_p: problem
+                .tasks()
+                .iter()
+                .map(|t| vec![0.0; t.graph().paths().len()])
+                .collect(),
+            last_max_rel_step: f64::INFINITY,
+            policy,
+        }
+    }
+
+    /// The largest relative price movement `|Δprice|/(1 + price)` of the
+    /// most recent [`update`](Self::update) — the optimizer's price
+    /// quiescence signal. `∞` before the first update.
+    pub fn last_max_rel_step(&self) -> f64 {
+        self.last_max_rel_step
+    }
+
+    /// The resource price `μ_r` for resource index `r`.
+    pub fn mu(&self, r: usize) -> f64 {
+        self.mu[r]
+    }
+
+    /// All resource prices, indexed by resource.
+    pub fn mus(&self) -> &[f64] {
+        &self.mu
+    }
+
+    /// The path price `λ_p` for path `p` of task `t`.
+    pub fn lambda(&self, t: usize, p: usize) -> f64 {
+        self.lambda[t][p]
+    }
+
+    /// All path prices of task `t`.
+    pub fn lambdas(&self, t: usize) -> &[f64] {
+        &self.lambda[t]
+    }
+
+    /// Overwrites the resource price (used by the distributed runtime when
+    /// a price message arrives).
+    pub fn set_mu(&mut self, r: usize, value: f64) {
+        self.mu[r] = value.max(0.0);
+    }
+
+    /// Overwrites a path price (used by the distributed runtime).
+    pub fn set_lambda(&mut self, t: usize, p: usize, value: f64) {
+        self.lambda[t][p] = value.max(0.0);
+    }
+
+    /// The current step size of resource `r` (for introspection/tests).
+    pub fn gamma_r(&self, r: usize) -> f64 {
+        self.gamma_r[r]
+    }
+
+    /// The current step size of path `p` of task `t`.
+    pub fn gamma_p(&self, t: usize, p: usize) -> f64 {
+        self.gamma_p[t][p]
+    }
+
+    /// Performs one full price-computation step (Eqs. 8–9) for the given
+    /// allocation, including the adaptive step-size heuristic when the
+    /// policy selects it.
+    ///
+    /// `lats[t][s]` is the latency allocated to subtask `s` of task `t`.
+    pub fn update(&mut self, problem: &Problem, lats: &[Vec<f64>]) {
+        // Dual gradients: resource slack (Eq. 8) and relative path slack
+        // (Eq. 9).
+        let grad_r: Vec<f64> = problem
+            .resources()
+            .iter()
+            .map(|r| r.availability() - problem.resource_usage(r.id(), lats))
+            .collect();
+        let grad_p: Vec<Vec<f64>> = problem
+            .tasks()
+            .iter()
+            .map(|task| {
+                let tl = &lats[task.id().index()];
+                task.graph()
+                    .paths()
+                    .iter()
+                    .map(|path| 1.0 - path.latency(tl) / task.critical_time())
+                    .collect()
+            })
+            .collect();
+
+        let congested: Vec<bool> = grad_r.iter().map(|&g| g < 0.0).collect();
+        self.reset_step_tracking();
+        for (r, &g) in grad_r.iter().enumerate() {
+            self.apply_resource_step(r, g);
+        }
+        for (t, task) in problem.tasks().iter().enumerate() {
+            for (p, path) in task.graph().paths().iter().enumerate() {
+                let traverses_congested = path
+                    .subtasks()
+                    .iter()
+                    .any(|&s| congested[task.subtasks()[s].resource().index()]);
+                self.apply_path_step(t, p, grad_p[t][p], traverses_congested);
+            }
+        }
+    }
+
+    /// Resets the [`last_max_rel_step`](Self::last_max_rel_step) tracker;
+    /// distributed drivers call this at round boundaries before applying
+    /// per-entity steps.
+    pub fn reset_step_tracking(&mut self) {
+        self.last_max_rel_step = 0.0;
+    }
+
+    /// Applies one resource price step (Eq. 8) given the dual gradient
+    /// `grad = B_r − usage_r`, including this policy's step-size
+    /// adaptation. This is the operation a distributed resource agent
+    /// performs locally. Returns the new `μ_r`.
+    pub fn apply_resource_step(&mut self, r: usize, grad: f64) -> f64 {
+        let congested = grad < 0.0;
+        self.gamma_r[r] = match self.policy {
+            StepSizePolicy::Fixed { gamma } => gamma,
+            StepSizePolicy::Adaptive { initial, factor, max } => {
+                // Paper §5.2: double while congested, revert on decongestion.
+                if congested {
+                    (self.gamma_r[r] * factor).min(max)
+                } else {
+                    initial
+                }
+            }
+            StepSizePolicy::SignAdaptive { initial, factor, max } => {
+                // Grow while the gradient sign persists (and the projected
+                // price is actually moving); reset on a sign flip.
+                let same = grad.signum() == self.last_grad_r[r].signum();
+                let moving = congested || self.mu[r] > 0.0;
+                if same && moving && self.last_grad_r[r] != 0.0 {
+                    (self.gamma_r[r] * factor).min(max)
+                } else {
+                    initial
+                }
+            }
+        };
+        let new = (self.mu[r] - self.gamma_r[r] * grad).max(0.0);
+        self.last_max_rel_step =
+            self.last_max_rel_step.max((new - self.mu[r]).abs() / (1.0 + new));
+        self.mu[r] = new;
+        self.last_grad_r[r] = grad;
+        new
+    }
+
+    /// Applies one path price step (Eq. 9) given the relative slack
+    /// `grad = 1 − path_latency/C_i` and whether the path traverses a
+    /// congested resource (needed by the paper's adaptive heuristic; the
+    /// resource's congestion bit travels with its price message in the
+    /// distributed runtime). This is the operation a task controller
+    /// performs locally. Returns the new `λ_p`.
+    pub fn apply_path_step(&mut self, t: usize, p: usize, grad: f64, traverses_congested: bool) -> f64 {
+        self.gamma_p[t][p] = match self.policy {
+            StepSizePolicy::Fixed { gamma } => gamma,
+            StepSizePolicy::Adaptive { initial, factor, max } => {
+                if traverses_congested {
+                    (self.gamma_p[t][p] * factor).min(max)
+                } else {
+                    initial
+                }
+            }
+            StepSizePolicy::SignAdaptive { initial, factor, max } => {
+                let same = grad.signum() == self.last_grad_p[t][p].signum();
+                let moving = grad < 0.0 || self.lambda[t][p] > 0.0;
+                if same && moving && self.last_grad_p[t][p] != 0.0 {
+                    (self.gamma_p[t][p] * factor).min(max)
+                } else {
+                    initial
+                }
+            }
+        };
+        let new = (self.lambda[t][p] - self.gamma_p[t][p] * grad).max(0.0);
+        self.last_max_rel_step =
+            self.last_max_rel_step.max((new - self.lambda[t][p]).abs() / (1.0 + new));
+        self.lambda[t][p] = new;
+        self.last_grad_p[t][p] = grad;
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ResourceId, TaskId};
+    use crate::resource::{Resource, ResourceKind};
+    use crate::task::TaskBuilder;
+
+    fn problem() -> Problem {
+        let resources = vec![
+            Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+            Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0),
+        ];
+        let mut b = TaskBuilder::new("t");
+        let a = b.subtask("a", ResourceId::new(0), 2.0);
+        let c = b.subtask("b", ResourceId::new(1), 2.0);
+        b.edge(a, c).unwrap();
+        b.critical_time(20.0);
+        Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn prices_start_at_zero() {
+        let p = problem();
+        let s = PriceState::new(&p, StepSizePolicy::fixed(1.0));
+        assert_eq!(s.mus(), &[0.0, 0.0]);
+        assert_eq!(s.lambdas(0), &[0.0]);
+    }
+
+    #[test]
+    fn congested_resource_price_rises() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(1.0));
+        // Tiny latencies => shares (3/1) each => heavy congestion.
+        let lats = vec![vec![1.0, 1.0]];
+        s.update(&p, &lats);
+        assert!(s.mu(0) > 0.0, "price of congested resource must rise");
+        assert!(s.mu(1) > 0.0);
+    }
+
+    #[test]
+    fn uncongested_resource_price_projected_to_zero() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(1.0));
+        // Generous latencies => usage << B_r, gradient positive, price would
+        // go negative but is projected onto zero.
+        let lats = vec![vec![9.0, 9.0]];
+        s.update(&p, &lats);
+        assert_eq!(s.mu(0), 0.0);
+    }
+
+    #[test]
+    fn path_price_rises_when_deadline_missed() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(1.0));
+        // Path latency 30 > C = 20 => negative slack => lambda rises.
+        let lats = vec![vec![15.0, 15.0]];
+        s.update(&p, &lats);
+        assert!(s.lambda(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn path_price_stays_zero_with_slack() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(1.0));
+        let lats = vec![vec![5.0, 5.0]];
+        s.update(&p, &lats);
+        assert_eq!(s.lambda(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fixed_policy_never_changes_gamma() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(0.5));
+        let lats = vec![vec![1.0, 1.0]]; // congested
+        for _ in 0..5 {
+            s.update(&p, &lats);
+        }
+        assert_eq!(s.gamma_r(0), 0.5);
+        assert_eq!(s.gamma_p(0, 0), 0.5);
+    }
+
+    #[test]
+    fn adaptive_gamma_doubles_under_congestion_and_reverts() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::adaptive(1.0));
+        let congested = vec![vec![1.0, 1.0]];
+        s.update(&p, &congested);
+        assert_eq!(s.gamma_r(0), 2.0);
+        assert_eq!(s.gamma_p(0, 0), 2.0, "paths through congested resources double too");
+        s.update(&p, &congested);
+        assert_eq!(s.gamma_r(0), 4.0);
+        // Decongest: gamma reverts to initial immediately.
+        let relaxed = vec![vec![9.0, 9.0]];
+        s.update(&p, &relaxed);
+        assert_eq!(s.gamma_r(0), 1.0);
+        assert_eq!(s.gamma_p(0, 0), 1.0);
+    }
+
+    #[test]
+    fn adaptive_gamma_is_capped() {
+        let p = problem();
+        let policy = StepSizePolicy::Adaptive { initial: 1.0, factor: 2.0, max: 8.0 };
+        let mut s = PriceState::new(&p, policy);
+        let congested = vec![vec![1.0, 1.0]];
+        for _ in 0..10 {
+            s.update(&p, &congested);
+        }
+        assert_eq!(s.gamma_r(0), 8.0);
+    }
+
+    #[test]
+    fn setters_project_to_nonnegative() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::default());
+        s.set_mu(0, -3.0);
+        assert_eq!(s.mu(0), 0.0);
+        s.set_lambda(0, 0, -1.0);
+        assert_eq!(s.lambda(0, 0), 0.0);
+        s.set_mu(1, 2.5);
+        assert_eq!(s.mu(1), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "step size must be positive")]
+    fn fixed_policy_rejects_zero() {
+        let _ = StepSizePolicy::fixed(0.0);
+    }
+
+    #[test]
+    fn sign_adaptive_grows_on_persistent_gradient() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::sign_adaptive(1.0));
+        let congested = vec![vec![1.0, 1.0]];
+        s.update(&p, &congested); // first update: last grad was 0 => reset
+        assert_eq!(s.gamma_r(0), 1.0);
+        s.update(&p, &congested); // same sign => double
+        assert_eq!(s.gamma_r(0), 2.0);
+        s.update(&p, &congested);
+        assert_eq!(s.gamma_r(0), 4.0);
+    }
+
+    #[test]
+    fn sign_adaptive_grows_during_decay_and_resets_on_flip() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::sign_adaptive(1.0));
+        // Drive mu up with a congested allocation.
+        let congested = vec![vec![1.0, 1.0]];
+        for _ in 0..6 {
+            s.update(&p, &congested);
+        }
+        let high = s.mu(0);
+        assert!(high > 1.0);
+        // Decongest: gradient flips sign => gamma resets, then grows while
+        // mu decays — the asymmetry fix over the paper's heuristic.
+        let relaxed = vec![vec![9.0, 9.0]];
+        s.update(&p, &relaxed);
+        assert_eq!(s.gamma_r(0), 1.0, "sign flip resets gamma");
+        s.update(&p, &relaxed);
+        assert_eq!(s.gamma_r(0), 2.0, "persistent positive slack grows gamma");
+        assert!(s.mu(0) < high, "price must decay");
+    }
+}

@@ -1,0 +1,355 @@
+//! The constrained optimization problem (§3): tasks, resources, and the
+//! structural indices LLA needs (subtask↔resource maps, share models).
+
+use crate::error::ModelError;
+use crate::ids::{ResourceId, SubtaskId, TaskId};
+use crate::resource::Resource;
+use crate::share::ShareModel;
+use crate::task::Task;
+
+/// A validated system: a set of [`Resource`]s and a set of [`Task`]s whose
+/// subtasks consume them.
+///
+/// The objective is `max Σ_i U_i` (Eq. 2) subject to the resource
+/// constraints `Σ_{s∈S_r} share_r(s, lat_s) ≤ B_r` (Eq. 3) and the critical
+/// time constraints `Σ_{s∈p} lat_s ≤ C_i` for every path (Eq. 4).
+///
+/// `Problem` owns one [`ShareModel`] per subtask (WCET plus the lag of the
+/// resource it runs on) and exposes it mutably so the online
+/// error-correction loop (§6.3) can update the additive correction while
+/// the optimizer runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    resources: Vec<Resource>,
+    tasks: Vec<Task>,
+    /// `subtasks_on[r]` lists every subtask running on resource `r`.
+    subtasks_on: Vec<Vec<SubtaskId>>,
+    /// `share_models[t][s]` for subtask `s` of task `t`.
+    share_models: Vec<Vec<ShareModel>>,
+}
+
+impl Problem {
+    /// Assembles and validates a problem.
+    ///
+    /// Resource and task ids must be dense (`resources[i].id() == i`,
+    /// `tasks[i].id() == i`) so that internal tables can be flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NonDenseResourceIds`] / [`ModelError::NonDenseTaskIds`]
+    ///   when ids do not match positions.
+    /// * [`ModelError::UnknownResource`] when a subtask references a missing
+    ///   resource.
+    /// * Any parameter-validation error from resources or subtasks.
+    pub fn new(resources: Vec<Resource>, tasks: Vec<Task>) -> Result<Self, ModelError> {
+        for (i, r) in resources.iter().enumerate() {
+            if r.id().index() != i {
+                return Err(ModelError::NonDenseResourceIds { resource: r.id(), expected: i });
+            }
+            r.validate()?;
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            if t.id().index() != i {
+                return Err(ModelError::NonDenseTaskIds { task: t.id(), expected: i });
+            }
+        }
+
+        let mut subtasks_on = vec![Vec::new(); resources.len()];
+        let mut share_models = Vec::with_capacity(tasks.len());
+        for t in &tasks {
+            let mut models = Vec::with_capacity(t.len());
+            for s in t.subtasks() {
+                let r = s.resource();
+                if r.index() >= resources.len() {
+                    return Err(ModelError::UnknownResource { subtask: s.id(), resource: r });
+                }
+                subtasks_on[r.index()].push(s.id());
+                models.push(ShareModel::new(s.exec_time(), resources[r.index()].lag())?);
+            }
+            share_models.push(models);
+        }
+
+        Ok(Problem { resources, tasks, subtasks_on, share_models })
+    }
+
+    /// The resources, indexed by [`ResourceId::index`].
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// The tasks, indexed by [`TaskId::index`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// A single resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.index()]
+    }
+
+    /// Updates a resource's availability `B_r` at runtime (LLA adapts and
+    /// re-converges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_resource_availability(&mut self, id: ResourceId, availability: f64) {
+        self.resources[id.index()].set_availability(availability);
+    }
+
+    /// A single task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The subtasks competing for resource `r` (`S_r` in the paper).
+    pub fn subtasks_on(&self, r: ResourceId) -> &[SubtaskId] {
+        &self.subtasks_on[r.index()]
+    }
+
+    /// The share model of a subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn share_model(&self, s: SubtaskId) -> &ShareModel {
+        &self.share_models[s.task().index()][s.index()]
+    }
+
+    /// Sets the additive latency error correction `ê` for a subtask (§6.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_correction(&mut self, s: SubtaskId, correction: f64) {
+        self.share_models[s.task().index()][s.index()].set_correction(correction);
+    }
+
+    /// Sets the multiplicative demand correction for a subtask (the
+    /// demand-scaling alternative to the paper's additive model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_demand_scale(&mut self, s: SubtaskId, scale: f64) {
+        self.share_models[s.task().index()][s.index()].set_demand_scale(scale);
+    }
+
+    /// Total number of subtasks across all tasks.
+    pub fn num_subtasks(&self) -> usize {
+        self.tasks.iter().map(Task::len).sum()
+    }
+
+    /// Total number of root-to-leaf paths across all tasks.
+    pub fn num_paths(&self) -> usize {
+        self.tasks.iter().map(|t| t.graph().paths().len()).sum()
+    }
+
+    /// Sum of shares demanded on resource `r` by the given allocation
+    /// (left-hand side of Eq. 3). `lats[t][s]` is the latency of subtask `s`
+    /// of task `t`.
+    pub fn resource_usage(&self, r: ResourceId, lats: &[Vec<f64>]) -> f64 {
+        self.subtasks_on[r.index()]
+            .iter()
+            .map(|sid| {
+                self.share_models[sid.task().index()][sid.index()]
+                    .share_for_latency(lats[sid.task().index()][sid.index()])
+            })
+            .sum()
+    }
+
+    /// `Σ_i U_i` for the given allocation (the paper's objective, Eq. 2,
+    /// under the chosen aggregation variant).
+    pub fn total_utility(&self, lats: &[Vec<f64>]) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.utility(&lats[t.id().index()]))
+            .sum()
+    }
+
+    /// The largest resource-constraint violation
+    /// `max_r (usage_r − B_r)` — positive means at least one resource is
+    /// congested.
+    pub fn max_resource_violation(&self, lats: &[Vec<f64>]) -> f64 {
+        self.resources
+            .iter()
+            .map(|r| self.resource_usage(r.id(), lats) - r.availability())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The largest path-constraint violation as a fraction:
+    /// `max_p (path_latency / C_i − 1)` — positive means at least one path
+    /// misses its critical time.
+    pub fn max_path_violation(&self, lats: &[Vec<f64>]) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        for t in &self.tasks {
+            let tl = &lats[t.id().index()];
+            for p in t.graph().paths() {
+                worst = worst.max(p.latency(tl) / t.critical_time() - 1.0);
+            }
+        }
+        worst
+    }
+
+    /// Whether the allocation satisfies both constraint families within
+    /// tolerance `tol` (relative for paths, absolute in share for
+    /// resources).
+    pub fn is_feasible(&self, lats: &[Vec<f64>], tol: f64) -> bool {
+        self.max_resource_violation(lats) <= tol && self.max_path_violation(lats) <= tol
+    }
+
+    /// An initial feasible-leaning allocation: every subtask gets an equal
+    /// slice of its task's critical time along the longest path through it.
+    ///
+    /// This is only a starting point — LLA converges from any positive
+    /// allocation; a reasonable start merely saves iterations.
+    pub fn initial_allocation(&self) -> Vec<Vec<f64>> {
+        self.tasks
+            .iter()
+            .map(|t| {
+                // Longest path length (in hops) determines the even split.
+                let max_len = t.graph().paths().iter().map(|p| p.len()).max().unwrap_or(1);
+                let slice = t.critical_time() / max_len as f64;
+                (0..t.len()).map(|_| slice).collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+    use crate::resource::ResourceKind;
+    use crate::task::TaskBuilder;
+
+    fn two_cpu_problem() -> Problem {
+        let resources = vec![
+            Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+            Resource::new(ResourceId::new(1), ResourceKind::Cpu)
+                .with_lag(2.0)
+                .with_availability(0.8),
+        ];
+        let mut b = TaskBuilder::new("a");
+        let s0 = b.subtask("x", ResourceId::new(0), 2.0);
+        let s1 = b.subtask("y", ResourceId::new(1), 3.0);
+        b.edge(s0, s1).unwrap();
+        b.critical_time(30.0);
+        let t0 = b.build(TaskId::new(0)).unwrap();
+
+        let mut b = TaskBuilder::new("b");
+        b.subtask("z", ResourceId::new(1), 4.0);
+        b.critical_time(20.0);
+        let t1 = b.build(TaskId::new(1)).unwrap();
+
+        Problem::new(resources, vec![t0, t1]).unwrap()
+    }
+
+    #[test]
+    fn indices_are_built() {
+        let p = two_cpu_problem();
+        assert_eq!(p.num_subtasks(), 3);
+        assert_eq!(p.num_paths(), 2);
+        assert_eq!(p.subtasks_on(ResourceId::new(0)).len(), 1);
+        assert_eq!(p.subtasks_on(ResourceId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn share_models_use_resource_lag() {
+        let p = two_cpu_problem();
+        let sid = p.tasks()[0].subtask_id(1); // on resource 1, lag 2
+        assert_eq!(p.share_model(sid).demand(), 3.0 + 2.0);
+    }
+
+    #[test]
+    fn resource_usage_sums_shares() {
+        let p = two_cpu_problem();
+        let lats = vec![vec![10.0, 10.0], vec![10.0]];
+        // Resource 1 hosts T0.1 (demand 5) and T1.0 (demand 6).
+        let expected = 5.0 / 10.0 + 6.0 / 10.0;
+        assert!((p.resource_usage(ResourceId::new(1), &lats) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violations_and_feasibility() {
+        let p = two_cpu_problem();
+        // Generous latencies: feasible.
+        let ok = vec![vec![14.0, 14.0], vec![18.0]];
+        assert!(p.is_feasible(&ok, 1e-9), "usage r1 = 5/14 + 6/18 = 0.69 <= 0.8");
+        // Tiny latencies: resource 1 blows past availability.
+        let bad = vec![vec![3.0, 3.0], vec![3.0]];
+        assert!(p.max_resource_violation(&bad) > 0.0);
+        // Long latencies: path constraint violated for task 1 (C=20).
+        let late = vec![vec![10.0, 10.0], vec![25.0]];
+        assert!(p.max_path_violation(&late) > 0.0);
+        assert!(!p.is_feasible(&late, 1e-9));
+    }
+
+    #[test]
+    fn initial_allocation_respects_deadlines() {
+        let p = two_cpu_problem();
+        let init = p.initial_allocation();
+        assert!(p.max_path_violation(&init) <= 1e-9);
+        // Task 0 longest path has 2 hops: each slice is 15.
+        assert_eq!(init[0], vec![15.0, 15.0]);
+        assert_eq!(init[1], vec![20.0]);
+    }
+
+    #[test]
+    fn correction_is_mutable_through_problem() {
+        let mut p = two_cpu_problem();
+        let sid = p.tasks()[0].subtask_id(0);
+        p.set_correction(sid, -2.5);
+        assert_eq!(p.share_model(sid).correction(), -2.5);
+    }
+
+    #[test]
+    fn rejects_unknown_resource() {
+        let resources = vec![Resource::new(ResourceId::new(0), ResourceKind::Cpu)];
+        let mut b = TaskBuilder::new("t");
+        b.subtask("x", ResourceId::new(9), 1.0);
+        b.critical_time(10.0);
+        let t = b.build(TaskId::new(0)).unwrap();
+        assert!(matches!(
+            Problem::new(resources, vec![t]),
+            Err(ModelError::UnknownResource { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let resources = vec![Resource::new(ResourceId::new(1), ResourceKind::Cpu)];
+        assert!(matches!(
+            Problem::new(resources, vec![]),
+            Err(ModelError::NonDenseResourceIds { .. })
+        ));
+
+        let resources = vec![Resource::new(ResourceId::new(0), ResourceKind::Cpu)];
+        let mut b = TaskBuilder::new("t");
+        b.subtask("x", ResourceId::new(0), 1.0);
+        b.critical_time(10.0);
+        let t = b.build(TaskId::new(5)).unwrap();
+        assert!(matches!(
+            Problem::new(resources, vec![t]),
+            Err(ModelError::NonDenseTaskIds { .. })
+        ));
+    }
+
+    #[test]
+    fn total_utility_sums_tasks() {
+        let p = two_cpu_problem();
+        let lats = vec![vec![5.0, 5.0], vec![4.0]];
+        // Default utility 2C - weighted lat; both tasks are chains so
+        // weights are 1.
+        let expected = (60.0 - 10.0) + (40.0 - 4.0);
+        assert!((p.total_utility(&lats) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Resources: CPUs and network links under proportional-share scheduling.
+
+use crate::error::ModelError;
+use crate::ids::ResourceId;
+use serde::{Deserialize, Serialize};
+
+/// The kind of resource a subtask consumes.
+///
+/// The paper treats computation and communication uniformly: computation
+/// subtasks consume [`Cpu`](ResourceKind::Cpu) resources, communication
+/// subtasks consume [`NetworkLink`](ResourceKind::NetworkLink) resources.
+/// LLA itself is agnostic to the kind; it only matters for modeling and
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// A processor scheduled by a proportional-share CPU scheduler.
+    Cpu,
+    /// A network link whose bandwidth is partitioned proportionally.
+    NetworkLink,
+}
+
+impl std::fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceKind::Cpu => write!(f, "cpu"),
+            ResourceKind::NetworkLink => write!(f, "link"),
+        }
+    }
+}
+
+/// A schedulable resource with an availability fraction and scheduling lag.
+///
+/// * `availability` is `B_r ∈ [0, 1]`: the fraction of the resource offered
+///   to the competing tasks (the rest may be reserved, e.g. `0.1` for the
+///   Metronome garbage collector in the paper's prototype).
+/// * `lag` is `l_r ≥ 0` (milliseconds): the scheduling lag of the
+///   proportional-share scheduler, which enters the share function
+///   `share_r(s, lat) = (c_s + l_r) / lat` (Eq. 10 in the paper).
+///
+/// # Example
+/// ```
+/// use lla_core::{Resource, ResourceId, ResourceKind};
+/// let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu)
+///     .with_availability(0.9)
+///     .with_lag(5.0)
+///     .with_name("cpu0");
+/// assert_eq!(r.availability(), 0.9);
+/// assert_eq!(r.lag(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    id: ResourceId,
+    kind: ResourceKind,
+    availability: f64,
+    lag: f64,
+    name: String,
+}
+
+impl Resource {
+    /// Creates a resource with full availability (`B_r = 1`) and zero lag.
+    pub fn new(id: ResourceId, kind: ResourceKind) -> Self {
+        Resource {
+            id,
+            kind,
+            availability: 1.0,
+            lag: 0.0,
+            name: format!("{id}"),
+        }
+    }
+
+    /// Sets the availability fraction `B_r`.
+    ///
+    /// Values are expected in `[0, 1]`; construction is infallible for
+    /// builder ergonomics and [`Resource::validate`] rejects out-of-range
+    /// values when the resource is added to a [`Problem`](crate::Problem).
+    pub fn with_availability(mut self, availability: f64) -> Self {
+        self.availability = availability;
+        self
+    }
+
+    /// Sets the proportional-share scheduling lag `l_r` in milliseconds.
+    pub fn with_lag(mut self, lag: f64) -> Self {
+        self.lag = lag;
+        self
+    }
+
+    /// Sets a human-readable name used in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The resource identifier.
+    pub fn id(&self) -> ResourceId {
+        self.id
+    }
+
+    /// The resource kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The availability fraction `B_r`.
+    pub fn availability(&self) -> f64 {
+        self.availability
+    }
+
+    /// Updates the availability fraction `B_r`.
+    ///
+    /// LLA runs continuously; availability may change at runtime (e.g. a
+    /// failure or a competing reservation) and the optimizer re-converges.
+    pub fn set_availability(&mut self, availability: f64) {
+        self.availability = availability;
+    }
+
+    /// The scheduling lag `l_r` in milliseconds.
+    pub fn lag(&self) -> f64 {
+        self.lag
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Validates the numeric parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `availability ∉ [0, 1]`,
+    /// or if `lag` is negative or non-finite.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.availability.is_finite() || !(0.0..=1.0).contains(&self.availability) {
+            return Err(ModelError::InvalidParameter {
+                what: "resource availability (B_r)",
+                value: self.availability,
+            });
+        }
+        if !self.lag.is_finite() || self.lag < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "resource lag (l_r)",
+                value: self.lag,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_full_availability_zero_lag() {
+        let r = Resource::new(ResourceId::new(2), ResourceKind::NetworkLink);
+        assert_eq!(r.availability(), 1.0);
+        assert_eq!(r.lag(), 0.0);
+        assert_eq!(r.kind(), ResourceKind::NetworkLink);
+        assert_eq!(r.name(), "R2");
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu)
+            .with_availability(0.66)
+            .with_lag(5.0)
+            .with_name("trading-cpu");
+        assert_eq!(r.availability(), 0.66);
+        assert_eq!(r.lag(), 5.0);
+        assert_eq!(r.name(), "trading-cpu");
+    }
+
+    #[test]
+    fn validate_rejects_bad_availability() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu)
+                .with_availability(bad);
+            assert!(r.validate().is_err(), "availability {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_lag() {
+        for bad in [-1.0, f64::NAN] {
+            let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(bad);
+            assert!(r.validate().is_err(), "lag {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn set_availability_updates() {
+        let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu);
+        r.set_availability(0.5);
+        assert_eq!(r.availability(), 0.5);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ResourceKind::Cpu.to_string(), "cpu");
+        assert_eq!(ResourceKind::NetworkLink.to_string(), "link");
+    }
+}

@@ -1,0 +1,325 @@
+//! The share function: mapping a subtask latency to a resource share.
+//!
+//! Under proportional-share scheduling, a subtask with worst-case execution
+//! time `c_s` on a resource with scheduling lag `l_r` needs share
+//!
+//! ```text
+//! share_r(s, lat) = (c_s + l_r) / lat          (Eq. 10)
+//! ```
+//!
+//! to complete within `lat` milliseconds in the worst case. The function is
+//! strictly convex and strictly decreasing in `lat`, which is exactly the
+//! structure LLA's duality argument requires (increasing latency yields
+//! diminishing returns in freed-up share).
+//!
+//! [`ShareModel`] also carries an *additive error-correction* term `ê`
+//! (§6.3): the model may over-predict latency (e.g. because job releases of
+//! subtasks sharing a resource are not synchronized), and a measured,
+//! exponentially smoothed error is folded back in as
+//! `lat_predicted(share) = (c_s + l_r)/share + ê`, equivalently
+//! `share(lat) = (c_s + l_r)/(lat − ê)`.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Per-subtask share/latency model with online error correction.
+///
+/// # Example
+/// ```
+/// use lla_core::ShareModel;
+/// let m = ShareModel::new(5.0, 5.0)?; // WCET 5ms, lag 5ms
+/// assert_eq!(m.share_for_latency(50.0), 0.2);
+/// assert_eq!(m.latency_for_share(0.2), 50.0);
+/// # Ok::<(), lla_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShareModel {
+    exec_time: f64,
+    lag: f64,
+    correction: f64,
+    demand_scale: f64,
+}
+
+impl ShareModel {
+    /// Creates a share model from the subtask WCET `c_s` and resource lag
+    /// `l_r` (both in milliseconds), with zero error correction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `exec_time ≤ 0`, if `lag
+    /// < 0`, or if either is non-finite.
+    pub fn new(exec_time: f64, lag: f64) -> Result<Self, ModelError> {
+        if !exec_time.is_finite() || exec_time <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "share model execution time (c_s)",
+                value: exec_time,
+            });
+        }
+        if !lag.is_finite() || lag < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "share model lag (l_r)",
+                value: lag,
+            });
+        }
+        Ok(ShareModel { exec_time, lag, correction: 0.0, demand_scale: 1.0 })
+    }
+
+    /// The modeled service demand `m · (c_s + l_r)`, including the
+    /// multiplicative correction `m` (1 by default).
+    pub fn demand(&self) -> f64 {
+        self.demand_scale * (self.exec_time + self.lag)
+    }
+
+    /// The uncorrected worst-case demand `c_s + l_r`.
+    pub fn raw_demand(&self) -> f64 {
+        self.exec_time + self.lag
+    }
+
+    /// The multiplicative demand correction `m` (an alternative to the
+    /// paper's additive correction: instead of shifting predicted latency
+    /// by `ê`, scale the modeled demand so that
+    /// `lat = m·(c_s + l_r)/share`).
+    pub fn demand_scale(&self) -> f64 {
+        self.demand_scale
+    }
+
+    /// Replaces the multiplicative demand correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `scale` is not strictly positive and
+    /// finite.
+    pub fn set_demand_scale(&mut self, scale: f64) {
+        debug_assert!(scale.is_finite() && scale > 0.0);
+        self.demand_scale = scale;
+    }
+
+    /// The WCET `c_s`.
+    pub fn exec_time(&self) -> f64 {
+        self.exec_time
+    }
+
+    /// The scheduling lag `l_r`.
+    pub fn lag(&self) -> f64 {
+        self.lag
+    }
+
+    /// The current additive latency correction `ê` (milliseconds).
+    ///
+    /// Negative values mean the uncorrected model *over-predicts* latency
+    /// (the common case per §6.3 of the paper).
+    pub fn correction(&self) -> f64 {
+        self.correction
+    }
+
+    /// Replaces the additive latency correction `ê`.
+    ///
+    /// The corrected model is only meaningful while `ê < lat` for the
+    /// latencies in play; the optimizer clamps allocations to keep shares in
+    /// `(0, 1]`, which bounds how negative a useful correction can be.
+    pub fn set_correction(&mut self, correction: f64) {
+        debug_assert!(correction.is_finite());
+        self.correction = correction;
+    }
+
+    /// The share needed for the subtask to finish within `lat` milliseconds:
+    /// `(c_s + l_r)/(lat − ê)`.
+    ///
+    /// Returns `+∞` when `lat ≤ ê` (no finite share achieves the latency).
+    pub fn share_for_latency(&self, lat: f64) -> f64 {
+        let eff = lat - self.correction;
+        if eff <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.demand() / eff
+        }
+    }
+
+    /// The predicted latency when the subtask holds `share` of its
+    /// resource: `(c_s + l_r)/share + ê`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `share ≤ 0`.
+    pub fn latency_for_share(&self, share: f64) -> f64 {
+        debug_assert!(share > 0.0, "share must be positive");
+        self.demand() / share + self.correction
+    }
+
+    /// Derivative of the share with respect to latency:
+    /// `∂share/∂lat = −(c_s + l_r)/(lat − ê)²`.
+    ///
+    /// Strictly negative on the valid domain, consistent with the share
+    /// function being strictly decreasing.
+    pub fn dshare_dlat(&self, lat: f64) -> f64 {
+        let eff = lat - self.correction;
+        if eff <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            -self.demand() / (eff * eff)
+        }
+    }
+
+    /// The smallest latency whose required share does not exceed
+    /// `max_share`: `lat_min = (c_s + l_r)/max_share + ê`.
+    ///
+    /// Used by the optimizer to clamp allocations so that a single subtask
+    /// never demands more than the full resource availability.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `max_share ≤ 0`.
+    pub fn min_latency(&self, max_share: f64) -> f64 {
+        debug_assert!(max_share > 0.0);
+        self.demand() / max_share + self.correction
+    }
+
+    /// Solves the LLA stationarity condition for this subtask:
+    /// given resource price `μ ≥ 0` and "latency pressure"
+    /// `d = −w_s·f'(A) + Σ_{p∋s} λ_p > 0`, the unconstrained optimum is
+    ///
+    /// ```text
+    /// lat* = ê + sqrt(μ · (c_s + l_r) / d)
+    /// ```
+    ///
+    /// (set `∂L/∂lat_s = 0` in Eq. 7 with `share = (c+l)/(lat−ê)`).
+    /// Returns `None` when `d ≤ 0` (no pressure to reduce latency — the
+    /// caller should use its upper clamp) .
+    pub fn stationary_latency(&self, mu: f64, pressure: f64) -> Option<f64> {
+        if pressure <= 0.0 {
+            return None;
+        }
+        let mu = mu.max(0.0);
+        Some(self.correction + (mu * self.demand() / pressure).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq10_roundtrip() {
+        let m = ShareModel::new(13.0, 5.0).unwrap();
+        for lat in [20.0, 50.0, 138.46] {
+            let s = m.share_for_latency(lat);
+            assert!((m.latency_for_share(s) - lat).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_prototype_minimum_shares() {
+        // Fast subtasks: WCET 5ms at 40/s => min share 0.2 => lat 50ms with lag 5.
+        let fast = ShareModel::new(5.0, 5.0).unwrap();
+        assert!((fast.share_for_latency(50.0) - 0.2).abs() < 1e-12);
+        // Slow subtasks: WCET 13ms at 10/s => min share 0.13.
+        let slow = ShareModel::new(13.0, 5.0).unwrap();
+        let lat = slow.latency_for_share(0.13);
+        assert!((slow.share_for_latency(lat) - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strictly_decreasing_and_convex() {
+        let m = ShareModel::new(3.0, 1.0).unwrap();
+        let mut prev_share = f64::INFINITY;
+        let mut prev_slope = f64::NEG_INFINITY;
+        for i in 1..100 {
+            let lat = i as f64 * 0.5;
+            let s = m.share_for_latency(lat);
+            assert!(s < prev_share, "share must strictly decrease");
+            let d = m.dshare_dlat(lat);
+            assert!(d < 0.0);
+            // Convexity: derivative increases (toward 0).
+            assert!(d > prev_slope, "share derivative must increase (convexity)");
+            prev_share = s;
+            prev_slope = d;
+        }
+    }
+
+    #[test]
+    fn dshare_matches_finite_difference() {
+        let m = ShareModel::new(4.0, 2.0).unwrap();
+        let h = 1e-6;
+        for lat in [1.0, 7.0, 30.0] {
+            let fd = (m.share_for_latency(lat + h) - m.share_for_latency(lat - h)) / (2.0 * h);
+            assert!((fd - m.dshare_dlat(lat)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn correction_shifts_latency_axis() {
+        let mut m = ShareModel::new(5.0, 5.0).unwrap();
+        m.set_correction(-15.0);
+        // With e = -15: achieving 35ms needs share for effective 50ms.
+        assert!((m.share_for_latency(35.0) - 0.2).abs() < 1e-12);
+        assert!((m.latency_for_share(0.2) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_latency_yields_infinite_share() {
+        let mut m = ShareModel::new(1.0, 0.0).unwrap();
+        m.set_correction(10.0);
+        assert!(m.share_for_latency(5.0).is_infinite());
+        assert_eq!(m.dshare_dlat(5.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn stationary_latency_closed_form() {
+        let m = ShareModel::new(2.0, 3.0).unwrap(); // demand 5
+        // d = 2, mu = 10 => lat = sqrt(10*5/2) = 5.
+        let lat = m.stationary_latency(10.0, 2.0).unwrap();
+        assert!((lat - 5.0).abs() < 1e-12);
+        // The stationarity condition holds: mu * dshare/dlat = -d.
+        let lhs = 10.0 * m.dshare_dlat(lat);
+        assert!((lhs + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_latency_no_pressure() {
+        let m = ShareModel::new(2.0, 0.0).unwrap();
+        assert_eq!(m.stationary_latency(10.0, 0.0), None);
+        assert_eq!(m.stationary_latency(10.0, -1.0), None);
+    }
+
+    #[test]
+    fn min_latency_respects_share_bound() {
+        let m = ShareModel::new(5.0, 5.0).unwrap();
+        let lat = m.min_latency(1.0);
+        assert!((m.share_for_latency(lat) - 1.0).abs() < 1e-12);
+        let lat9 = m.min_latency(0.9);
+        assert!(lat9 > lat);
+    }
+
+    #[test]
+    fn demand_scale_shrinks_required_share() {
+        let mut m = ShareModel::new(5.0, 5.0).unwrap();
+        assert_eq!(m.demand(), 10.0);
+        assert_eq!(m.raw_demand(), 10.0);
+        m.set_demand_scale(0.5);
+        assert_eq!(m.demand(), 5.0);
+        assert_eq!(m.raw_demand(), 10.0, "raw demand unaffected by scaling");
+        assert!((m.share_for_latency(50.0) - 0.1).abs() < 1e-12);
+        // Stationary latency uses the scaled demand.
+        let lat = m.stationary_latency(10.0, 2.0).unwrap();
+        assert!((lat - (10.0f64 * 5.0 / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_additive_corrections_compose() {
+        let mut m = ShareModel::new(4.0, 1.0).unwrap();
+        m.set_demand_scale(2.0);
+        m.set_correction(-3.0);
+        // lat = 2*(4+1)/share + (-3): for share 0.5 => 20 - 3 = 17.
+        assert!((m.latency_for_share(0.5) - 17.0).abs() < 1e-12);
+        assert!((m.share_for_latency(17.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_params() {
+        assert!(ShareModel::new(0.0, 1.0).is_err());
+        assert!(ShareModel::new(-1.0, 1.0).is_err());
+        assert!(ShareModel::new(1.0, -0.5).is_err());
+        assert!(ShareModel::new(f64::NAN, 0.0).is_err());
+        assert!(ShareModel::new(1.0, f64::INFINITY).is_err());
+    }
+}

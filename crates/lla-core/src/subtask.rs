@@ -1,0 +1,167 @@
+//! Subtasks: the unit of resource consumption.
+
+use crate::error::ModelError;
+use crate::ids::{ResourceId, SubtaskId};
+use serde::{Deserialize, Serialize};
+
+/// A subtask (`T_ij`): one stage of a task that consumes exactly one
+/// resource.
+///
+/// A subtask is characterized by its worst-case execution time `c_s`
+/// (milliseconds of CPU time, or transmission time on a link) and the
+/// resource it runs on. An optional `max_latency` upper-bounds the latency
+/// the optimizer may assign to it; this encodes the *throughput floor*
+/// `share ≥ rate · c_s` of §6.2 of the paper (a subtask whose share falls
+/// below its arrival rate times WCET queues jobs unboundedly).
+///
+/// # Example
+/// ```
+/// use lla_core::{ResourceId, Subtask, SubtaskId, TaskId};
+/// let s = Subtask::new(
+///     SubtaskId::new(TaskId::new(0), 0),
+///     ResourceId::new(3),
+///     5.0,
+/// )
+/// .with_name("parse-feed")
+/// .with_max_latency(50.0);
+/// assert_eq!(s.exec_time(), 5.0);
+/// assert_eq!(s.max_latency(), Some(50.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subtask {
+    id: SubtaskId,
+    resource: ResourceId,
+    exec_time: f64,
+    max_latency: Option<f64>,
+    name: String,
+}
+
+impl Subtask {
+    /// Creates a subtask with the given WCET (`c_s`, in milliseconds) on
+    /// `resource`.
+    pub fn new(id: SubtaskId, resource: ResourceId, exec_time: f64) -> Self {
+        Subtask {
+            id,
+            resource,
+            exec_time,
+            max_latency: None,
+            name: format!("{id}"),
+        }
+    }
+
+    /// Sets a human-readable name used in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Caps the latency the optimizer may assign to this subtask.
+    ///
+    /// Use this to encode throughput requirements: with arrival rate `ρ`
+    /// (jobs/ms) the minimum sustainable share is `ρ · c_s`, which for the
+    /// share function `share = (c_s + l_r)/lat` corresponds to
+    /// `lat ≤ (c_s + l_r)/(ρ · c_s)`.
+    pub fn with_max_latency(mut self, max_latency: f64) -> Self {
+        self.max_latency = Some(max_latency);
+        self
+    }
+
+    /// The subtask identifier.
+    pub fn id(&self) -> SubtaskId {
+        self.id
+    }
+
+    /// The resource this subtask consumes.
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// The worst-case execution time `c_s` in milliseconds.
+    pub fn exec_time(&self) -> f64 {
+        self.exec_time
+    }
+
+    /// The optional latency cap (throughput floor), if set.
+    pub fn max_latency(&self) -> Option<f64> {
+        self.max_latency
+    }
+
+    /// The human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Validates the numeric parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if the execution time is not
+    /// strictly positive and finite, or if `max_latency` is non-positive or
+    /// non-finite.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.exec_time.is_finite() || self.exec_time <= 0.0 {
+            return Err(ModelError::InvalidParameter {
+                what: "subtask execution time (c_s)",
+                value: self.exec_time,
+            });
+        }
+        if let Some(m) = self.max_latency {
+            if !m.is_finite() || m <= 0.0 {
+                return Err(ModelError::InvalidParameter {
+                    what: "subtask max latency",
+                    value: m,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+
+    fn sid() -> SubtaskId {
+        SubtaskId::new(TaskId::new(0), 0)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = Subtask::new(sid(), ResourceId::new(1), 2.5);
+        assert_eq!(s.id(), sid());
+        assert_eq!(s.resource(), ResourceId::new(1));
+        assert_eq!(s.exec_time(), 2.5);
+        assert_eq!(s.max_latency(), None);
+        assert_eq!(s.name(), "T0.0");
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_exec_time() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let s = Subtask::new(sid(), ResourceId::new(0), bad);
+            assert!(s.validate().is_err(), "exec time {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_max_latency() {
+        for bad in [0.0, -3.0, f64::NAN] {
+            let s = Subtask::new(sid(), ResourceId::new(0), 1.0).with_max_latency(bad);
+            assert!(s.validate().is_err(), "max latency {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn max_latency_encodes_throughput_floor() {
+        // 40 jobs/s = 0.04 jobs/ms, WCET 5ms, lag 5ms:
+        // min share = 0.2, so max latency = (5+5)/0.2 = 50ms.
+        let rate_per_ms = 0.04;
+        let wcet = 5.0;
+        let lag = 5.0;
+        let cap = (wcet + lag) / (rate_per_ms * wcet);
+        let s = Subtask::new(sid(), ResourceId::new(0), wcet).with_max_latency(cap);
+        assert!((s.max_latency().unwrap() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Iteration traces: the raw series behind the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded optimizer iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Total system utility `Σ U_i` after the latency-allocation step.
+    pub utility: f64,
+    /// Per-resource share sums `Σ_{s∈S_r} share_r(s, lat_s)`.
+    pub resource_usage: Vec<f64>,
+    /// Per-task critical-path latency divided by critical time.
+    pub critical_path_ratio: Vec<f64>,
+}
+
+/// A time series of optimizer iterations.
+///
+/// The evaluation figures of the paper are views of this trace: Figure 5
+/// plots `utility` against `iteration` for different step-size policies,
+/// Figure 7 plots `utility` and `resource_usage` for an unschedulable
+/// workload, and the critical-path ratios back the §5.4 verdicts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in iteration order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The utility series.
+    pub fn utilities(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.utility).collect()
+    }
+
+    /// The share-sum series of resource `r`.
+    pub fn resource_usage_series(&self, r: usize) -> Vec<f64> {
+        self.records.iter().map(|rec| rec.resource_usage[r]).collect()
+    }
+
+    /// The critical-path-ratio series of task `t`.
+    pub fn critical_path_ratio_series(&self, t: usize) -> Vec<f64> {
+        self.records.iter().map(|rec| rec.critical_path_ratio[t]).collect()
+    }
+
+    /// Peak-to-peak amplitude of the utility over the last `window`
+    /// records — a direct measure of the oscillation the paper reports for
+    /// large step sizes.
+    pub fn utility_oscillation(&self, window: usize) -> f64 {
+        let tail = self.tail(window);
+        if tail.is_empty() {
+            return 0.0;
+        }
+        let max = tail.iter().map(|r| r.utility).fold(f64::NEG_INFINITY, f64::max);
+        let min = tail.iter().map(|r| r.utility).fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Mean utility over the last `window` records.
+    pub fn mean_utility(&self, window: usize) -> f64 {
+        let tail = self.tail(window);
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|r| r.utility).sum::<f64>() / tail.len() as f64
+    }
+
+    /// The first iteration index after which the utility stays within
+    /// `tol` (relative) of its final mean for the rest of the trace, or
+    /// `None` if it never settles.
+    ///
+    /// This is the "iterations to convergence" statistic of Figures 5–6.
+    pub fn settling_iteration(&self, tol: f64) -> Option<usize> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let final_mean = self.mean_utility(self.len().min(20));
+        let band = tol * final_mean.abs().max(1.0);
+        // Scan from the end for the last record outside the band.
+        let mut settled_from = 0;
+        for (i, r) in self.records.iter().enumerate() {
+            if (r.utility - final_mean).abs() > band {
+                settled_from = i + 1;
+            }
+        }
+        if settled_from >= self.len() {
+            None
+        } else {
+            Some(settled_from)
+        }
+    }
+
+    /// Renders the trace as CSV with header
+    /// `iteration,utility,usage_r0,...,ratio_t0,...`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if let Some(first) = self.records.first() {
+            out.push_str("iteration,utility");
+            for r in 0..first.resource_usage.len() {
+                out.push_str(&format!(",usage_r{r}"));
+            }
+            for t in 0..first.critical_path_ratio.len() {
+                out.push_str(&format!(",ratio_t{t}"));
+            }
+            out.push('\n');
+        }
+        for rec in &self.records {
+            out.push_str(&format!("{},{:.6}", rec.iteration, rec.utility));
+            for u in &rec.resource_usage {
+                out.push_str(&format!(",{u:.6}"));
+            }
+            for c in &rec.critical_path_ratio {
+                out.push_str(&format!(",{c:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn tail(&self, window: usize) -> &[TraceRecord] {
+        let start = self.records.len().saturating_sub(window.max(1));
+        &self.records[start..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: usize, u: f64) -> TraceRecord {
+        TraceRecord {
+            iteration: i,
+            utility: u,
+            resource_usage: vec![0.5, 0.6],
+            critical_path_ratio: vec![0.9],
+        }
+    }
+
+    fn trace_of(utilities: &[f64]) -> Trace {
+        let mut t = Trace::new();
+        for (i, &u) in utilities.iter().enumerate() {
+            t.push(record(i, u));
+        }
+        t
+    }
+
+    #[test]
+    fn series_accessors() {
+        let t = trace_of(&[1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.utilities(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.resource_usage_series(1), vec![0.6, 0.6, 0.6]);
+        assert_eq!(t.critical_path_ratio_series(0), vec![0.9, 0.9, 0.9]);
+    }
+
+    #[test]
+    fn oscillation_measures_peak_to_peak() {
+        let t = trace_of(&[0.0, 10.0, -10.0, 10.0, -10.0]);
+        assert_eq!(t.utility_oscillation(4), 20.0);
+        // Converged trace has tiny oscillation.
+        let c = trace_of(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(c.utility_oscillation(4), 0.0);
+    }
+
+    #[test]
+    fn settling_iteration_detects_convergence_point() {
+        // Ramp then flat: settles when the ramp ends.
+        let mut us: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        us.extend(std::iter::repeat_n(49.0, 100));
+        let t = trace_of(&us);
+        let s = t.settling_iteration(0.01).expect("should settle");
+        assert!(s <= 50, "settling at {s}, expected <= 50");
+        assert!(s >= 40);
+    }
+
+    #[test]
+    fn settling_iteration_none_for_persistent_oscillation() {
+        let us: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 50.0 }).collect();
+        let t = trace_of(&us);
+        assert_eq!(t.settling_iteration(0.01), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = trace_of(&[1.5, 2.5]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "iteration,utility,usage_r0,usage_r1,ratio_t0");
+        assert!(lines.next().unwrap().starts_with("0,1.5"));
+        assert!(lines.next().unwrap().starts_with("1,2.5"));
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.settling_iteration(0.01), None);
+        assert_eq!(t.to_csv(), "");
+        assert_eq!(t.utility_oscillation(5), 0.0);
+    }
+}

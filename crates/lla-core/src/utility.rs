@@ -1,0 +1,250 @@
+//! Utility functions: mapping end-to-end latency to application benefit.
+//!
+//! Following Jensen-style time-utility functions, a task's utility is a
+//! *non-increasing* function of its (aggregated) latency. LLA additionally
+//! requires utilities to be **concave and continuously differentiable** in
+//! the region where the critical-time constraint holds, so that the dual
+//! problem is well behaved (§3.2 of the paper).
+//!
+//! The paper's experiments use the linear form `f(lat) = k·C − lat`
+//! ([`UtilityFn::linear_for_deadline`]) and the prototype uses `f(lat) = −lat`
+//! ([`UtilityFn::negative_latency`]). This module also provides a concave
+//! quadratic and a concave exponential-penalty family; the latter is a
+//! smooth stand-in for *inelastic* (hard-deadline-like) tasks: nearly flat
+//! far from the deadline and steeply dropping as latency approaches it.
+
+use serde::{Deserialize, Serialize};
+
+/// A concave, non-increasing, continuously differentiable utility function.
+///
+/// All variants map an aggregated latency (milliseconds) to a benefit value.
+/// Construction validates the shape constraints so every value of this type
+/// is a legal LLA utility.
+///
+/// # Example
+/// ```
+/// use lla_core::UtilityFn;
+/// let u = UtilityFn::linear_for_deadline(2.0, 45.0); // f(lat) = 2*45 - lat
+/// assert_eq!(u.value(45.0), 45.0);
+/// assert_eq!(u.derivative(10.0), -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum UtilityFn {
+    /// `f(lat) = offset + slope · lat` with `slope ≤ 0`.
+    ///
+    /// The paper's simulation utility `f(lat) = k·C − lat` is
+    /// `Linear { offset: k·C, slope: -1 }`; the prototype's `f(lat) = −lat`
+    /// is `Linear { offset: 0, slope: -1 }`.
+    Linear {
+        /// Utility at zero latency.
+        offset: f64,
+        /// Marginal utility per millisecond (must be `≤ 0`).
+        slope: f64,
+    },
+    /// `f(lat) = offset − lin·lat − quad·lat²` with `lin ≥ 0`, `quad ≥ 0`.
+    ///
+    /// Concave (f'' = −2·quad ≤ 0) and non-increasing for `lat ≥ 0`. Models
+    /// elastic tasks whose marginal benefit of latency reduction grows as
+    /// latency grows.
+    Quadratic {
+        /// Utility at zero latency.
+        offset: f64,
+        /// Linear decay coefficient (must be `≥ 0`).
+        lin: f64,
+        /// Quadratic decay coefficient (must be `≥ 0`).
+        quad: f64,
+    },
+    /// `f(lat) = offset − a·exp(b·lat)` with `a > 0`, `b > 0`.
+    ///
+    /// Concave (f'' = −a·b²·e^{b·lat} < 0) and strictly decreasing; nearly
+    /// flat for small latency and plunging as latency grows. With `b` chosen
+    /// so the plunge happens near the critical time, this is a smooth,
+    /// LLA-compatible approximation of an *inelastic* task (Figure 2,
+    /// right): only completing before the deadline matters.
+    ExponentialPenalty {
+        /// Utility asymptote at zero latency (minus `a`).
+        offset: f64,
+        /// Penalty scale (must be `> 0`).
+        a: f64,
+        /// Penalty steepness per millisecond (must be `> 0`).
+        b: f64,
+    },
+}
+
+impl UtilityFn {
+    /// The paper's simulation utility: `f(lat) = k·C − lat` with `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1` or `critical_time ≤ 0` — these would not produce a
+    /// meaningful benefit scale.
+    pub fn linear_for_deadline(k: f64, critical_time: f64) -> Self {
+        assert!(k >= 1.0, "k must be >= 1 (paper uses k = 2)");
+        assert!(critical_time > 0.0, "critical time must be positive");
+        UtilityFn::Linear {
+            offset: k * critical_time,
+            slope: -1.0,
+        }
+    }
+
+    /// The prototype utility `f(lat) = −lat`.
+    pub fn negative_latency() -> Self {
+        UtilityFn::Linear { offset: 0.0, slope: -1.0 }
+    }
+
+    /// A smooth inelastic approximation that is ~`u_max` well before the
+    /// deadline and crosses zero at the critical time.
+    ///
+    /// Uses `f(lat) = u_max − a·exp(b·lat)` with `b = sharpness/C` and `a`
+    /// chosen so `f(C) = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u_max ≤ 0`, `critical_time ≤ 0` or `sharpness ≤ 0`.
+    pub fn smooth_inelastic(u_max: f64, critical_time: f64, sharpness: f64) -> Self {
+        assert!(u_max > 0.0 && critical_time > 0.0 && sharpness > 0.0);
+        let b = sharpness / critical_time;
+        let a = u_max / (b * critical_time).exp();
+        UtilityFn::ExponentialPenalty { offset: u_max, a, b }
+    }
+
+    /// Evaluates the utility at the given aggregated latency.
+    pub fn value(&self, lat: f64) -> f64 {
+        match *self {
+            UtilityFn::Linear { offset, slope } => offset + slope * lat,
+            UtilityFn::Quadratic { offset, lin, quad } => offset - lin * lat - quad * lat * lat,
+            UtilityFn::ExponentialPenalty { offset, a, b } => offset - a * (b * lat).exp(),
+        }
+    }
+
+    /// Evaluates the derivative `f'(lat)` (always `≤ 0`).
+    pub fn derivative(&self, lat: f64) -> f64 {
+        match *self {
+            UtilityFn::Linear { slope, .. } => slope,
+            UtilityFn::Quadratic { lin, quad, .. } => -lin - 2.0 * quad * lat,
+            UtilityFn::ExponentialPenalty { a, b, .. } => -a * b * (b * lat).exp(),
+        }
+    }
+
+    /// Validates the shape constraints: non-increasing and concave on
+    /// `lat ≥ 0`.
+    ///
+    /// Returns `true` when the parameters satisfy the constraints LLA
+    /// requires. Invalid parameter combinations (e.g. a positive linear
+    /// slope) make the dual non-concave and the algorithm may diverge.
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            UtilityFn::Linear { offset, slope } => offset.is_finite() && slope.is_finite() && slope <= 0.0,
+            UtilityFn::Quadratic { offset, lin, quad } => {
+                offset.is_finite() && lin.is_finite() && quad.is_finite() && lin >= 0.0 && quad >= 0.0
+            }
+            UtilityFn::ExponentialPenalty { offset, a, b } => {
+                offset.is_finite() && a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_nonincreasing_concave(u: &UtilityFn, lo: f64, hi: f64) {
+        let n = 200;
+        let step = (hi - lo) / n as f64;
+        let mut prev_v = f64::INFINITY;
+        let mut prev_d = f64::NEG_INFINITY;
+        let mut prev_d_seen = false;
+        for i in 0..=n {
+            let x = lo + i as f64 * step;
+            let v = u.value(x);
+            let d = u.derivative(x);
+            assert!(v <= prev_v + 1e-9, "value must be non-increasing at {x}");
+            assert!(d <= 1e-12, "derivative must be <= 0 at {x}");
+            if prev_d_seen {
+                // Concavity: derivative is non-increasing.
+                assert!(d <= prev_d + 1e-9, "derivative must be non-increasing at {x}");
+            }
+            prev_v = v;
+            prev_d = d;
+            prev_d_seen = true;
+        }
+    }
+
+    #[test]
+    fn linear_paper_form() {
+        let u = UtilityFn::linear_for_deadline(2.0, 45.0);
+        assert_eq!(u.value(0.0), 90.0);
+        assert_eq!(u.value(44.9), 90.0 - 44.9);
+        assert_eq!(u.derivative(1.0), -1.0);
+        check_nonincreasing_concave(&u, 0.0, 100.0);
+        assert!(u.is_valid());
+    }
+
+    #[test]
+    fn negative_latency_form() {
+        let u = UtilityFn::negative_latency();
+        assert_eq!(u.value(105.0), -105.0);
+        assert_eq!(u.derivative(0.0), -1.0);
+        assert!(u.is_valid());
+    }
+
+    #[test]
+    fn quadratic_shape() {
+        let u = UtilityFn::Quadratic { offset: 100.0, lin: 0.5, quad: 0.01 };
+        check_nonincreasing_concave(&u, 0.0, 80.0);
+        assert!(u.is_valid());
+    }
+
+    #[test]
+    fn exponential_penalty_shape() {
+        let u = UtilityFn::ExponentialPenalty { offset: 10.0, a: 0.1, b: 0.1 };
+        check_nonincreasing_concave(&u, 0.0, 60.0);
+        assert!(u.is_valid());
+    }
+
+    #[test]
+    fn smooth_inelastic_crosses_zero_at_deadline() {
+        let u = UtilityFn::smooth_inelastic(10.0, 50.0, 8.0);
+        assert!(u.value(50.0).abs() < 1e-9, "f(C) should be 0");
+        // Far from the deadline the utility is close to u_max.
+        assert!(u.value(5.0) > 9.9);
+        // Past the deadline utility is sharply negative.
+        assert!(u.value(60.0) < -10.0);
+        check_nonincreasing_concave(&u, 0.0, 70.0);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let fns = [
+            UtilityFn::linear_for_deadline(2.0, 53.0),
+            UtilityFn::Quadratic { offset: 50.0, lin: 1.0, quad: 0.02 },
+            UtilityFn::ExponentialPenalty { offset: 5.0, a: 0.2, b: 0.05 },
+        ];
+        let h = 1e-6;
+        for u in &fns {
+            for x in [0.5, 1.0, 10.0, 42.0] {
+                let fd = (u.value(x + h) - u.value(x - h)) / (2.0 * h);
+                assert!(
+                    (fd - u.derivative(x)).abs() < 1e-4,
+                    "finite difference mismatch for {u:?} at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_detected() {
+        assert!(!UtilityFn::Linear { offset: 0.0, slope: 0.5 }.is_valid());
+        assert!(!UtilityFn::Quadratic { offset: 0.0, lin: -1.0, quad: 0.0 }.is_valid());
+        assert!(!UtilityFn::ExponentialPenalty { offset: 0.0, a: -1.0, b: 1.0 }.is_valid());
+        assert!(!UtilityFn::Linear { offset: f64::NAN, slope: -1.0 }.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn linear_for_deadline_rejects_small_k() {
+        let _ = UtilityFn::linear_for_deadline(0.5, 45.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! The two actor kinds of distributed LLA: resource price agents and task
+//! controllers.
+
+use crate::protocol::{Address, Message};
+use crate::runtime::{Actor, Outbox};
+use lla_core::{allocate_task, AllocationSettings, PriceState, Problem, StepSizePolicy};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+// Agents own a private copy of the `Problem` rather than sharing an
+// `Arc`: availability updates arrive as messages and each agent applies
+// them to its local view, exactly as a deployed agent would.
+
+/// Shared telemetry sink the controllers write their latest allocations
+/// into; the [`DistributedLla`](crate::DistributedLla) facade reads it.
+pub type SharedLats = Arc<Mutex<Vec<Vec<f64>>>>;
+
+/// The price agent of one resource (§4.3, "Resource Price Computation").
+///
+/// Receives the latencies controllers assigned to the subtasks hosted
+/// here, and on every tick recomputes `μ_r` by a projected gradient step
+/// and broadcasts it (with the congestion bit) to the controllers of all
+/// tasks with subtasks on this resource.
+#[derive(Debug)]
+pub struct ResourceAgent {
+    r: usize,
+    problem: Problem,
+    prices: PriceState,
+    /// Last received latency per hosted subtask, aligned with
+    /// `problem.subtasks_on(r)`.
+    latencies: Vec<f64>,
+    subscribers: Vec<usize>,
+}
+
+impl ResourceAgent {
+    /// Creates the agent for resource `r`, seeding stored latencies from
+    /// the problem's initial allocation.
+    pub fn new(r: usize, problem: Problem, policy: StepSizePolicy) -> Self {
+        let init = problem.initial_allocation();
+        let rid = problem.resources()[r].id();
+        let latencies: Vec<f64> = problem
+            .subtasks_on(rid)
+            .iter()
+            .map(|sid| init[sid.task().index()][sid.index()])
+            .collect();
+        let mut subscribers: Vec<usize> =
+            problem.subtasks_on(rid).iter().map(|sid| sid.task().index()).collect();
+        subscribers.sort_unstable();
+        subscribers.dedup();
+        let prices = PriceState::new(&problem, policy);
+        ResourceAgent { r, problem, prices, latencies, subscribers }
+    }
+
+    /// The current price `μ_r`.
+    pub fn mu(&self) -> f64 {
+        self.prices.mu(self.r)
+    }
+
+    /// The share sum currently demanded by the stored latencies.
+    pub fn usage(&self) -> f64 {
+        let rid = self.problem.resources()[self.r].id();
+        self.problem
+            .subtasks_on(rid)
+            .iter()
+            .zip(&self.latencies)
+            .map(|(sid, &lat)| self.problem.share_model(*sid).share_for_latency(lat))
+            .sum()
+    }
+}
+
+impl Actor for ResourceAgent {
+    fn on_tick(&mut self, _now: f64, outbox: &mut Outbox) {
+        let usage = self.usage();
+        let availability = self.problem.resources()[self.r].availability();
+        let grad = availability - usage;
+        let mu = self.prices.apply_resource_step(self.r, grad);
+        for &t in &self.subscribers {
+            outbox.send(
+                Address::Controller(t),
+                Message::Price { resource: self.r, mu, congested: grad < 0.0 },
+            );
+        }
+    }
+
+    fn on_message(&mut self, _now: f64, msg: Message, _outbox: &mut Outbox) {
+        match msg {
+            Message::Latency { task, subtask, latency } => {
+                let rid = self.problem.resources()[self.r].id();
+                let pos = self
+                    .problem
+                    .subtasks_on(rid)
+                    .iter()
+                    .position(|sid| sid.task().index() == task && sid.index() == subtask);
+                if let Some(pos) = pos {
+                    self.latencies[pos] = latency;
+                }
+            }
+            Message::AvailabilityUpdate { resource, availability } if resource == self.r => {
+                self.problem.set_resource_availability(
+                    self.problem.resources()[resource].id(),
+                    availability,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The controller of one task (§4.2, "Latency Allocation").
+///
+/// Holds the latest resource prices received from the price agents,
+/// updates its paths' prices locally, re-solves its latency allocation,
+/// and sends the new latencies to the resources its subtasks run on.
+#[derive(Debug)]
+pub struct TaskController {
+    t: usize,
+    problem: Problem,
+    prices: PriceState,
+    congested: Vec<bool>,
+    lats: Vec<f64>,
+    settings: AllocationSettings,
+    telemetry: SharedLats,
+}
+
+impl TaskController {
+    /// Creates the controller for task `t`.
+    pub fn new(
+        t: usize,
+        problem: Problem,
+        policy: StepSizePolicy,
+        settings: AllocationSettings,
+        telemetry: SharedLats,
+    ) -> Self {
+        let lats = problem.initial_allocation()[t].clone();
+        let congested = vec![false; problem.resources().len()];
+        let prices = PriceState::new(&problem, policy);
+        TaskController { t, problem, prices, congested, lats, settings, telemetry }
+    }
+
+    /// The controller's current latency assignment.
+    pub fn lats(&self) -> &[f64] {
+        &self.lats
+    }
+}
+
+impl Actor for TaskController {
+    fn on_tick(&mut self, _now: f64, outbox: &mut Outbox) {
+        let task = &self.problem.tasks()[self.t];
+
+        // Path price computation from the *previous* allocation — matching
+        // the centralized iteration order, where prices computed at the end
+        // of step k−1 feed the allocation of step k.
+        for (p, path) in task.graph().paths().iter().enumerate() {
+            let grad = 1.0 - path.latency(&self.lats) / task.critical_time();
+            let traverses_congested = path
+                .subtasks()
+                .iter()
+                .any(|&s| self.congested[task.subtasks()[s].resource().index()]);
+            self.prices.apply_path_step(self.t, p, grad, traverses_congested);
+        }
+
+        // Latency allocation at the stored resource prices.
+        self.lats = allocate_task(&self.problem, task, &self.prices, &self.settings, &self.lats);
+        self.telemetry.lock()[self.t] = self.lats.clone();
+
+        for (s, sub) in task.subtasks().iter().enumerate() {
+            outbox.send(
+                Address::Resource(sub.resource().index()),
+                Message::Latency { task: self.t, subtask: s, latency: self.lats[s] },
+            );
+        }
+    }
+
+    fn on_message(&mut self, _now: f64, msg: Message, _outbox: &mut Outbox) {
+        match msg {
+            Message::Price { resource, mu, congested } => {
+                self.prices.set_mu(resource, mu);
+                self.congested[resource] = congested;
+            }
+            Message::AvailabilityUpdate { resource, availability } => {
+                // Controllers use B_r in their clamping bounds.
+                self.problem.set_resource_availability(
+                    self.problem.resources()[resource].id(),
+                    availability,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lla_core::{Resource, ResourceId, ResourceKind, TaskBuilder, TaskId};
+
+    fn problem() -> Problem {
+        let resources = vec![
+            Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+            Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0),
+        ];
+        let mut b = TaskBuilder::new("t");
+        let a = b.subtask("a", ResourceId::new(0), 2.0);
+        let c = b.subtask("b", ResourceId::new(1), 3.0);
+        b.edge(a, c).unwrap();
+        b.critical_time(30.0);
+        Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn resource_agent_tracks_latencies_and_usage() {
+        let p = problem();
+        let mut agent = ResourceAgent::new(0, p, StepSizePolicy::fixed(1.0));
+        // Initial allocation: 15ms each => usage = 3/15 = 0.2.
+        assert!((agent.usage() - 0.2).abs() < 1e-12);
+        let mut outbox = Outbox::default();
+        agent.on_message(0.0, Message::Latency { task: 0, subtask: 0, latency: 3.0 }, &mut outbox);
+        assert!((agent.usage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_agent_broadcasts_price_on_tick() {
+        let p = problem();
+        let mut agent = ResourceAgent::new(0, p, StepSizePolicy::fixed(1.0));
+        let mut outbox = Outbox::default();
+        agent.on_message(0.0, Message::Latency { task: 0, subtask: 0, latency: 1.0 }, &mut outbox);
+        agent.on_tick(0.0, &mut outbox);
+        assert_eq!(outbox.len(), 1, "one subscriber");
+        assert!(agent.mu() > 0.0, "congestion must raise the price");
+    }
+
+    #[test]
+    fn controller_allocates_and_reports() {
+        let p = problem();
+        let telemetry: SharedLats = Arc::new(Mutex::new(p.initial_allocation()));
+        let mut ctl = TaskController::new(
+            0,
+            p.clone(),
+            StepSizePolicy::fixed(1.0),
+            AllocationSettings { throughput_floor: false, ..Default::default() },
+            Arc::clone(&telemetry),
+        );
+        let mut outbox = Outbox::default();
+        ctl.on_message(0.0, Message::Price { resource: 0, mu: 9.0, congested: false }, &mut outbox);
+        ctl.on_message(0.0, Message::Price { resource: 1, mu: 16.0, congested: false }, &mut outbox);
+        ctl.on_tick(0.0, &mut outbox);
+        // One latency message per subtask.
+        assert_eq!(outbox.len(), 2);
+        // lat = sqrt(mu * demand): sqrt(27) and sqrt(64).
+        let lats = telemetry.lock()[0].clone();
+        assert!((lats[0] - 27f64.sqrt()).abs() < 1e-9);
+        assert!((lats[1] - 8.0).abs() < 1e-9);
+    }
+}

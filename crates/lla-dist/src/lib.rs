@@ -1,0 +1,39 @@
+//! # `lla-dist` — distributed emulation of LLA
+//!
+//! The paper's algorithm is distributed by construction (§4.1): every
+//! resource computes its own price and every task controller allocates its
+//! own latencies, coordinated only through price/latency messages. This
+//! crate deploys exactly that structure:
+//!
+//! * [`protocol`] — the `Price`/`Latency` message protocol and actor
+//!   addresses.
+//! * [`network`] — a seeded delay/jitter/loss model standing in for a real
+//!   network.
+//! * [`runtime`] — a deterministic virtual-time actor runtime.
+//! * [`agents`] — [`ResourceAgent`](agents::ResourceAgent) (price
+//!   computation, Eq. 8) and [`TaskController`](agents::TaskController)
+//!   (path prices + latency allocation, Eq. 7/9), both thin wrappers over
+//!   `lla-core`'s primitives so the distributed and centralized code paths
+//!   share one implementation.
+//! * [`system`] — [`DistributedLla`]: a full deployment on the virtual
+//!   runtime. With a perfect network and round-based ticking it is
+//!   **bit-equivalent** to the centralized [`lla_core::Optimizer`] (tested);
+//!   with delay/jitter/loss it exercises LLA's tolerance to stale prices.
+//! * [`threaded`] — [`ThreadedLla`]: the same agents on real OS threads
+//!   with channel messaging, in barriered-round or free-running mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod network;
+pub mod protocol;
+pub mod runtime;
+pub mod system;
+pub mod threaded;
+
+pub use network::{NetworkModel, NetworkSampler};
+pub use protocol::{Address, Message};
+pub use runtime::{Actor, Outbox, VirtualRuntime};
+pub use system::{DistConfig, DistributedLla};
+pub use threaded::ThreadedLla;

@@ -1,0 +1,139 @@
+//! The simulated network between controllers and resources.
+//!
+//! Substitutes for the paper's real network: messages experience a base
+//! propagation delay, uniform jitter, and independent loss. The model is
+//! deterministic given its seed, so distributed runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delay/loss model applied to every message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed propagation delay added to every delivery (virtual ms).
+    pub base_delay: f64,
+    /// Extra uniform-random delay in `[0, jitter)` (virtual ms).
+    pub jitter: f64,
+    /// Probability that a message is silently dropped, in `[0, 1)`.
+    pub loss_probability: f64,
+}
+
+impl NetworkModel {
+    /// A perfect network: zero delay, zero loss. Under round-based ticking
+    /// this makes the distributed runtime bit-equivalent to the
+    /// centralized optimizer.
+    pub fn perfect() -> Self {
+        NetworkModel { base_delay: 0.0, jitter: 0.0, loss_probability: 0.0 }
+    }
+
+    /// A lossy, jittery network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are negative, non-finite, or
+    /// `loss_probability ≥ 1`.
+    pub fn lossy(base_delay: f64, jitter: f64, loss_probability: f64) -> Self {
+        assert!(base_delay.is_finite() && base_delay >= 0.0);
+        assert!(jitter.is_finite() && jitter >= 0.0);
+        assert!((0.0..1.0).contains(&loss_probability));
+        NetworkModel { base_delay, jitter, loss_probability }
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::perfect()
+    }
+}
+
+/// Stateful sampler applying a [`NetworkModel`] with a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct NetworkSampler {
+    model: NetworkModel,
+    rng: StdRng,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl NetworkSampler {
+    /// Creates a sampler.
+    pub fn new(model: NetworkModel, seed: u64) -> Self {
+        NetworkSampler { model, rng: StdRng::seed_from_u64(seed), delivered: 0, dropped: 0 }
+    }
+
+    /// Samples the fate of one message: `Some(delay)` to deliver after
+    /// `delay` virtual milliseconds, `None` if dropped.
+    pub fn sample(&mut self) -> Option<f64> {
+        if self.model.loss_probability > 0.0 && self.rng.gen_bool(self.model.loss_probability) {
+            self.dropped += 1;
+            return None;
+        }
+        self.delivered += 1;
+        let jitter = if self.model.jitter > 0.0 {
+            self.rng.gen_range(0.0..self.model.jitter)
+        } else {
+            0.0
+        };
+        Some(self.model.base_delay + jitter)
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_network_never_drops_or_delays() {
+        let mut s = NetworkSampler::new(NetworkModel::perfect(), 0);
+        for _ in 0..100 {
+            assert_eq!(s.sample(), Some(0.0));
+        }
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.delivered(), 100);
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut s = NetworkSampler::new(NetworkModel::lossy(0.0, 0.0, 0.3), 7);
+        let n = 20_000;
+        for _ in 0..n {
+            s.sample();
+        }
+        let rate = s.dropped() as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss {rate}");
+    }
+
+    #[test]
+    fn delay_within_bounds() {
+        let mut s = NetworkSampler::new(NetworkModel::lossy(2.0, 3.0, 0.0), 9);
+        for _ in 0..1000 {
+            let d = s.sample().unwrap();
+            assert!((2.0..5.0).contains(&d), "delay {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let a: Vec<Option<f64>> =
+            (0..50).map(|_| NetworkSampler::new(NetworkModel::lossy(1.0, 2.0, 0.1), 5).sample()).collect();
+        let b: Vec<Option<f64>> =
+            (0..50).map(|_| NetworkSampler::new(NetworkModel::lossy(1.0, 2.0, 0.1), 5).sample()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_full_loss() {
+        let _ = NetworkModel::lossy(0.0, 0.0, 1.0);
+    }
+}

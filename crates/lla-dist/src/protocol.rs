@@ -1,0 +1,81 @@
+//! The message protocol between task controllers and resource agents.
+//!
+//! LLA's distributed structure (§4.1): each *resource* computes its own
+//! price `μ_r` and sends it to the controllers of tasks with subtasks on
+//! it; each *task controller* computes path prices locally and sends newly
+//! allocated latencies to the resources where its subtasks run.
+
+/// Address of an actor in the distributed runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Address {
+    /// The price agent of resource `r` (one endpoint of a link computes
+    /// prices for link resources, per the paper's footnote).
+    Resource(usize),
+    /// The controller of task `t`.
+    Controller(usize),
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Address::Resource(r) => write!(f, "resource[{r}]"),
+            Address::Controller(t) => write!(f, "controller[{t}]"),
+        }
+    }
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Resource → controller: the resource's current price and congestion
+    /// bit (the congestion bit drives the adaptive step-size heuristic for
+    /// paths traversing the resource, §5.2).
+    Price {
+        /// The resource index.
+        resource: usize,
+        /// The price `μ_r`.
+        mu: f64,
+        /// Whether the resource was congested at this update.
+        congested: bool,
+    },
+    /// Controller → resource: the latency newly assigned to one subtask
+    /// hosted on the resource (the resource derives the share demand from
+    /// it via the share model).
+    Latency {
+        /// Task index.
+        task: usize,
+        /// Subtask index within the task.
+        subtask: usize,
+        /// Assigned latency (ms).
+        latency: f64,
+    },
+    /// Control plane → any agent: a resource's availability `B_r` changed
+    /// (failure, competing reservation). Resources use it in their price
+    /// gradient; controllers in their clamping bounds. LLA re-converges.
+    AvailabilityUpdate {
+        /// The resource index.
+        resource: usize,
+        /// The new availability fraction.
+        availability: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_display() {
+        assert_eq!(Address::Resource(2).to_string(), "resource[2]");
+        assert_eq!(Address::Controller(0).to_string(), "controller[0]");
+    }
+
+    #[test]
+    fn addresses_are_ordered_and_hashable() {
+        let mut v = vec![Address::Controller(1), Address::Resource(0), Address::Controller(0)];
+        v.sort();
+        assert_eq!(v[0], Address::Resource(0));
+        let set: std::collections::HashSet<Address> = v.into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,292 @@
+//! A deterministic virtual-time actor runtime.
+//!
+//! Actors exchange [`Message`]s through a simulated [`NetworkModel`];
+//! deliveries and periodic ticks are events on a virtual clock, processed
+//! in timestamp order (FIFO among ties, via a sequence number). Everything
+//! is seeded, so a distributed run is exactly reproducible — which the
+//! equivalence tests against the centralized optimizer rely on.
+
+use crate::network::{NetworkModel, NetworkSampler};
+use crate::protocol::{Address, Message};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Messages an actor emits during a callback, with their destinations.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    msgs: Vec<(Address, Message)>,
+}
+
+impl Outbox {
+    /// Queues a message for sending.
+    pub fn send(&mut self, to: Address, msg: Message) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the outbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Consumes the outbox, yielding the queued `(destination, message)`
+    /// pairs.
+    pub fn into_messages(self) -> Vec<(Address, Message)> {
+        self.msgs
+    }
+}
+
+/// A participant in the distributed protocol.
+pub trait Actor: Send + std::fmt::Debug {
+    /// Called at every scheduled tick of this actor.
+    fn on_tick(&mut self, now: f64, outbox: &mut Outbox);
+
+    /// Called when a message is delivered to this actor.
+    fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox);
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Tick(Address),
+    Deliver(Address, Message),
+}
+
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite times")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-actor tick schedule.
+#[derive(Debug, Clone, Copy)]
+struct TickSchedule {
+    interval: f64,
+    next: f64,
+}
+
+/// The virtual-time runtime.
+#[derive(Debug)]
+pub struct VirtualRuntime {
+    actors: HashMap<Address, Box<dyn Actor>>,
+    schedules: HashMap<Address, TickSchedule>,
+    queue: BinaryHeap<Event>,
+    network: NetworkSampler,
+    now: f64,
+    seq: u64,
+    messages_sent: u64,
+}
+
+impl VirtualRuntime {
+    /// Creates a runtime over the given network model; `seed` drives the
+    /// network's randomness.
+    pub fn new(network: NetworkModel, seed: u64) -> Self {
+        VirtualRuntime {
+            actors: HashMap::new(),
+            schedules: HashMap::new(),
+            queue: BinaryHeap::new(),
+            network: NetworkSampler::new(network, seed),
+            now: 0.0,
+            seq: 0,
+            messages_sent: 0,
+        }
+    }
+
+    /// Registers an actor ticking every `interval` virtual ms starting at
+    /// `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already registered or `interval ≤ 0`.
+    pub fn register(&mut self, addr: Address, actor: Box<dyn Actor>, interval: f64, phase: f64) {
+        assert!(interval > 0.0, "tick interval must be positive");
+        assert!(
+            self.actors.insert(addr, actor).is_none(),
+            "address {addr} registered twice"
+        );
+        self.schedules.insert(addr, TickSchedule { interval, next: phase });
+        self.push(phase, EventKind::Tick(addr));
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total messages handed to the network so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Messages dropped by the network so far.
+    pub fn messages_dropped(&self) -> u64 {
+        self.network.dropped()
+    }
+
+    /// Runs until the virtual clock reaches `t_end` (events at exactly
+    /// `t_end` are *not* processed, so consecutive `run_until` calls
+    /// compose).
+    pub fn run_until(&mut self, t_end: f64) {
+        while let Some(head) = self.queue.peek() {
+            if head.time >= t_end {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked");
+            self.now = event.time;
+            let mut outbox = Outbox::default();
+            match event.kind {
+                EventKind::Tick(addr) => {
+                    if let Some(actor) = self.actors.get_mut(&addr) {
+                        actor.on_tick(self.now, &mut outbox);
+                    }
+                    let sched = self.schedules.get_mut(&addr).expect("scheduled");
+                    sched.next += sched.interval;
+                    let next = sched.next;
+                    self.push(next, EventKind::Tick(addr));
+                }
+                EventKind::Deliver(addr, msg) => {
+                    if let Some(actor) = self.actors.get_mut(&addr) {
+                        actor.on_message(self.now, msg, &mut outbox);
+                    }
+                }
+            }
+            for (to, msg) in outbox.msgs {
+                self.messages_sent += 1;
+                if let Some(delay) = self.network.sample() {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Deliver(to, msg));
+                }
+            }
+        }
+        self.now = t_end;
+    }
+
+    /// Mutable access to a registered actor (for telemetry extraction in
+    /// tests and drivers).
+    pub fn actor_mut(&mut self, addr: Address) -> Option<&mut Box<dyn Actor>> {
+        self.actors.get_mut(&addr)
+    }
+
+    /// Delivers a control-plane message to an actor at the current virtual
+    /// time, bypassing the network model (immediate and reliable).
+    pub fn inject(&mut self, to: Address, msg: Message) {
+        let now = self.now;
+        self.push(now, EventKind::Deliver(to, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back to a peer and counts ticks.
+    #[derive(Debug)]
+    struct Recorder {
+        ticks: Vec<f64>,
+        received: Vec<(f64, Message)>,
+        reply_to: Option<Address>,
+    }
+
+    impl Actor for Recorder {
+        fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
+            self.ticks.push(now);
+            if let Some(to) = self.reply_to {
+                outbox.send(to, Message::Price { resource: 0, mu: now, congested: false });
+            }
+        }
+        fn on_message(&mut self, now: f64, msg: Message, _outbox: &mut Outbox) {
+            self.received.push((now, msg));
+        }
+    }
+
+    fn recorder(reply_to: Option<Address>) -> Box<Recorder> {
+        Box::new(Recorder { ticks: Vec::new(), received: Vec::new(), reply_to })
+    }
+
+    #[test]
+    fn ticks_fire_at_schedule() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(None), 10.0, 0.0);
+        rt.run_until(35.0);
+        // Downcast via Debug formatting is fragile; instead re-register and
+        // inspect through actor_mut + Any is unavailable — so assert on the
+        // runtime-visible side effects: time advanced, no messages.
+        assert_eq!(rt.now(), 35.0);
+        assert_eq!(rt.messages_sent(), 0);
+    }
+
+    #[test]
+    fn messages_flow_between_actors() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 10.0, 5.0);
+        rt.run_until(25.0);
+        // Sender ticks at 0, 10, 20 => 3 messages.
+        assert_eq!(rt.messages_sent(), 3);
+        assert_eq!(rt.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn lossy_network_drops() {
+        let mut rt = VirtualRuntime::new(NetworkModel::lossy(0.0, 0.0, 0.5), 3);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 1.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        rt.run_until(1000.0);
+        assert_eq!(rt.messages_sent(), 1000);
+        let dropped = rt.messages_dropped();
+        assert!((400..600).contains(&(dropped as usize)), "dropped {dropped}");
+    }
+
+    #[test]
+    fn run_until_composes() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 10.0, 0.0);
+        rt.run_until(10.0);
+        let first = rt.messages_sent();
+        rt.run_until(20.0);
+        let second = rt.messages_sent();
+        assert_eq!(first, 1, "tick at 0 only (event at 10 excluded)");
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(None), 1.0, 0.0);
+        rt.register(Address::Resource(0), recorder(None), 1.0, 0.0);
+    }
+}

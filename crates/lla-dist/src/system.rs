@@ -1,0 +1,349 @@
+//! The distributed-LLA facade over the virtual-time runtime.
+
+use crate::agents::{ResourceAgent, SharedLats, TaskController};
+use crate::network::NetworkModel;
+use crate::protocol::{Address, Message};
+use crate::runtime::VirtualRuntime;
+use lla_core::{Allocation, AllocationSettings, Problem, ResourceId, StepSizePolicy};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Configuration of a [`DistributedLla`] deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistConfig {
+    /// Price step-size policy used by every agent.
+    pub step_policy: StepSizePolicy,
+    /// Latency-allocation solver settings used by every controller.
+    pub allocation: AllocationSettings,
+    /// The network between controllers and resources.
+    pub network: NetworkModel,
+    /// Seed for network randomness.
+    pub seed: u64,
+    /// Virtual length of one protocol round (ms). Controllers tick at
+    /// `0.25·round`, resource agents at `0.75·round`; with one-way delays
+    /// below a quarter round the protocol is *synchronous* and
+    /// bit-equivalent to the centralized optimizer, with larger delays or
+    /// loss the agents naturally fall back to stale state (the algorithm
+    /// tolerates it).
+    pub round_length: f64,
+    /// Fraction of the round length by which each agent's tick interval
+    /// and phase are randomly perturbed (seeded). `0` gives the
+    /// synchronous round structure; positive values de-synchronize the
+    /// agents entirely — a deterministic emulation of fully asynchronous
+    /// operation.
+    pub tick_jitter: f64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            step_policy: StepSizePolicy::default(),
+            allocation: AllocationSettings::default(),
+            network: NetworkModel::perfect(),
+            seed: 0,
+            round_length: 10.0,
+            tick_jitter: 0.0,
+        }
+    }
+}
+
+/// A full distributed deployment of LLA: one price agent per resource, one
+/// controller per task, exchanging messages over a simulated network.
+///
+/// # Example
+/// ```
+/// use lla_dist::{DistConfig, DistributedLla};
+/// use lla_core::{AllocationSettings, StepSizePolicy};
+/// use lla_workloads::base_workload;
+///
+/// let mut dist = DistributedLla::new(base_workload(), DistConfig {
+///     allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+///     ..DistConfig::default()
+/// });
+/// dist.run_rounds(600);
+/// assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-3));
+/// ```
+#[derive(Debug)]
+pub struct DistributedLla {
+    problem: Arc<Problem>,
+    runtime: VirtualRuntime,
+    telemetry: SharedLats,
+    config: DistConfig,
+    rounds: usize,
+    utilities: Vec<f64>,
+}
+
+impl DistributedLla {
+    /// Deploys agents for every resource and task of `problem`.
+    pub fn new(problem: Problem, config: DistConfig) -> Self {
+        let problem = Arc::new(problem);
+        let telemetry: SharedLats = Arc::new(Mutex::new(problem.initial_allocation()));
+        let mut runtime = VirtualRuntime::new(config.network, config.seed);
+
+        use rand::{Rng, SeedableRng};
+        let mut jitter_rng = rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0xa5));
+        let mut jittered = |base: f64| -> (f64, f64) {
+            if config.tick_jitter > 0.0 {
+                let j = config.tick_jitter * config.round_length;
+                (
+                    (config.round_length + jitter_rng.gen_range(-j..j)).max(1e-3),
+                    base + jitter_rng.gen_range(0.0..j),
+                )
+            } else {
+                (config.round_length, base)
+            }
+        };
+
+        let controller_phase = 0.25 * config.round_length;
+        let resource_phase = 0.75 * config.round_length;
+        for t in 0..problem.tasks().len() {
+            let (interval, phase) = jittered(controller_phase);
+            runtime.register(
+                Address::Controller(t),
+                Box::new(TaskController::new(
+                    t,
+                    (*problem).clone(),
+                    config.step_policy,
+                    config.allocation,
+                    Arc::clone(&telemetry),
+                )),
+                interval,
+                phase,
+            );
+        }
+        for r in 0..problem.resources().len() {
+            let (interval, phase) = jittered(resource_phase);
+            runtime.register(
+                Address::Resource(r),
+                Box::new(ResourceAgent::new(r, (*problem).clone(), config.step_policy)),
+                interval,
+                phase,
+            );
+        }
+
+        DistributedLla { problem, runtime, telemetry, config, rounds: 0, utilities: Vec::new() }
+    }
+
+    /// The deployed problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Runs `n` protocol rounds, recording the system utility after each.
+    pub fn run_rounds(&mut self, n: usize) {
+        for _ in 0..n {
+            self.rounds += 1;
+            let t_end = self.rounds as f64 * self.config.round_length;
+            self.runtime.run_until(t_end);
+            self.utilities.push(self.utility());
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The current allocation as reported by the controllers.
+    pub fn allocation(&self) -> Allocation {
+        Allocation::from_lats(self.telemetry.lock().clone())
+    }
+
+    /// The current total utility.
+    pub fn utility(&self) -> f64 {
+        self.problem.total_utility(&self.telemetry.lock())
+    }
+
+    /// Utility after each completed round.
+    pub fn utilities(&self) -> &[f64] {
+        &self.utilities
+    }
+
+    /// Total messages handed to the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.runtime.messages_sent()
+    }
+
+    /// Messages dropped by the network.
+    pub fn messages_dropped(&self) -> u64 {
+        self.runtime.messages_dropped()
+    }
+
+    /// Announces a change of resource availability to every agent (the
+    /// control-plane message of a failure or a new reservation). Delivery
+    /// is immediate and reliable — availability changes are assumed to
+    /// come from the local node's management plane, not the emulated
+    /// network. LLA re-converges from the current prices.
+    pub fn set_resource_availability(&mut self, r: ResourceId, availability: f64) {
+        Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
+        let msg = Message::AvailabilityUpdate { resource: r.index(), availability };
+        self.runtime.inject(Address::Resource(r.index()), msg.clone());
+        for t in 0..self.problem.tasks().len() {
+            self.runtime.inject(Address::Controller(t), msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lla_core::{Optimizer, OptimizerConfig, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId};
+
+    fn problem() -> Problem {
+        let resources = vec![
+            Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+            Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0),
+        ];
+        let mut tasks = Vec::new();
+        for (i, c) in [(0usize, 40.0), (1usize, 60.0)] {
+            let mut b = TaskBuilder::new(format!("t{i}"));
+            let a = b.subtask("a", ResourceId::new(0), 2.0);
+            let d = b.subtask("b", ResourceId::new(1), 3.0);
+            b.edge(a, d).unwrap();
+            b.critical_time(c);
+            tasks.push(b.build(TaskId::new(i)).unwrap());
+        }
+        Problem::new(resources, tasks).unwrap()
+    }
+
+    fn config() -> DistConfig {
+        DistConfig {
+            allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+            ..DistConfig::default()
+        }
+    }
+
+    #[test]
+    fn perfect_network_matches_centralized_exactly() {
+        let rounds = 300;
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(rounds);
+
+        let mut opt = Optimizer::new(
+            problem(),
+            OptimizerConfig {
+                allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+                ..OptimizerConfig::default()
+            },
+        );
+        let reports = opt.run(rounds);
+        for (round, (d, c)) in dist.utilities().iter().zip(reports.iter()).enumerate() {
+            assert!(
+                (d - c.utility).abs() < 1e-9,
+                "round {round}: distributed {d} != centralized {}",
+                c.utility
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_network_still_converges_close() {
+        let mut dist = DistributedLla::new(
+            problem(),
+            DistConfig {
+                network: NetworkModel::lossy(0.5, 1.0, 0.1),
+                seed: 11,
+                ..config()
+            },
+        );
+        dist.run_rounds(1_500);
+        assert!(dist.messages_dropped() > 0, "loss model must be active");
+
+        let mut opt = Optimizer::new(
+            problem(),
+            OptimizerConfig {
+                allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+                ..OptimizerConfig::default()
+            },
+        );
+        opt.run_to_convergence(5_000);
+        let reference = opt.utility();
+        let achieved = dist.utility();
+        assert!(
+            (achieved - reference).abs() <= 0.05 * reference.abs().max(1.0),
+            "lossy distributed {achieved} too far from centralized {reference}"
+        );
+        assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
+    }
+
+    #[test]
+    fn delayed_network_converges() {
+        // One-round delays => agents work with stale prices.
+        let mut dist = DistributedLla::new(
+            problem(),
+            DistConfig {
+                network: NetworkModel::lossy(12.0, 5.0, 0.0),
+                seed: 3,
+                ..config()
+            },
+        );
+        dist.run_rounds(1_500);
+        assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
+    }
+
+    #[test]
+    fn availability_update_reconverges_distributed() {
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(800);
+        let before = dist.utility();
+
+        dist.set_resource_availability(ResourceId::new(0), 0.5);
+        dist.run_rounds(1_500);
+        let after = dist.utility();
+        assert!(
+            after <= before + 1e-6,
+            "losing capacity cannot raise utility: {after} > {before}"
+        );
+        // The new allocation respects the reduced availability.
+        let alloc = dist.allocation();
+        let usage = dist.problem().resource_usage(ResourceId::new(0), alloc.lats());
+        assert!(usage <= 0.5 + 1e-3, "usage {usage} exceeds degraded availability");
+
+        // And it matches a centralized optimizer subjected to the same
+        // change after the same number of iterations.
+        let mut opt = Optimizer::new(
+            problem(),
+            OptimizerConfig {
+                allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+                ..OptimizerConfig::default()
+            },
+        );
+        opt.run(800);
+        opt.set_resource_availability(ResourceId::new(0), 0.5);
+        opt.run(1_500);
+        assert!(
+            (dist.utility() - opt.utility()).abs() < 1e-9,
+            "distributed {} vs centralized {} after availability change",
+            dist.utility(),
+            opt.utility()
+        );
+    }
+
+    #[test]
+    fn desynchronized_ticks_still_converge() {
+        // Fully asynchronous agents: every interval and phase jittered by
+        // up to 40% of a round. Prices and latencies are arbitrarily stale
+        // relative to each other, yet the dual dynamics still settle on a
+        // feasible allocation near the synchronous optimum.
+        let mut sync = DistributedLla::new(problem(), config());
+        sync.run_rounds(2_000);
+        let mut async_ = DistributedLla::new(
+            problem(),
+            DistConfig { tick_jitter: 0.4, seed: 5, ..config() },
+        );
+        async_.run_rounds(2_000);
+        let gap = (async_.utility() - sync.utility()).abs() / sync.utility().abs().max(1.0);
+        assert!(gap < 0.05, "async gap {gap} too large: {} vs {}", async_.utility(), sync.utility());
+        assert!(async_.problem().is_feasible(async_.allocation().lats(), 1e-2));
+    }
+
+    #[test]
+    fn message_counting() {
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(10);
+        // Per round: 2 controllers × 2 latency msgs + 2 resources × (tasks
+        // hosted) price msgs = 4 + 4.
+        assert_eq!(dist.messages_sent(), 80);
+        assert_eq!(dist.messages_dropped(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! A threaded deployment: every agent on its own OS thread, exchanging
+//! messages over channels — real concurrency rather than virtual time.
+//!
+//! Two drive modes:
+//!
+//! * [`ThreadedLla::run_rounds`] — phase-barriered rounds (controllers
+//!   tick, all latency messages flush, resources tick, all price messages
+//!   flush). Deterministic and equivalent to the centralized optimizer.
+//! * [`ThreadedLla::run_free`] — agents tick freely on their own cadence
+//!   for a wall-clock duration; prices and latencies are read at whatever
+//!   staleness the scheduling produces, demonstrating LLA's tolerance to
+//!   asynchrony.
+
+use crate::agents::{ResourceAgent, SharedLats, TaskController};
+use crate::protocol::{Address, Message};
+use crate::runtime::{Actor, Outbox};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lla_core::{Allocation, AllocationSettings, Problem, StepSizePolicy};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+enum Ctl {
+    /// Drain the inbox, tick once, confirm.
+    Tick,
+    /// Drain the inbox, tick, repeat freely every `interval` until `Stop`.
+    Free { interval: Duration },
+    Stop,
+}
+
+enum RouterCtl {
+    Forward(Address, Message),
+    /// Reply on the given channel once all previously queued messages have
+    /// been forwarded (channel FIFO makes this a flush barrier).
+    Flush(Sender<()>),
+    Stop,
+}
+
+struct AgentHandle {
+    ctl: Sender<Ctl>,
+    done: Receiver<()>,
+    join: JoinHandle<()>,
+}
+
+/// A running threaded deployment.
+#[derive(Debug)]
+pub struct ThreadedLla {
+    problem: Arc<Problem>,
+    telemetry: SharedLats,
+    controllers: Vec<AgentHandleOpaque>,
+    resources: Vec<AgentHandleOpaque>,
+    router_ctl: Sender<RouterCtl>,
+    router_join: Option<JoinHandle<()>>,
+}
+
+// AgentHandle contains a JoinHandle (not Debug); wrap opaquely.
+struct AgentHandleOpaque(AgentHandle);
+
+impl std::fmt::Debug for AgentHandleOpaque {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AgentHandle")
+    }
+}
+
+fn spawn_agent(
+    mut actor: Box<dyn Actor>,
+    inbox: Receiver<Message>,
+    router: Sender<RouterCtl>,
+) -> AgentHandle {
+    let (ctl_tx, ctl_rx) = unbounded::<Ctl>();
+    let (done_tx, done_rx) = unbounded::<()>();
+    let join = std::thread::spawn(move || {
+        let drain_and_tick = |actor: &mut Box<dyn Actor>| {
+            let mut outbox = Outbox::default();
+            while let Ok(msg) = inbox.try_recv() {
+                actor.on_message(0.0, msg, &mut outbox);
+            }
+            actor.on_tick(0.0, &mut outbox);
+            for (to, msg) in outbox.into_messages() {
+                // A closed router means shutdown is racing us; stop sending.
+                if router.send(RouterCtl::Forward(to, msg)).is_err() {
+                    break;
+                }
+            }
+        };
+        while let Ok(cmd) = ctl_rx.recv() {
+            match cmd {
+                Ctl::Tick => {
+                    drain_and_tick(&mut actor);
+                    let _ = done_tx.send(());
+                }
+                Ctl::Free { interval } => loop {
+                    match ctl_rx.recv_timeout(interval) {
+                        Ok(Ctl::Stop) => return,
+                        Ok(_) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            drain_and_tick(&mut actor);
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                },
+                Ctl::Stop => return,
+            }
+        }
+    });
+    AgentHandle { ctl: ctl_tx, done: done_rx, join }
+}
+
+impl ThreadedLla {
+    /// Spawns one thread per resource agent and per task controller.
+    pub fn new(problem: Problem, policy: StepSizePolicy, settings: AllocationSettings) -> Self {
+        let problem = Arc::new(problem);
+        let telemetry: SharedLats = Arc::new(Mutex::new(problem.initial_allocation()));
+
+        // Build inbox channels for every actor and the router map.
+        let mut senders: HashMap<Address, Sender<Message>> = HashMap::new();
+        let mut controller_inboxes = Vec::new();
+        let mut resource_inboxes = Vec::new();
+        for t in 0..problem.tasks().len() {
+            let (tx, rx) = unbounded();
+            senders.insert(Address::Controller(t), tx);
+            controller_inboxes.push(rx);
+        }
+        for r in 0..problem.resources().len() {
+            let (tx, rx) = unbounded();
+            senders.insert(Address::Resource(r), tx);
+            resource_inboxes.push(rx);
+        }
+
+        let (router_tx, router_rx) = unbounded::<RouterCtl>();
+        let router_join = std::thread::spawn(move || {
+            while let Ok(cmd) = router_rx.recv() {
+                match cmd {
+                    RouterCtl::Forward(to, msg) => {
+                        if let Some(tx) = senders.get(&to) {
+                            let _ = tx.send(msg);
+                        }
+                    }
+                    RouterCtl::Flush(reply) => {
+                        let _ = reply.send(());
+                    }
+                    RouterCtl::Stop => break,
+                }
+            }
+        });
+
+        let controllers: Vec<AgentHandleOpaque> = controller_inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(t, inbox)| {
+                let actor: Box<dyn Actor> = Box::new(TaskController::new(
+                    t,
+                    (*problem).clone(),
+                    policy,
+                    settings,
+                    Arc::clone(&telemetry),
+                ));
+                AgentHandleOpaque(spawn_agent(actor, inbox, router_tx.clone()))
+            })
+            .collect();
+        let resources: Vec<AgentHandleOpaque> = resource_inboxes
+            .into_iter()
+            .enumerate()
+            .map(|(r, inbox)| {
+                let actor: Box<dyn Actor> =
+                    Box::new(ResourceAgent::new(r, (*problem).clone(), policy));
+                AgentHandleOpaque(spawn_agent(actor, inbox, router_tx.clone()))
+            })
+            .collect();
+
+        ThreadedLla {
+            problem,
+            telemetry,
+            controllers,
+            resources,
+            router_ctl: router_tx,
+            router_join: Some(router_join),
+        }
+    }
+
+    /// The deployed problem.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    fn flush_router(&self) {
+        let (tx, rx) = unbounded();
+        if self.router_ctl.send(RouterCtl::Flush(tx)).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+
+    fn phase(&self, group: &[AgentHandleOpaque]) {
+        for h in group {
+            let _ = h.0.ctl.send(Ctl::Tick);
+        }
+        for h in group {
+            let _ = h.0.done.recv();
+        }
+        // All outbox sends happened before `done`; flushing the router
+        // guarantees they reached the destination inboxes.
+        self.flush_router();
+    }
+
+    /// Runs `n` barriered rounds (controllers phase, then resources phase).
+    pub fn run_rounds(&mut self, n: usize) {
+        for _ in 0..n {
+            self.phase(&self.controllers);
+            self.phase(&self.resources);
+        }
+    }
+
+    /// Lets every agent tick freely every `interval` for `duration`
+    /// (wall-clock). Demonstrates asynchronous operation; the outcome
+    /// depends on OS scheduling and is therefore only approximately
+    /// reproducible.
+    pub fn run_free(&mut self, interval: Duration, duration: Duration) {
+        for h in self.controllers.iter().chain(&self.resources) {
+            let _ = h.0.ctl.send(Ctl::Free { interval });
+        }
+        std::thread::sleep(duration);
+        for h in self.controllers.iter().chain(&self.resources) {
+            let _ = h.0.ctl.send(Ctl::Stop);
+        }
+        // Agents notice Stop within one interval (recv_timeout); re-join
+        // happens at shutdown.
+        std::thread::sleep(interval);
+        self.flush_router();
+    }
+
+    /// The latest allocation reported by the controllers.
+    pub fn allocation(&self) -> Allocation {
+        Allocation::from_lats(self.telemetry.lock().clone())
+    }
+
+    /// The current total utility.
+    pub fn utility(&self) -> f64 {
+        self.problem.total_utility(&self.telemetry.lock())
+    }
+
+    /// Stops all threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for h in self.controllers.drain(..).chain(self.resources.drain(..)) {
+            let _ = h.0.ctl.send(Ctl::Stop);
+            let _ = h.0.join.join();
+        }
+        let _ = self.router_ctl.send(RouterCtl::Stop);
+        if let Some(j) = self.router_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ThreadedLla {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lla_core::{Optimizer, OptimizerConfig, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId};
+
+    fn problem() -> Problem {
+        let resources = vec![
+            Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+            Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0),
+        ];
+        let mut tasks = Vec::new();
+        for (i, c) in [(0usize, 40.0), (1usize, 60.0)] {
+            let mut b = TaskBuilder::new(format!("t{i}"));
+            let a = b.subtask("a", ResourceId::new(0), 2.0);
+            let d = b.subtask("b", ResourceId::new(1), 3.0);
+            b.edge(a, d).unwrap();
+            b.critical_time(c);
+            tasks.push(b.build(TaskId::new(i)).unwrap());
+        }
+        Problem::new(resources, tasks).unwrap()
+    }
+
+    fn settings() -> AllocationSettings {
+        AllocationSettings { throughput_floor: false, ..Default::default() }
+    }
+
+    #[test]
+    fn barriered_rounds_match_centralized() {
+        let mut dist = ThreadedLla::new(problem(), StepSizePolicy::default(), settings());
+        dist.run_rounds(300);
+        let threaded_u = dist.utility();
+        dist.shutdown();
+
+        let mut opt = Optimizer::new(
+            problem(),
+            OptimizerConfig { allocation: settings(), ..OptimizerConfig::default() },
+        );
+        opt.run(300);
+        assert!(
+            (threaded_u - opt.utility()).abs() < 1e-9,
+            "threaded {threaded_u} != centralized {}",
+            opt.utility()
+        );
+    }
+
+    #[test]
+    fn free_running_improves_and_stays_feasible() {
+        let mut dist = ThreadedLla::new(problem(), StepSizePolicy::default(), settings());
+        let initial = dist.utility();
+        dist.run_free(Duration::from_micros(200), Duration::from_millis(700));
+        let achieved = dist.utility();
+        let feasible = dist.problem().is_feasible(dist.allocation().lats(), 5e-2);
+        dist.shutdown();
+        assert!(achieved > initial, "free run should improve utility: {achieved} <= {initial}");
+        assert!(feasible, "free run should approach feasibility");
+    }
+}

@@ -1,0 +1,136 @@
+//! Arrival processes for triggering events.
+//!
+//! A [`TriggerSpec`] is a *specification*; this
+//! module turns it into a concrete stream of arrival instants (batches of
+//! job-set releases), optionally randomized.
+
+use lla_core::TriggerSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator of job-set arrival instants for one task.
+///
+/// # Example
+/// ```
+/// use lla_core::TriggerSpec;
+/// use lla_sim::arrivals::ArrivalProcess;
+/// let mut a = ArrivalProcess::new(TriggerSpec::Periodic { period: 100.0 }, 1);
+/// assert_eq!(a.next_batch(), (0.0, 1));
+/// assert_eq!(a.next_batch(), (100.0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    spec: TriggerSpec,
+    rng: StdRng,
+    next_time: f64,
+}
+
+impl ArrivalProcess {
+    /// Creates an arrival process; `seed` controls the randomness of
+    /// Poisson interarrivals (periodic and bursty processes are
+    /// deterministic).
+    pub fn new(spec: TriggerSpec, seed: u64) -> Self {
+        ArrivalProcess {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            next_time: 0.0,
+        }
+    }
+
+    /// The time of the next batch without consuming it.
+    pub fn peek(&self) -> f64 {
+        self.next_time
+    }
+
+    /// Returns the next `(time, batch_size)` pair and advances the process.
+    pub fn next_batch(&mut self) -> (f64, usize) {
+        let t = self.next_time;
+        let batch = match self.spec {
+            TriggerSpec::Periodic { period } => {
+                self.next_time = t + period;
+                1
+            }
+            TriggerSpec::Poisson { rate } => {
+                let u: f64 = self.rng.gen_range(0.0f64..1.0);
+                self.next_time = t + (-(1.0 - u).ln() / rate);
+                1
+            }
+            TriggerSpec::Bursty { period, burst } => {
+                self.next_time = t + period;
+                burst
+            }
+            // `TriggerSpec` is non-exhaustive; future variants default to a
+            // single release every 100ms rather than panicking mid-run.
+            _ => {
+                self.next_time = t + 100.0;
+                1
+            }
+        };
+        (t, batch)
+    }
+
+    /// Replaces the specification mid-run (workload variation); the next
+    /// arrival time is preserved.
+    pub fn set_spec(&mut self, spec: TriggerSpec) {
+        self.spec = spec;
+    }
+
+    /// The current specification.
+    pub fn spec(&self) -> TriggerSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_is_exact() {
+        let mut a = ArrivalProcess::new(TriggerSpec::Periodic { period: 25.0 }, 0);
+        let times: Vec<f64> = (0..4).map(|_| a.next_batch().0).collect();
+        assert_eq!(times, vec![0.0, 25.0, 50.0, 75.0]);
+    }
+
+    #[test]
+    fn bursty_releases_batches() {
+        let mut a = ArrivalProcess::new(TriggerSpec::Bursty { period: 50.0, burst: 3 }, 0);
+        assert_eq!(a.next_batch(), (0.0, 3));
+        assert_eq!(a.next_batch(), (50.0, 3));
+    }
+
+    #[test]
+    fn poisson_mean_rate_close_to_spec() {
+        let rate = 0.04; // per ms
+        let mut a = ArrivalProcess::new(TriggerSpec::Poisson { rate }, 123);
+        let n = 20_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = a.next_batch().0;
+        }
+        let measured = (n as f64 - 1.0) / last;
+        assert!(
+            (measured - rate).abs() / rate < 0.05,
+            "measured rate {measured} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let spec = TriggerSpec::Poisson { rate: 0.1 };
+        let mut a = ArrivalProcess::new(spec, 9);
+        let mut b = ArrivalProcess::new(spec, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn spec_can_change_mid_run() {
+        let mut a = ArrivalProcess::new(TriggerSpec::Periodic { period: 10.0 }, 0);
+        a.next_batch();
+        a.set_spec(TriggerSpec::Periodic { period: 100.0 });
+        assert_eq!(a.next_batch().0, 10.0);
+        assert_eq!(a.next_batch().0, 110.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Online model error correction (§6.3).
+//!
+//! The share-function model `lat = (c_s + l_r)/share` is not always
+//! accurate; one important source of inaccuracy is that job releases of
+//! subtasks sharing a resource are not synchronized, which leads to
+//! *over-prediction* of latency. The paper corrects this with a simple
+//! **additive error model with exponential smoothing**, sampled from
+//! high-percentile (> 90th) measured latencies:
+//!
+//! ```text
+//! e_sample = measured_high_percentile − model_prediction
+//! ê ← (1 − α)·ê + α·e_sample
+//! ```
+//!
+//! The smoothed `ê` feeds back into the share model
+//! ([`ShareModel::set_correction`](lla_core::ShareModel::set_correction)),
+//! so the optimizer's next allocation accounts for the observed behaviour.
+
+/// Additive error estimator with exponential smoothing for one subtask.
+///
+/// # Example
+/// ```
+/// use lla_sim::correction::ErrorCorrector;
+/// let mut c = ErrorCorrector::new(0.5);
+/// // Model predicted 50ms but we measured a 30ms high percentile.
+/// let e1 = c.update(30.0, 50.0);
+/// assert_eq!(e1, -10.0); // (1-α)·0 + α·(−20)
+/// let e2 = c.update(30.0, 50.0);
+/// assert_eq!(e2, -15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorCorrector {
+    alpha: f64,
+    estimate: f64,
+    samples: usize,
+}
+
+impl ErrorCorrector {
+    /// Creates a corrector with smoothing weight `α ∈ (0, 1]` given to the
+    /// newest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        ErrorCorrector { alpha, estimate: 0.0, samples: 0 }
+    }
+
+    /// The current smoothed error `ê` (milliseconds; negative when the
+    /// model over-predicts).
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Number of samples folded in so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Folds in one sample: the measured high-percentile latency against
+    /// the model's (uncorrected) prediction. Returns the new `ê`.
+    pub fn update(&mut self, measured: f64, predicted: f64) -> f64 {
+        debug_assert!(measured.is_finite() && predicted.is_finite());
+        let sample = measured - predicted;
+        if self.samples == 0 {
+            // Seed with the first sample rather than decaying from zero.
+            self.estimate = self.alpha * sample;
+        } else {
+            self.estimate = (1.0 - self.alpha) * self.estimate + self.alpha * sample;
+        }
+        self.samples += 1;
+        self.estimate
+    }
+
+    /// Resets the estimator to zero error.
+    pub fn reset(&mut self) {
+        self.estimate = 0.0;
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_constant_error() {
+        let mut c = ErrorCorrector::new(0.3);
+        for _ in 0..200 {
+            c.update(35.0, 50.0);
+        }
+        assert!((c.estimate() + 15.0).abs() < 1e-9, "ê should approach −15, got {}", c.estimate());
+    }
+
+    #[test]
+    fn smoothing_dampens_noise() {
+        let mut smooth = ErrorCorrector::new(0.1);
+        let mut jumpy = ErrorCorrector::new(1.0);
+        // Alternate between −10 and −20 true error.
+        let mut smooth_range = (f64::INFINITY, f64::NEG_INFINITY);
+        for i in 0..100 {
+            let measured = if i % 2 == 0 { 40.0 } else { 30.0 };
+            let s = smooth.update(measured, 50.0);
+            jumpy.update(measured, 50.0);
+            if i > 50 {
+                smooth_range.0 = smooth_range.0.min(s);
+                smooth_range.1 = smooth_range.1.max(s);
+            }
+        }
+        // The α=1 estimator swings the full 10ms; the smoothed one far less.
+        assert!(smooth_range.1 - smooth_range.0 < 2.0);
+    }
+
+    #[test]
+    fn positive_error_when_model_underpredicts() {
+        let mut c = ErrorCorrector::new(0.5);
+        c.update(60.0, 50.0);
+        assert!(c.estimate() > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = ErrorCorrector::new(0.5);
+        c.update(10.0, 50.0);
+        c.reset();
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.samples(), 0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest_sample() {
+        let mut c = ErrorCorrector::new(1.0);
+        c.update(30.0, 50.0);
+        assert_eq!(c.estimate(), -20.0);
+        c.update(55.0, 50.0);
+        assert_eq!(c.estimate(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = ErrorCorrector::new(0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # `lla-sim` — discrete-event proportional-share simulation for LLA
+//!
+//! The substrate standing in for the paper's prototype testbed (§6): a
+//! fluid proportional-share scheduling simulator ([`ps`]), a discrete-event
+//! engine releasing job sets through subtask DAGs ([`simulator`]),
+//! streaming latency statistics with P² quantile estimation ([`stats`]),
+//! the additive/exponentially-smoothed model error correction of §6.3
+//! ([`correction`]), and the optimizer-in-the-loop driver ([`closedloop`])
+//! that reproduces the Figure 8 experiment.
+//!
+//! ## Example: measure, correct, re-optimize
+//!
+//! ```rust
+//! use lla_sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
+//! use lla_workloads::{prototype_workload, PrototypeParams};
+//! use lla_core::OptimizerConfig;
+//!
+//! let problem = prototype_workload(&PrototypeParams::default());
+//! let mut cl = ClosedLoop::new(
+//!     problem,
+//!     OptimizerConfig::default(),
+//!     SimConfig::default(),
+//!     ClosedLoopConfig { window: 1_000.0, ..Default::default() },
+//! );
+//! cl.run_windows(2);          // model-only operation
+//! cl.set_correction_enabled(true);
+//! cl.run_windows(2);          // now with online error correction
+//! assert_eq!(cl.history().len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod closedloop;
+pub mod correction;
+pub mod ps;
+pub mod simulator;
+pub mod stats;
+
+pub use arrivals::ArrivalProcess;
+pub use closedloop::{ClosedLoop, ClosedLoopConfig, WindowRecord};
+pub use correction::ErrorCorrector;
+pub use ps::{FluidJob, PsResource};
+pub use simulator::{SimConfig, Simulator};
+pub use stats::{Histogram, LatencyStats, P2Quantile};

@@ -1,0 +1,304 @@
+//! A fluid proportional-share (GPS) resource model.
+//!
+//! Each subtask hosted on a resource is a *session* with a weight equal to
+//! its enacted share. At any instant, every backlogged session is served at
+//! rate
+//!
+//! ```text
+//! rate_i = w_i / (Σ_{backlogged j} w_j + w_bg)
+//! ```
+//!
+//! where `w_bg = 1 − B_r` models the permanently backlogged reservation
+//! (e.g. the paper's Metronome garbage collector at 0.1). This is the
+//! idealized fluid limit of surplus fair scheduling: it provides
+//! *performance isolation* (whenever `Σ w_j ≤ B_r`, every backlogged
+//! session gets at least its share) and is *work conserving* (spare
+//! capacity is redistributed proportionally) — the two properties §3.2 of
+//! the paper relies on.
+//!
+//! Within a session, jobs are served FIFO; only the head receives service,
+//! so queueing delay appears as soon as a session's share falls below its
+//! arrival rate × service demand.
+
+use std::collections::VecDeque;
+
+/// A unit of work queued at a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FluidJob {
+    /// Identifier of the job set this job belongs to (simulator-assigned).
+    pub set_id: u64,
+    /// Remaining service demand in milliseconds at full resource speed.
+    pub remaining: f64,
+    /// Simulation time at which the job became eligible.
+    pub released_at: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Session {
+    share: f64,
+    queue: VecDeque<FluidJob>,
+}
+
+/// One proportional-share resource with any number of sessions.
+#[derive(Debug, Clone)]
+pub struct PsResource {
+    sessions: Vec<Session>,
+    background_weight: f64,
+}
+
+impl PsResource {
+    /// Creates a resource with availability `B_r ∈ (0, 1]`; the remaining
+    /// `1 − B_r` acts as a permanently backlogged background session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `availability` is outside `(0, 1]`.
+    pub fn new(availability: f64) -> Self {
+        assert!(
+            availability > 0.0 && availability <= 1.0,
+            "availability must be in (0, 1], got {availability}"
+        );
+        PsResource {
+            sessions: Vec::new(),
+            background_weight: 1.0 - availability,
+        }
+    }
+
+    /// Adds a session with the given initial share; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is not strictly positive.
+    pub fn add_session(&mut self, share: f64) -> usize {
+        assert!(share > 0.0, "session share must be positive");
+        self.sessions.push(Session { share, queue: VecDeque::new() });
+        self.sessions.len() - 1
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Updates a session's share (enacting a new allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range or `share ≤ 0`.
+    pub fn set_share(&mut self, session: usize, share: f64) {
+        assert!(share > 0.0, "session share must be positive");
+        self.sessions[session].share = share;
+    }
+
+    /// The share of a session.
+    pub fn share(&self, session: usize) -> f64 {
+        self.sessions[session].share
+    }
+
+    /// Queue length (including the job in service) of a session.
+    pub fn queue_len(&self, session: usize) -> usize {
+        self.sessions[session].queue.len()
+    }
+
+    /// Total queued jobs across sessions.
+    pub fn backlog(&self) -> usize {
+        self.sessions.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Enqueues a job at a session.
+    pub fn enqueue(&mut self, session: usize, job: FluidJob) {
+        self.sessions[session].queue.push_back(job);
+    }
+
+    /// The instantaneous service rate of each session's head job
+    /// (0 for idle sessions).
+    pub fn rates(&self) -> Vec<f64> {
+        let total: f64 = self
+            .sessions
+            .iter()
+            .filter(|s| !s.queue.is_empty())
+            .map(|s| s.share)
+            .sum::<f64>()
+            + self.background_weight;
+        self.sessions
+            .iter()
+            .map(|s| {
+                if s.queue.is_empty() || total <= 0.0 {
+                    0.0
+                } else {
+                    s.share / total
+                }
+            })
+            .collect()
+    }
+
+    /// Time until the next head-of-line completion at current rates, with
+    /// the session index, or `None` if the resource is idle.
+    pub fn next_completion(&self) -> Option<(f64, usize)> {
+        let rates = self.rates();
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in self.sessions.iter().enumerate() {
+            if let Some(head) = s.queue.front() {
+                let dt = head.remaining / rates[i];
+                if best.is_none_or(|(b, _)| dt < b) {
+                    best = Some((dt, i));
+                }
+            }
+        }
+        best
+    }
+
+    /// Advances fluid service by `dt` milliseconds at current rates.
+    ///
+    /// Callers must choose `dt` no larger than
+    /// [`next_completion`](Self::next_completion)'s delta, so at most one
+    /// head reaches zero remaining work (ties allowed).
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        let rates = self.rates();
+        for (s, &r) in self.sessions.iter_mut().zip(&rates) {
+            if let Some(head) = s.queue.front_mut() {
+                head.remaining = (head.remaining - r * dt).max(0.0);
+            }
+        }
+    }
+
+    /// Pops every completed head job (remaining ≤ `eps`), returning
+    /// `(session, job)` pairs.
+    pub fn pop_completed(&mut self, eps: f64) -> Vec<(usize, FluidJob)> {
+        let mut done = Vec::new();
+        for (i, s) in self.sessions.iter_mut().enumerate() {
+            while let Some(head) = s.queue.front() {
+                if head.remaining <= eps {
+                    done.push((i, s.queue.pop_front().expect("front exists")));
+                } else {
+                    break;
+                }
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(remaining: f64) -> FluidJob {
+        FluidJob { set_id: 0, remaining, released_at: 0.0 }
+    }
+
+    #[test]
+    fn single_backlogged_session_gets_full_available_rate() {
+        let mut r = PsResource::new(1.0);
+        let s = r.add_session(0.2);
+        r.enqueue(s, job(5.0));
+        // Work conservation: alone on an unreserved resource => rate 1.
+        assert_eq!(r.rates()[s], 1.0);
+        let (dt, idx) = r.next_completion().unwrap();
+        assert_eq!(idx, s);
+        assert!((dt - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_reservation_limits_rate() {
+        let mut r = PsResource::new(0.9);
+        let s = r.add_session(0.2);
+        r.enqueue(s, job(5.0));
+        // rate = 0.2 / (0.2 + 0.1) = 2/3.
+        assert!((r.rates()[s] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_are_proportional_to_shares() {
+        let mut r = PsResource::new(1.0);
+        let a = r.add_session(0.3);
+        let b = r.add_session(0.6);
+        r.enqueue(a, job(1.0));
+        r.enqueue(b, job(1.0));
+        let rates = r.rates();
+        assert!((rates[b] / rates[a] - 2.0).abs() < 1e-12);
+        // Work conserving: rates sum to 1 with no reservation.
+        assert!((rates[a] + rates[b] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolation_guarantee_holds() {
+        // With sum of shares <= B, every backlogged session gets >= share.
+        let mut r = PsResource::new(0.9);
+        let ids: Vec<usize> = [0.2, 0.2, 0.13, 0.13].iter().map(|&s| r.add_session(s)).collect();
+        for &i in &ids {
+            r.enqueue(i, job(1.0));
+        }
+        let rates = r.rates();
+        for &i in &ids {
+            assert!(
+                rates[i] >= r.share(i) - 1e-12,
+                "session {i}: rate {} below share {}",
+                rates[i],
+                r.share(i)
+            );
+        }
+    }
+
+    #[test]
+    fn advance_and_complete() {
+        let mut r = PsResource::new(1.0);
+        let a = r.add_session(0.5);
+        let b = r.add_session(0.5);
+        r.enqueue(a, job(2.0));
+        r.enqueue(b, job(4.0));
+        let (dt, first) = r.next_completion().unwrap();
+        assert_eq!(first, a);
+        assert!((dt - 4.0).abs() < 1e-12, "2ms of work at rate 0.5");
+        r.advance(dt);
+        let done = r.pop_completed(1e-12);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, a);
+        // Session b now alone: rate 1, remaining 2ms.
+        let (dt2, second) = r.next_completion().unwrap();
+        assert_eq!(second, b);
+        assert!((dt2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_within_session() {
+        let mut r = PsResource::new(1.0);
+        let s = r.add_session(1.0);
+        r.enqueue(s, FluidJob { set_id: 1, remaining: 1.0, released_at: 0.0 });
+        r.enqueue(s, FluidJob { set_id: 2, remaining: 1.0, released_at: 0.0 });
+        r.advance(1.0);
+        let done = r.pop_completed(1e-12);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.set_id, 1, "first enqueued job completes first");
+        assert_eq!(r.queue_len(s), 1);
+    }
+
+    #[test]
+    fn share_update_changes_rates() {
+        let mut r = PsResource::new(1.0);
+        let a = r.add_session(0.5);
+        let b = r.add_session(0.5);
+        r.enqueue(a, job(10.0));
+        r.enqueue(b, job(10.0));
+        r.set_share(a, 1.5);
+        let rates = r.rates();
+        assert!((rates[a] - 0.75).abs() < 1e-12);
+        assert!((rates[b] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_resource_has_no_completion() {
+        let mut r = PsResource::new(0.9);
+        r.add_session(0.5);
+        assert_eq!(r.next_completion(), None);
+        assert_eq!(r.backlog(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be positive")]
+    fn zero_share_rejected() {
+        let mut r = PsResource::new(1.0);
+        r.add_session(0.0);
+    }
+}

@@ -1,0 +1,565 @@
+//! Streaming latency statistics: the P² quantile estimator and aggregate
+//! moments.
+//!
+//! The error-correction loop (§6.3) samples *high-percentile* measured
+//! latencies (> 90th percentile in the paper). The simulator processes
+//! hundreds of thousands of jobs, so percentiles are estimated with the
+//! classic **P² algorithm** (Jain & Chlamtac, 1985): five markers track the
+//! quantile online in O(1) memory, with a parabolic (piecewise-quadratic)
+//! adjustment of marker heights.
+
+/// Streaming estimator of a single quantile using the P² algorithm.
+///
+/// Exact for the first five observations; afterwards maintains five markers
+/// whose middle one estimates the `q`-quantile.
+///
+/// # Example
+/// ```
+/// use lla_sim::stats::P2Quantile;
+/// let mut est = P2Quantile::new(0.5);
+/// for x in 1..=1001 {
+///     est.observe(x as f64);
+/// }
+/// let median = est.estimate().unwrap();
+/// assert!((median - 501.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// Buffer for the first five observations.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (i, &v) in self.initial.iter().enumerate() {
+                    self.heights[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate, or `None` with no observations.
+    ///
+    /// Exact (order statistic) while fewer than five observations have been
+    /// seen.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let idx = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            return Some(v[idx]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// A fixed-memory latency histogram with log-spaced buckets.
+///
+/// Complements [`P2Quantile`]: where P² tracks one pre-chosen quantile in
+/// O(1), the histogram supports *any* quantile query after the fact (at
+/// bucket resolution) plus distribution summaries — useful for offline
+/// analysis of simulation runs. Buckets are geometrically spaced between
+/// `min_value` and `max_value` so relative resolution is uniform across
+/// the (heavy-tailed) latency range; samples outside the range land in
+/// saturating edge buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min_value: f64,
+    /// Precomputed `1/ln(growth)` for bucket index math.
+    inv_log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` geometric buckets spanning
+    /// `[min_value, max_value]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets < 2`, `min_value <= 0`, or
+    /// `max_value <= min_value`.
+    pub fn new(min_value: f64, max_value: f64, buckets: usize) -> Self {
+        assert!(buckets >= 2, "need at least 2 buckets");
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(max_value > min_value, "max_value must exceed min_value");
+        let growth = (max_value / min_value).powf(1.0 / (buckets - 1) as f64);
+        Histogram {
+            min_value,
+            inv_log_growth: 1.0 / growth.ln(),
+            counts: vec![0; buckets],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// A default latency histogram: 0.01ms to 100s over 128 buckets.
+    pub fn for_latencies() -> Self {
+        Histogram::new(0.01, 100_000.0, 128)
+    }
+
+    fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.min_value {
+            return 0;
+        }
+        let idx = ((value / self.min_value).ln() * self.inv_log_growth).round() as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// The representative (geometric center) value of bucket `i`.
+    fn bucket_value(&self, i: usize) -> f64 {
+        self.min_value * (i as f64 / self.inv_log_growth).exp()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        debug_assert!(value.is_finite());
+        let b = self.bucket_of(value);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) at bucket resolution, or `None`
+    /// with no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_value(i));
+            }
+        }
+        Some(self.bucket_value(self.counts.len() - 1))
+    }
+
+    /// Merges another histogram with identical bucketing into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket layouts differ");
+        assert!(
+            (self.min_value - other.min_value).abs() < 1e-12
+                && (self.inv_log_growth - other.inv_log_growth).abs() < 1e-12,
+            "bucket layouts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0.0;
+    }
+}
+
+/// Aggregate latency statistics for one measured entity (a subtask or a
+/// task's end-to-end latency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+    p2: P2Quantile,
+}
+
+impl LatencyStats {
+    /// Creates statistics tracking the given high quantile (e.g. `0.9`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is outside `(0, 1)`.
+    pub fn new(quantile: f64) -> Self {
+        LatencyStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            p2: P2Quantile::new(quantile),
+        }
+    }
+
+    /// Records one latency sample (milliseconds).
+    pub fn record(&mut self, latency: f64) {
+        self.count += 1;
+        self.sum += latency;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        self.p2.observe(latency);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Mean latency, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum observed latency.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The tracked high-quantile estimate.
+    pub fn quantile_estimate(&self) -> Option<f64> {
+        self.p2.estimate()
+    }
+
+    /// Resets all counters (used when a measurement window closes).
+    pub fn reset(&mut self) {
+        *self = LatencyStats::new(self.p2.quantile());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(data: &mut [f64], q: f64) -> f64 {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len()) - 1;
+        data[idx]
+    }
+
+    #[test]
+    fn p2_exact_for_small_samples() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.estimate(), None);
+        est.observe(10.0);
+        assert_eq!(est.estimate(), Some(10.0));
+        est.observe(20.0);
+        est.observe(5.0);
+        // Sorted: [5, 10, 20], ceil(0.5*3)=2 => 10.
+        assert_eq!(est.estimate(), Some(10.0));
+    }
+
+    #[test]
+    fn p2_median_of_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut est = P2Quantile::new(0.5);
+        let mut data = Vec::new();
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            est.observe(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.5);
+        let approx = est.estimate().unwrap();
+        assert!(
+            (approx - exact).abs() < 1.5,
+            "P2 median {approx} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p2_high_quantile_of_exponential() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut est = P2Quantile::new(0.9);
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            let x = -(1.0 - u).ln() * 10.0; // Exp(mean 10)
+            est.observe(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.9);
+        let approx = est.estimate().unwrap();
+        // Theoretical p90 of Exp(10) is 10*ln(10) ≈ 23.03.
+        assert!(
+            (approx - exact).abs() / exact < 0.05,
+            "P2 p90 {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p2_monotone_quantiles() {
+        // For the same data, p10 <= p50 <= p99.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut q10 = P2Quantile::new(0.1);
+        let mut q50 = P2Quantile::new(0.5);
+        let mut q99 = P2Quantile::new(0.99);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let x = x * x; // skewed
+            q10.observe(x);
+            q50.observe(x);
+            q99.observe(x);
+        }
+        let (a, b, c) = (
+            q10.estimate().unwrap(),
+            q50.estimate().unwrap(),
+            q99.estimate().unwrap(),
+        );
+        assert!(a <= b && b <= c, "quantiles not monotone: {a} {b} {c}");
+    }
+
+    #[test]
+    fn p2_constant_stream() {
+        let mut est = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            est.observe(42.0);
+        }
+        assert_eq!(est.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn p2_handles_sorted_input() {
+        let mut est = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            est.observe(i as f64);
+        }
+        let approx = est.estimate().unwrap();
+        assert!((approx - 5_000.0).abs() < 150.0, "median of ramp: {approx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_exact_within_resolution() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut h = Histogram::for_latencies();
+        let mut data = Vec::new();
+        for _ in 0..30_000 {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            let x = -(1.0 - u).ln() * 25.0; // Exp(mean 25ms)
+            h.record(x);
+            data.push(x);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&mut data, q);
+            let approx = h.quantile(q).unwrap();
+            // Geometric buckets over 7 decades with 128 buckets give ~13%
+            // relative resolution.
+            assert!(
+                (approx - exact).abs() / exact < 0.15,
+                "q={q}: histogram {approx} vs exact {exact}"
+            );
+        }
+        assert!((h.mean().unwrap() - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_edge_buckets_saturate() {
+        let mut h = Histogram::new(1.0, 100.0, 10);
+        h.record(0.0001);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        let lo = h.quantile(0.0).unwrap();
+        let hi = h.quantile(1.0).unwrap();
+        assert!(lo <= 1.0 + 1e-9);
+        assert!(hi >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_stream() {
+        let mut a = Histogram::new(0.1, 1000.0, 64);
+        let mut b = a.clone();
+        let mut combined = a.clone();
+        for i in 1..500 {
+            let x = i as f64 * 0.37;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            combined.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        for q in [0.25, 0.5, 0.75, 0.95] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+        assert!((a.mean().unwrap() - combined.mean().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_and_reset() {
+        let mut h = Histogram::for_latencies();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        h.record(5.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket layouts differ")]
+    fn histogram_merge_rejects_mismatched_layout() {
+        let mut a = Histogram::new(1.0, 100.0, 16);
+        let b = Histogram::new(1.0, 100.0, 32);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn latency_stats_moments() {
+        let mut s = LatencyStats::new(0.9);
+        assert_eq!(s.mean(), None);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert!(s.quantile_estimate().is_some());
+    }
+
+    #[test]
+    fn latency_stats_reset() {
+        let mut s = LatencyStats::new(0.9);
+        s.record(5.0);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+    }
+}

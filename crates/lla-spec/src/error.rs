@@ -1,0 +1,145 @@
+//! Parse and validation errors with line information.
+
+use lla_core::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a workload specification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// A line did not start with a known declaration keyword.
+    UnknownDeclaration {
+        /// 1-based line number.
+        line: usize,
+        /// The offending keyword.
+        keyword: String,
+    },
+    /// A declaration was missing a required field.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The missing key.
+        field: &'static str,
+    },
+    /// A `key=value` pair had an unparsable or out-of-domain value.
+    InvalidValue {
+        /// 1-based line number.
+        line: usize,
+        /// The key whose value was rejected.
+        key: String,
+        /// The rejected raw value.
+        value: String,
+    },
+    /// A `key=value` pair used a key the declaration does not accept.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown key.
+        key: String,
+    },
+    /// A token that should have been `key=value` was malformed.
+    MalformedPair {
+        /// 1-based line number.
+        line: usize,
+        /// The malformed token.
+        token: String,
+    },
+    /// A declaration referenced a name that was never declared.
+    UnknownName {
+        /// 1-based line number.
+        line: usize,
+        /// What kind of entity was looked up (`resource`/`subtask`).
+        entity: &'static str,
+        /// The unresolved name.
+        name: String,
+    },
+    /// A name was declared twice in the same scope.
+    DuplicateName {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+    /// `subtask`/`edge`/`chain` appeared before any `task`.
+    OutsideTask {
+        /// 1-based line number.
+        line: usize,
+        /// The declaration keyword.
+        keyword: &'static str,
+    },
+    /// The assembled model failed semantic validation.
+    Model(ModelError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownDeclaration { line, keyword } => {
+                write!(f, "line {line}: unknown declaration `{keyword}`")
+            }
+            SpecError::MissingField { line, field } => {
+                write!(f, "line {line}: missing required field `{field}`")
+            }
+            SpecError::InvalidValue { line, key, value } => {
+                write!(f, "line {line}: invalid value `{value}` for `{key}`")
+            }
+            SpecError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key `{key}`")
+            }
+            SpecError::MalformedPair { line, token } => {
+                write!(f, "line {line}: expected key=value, got `{token}`")
+            }
+            SpecError::UnknownName { line, entity, name } => {
+                write!(f, "line {line}: unknown {entity} `{name}`")
+            }
+            SpecError::DuplicateName { line, name } => {
+                write!(f, "line {line}: duplicate name `{name}`")
+            }
+            SpecError::OutsideTask { line, keyword } => {
+                write!(f, "line {line}: `{keyword}` must appear inside a task")
+            }
+            SpecError::Model(e) => write!(f, "model validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpecError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SpecError {
+    fn from(e: ModelError) -> Self {
+        SpecError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lla_core::TaskId;
+
+    #[test]
+    fn display_includes_line_numbers() {
+        let e = SpecError::MissingField { line: 7, field: "critical" };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn model_error_wraps_with_source() {
+        let e: SpecError = ModelError::EmptyTask { task: TaskId::new(0) }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("model validation failed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! # `lla-spec` — declarative workload specifications
+//!
+//! The paper assumes "task specifications" describing subtasks, resource
+//! demands, triggering events and timeliness constraints (§2). This crate
+//! provides a small line-oriented text format for those specifications, a
+//! parser producing a validated [`lla_core::Problem`], and a writer that
+//! round-trips it — so workloads can be defined, versioned, and fed to the
+//! `lla` CLI without writing Rust.
+//!
+//! ## Format
+//!
+//! ```text
+//! # Comments start with '#'. Declarations are one per line.
+//! resource cpu0 kind=cpu lag=1.0 availability=0.9
+//! resource link0 kind=link lag=0.5
+//!
+//! task trading critical=25 utility=linear k=2 trigger=periodic period=100
+//!   subtask recv resource=link0 exec=1.0
+//!   subtask parse resource=cpu0 exec=2.0 max_latency=50
+//!   edge recv parse
+//!
+//! task batch critical=80 utility=negative_latency trigger=poisson rate=0.01
+//!   subtask crunch resource=cpu0 exec=6.0
+//! ```
+//!
+//! * `resource NAME key=value…` — keys: `kind` (`cpu`|`link`), `lag`,
+//!   `availability`.
+//! * `task NAME key=value…` — keys: `critical` (ms, required), `utility`
+//!   (`linear`|`negative_latency`|`inelastic`|`quadratic`, default
+//!   `linear`), utility parameters (`k`, `umax`, `sharpness`, `offset`,
+//!   `lin`, `quad`), `trigger` (`periodic`|`poisson`|`bursty`, default
+//!   `periodic`), `period`, `rate`, `burst`, `aggregation`
+//!   (`sum`|`path_weighted`), `percentile` (`worst` or a number).
+//! * `subtask NAME resource=R exec=E [max_latency=L]` — belongs to the
+//!   most recent `task`.
+//! * `edge A B` / `chain A B C …` — precedence between subtasks of the
+//!   current task, by name.
+//!
+//! Names resolve to dense ids in order of first appearance.
+//!
+//! ## Example
+//!
+//! ```rust
+//! let text = "
+//! resource cpu0 kind=cpu lag=1
+//! task t critical=20
+//!   subtask only resource=cpu0 exec=2
+//! ";
+//! let problem = lla_spec::parse(text)?;
+//! assert_eq!(problem.resources().len(), 1);
+//! let round_trip = lla_spec::write(&problem);
+//! assert_eq!(lla_spec::parse(&round_trip)?.num_subtasks(), 1);
+//! # Ok::<(), lla_spec::SpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod parse;
+mod write;
+
+pub use error::SpecError;
+pub use parse::parse;
+pub use write::write;

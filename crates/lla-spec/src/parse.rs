@@ -1,0 +1,481 @@
+//! The specification parser.
+
+use crate::error::SpecError;
+use lla_core::{
+    Aggregation, PercentileSpec, Problem, Resource, ResourceId, ResourceKind, Task, TaskBuilder,
+    TaskId, TriggerSpec, UtilityFn,
+};
+use std::collections::HashMap;
+
+/// Parses a workload specification into a validated [`Problem`].
+///
+/// See the [crate documentation](crate) for the format.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] with the offending line number for syntax
+/// problems, and wraps [`lla_core::ModelError`] for semantic ones (cyclic
+/// graphs, invalid parameters, …).
+pub fn parse(text: &str) -> Result<Problem, SpecError> {
+    Parser::default().run(text)
+}
+
+/// One `key=value` token, split and line-tagged.
+struct Pairs<'a> {
+    line: usize,
+    map: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Pairs<'a> {
+    fn new(line: usize, tokens: &[&'a str], allowed: &[&str]) -> Result<Self, SpecError> {
+        let mut map = HashMap::new();
+        for token in tokens {
+            let (k, v) = token.split_once('=').ok_or_else(|| SpecError::MalformedPair {
+                line,
+                token: token.to_string(),
+            })?;
+            if !allowed.contains(&k) {
+                return Err(SpecError::UnknownKey { line, key: k.to_string() });
+            }
+            map.insert(k, v);
+        }
+        Ok(Pairs { line, map })
+    }
+
+    fn float(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse::<f64>().map(Some).map_err(|_| SpecError::InvalidValue {
+                line: self.line,
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    fn required_float(&self, key: &'static str) -> Result<f64, SpecError> {
+        self.float(key)?.ok_or(SpecError::MissingField { line: self.line, field: key })
+    }
+
+    fn usize(&self, key: &str) -> Result<Option<usize>, SpecError> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse::<usize>().map(Some).map_err(|_| SpecError::InvalidValue {
+                line: self.line,
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+
+    fn str(&self, key: &str) -> Option<&'a str> {
+        self.map.get(key).copied()
+    }
+
+    fn invalid(&self, key: &str) -> SpecError {
+        SpecError::InvalidValue {
+            line: self.line,
+            key: key.to_string(),
+            value: self.str(key).unwrap_or("").to_string(),
+        }
+    }
+}
+
+/// A task being accumulated (subtasks/edges arrive on later lines).
+struct PendingTask {
+    line: usize,
+    builder: TaskBuilder,
+    subtask_names: HashMap<String, usize>,
+    has_subtask: bool,
+}
+
+#[derive(Default)]
+struct Parser {
+    resources: Vec<Resource>,
+    resource_names: HashMap<String, ResourceId>,
+    tasks: Vec<Task>,
+    current: Option<PendingTask>,
+}
+
+impl Parser {
+    fn run(mut self, text: &str) -> Result<Problem, SpecError> {
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = content.split_whitespace().collect();
+            match tokens[0] {
+                "resource" => self.resource(line, &tokens[1..])?,
+                "task" => self.task(line, &tokens[1..])?,
+                "subtask" => self.subtask(line, &tokens[1..])?,
+                "edge" => self.edge(line, &tokens[1..])?,
+                "chain" => self.chain(line, &tokens[1..])?,
+                other => {
+                    return Err(SpecError::UnknownDeclaration {
+                        line,
+                        keyword: other.to_string(),
+                    })
+                }
+            }
+        }
+        self.finish_task()?;
+        Ok(Problem::new(self.resources, self.tasks)?)
+    }
+
+    fn resource(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
+        let name = tokens
+            .first()
+            .copied()
+            .ok_or(SpecError::MissingField { line, field: "name" })?;
+        if self.resource_names.contains_key(name) {
+            return Err(SpecError::DuplicateName { line, name: name.to_string() });
+        }
+        let pairs = Pairs::new(line, &tokens[1..], &["kind", "lag", "availability"])?;
+        let kind = match pairs.str("kind").unwrap_or("cpu") {
+            "cpu" => ResourceKind::Cpu,
+            "link" => ResourceKind::NetworkLink,
+            _ => return Err(pairs.invalid("kind")),
+        };
+        let id = ResourceId::new(self.resources.len());
+        let mut r = Resource::new(id, kind).with_name(name);
+        if let Some(lag) = pairs.float("lag")? {
+            r = r.with_lag(lag);
+        }
+        if let Some(b) = pairs.float("availability")? {
+            r = r.with_availability(b);
+        }
+        self.resource_names.insert(name.to_string(), id);
+        self.resources.push(r);
+        Ok(())
+    }
+
+    fn task(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
+        self.finish_task()?;
+        let name = tokens
+            .first()
+            .copied()
+            .ok_or(SpecError::MissingField { line, field: "name" })?;
+        let pairs = Pairs::new(
+            line,
+            &tokens[1..],
+            &[
+                "critical", "utility", "k", "umax", "sharpness", "offset", "lin", "quad",
+                "trigger", "period", "rate", "burst", "aggregation", "percentile",
+            ],
+        )?;
+        let critical = pairs.required_float("critical")?;
+
+        let utility = match pairs.str("utility").unwrap_or("linear") {
+            "linear" => {
+                let k = pairs.float("k")?.unwrap_or(2.0);
+                if k < 1.0 || critical <= 0.0 {
+                    return Err(pairs.invalid("k"));
+                }
+                UtilityFn::linear_for_deadline(k, critical)
+            }
+            "negative_latency" => UtilityFn::negative_latency(),
+            "inelastic" => {
+                let umax = pairs.float("umax")?.unwrap_or(100.0);
+                let sharpness = pairs.float("sharpness")?.unwrap_or(6.0);
+                if umax <= 0.0 || sharpness <= 0.0 || critical <= 0.0 {
+                    return Err(pairs.invalid("umax"));
+                }
+                UtilityFn::smooth_inelastic(umax, critical, sharpness)
+            }
+            "quadratic" => UtilityFn::Quadratic {
+                offset: pairs.float("offset")?.unwrap_or(0.0),
+                lin: pairs.float("lin")?.unwrap_or(1.0),
+                quad: pairs.float("quad")?.unwrap_or(0.0),
+            },
+            _ => return Err(pairs.invalid("utility")),
+        };
+
+        let trigger = match pairs.str("trigger").unwrap_or("periodic") {
+            "periodic" => TriggerSpec::Periodic { period: pairs.float("period")?.unwrap_or(100.0) },
+            "poisson" => TriggerSpec::Poisson {
+                rate: pairs
+                    .float("rate")?
+                    .ok_or(SpecError::MissingField { line, field: "rate" })?,
+            },
+            "bursty" => TriggerSpec::Bursty {
+                period: pairs.float("period")?.unwrap_or(100.0),
+                burst: pairs
+                    .usize("burst")?
+                    .ok_or(SpecError::MissingField { line, field: "burst" })?,
+            },
+            _ => return Err(pairs.invalid("trigger")),
+        };
+
+        let aggregation = match pairs.str("aggregation").unwrap_or("path_weighted") {
+            "sum" => Aggregation::Sum,
+            "path_weighted" => Aggregation::PathWeighted,
+            _ => return Err(pairs.invalid("aggregation")),
+        };
+
+        let percentile = match pairs.str("percentile") {
+            None | Some("worst") => PercentileSpec::WorstCase,
+            Some(v) => {
+                let p: f64 = v.parse().map_err(|_| pairs.invalid("percentile"))?;
+                PercentileSpec::Percentile(p)
+            }
+        };
+
+        let mut builder = TaskBuilder::new(name);
+        builder
+            .critical_time(critical)
+            .utility(utility)
+            .trigger(trigger)
+            .aggregation(aggregation)
+            .percentile(percentile);
+        self.current = Some(PendingTask {
+            line,
+            builder,
+            subtask_names: HashMap::new(),
+            has_subtask: false,
+        });
+        Ok(())
+    }
+
+    fn subtask(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
+        let name = tokens
+            .first()
+            .copied()
+            .ok_or(SpecError::MissingField { line, field: "name" })?;
+        let pairs = Pairs::new(line, &tokens[1..], &["resource", "exec", "max_latency"])?;
+        let resource_name =
+            pairs.str("resource").ok_or(SpecError::MissingField { line, field: "resource" })?;
+        let resource =
+            *self.resource_names.get(resource_name).ok_or_else(|| SpecError::UnknownName {
+                line,
+                entity: "resource",
+                name: resource_name.to_string(),
+            })?;
+        let exec = pairs.required_float("exec")?;
+        let cap = pairs.float("max_latency")?;
+
+        let task = self
+            .current
+            .as_mut()
+            .ok_or(SpecError::OutsideTask { line, keyword: "subtask" })?;
+        if task.subtask_names.contains_key(name) {
+            return Err(SpecError::DuplicateName { line, name: name.to_string() });
+        }
+        let idx = match cap {
+            Some(cap) => task.builder.subtask_with_max_latency(name, resource, exec, cap),
+            None => task.builder.subtask(name, resource, exec),
+        };
+        task.subtask_names.insert(name.to_string(), idx);
+        task.has_subtask = true;
+        Ok(())
+    }
+
+    fn resolve(&self, line: usize, name: &str) -> Result<usize, SpecError> {
+        let task = self
+            .current
+            .as_ref()
+            .ok_or(SpecError::OutsideTask { line, keyword: "edge" })?;
+        task.subtask_names.get(name).copied().ok_or_else(|| SpecError::UnknownName {
+            line,
+            entity: "subtask",
+            name: name.to_string(),
+        })
+    }
+
+    fn edge(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
+        if tokens.len() != 2 {
+            return Err(SpecError::MissingField { line, field: "edge endpoints" });
+        }
+        let from = self.resolve(line, tokens[0])?;
+        let to = self.resolve(line, tokens[1])?;
+        let task = self.current.as_mut().expect("checked by resolve");
+        task.builder.edge(from, to)?;
+        Ok(())
+    }
+
+    fn chain(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
+        if tokens.len() < 2 {
+            return Err(SpecError::MissingField { line, field: "chain members" });
+        }
+        let indices: Vec<usize> = tokens
+            .iter()
+            .map(|t| self.resolve(line, t))
+            .collect::<Result<_, _>>()?;
+        let task = self.current.as_mut().expect("checked by resolve");
+        task.builder.chain(&indices)?;
+        Ok(())
+    }
+
+    fn finish_task(&mut self) -> Result<(), SpecError> {
+        if let Some(pending) = self.current.take() {
+            if !pending.has_subtask {
+                return Err(SpecError::MissingField { line: pending.line, field: "subtask" });
+            }
+            let id = TaskId::new(self.tasks.len());
+            self.tasks.push(pending.builder.build(id)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = "
+# A two-task system.
+resource cpu0 kind=cpu lag=1.0 availability=0.9
+resource link0 kind=link lag=0.5
+
+task trading critical=25 utility=inelastic umax=100 sharpness=6 trigger=bursty period=50 burst=2
+  subtask recv resource=link0 exec=1.0
+  subtask parse resource=cpu0 exec=2.0 max_latency=50
+  edge recv parse
+
+task batch critical=80 utility=negative_latency trigger=poisson rate=0.01 aggregation=sum
+  subtask a resource=cpu0 exec=6.0
+  subtask b resource=link0 exec=1.0
+  chain a b
+";
+
+    #[test]
+    fn parses_valid_spec() {
+        let p = parse(VALID).unwrap();
+        assert_eq!(p.resources().len(), 2);
+        assert_eq!(p.tasks().len(), 2);
+        assert_eq!(p.resources()[0].name(), "cpu0");
+        assert_eq!(p.resources()[0].availability(), 0.9);
+        assert_eq!(p.resources()[1].kind(), ResourceKind::NetworkLink);
+
+        let trading = &p.tasks()[0];
+        assert_eq!(trading.name(), "trading");
+        assert_eq!(trading.critical_time(), 25.0);
+        assert_eq!(trading.len(), 2);
+        assert_eq!(trading.subtasks()[1].max_latency(), Some(50.0));
+        assert!(matches!(trading.trigger(), TriggerSpec::Bursty { burst: 2, .. }));
+        assert!(matches!(trading.utility_fn(), UtilityFn::ExponentialPenalty { .. }));
+
+        let batch = &p.tasks()[1];
+        assert_eq!(batch.aggregation(), Aggregation::Sum);
+        assert!(batch.graph().is_chain());
+        assert!(matches!(batch.trigger(), TriggerSpec::Poisson { .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse("# only\n\nresource r kind=cpu\ntask t critical=10\n subtask s resource=r exec=1 # eol\n").unwrap();
+        assert_eq!(p.num_subtasks(), 1);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse("resource r\ntask t critical=40\n subtask s resource=r exec=1\n").unwrap();
+        let t = &p.tasks()[0];
+        // Defaults: linear k=2, periodic 100ms, path-weighted, worst case.
+        assert_eq!(t.utility_fn().value(0.0), 80.0);
+        assert!(matches!(t.trigger(), TriggerSpec::Periodic { period } if period == 100.0));
+        assert_eq!(t.aggregation(), Aggregation::PathWeighted);
+        assert_eq!(t.percentile(), PercentileSpec::WorstCase);
+        assert_eq!(p.resources()[0].kind(), ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn percentile_value_parses() {
+        let p = parse("resource r\ntask t critical=40 percentile=99\n subtask s resource=r exec=1\n").unwrap();
+        assert_eq!(p.tasks()[0].percentile(), PercentileSpec::Percentile(99.0));
+    }
+
+    #[test]
+    fn unknown_declaration_rejected() {
+        let e = parse("frobnicate x\n").unwrap_err();
+        assert!(matches!(e, SpecError::UnknownDeclaration { line: 1, .. }));
+    }
+
+    #[test]
+    fn missing_critical_rejected() {
+        let e = parse("resource r\ntask t\n subtask s resource=r exec=1\n").unwrap_err();
+        assert!(matches!(e, SpecError::MissingField { line: 2, field: "critical" }));
+    }
+
+    #[test]
+    fn unknown_resource_rejected() {
+        let e = parse("task t critical=10\n subtask s resource=ghost exec=1\n").unwrap_err();
+        assert!(matches!(e, SpecError::UnknownName { entity: "resource", .. }));
+    }
+
+    #[test]
+    fn unknown_subtask_in_edge_rejected() {
+        let e = parse(
+            "resource r\ntask t critical=10\n subtask a resource=r exec=1\n edge a ghost\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SpecError::UnknownName { entity: "subtask", .. }));
+    }
+
+    #[test]
+    fn subtask_outside_task_rejected() {
+        let e = parse("resource r\nsubtask s resource=r exec=1\n").unwrap_err();
+        assert!(matches!(e, SpecError::OutsideTask { keyword: "subtask", .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let e = parse("resource r\nresource r\n").unwrap_err();
+        assert!(matches!(e, SpecError::DuplicateName { line: 2, .. }));
+        let e = parse(
+            "resource r\ntask t critical=10\n subtask s resource=r exec=1\n subtask s resource=r exec=1\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SpecError::DuplicateName { line: 4, .. }));
+    }
+
+    #[test]
+    fn malformed_pair_rejected() {
+        let e = parse("resource r lag\n").unwrap_err();
+        assert!(matches!(e, SpecError::MalformedPair { .. }));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let e = parse("resource r color=blue\n").unwrap_err();
+        assert!(matches!(e, SpecError::UnknownKey { .. }));
+    }
+
+    #[test]
+    fn bad_float_rejected() {
+        let e = parse("resource r lag=fast\n").unwrap_err();
+        assert!(matches!(e, SpecError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn empty_task_rejected() {
+        let e = parse("resource r\ntask t critical=10\ntask u critical=10\n subtask s resource=r exec=1\n")
+            .unwrap_err();
+        assert!(matches!(e, SpecError::MissingField { line: 2, field: "subtask" }));
+    }
+
+    #[test]
+    fn cyclic_graph_rejected_via_model_error() {
+        let e = parse(
+            "resource r0\nresource r1\ntask t critical=10\n subtask a resource=r0 exec=1\n subtask b resource=r1 exec=1\n edge a b\n edge b a\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, SpecError::Model(_)));
+    }
+
+    #[test]
+    fn parsed_problem_is_optimizable() {
+        use lla_core::{Optimizer, OptimizerConfig, StepSizePolicy};
+        let p = parse(VALID).unwrap();
+        let mut opt = Optimizer::new(
+            p,
+            OptimizerConfig {
+                step_policy: StepSizePolicy::sign_adaptive(1.0),
+                ..OptimizerConfig::default()
+            },
+        );
+        let outcome = opt.run_to_convergence(10_000);
+        assert!(outcome.converged, "parsed workload should be schedulable: {outcome:?}");
+    }
+}

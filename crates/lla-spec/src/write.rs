@@ -1,0 +1,194 @@
+//! The specification writer: renders a [`Problem`] back to the text
+//! format, such that `parse(write(p))` reproduces `p`.
+
+use lla_core::{Aggregation, PercentileSpec, Problem, ResourceKind, TriggerSpec, UtilityFn};
+use std::fmt::Write as _;
+
+/// Renders a problem as a specification document.
+///
+/// The output round-trips: parsing it yields an equivalent problem
+/// (same resources, tasks, graphs, and parameters).
+pub fn write(problem: &Problem) -> String {
+    let mut out = String::new();
+    for r in problem.resources() {
+        let kind = match r.kind() {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::NetworkLink => "link",
+        };
+        let _ = writeln!(
+            out,
+            "resource {} kind={kind} lag={} availability={}",
+            sanitize(r.name()),
+            r.lag(),
+            r.availability()
+        );
+    }
+    for task in problem.tasks() {
+        out.push('\n');
+        let _ = write!(out, "task {} critical={}", sanitize(task.name()), task.critical_time());
+        match task.utility_fn() {
+            UtilityFn::Linear { offset, slope } => {
+                if *slope == -1.0 && *offset == 0.0 {
+                    let _ = write!(out, " utility=negative_latency");
+                } else {
+                    // linear_for_deadline form: offset = k*C, slope = -1.
+                    let k = offset / task.critical_time();
+                    let _ = write!(out, " utility=linear k={k}");
+                }
+            }
+            UtilityFn::Quadratic { offset, lin, quad } => {
+                let _ = write!(out, " utility=quadratic offset={offset} lin={lin} quad={quad}");
+            }
+            UtilityFn::ExponentialPenalty { offset, a, b } => {
+                // smooth_inelastic form: b = sharpness/C, a = umax/exp(b*C).
+                let sharpness = b * task.critical_time();
+                let umax = a * sharpness.exp();
+                debug_assert!((umax - offset).abs() < 1e-6 * offset.abs().max(1.0));
+                let _ = write!(out, " utility=inelastic umax={offset} sharpness={sharpness}");
+            }
+            // `UtilityFn` is non-exhaustive; future variants fall back to
+            // the default linear utility on round-trip.
+            _ => {}
+        }
+        match task.trigger() {
+            TriggerSpec::Periodic { period } => {
+                let _ = write!(out, " trigger=periodic period={period}");
+            }
+            TriggerSpec::Poisson { rate } => {
+                let _ = write!(out, " trigger=poisson rate={rate}");
+            }
+            TriggerSpec::Bursty { period, burst } => {
+                let _ = write!(out, " trigger=bursty period={period} burst={burst}");
+            }
+            _ => {}
+        }
+        let agg = match task.aggregation() {
+            Aggregation::Sum => "sum",
+            Aggregation::PathWeighted => "path_weighted",
+        };
+        let _ = write!(out, " aggregation={agg}");
+        if let PercentileSpec::Percentile(p) = task.percentile() {
+            let _ = write!(out, " percentile={p}");
+        }
+        out.push('\n');
+
+        for s in task.subtasks() {
+            let rname = sanitize(problem.resource(s.resource()).name());
+            let _ = write!(
+                out,
+                "  subtask {} resource={rname} exec={}",
+                sanitize(s.name()),
+                s.exec_time()
+            );
+            if let Some(cap) = s.max_latency() {
+                let _ = write!(out, " max_latency={cap}");
+            }
+            out.push('\n');
+        }
+        for (v, sub) in task.subtasks().iter().enumerate() {
+            for &w in task.graph().successors(v) {
+                let _ = writeln!(
+                    out,
+                    "  edge {} {}",
+                    sanitize(sub.name()),
+                    sanitize(task.subtasks()[w].name())
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Names are whitespace-delimited tokens in the format; replace anything
+/// that would break tokenization.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() || c == '#' || c == '=' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn assert_roundtrip(problem: &Problem) {
+        let text = write(problem);
+        let back = parse(&text).unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{text}"));
+        assert_eq!(back.resources().len(), problem.resources().len());
+        assert_eq!(back.tasks().len(), problem.tasks().len());
+        for (a, b) in problem.resources().iter().zip(back.resources()) {
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.lag(), b.lag());
+            assert_eq!(a.availability(), b.availability());
+        }
+        for (a, b) in problem.tasks().iter().zip(back.tasks()) {
+            assert_eq!(a.critical_time(), b.critical_time());
+            assert_eq!(a.aggregation(), b.aggregation());
+            assert_eq!(a.percentile(), b.percentile());
+            assert_eq!(a.trigger(), b.trigger());
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.graph().paths().len(), b.graph().paths().len());
+            for (sa, sb) in a.subtasks().iter().zip(b.subtasks()) {
+                assert_eq!(sa.resource(), sb.resource());
+                assert_eq!(sa.exec_time(), sb.exec_time());
+                assert_eq!(sa.max_latency(), sb.max_latency());
+            }
+            // Utilities agree pointwise.
+            for lat in [0.0, 10.0, a.critical_time()] {
+                let ua = a.utility_fn().value(lat);
+                let ub = b.utility_fn().value(lat);
+                assert!(
+                    (ua - ub).abs() < 1e-9 * ua.abs().max(1.0),
+                    "utility mismatch at {lat}: {ua} vs {ub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_base_workload_roundtrips() {
+        assert_roundtrip(&lla_workloads::base_workload());
+    }
+
+    #[test]
+    fn prototype_workload_roundtrips() {
+        assert_roundtrip(&lla_workloads::prototype_workload(&Default::default()));
+    }
+
+    #[test]
+    fn random_workloads_roundtrip() {
+        for seed in 0..10 {
+            let problem = lla_workloads::RandomWorkloadConfig { seed, ..Default::default() }
+                .generate()
+                .unwrap();
+            assert_roundtrip(&problem);
+        }
+    }
+
+    #[test]
+    fn all_utility_and_trigger_forms_roundtrip() {
+        let text = "
+resource r0 kind=cpu lag=1 availability=0.8
+resource r1 kind=link lag=0.5
+
+task a critical=20 utility=linear k=3 trigger=periodic period=50
+  subtask s resource=r0 exec=1
+
+task b critical=30 utility=negative_latency trigger=poisson rate=0.02 aggregation=sum
+  subtask s resource=r1 exec=1 max_latency=25
+
+task c critical=40 utility=inelastic umax=77 sharpness=4 trigger=bursty period=80 burst=3 percentile=95
+  subtask s resource=r0 exec=2
+
+task d critical=50 utility=quadratic offset=10 lin=0.5 quad=0.01
+  subtask s resource=r1 exec=2
+";
+        assert_roundtrip(&parse(text).unwrap());
+    }
+
+    #[test]
+    fn sanitize_protects_tokenization() {
+        assert_eq!(sanitize("a b#c=d"), "a_b_c_d");
+    }
+}

@@ -1,0 +1,26 @@
+//! # `lla-workloads` — workload construction for the LLA reproduction
+//!
+//! Two families of workloads:
+//!
+//! * [`paper`] — the workloads of the paper's evaluation: the 3-task base
+//!   workload of Figure 4 / Table 1, its 6- and 12-task scalings (§5.3),
+//!   the unschedulable variant (§5.4), and the 4-task prototype workload of
+//!   §6.2.
+//! * [`random`] — a seeded generator of random workloads with a
+//!   *constructive schedulability guarantee*: it derives critical times
+//!   from a witness allocation, so generated workloads are schedulable by
+//!   construction (with configurable headroom), which property tests rely
+//!   on.
+//!
+//! All workloads are plain [`lla_core::Problem`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod random;
+
+pub use paper::{
+    base_workload, base_workload_with, prototype_workload, scaled_workload, PrototypeParams,
+};
+pub use random::{RandomWorkloadConfig, TaskShape};

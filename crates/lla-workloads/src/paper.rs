@@ -1,0 +1,362 @@
+//! The paper's evaluation workloads.
+//!
+//! ## The base workload (Figure 4, Table 1)
+//!
+//! Three tasks over eight resources, each mirroring one style of
+//! distributed real-time application. The paper's figure is not machine
+//! readable, so the DAG shapes are reconstructed from the prose and from
+//! Table 1's structure (see DESIGN.md for the inference):
+//!
+//! * **Task 1 — push (publish/subscribe, multicast)**: a producer
+//!   (`T11`) feeds a propagation stage (`T12`) which fans out to five
+//!   consumers (`T13..T17`). Critical time 45ms. Table 1's reported
+//!   critical path 44.9 = lat(T11)+lat(T12)+lat(T15) is consistent with
+//!   this depth-3 fan-out.
+//! * **Task 2 — complex pull (sensor aggregation / RSS)**: a request chain
+//!   (`T21→T22→T23`) reaches an aggregator (`T24`), whose result is
+//!   distributed to two direct consumers (`T25`, `T26`) and relayed through
+//!   `T27` to `T28`. Critical time 76ms.
+//! * **Task 3 — simple pull (client/server)**: a six-stage chain
+//!   (`T31→…→T36`). Critical time 53ms. Table 1's critical path 52.8
+//!   equals the sum of *all* six subtask latencies, confirming the chain.
+//!
+//! Subtask-to-resource mappings and execution times follow Table 1
+//! exactly. All tasks are triggered by periodic events every 100ms.
+//!
+//! ## The prototype workload (§6.2)
+//!
+//! Four tasks of three linearly dependent subtasks over three CPUs: two
+//! *fast* tasks (WCET 5ms, 40 jobs/s, critical time 105ms) and two *slow*
+//! tasks (WCET 13ms, 10 jobs/s, critical time 800ms), utility
+//! `f(lat) = −lat`, scheduling lag 5ms, and availability 0.9 (0.1 reserved
+//! for the Metronome garbage collector).
+
+use lla_core::{
+    Aggregation, ModelError, Problem, Resource, ResourceId, ResourceKind, Task, TaskBuilder,
+    TaskId, TriggerSpec, UtilityFn,
+};
+
+/// Scheduling lag used for the simulated resources of the base workload.
+///
+/// The paper's simulation section does not state its lag; the prototype
+/// uses 5ms. We use 1ms for the simulation workload, which keeps the share
+/// scale comparable to the paper's Table 1 latencies.
+pub const BASE_LAG_MS: f64 = 1.0;
+
+/// Critical times of the three base tasks (ms), from §5.1.
+pub const BASE_CRITICAL_TIMES: [f64; 3] = [45.0, 76.0, 53.0];
+
+/// Table 1 resource assignment of every subtask of the three base tasks.
+pub const BASE_RESOURCES: [&[usize]; 3] = [
+    &[0, 1, 2, 3, 4, 5, 6],
+    &[0, 1, 2, 4, 5, 6, 3, 7],
+    &[0, 1, 2, 4, 6, 7],
+];
+
+/// Table 1 execution times (ms) of every subtask of the three base tasks.
+pub const BASE_EXEC_TIMES: [&[f64]; 3] = [
+    &[2.0, 3.0, 4.0, 5.0, 4.0, 3.0, 2.0],
+    &[2.0, 4.0, 3.0, 6.0, 7.0, 5.0, 2.0, 3.0],
+    &[3.0, 2.0, 2.0, 3.0, 4.0, 4.0],
+];
+
+/// Precedence edges of the three base tasks (reconstructed DAG shapes).
+pub const BASE_EDGES: [&[(usize, usize)]; 3] = [
+    // Task 1: T11 -> T12 -> {T13, T14, T15, T16, T17}.
+    &[(0, 1), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6)],
+    // Task 2: T21 -> T22 -> T23 -> T24 -> {T25, T26, T27}; T27 -> T28.
+    &[(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (3, 6), (6, 7)],
+    // Task 3: chain T31 -> ... -> T36.
+    &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+];
+
+/// The eight resources of the base workload.
+///
+/// Resources 0–3 are CPUs and 4–7 network links (the paper uses both kinds
+/// but does not state which index is which; LLA is agnostic).
+pub fn base_resources() -> Vec<Resource> {
+    (0..8)
+        .map(|i| {
+            let kind = if i < 4 { ResourceKind::Cpu } else { ResourceKind::NetworkLink };
+            Resource::new(ResourceId::new(i), kind).with_lag(BASE_LAG_MS)
+        })
+        .collect()
+}
+
+fn base_task(
+    index: usize,
+    id: TaskId,
+    critical_time_scale: f64,
+    aggregation: Aggregation,
+    k: f64,
+) -> Result<Task, ModelError> {
+    let names = ["push-multicast", "complex-pull", "client-server"];
+    let mut b = TaskBuilder::new(names[index]);
+    for (j, (&r, &c)) in BASE_RESOURCES[index]
+        .iter()
+        .zip(BASE_EXEC_TIMES[index])
+        .enumerate()
+    {
+        b.subtask(format!("T{}{}", index + 1, j + 1), ResourceId::new(r), c);
+    }
+    for &(a, c) in BASE_EDGES[index] {
+        b.edge(a, c)?;
+    }
+    let ct = BASE_CRITICAL_TIMES[index] * critical_time_scale;
+    b.critical_time(ct)
+        .utility(UtilityFn::linear_for_deadline(k, ct))
+        .trigger(TriggerSpec::Periodic { period: 100.0 })
+        .aggregation(aggregation);
+    b.build(id)
+}
+
+/// The 3-task base workload with the paper's defaults: path-weighted
+/// aggregation and utility `f(lat) = 2·C − lat`.
+///
+/// # Panics
+///
+/// Never panics: the workload tables are statically valid.
+pub fn base_workload() -> Problem {
+    base_workload_with(Aggregation::PathWeighted, 2.0)
+}
+
+/// The base workload with a chosen aggregation variant and utility scale
+/// `k` (`f(lat) = k·C − lat`, `k ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if `k < 1` (propagated from
+/// [`UtilityFn::linear_for_deadline`]).
+pub fn base_workload_with(aggregation: Aggregation, k: f64) -> Problem {
+    let tasks: Vec<Task> = (0..3)
+        .map(|i| base_task(i, TaskId::new(i), 1.0, aggregation, k).expect("static workload"))
+        .collect();
+    Problem::new(base_resources(), tasks).expect("static workload")
+}
+
+/// The scaled workload of §5.3/§5.4: the base tasks replicated
+/// `replication` times (3, 6 or 12 tasks for replication 1, 2, 4).
+///
+/// With `scale_critical_times = true` the critical times are multiplied by
+/// the replication factor, matching the paper's overprovisioning that keeps
+/// the scaled workload schedulable (§5.3). With `false`, critical times
+/// stay at the base values, reproducing the *unschedulable* workload used
+/// for the schedulability test (§5.4, Figure 7).
+///
+/// # Panics
+///
+/// Panics if `replication == 0`.
+pub fn scaled_workload(replication: usize, scale_critical_times: bool) -> Problem {
+    assert!(replication > 0, "replication must be at least 1");
+    let scale = if scale_critical_times { replication as f64 } else { 1.0 };
+    let mut tasks = Vec::with_capacity(3 * replication);
+    for rep in 0..replication {
+        for i in 0..3 {
+            let id = TaskId::new(rep * 3 + i);
+            tasks.push(
+                base_task(i, id, scale, Aggregation::PathWeighted, 2.0).expect("static workload"),
+            );
+        }
+    }
+    Problem::new(base_resources(), tasks).expect("static workload")
+}
+
+/// Parameters of the §6.2 prototype workload, exposed so experiments can
+/// derive expected values (minimum shares etc.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrototypeParams {
+    /// Number of CPUs (3 in the paper).
+    pub num_cpus: usize,
+    /// WCET of fast-task subtasks (ms).
+    pub fast_wcet: f64,
+    /// Period of fast tasks (ms) — 25ms = 40 jobs/s.
+    pub fast_period: f64,
+    /// Critical time of fast tasks (ms).
+    pub fast_critical_time: f64,
+    /// WCET of slow-task subtasks (ms).
+    pub slow_wcet: f64,
+    /// Period of slow tasks (ms) — 100ms = 10 jobs/s.
+    pub slow_period: f64,
+    /// Critical time of slow tasks (ms).
+    pub slow_critical_time: f64,
+    /// Proportional-share scheduling lag (ms).
+    pub lag: f64,
+    /// CPU availability after the garbage-collector reservation.
+    pub availability: f64,
+}
+
+impl Default for PrototypeParams {
+    fn default() -> Self {
+        PrototypeParams {
+            num_cpus: 3,
+            fast_wcet: 5.0,
+            fast_period: 25.0,
+            fast_critical_time: 105.0,
+            slow_wcet: 13.0,
+            slow_period: 100.0,
+            slow_critical_time: 800.0,
+            lag: 5.0,
+            availability: 0.9,
+        }
+    }
+}
+
+impl PrototypeParams {
+    /// Minimum sustainable share of a fast subtask (`rate · WCET` = 0.2).
+    pub fn fast_min_share(&self) -> f64 {
+        self.fast_wcet / self.fast_period
+    }
+
+    /// Minimum sustainable share of a slow subtask (0.13).
+    pub fn slow_min_share(&self) -> f64 {
+        self.slow_wcet / self.slow_period
+    }
+}
+
+/// The §6.2 prototype workload: four 3-stage pipeline tasks (two fast, two
+/// slow) across three CPUs, every CPU hosting one subtask of every task.
+///
+/// # Panics
+///
+/// Never panics for valid `params` (positive times, availability in
+/// `(0, 1]`).
+pub fn prototype_workload(params: &PrototypeParams) -> Problem {
+    let resources: Vec<Resource> = (0..params.num_cpus)
+        .map(|i| {
+            Resource::new(ResourceId::new(i), ResourceKind::Cpu)
+                .with_lag(params.lag)
+                .with_availability(params.availability)
+                .with_name(format!("cpu{i}"))
+        })
+        .collect();
+
+    let mut tasks = Vec::with_capacity(4);
+    for t in 0..4 {
+        let fast = t < 2;
+        let (wcet, period, ct) = if fast {
+            (params.fast_wcet, params.fast_period, params.fast_critical_time)
+        } else {
+            (params.slow_wcet, params.slow_period, params.slow_critical_time)
+        };
+        let mut b = TaskBuilder::new(if fast { format!("fast{t}") } else { format!("slow{t}") });
+        let idx: Vec<usize> = (0..params.num_cpus)
+            .map(|cpu| b.subtask(format!("t{t}s{cpu}"), ResourceId::new(cpu), wcet))
+            .collect();
+        b.chain(&idx).expect("indices are valid");
+        b.critical_time(ct)
+            .utility(UtilityFn::negative_latency())
+            .trigger(TriggerSpec::Periodic { period })
+            .aggregation(Aggregation::Sum);
+        tasks.push(b.build(TaskId::new(t)).expect("static workload"));
+    }
+    Problem::new(resources, tasks).expect("static workload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_workload_matches_table1_structure() {
+        let p = base_workload();
+        assert_eq!(p.resources().len(), 8);
+        assert_eq!(p.tasks().len(), 3);
+        assert_eq!(p.tasks()[0].len(), 7);
+        assert_eq!(p.tasks()[1].len(), 8);
+        assert_eq!(p.tasks()[2].len(), 6);
+        for (t, task) in p.tasks().iter().enumerate() {
+            assert_eq!(task.critical_time(), BASE_CRITICAL_TIMES[t]);
+            for (s, sub) in task.subtasks().iter().enumerate() {
+                assert_eq!(sub.resource().index(), BASE_RESOURCES[t][s]);
+                assert_eq!(sub.exec_time(), BASE_EXEC_TIMES[t][s]);
+            }
+        }
+    }
+
+    #[test]
+    fn task1_is_depth3_fanout() {
+        let p = base_workload();
+        let g = p.tasks()[0].graph();
+        assert_eq!(g.paths().len(), 5);
+        for path in g.paths() {
+            assert_eq!(path.len(), 3);
+            assert_eq!(path.subtasks()[0], 0);
+            assert_eq!(path.subtasks()[1], 1);
+        }
+        assert_eq!(g.path_weight(0), 5);
+        assert_eq!(g.path_weight(1), 5);
+    }
+
+    #[test]
+    fn task2_has_three_paths() {
+        let p = base_workload();
+        let g = p.tasks()[1].graph();
+        assert_eq!(g.paths().len(), 3);
+        let lens: Vec<usize> = g.paths().iter().map(|p| p.len()).collect();
+        assert!(lens.contains(&5));
+        assert!(lens.contains(&6));
+        assert_eq!(g.path_weight(3), 3, "aggregator T24 lies on all paths");
+    }
+
+    #[test]
+    fn task3_is_chain() {
+        let p = base_workload();
+        assert!(p.tasks()[2].graph().is_chain());
+    }
+
+    #[test]
+    fn every_subtask_uses_distinct_resource_within_task() {
+        // §2.1's simplifying assumption, honored by the Table 1 mapping.
+        let p = base_workload();
+        for task in p.tasks() {
+            let mut seen = std::collections::HashSet::new();
+            for s in task.subtasks() {
+                assert!(seen.insert(s.resource()), "duplicate resource in {}", task.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_workload_replicates() {
+        let p6 = scaled_workload(2, true);
+        assert_eq!(p6.tasks().len(), 6);
+        assert_eq!(p6.tasks()[3].critical_time(), 2.0 * BASE_CRITICAL_TIMES[0]);
+        let p12 = scaled_workload(4, true);
+        assert_eq!(p12.tasks().len(), 12);
+        // Unscaled keeps the base critical times (the §5.4 workload).
+        let bad = scaled_workload(2, false);
+        assert_eq!(bad.tasks()[3].critical_time(), BASE_CRITICAL_TIMES[0]);
+    }
+
+    #[test]
+    fn prototype_matches_section6() {
+        let params = PrototypeParams::default();
+        let p = prototype_workload(&params);
+        assert_eq!(p.resources().len(), 3);
+        assert_eq!(p.tasks().len(), 4);
+        for r in p.resources() {
+            assert_eq!(r.availability(), 0.9);
+            assert_eq!(r.lag(), 5.0);
+            // Each CPU hosts one subtask of each task.
+            assert_eq!(p.subtasks_on(r.id()).len(), 4);
+        }
+        assert!((params.fast_min_share() - 0.2).abs() < 1e-12);
+        assert!((params.slow_min_share() - 0.13).abs() < 1e-12);
+        // Paper: sum of minimum shares per CPU is 0.66.
+        let total = 2.0 * params.fast_min_share() + 2.0 * params.slow_min_share();
+        assert!((total - 0.66).abs() < 1e-12);
+        for t in p.tasks() {
+            assert!(t.graph().is_chain());
+            assert_eq!(t.len(), 3);
+        }
+        assert_eq!(p.tasks()[0].utility_fn().value(10.0), -10.0);
+    }
+
+    #[test]
+    fn sum_variant_differs_only_in_weights() {
+        let pw = base_workload_with(Aggregation::PathWeighted, 2.0);
+        let sum = base_workload_with(Aggregation::Sum, 2.0);
+        assert_eq!(sum.tasks()[0].weights(), &[1.0; 7][..]);
+        assert_eq!(pw.tasks()[0].weights()[0], 5.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Program trading — the paper's motivating application (§1).
+//!
+//! Market data arrives over a constrained network link, is parsed and fanned
+//! out to a trading-strategy analyzer and a risk checker; orders leave over
+//! a second link. Bandwidth and CPU are both constrained, and the trading
+//! path is far more latency-critical than the end-of-day analytics task
+//! that shares the same machines. LLA balances them by utility, and — the
+//! point of this example — *re-balances on the fly* when half of cpu1 is
+//! suddenly reserved elsewhere.
+//!
+//! Run with `cargo run --example program_trading`.
+
+use lla::core::{
+    Aggregation, Optimizer, OptimizerConfig, Problem, Resource, ResourceId, ResourceKind,
+    TaskBuilder, TaskId, TriggerSpec, UtilityFn,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let resources = vec![
+        Resource::new(ResourceId::new(0), ResourceKind::NetworkLink)
+            .with_lag(0.5)
+            .with_name("feed-link"),
+        Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0).with_name("cpu0"),
+        Resource::new(ResourceId::new(2), ResourceKind::Cpu).with_lag(1.0).with_name("cpu1"),
+        Resource::new(ResourceId::new(3), ResourceKind::NetworkLink)
+            .with_lag(0.5)
+            .with_name("order-link"),
+    ];
+
+    // Trading task: receive -> parse -> {strategy -> send order, risk check}.
+    // Inelastic-ish: almost all value is lost if we blow the 25ms budget.
+    let mut b = TaskBuilder::new("trading");
+    let recv = b.subtask("receive", ResourceId::new(0), 1.0);
+    let parse = b.subtask("parse", ResourceId::new(1), 2.0);
+    let strategy = b.subtask("strategy", ResourceId::new(2), 3.0);
+    let risk = b.subtask("risk", ResourceId::new(1), 1.5);
+    let send = b.subtask("send-order", ResourceId::new(3), 1.0);
+    b.edge(recv, parse)?;
+    b.edge(parse, strategy)?;
+    b.edge(parse, risk)?;
+    b.edge(strategy, send)?;
+    // The sum-aggregated latency bounds every path, so the inelastic
+    // utility is calibrated against the 25ms total budget directly.
+    b.critical_time(25.0)
+        .utility(UtilityFn::smooth_inelastic(100.0, 25.0, 6.0))
+        .trigger(TriggerSpec::Bursty { period: 50.0, burst: 2 })
+        .aggregation(Aggregation::Sum);
+    let trading = b.build(TaskId::new(0))?;
+
+    // Analytics task: a work-conserving consumer of whatever is left.
+    let mut b = TaskBuilder::new("analytics");
+    let pull = b.subtask("pull", ResourceId::new(0), 2.0);
+    let aggregate = b.subtask("aggregate", ResourceId::new(2), 8.0);
+    let report = b.subtask("report", ResourceId::new(1), 4.0);
+    b.chain(&[pull, aggregate, report])?;
+    b.critical_time(400.0)
+        .utility(UtilityFn::linear_for_deadline(1.0, 400.0))
+        .trigger(TriggerSpec::Periodic { period: 200.0 });
+    let analytics = b.build(TaskId::new(1))?;
+
+    let problem = Problem::new(resources, vec![trading, analytics])?;
+    let mut opt = Optimizer::new(problem, OptimizerConfig::default());
+    let outcome = opt.run_to_convergence(5_000);
+    println!("initial convergence: {outcome:?}\n");
+    report_state(&opt, "before cpu1 degradation");
+
+    // 40% of cpu1 is suddenly reserved by another tenant: LLA adapts.
+    opt.set_resource_availability(ResourceId::new(2), 0.6);
+    let outcome = opt.run_to_convergence(10_000);
+    println!("\nre-convergence after losing 40% of cpu1: {outcome:?}\n");
+    report_state(&opt, "after cpu1 degradation");
+    assert!(outcome.converged, "the degraded system is still schedulable");
+
+    let alloc = opt.allocation();
+    let trading_lat = alloc.task_latency(&opt.problem().tasks()[0]);
+    assert!(
+        trading_lat <= 25.0 * 1.001,
+        "trading must still meet its critical time, got {trading_lat}"
+    );
+    Ok(())
+}
+
+fn report_state(opt: &Optimizer, label: &str) {
+    let alloc = opt.allocation();
+    println!("--- {label} ---");
+    for task in opt.problem().tasks() {
+        println!(
+            "  {:>9}: end-to-end {:>6.1}ms / deadline {:>5.0}ms, utility {:>7.2}",
+            task.name(),
+            alloc.task_latency(task),
+            task.critical_time(),
+            task.utility(&alloc.lats()[task.id().index()])
+        );
+    }
+    for r in opt.problem().resources() {
+        println!(
+            "  {:>10}: usage {:.3} / {:.2}",
+            r.name(),
+            opt.problem().resource_usage(r.id(), alloc.lats()),
+            r.availability()
+        );
+    }
+}

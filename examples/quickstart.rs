@@ -1,0 +1,72 @@
+//! Quickstart: model a two-stage pipeline plus a competing single-stage
+//! task, run LLA to convergence, and inspect the latency/share assignment.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use lla::core::{
+    Optimizer, OptimizerConfig, Problem, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId,
+    TriggerSpec, UtilityFn,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two CPUs with a 1ms proportional-share scheduling lag.
+    let cpus = vec![
+        Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0).with_name("cpu0"),
+        Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0).with_name("cpu1"),
+    ];
+
+    // Task 0: parse (cpu0) -> analyze (cpu1), 40ms deadline, elastic.
+    let mut b = TaskBuilder::new("pipeline");
+    let parse = b.subtask("parse", ResourceId::new(0), 2.0);
+    let analyze = b.subtask("analyze", ResourceId::new(1), 3.0);
+    b.edge(parse, analyze)?;
+    b.critical_time(40.0)
+        .utility(UtilityFn::linear_for_deadline(2.0, 40.0))
+        .trigger(TriggerSpec::Periodic { period: 100.0 });
+    let pipeline = b.build(TaskId::new(0))?;
+
+    // Task 1: a batch job on cpu1 with a loose 80ms deadline.
+    let mut b = TaskBuilder::new("batch");
+    b.subtask("crunch", ResourceId::new(1), 6.0);
+    b.critical_time(80.0)
+        .utility(UtilityFn::linear_for_deadline(2.0, 80.0))
+        .trigger(TriggerSpec::Periodic { period: 100.0 });
+    let batch = b.build(TaskId::new(1))?;
+
+    let problem = Problem::new(cpus, vec![pipeline, batch])?;
+    let mut opt = Optimizer::new(problem, OptimizerConfig::default());
+    let outcome = opt.run_to_convergence(3_000);
+
+    println!(
+        "converged: {} after {} iterations, total utility {:.2}\n",
+        outcome.converged, outcome.iterations, outcome.final_utility
+    );
+
+    let alloc = opt.allocation();
+    for task in opt.problem().tasks() {
+        let shares = alloc.shares(opt.problem(), task);
+        println!("task {:>8}: deadline {:>5.1}ms, end-to-end {:>5.1}ms", task.name(),
+            task.critical_time(), alloc.task_latency(task));
+        for (s, sub) in task.subtasks().iter().enumerate() {
+            println!(
+                "    {:>8} on {}: latency {:>5.1}ms, share {:.3}",
+                sub.name(),
+                opt.problem().resource(sub.resource()).name(),
+                alloc.latency(task.id().index(), s),
+                shares[s]
+            );
+        }
+    }
+
+    for r in opt.problem().resources() {
+        println!(
+            "resource {}: share sum {:.3} of availability {:.2}",
+            r.name(),
+            opt.problem().resource_usage(r.id(), alloc.lats()),
+            r.availability()
+        );
+    }
+
+    assert!(outcome.converged && outcome.feasible);
+    Ok(())
+}

@@ -1,0 +1,251 @@
+//! `lla-cli` — run LLA on a workload specification file.
+//!
+//! ```text
+//! lla-cli check <spec>                         parse and summarize
+//! lla-cli optimize <spec> [options]            run LLA to convergence
+//! lla-cli schedulability <spec> [options]      §5.4 schedulability verdict
+//! lla-cli simulate <spec> [options]            closed loop with error correction
+//!
+//! options:
+//!   --iters N          iteration budget (default 10000)
+//!   --policy P         adaptive | sign | fixed=<gamma>   (default sign)
+//!   --csv FILE         write the optimizer trace as CSV
+//!   --windows N        closed-loop windows (simulate; default 10)
+//!   --window MS        window length in ms (simulate; default 2000)
+//!   --no-correction    disable online model error correction (simulate)
+//! ```
+//!
+//! See `crates/lla-spec` for the specification format and
+//! `examples/workloads/*.lla` for samples.
+
+use lla::core::{
+    analyze_schedulability, Optimizer, OptimizerConfig, Problem, SchedulabilityConfig,
+    StepSizePolicy,
+};
+use lla::sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
+use std::process::ExitCode;
+
+struct Options {
+    spec_path: String,
+    iters: usize,
+    policy: StepSizePolicy,
+    csv: Option<String>,
+    windows: usize,
+    window_ms: f64,
+    correction: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lla-cli <check|optimize|schedulability|simulate> <spec.lla> \
+         [--iters N] [--policy adaptive|sign|fixed=G] [--csv FILE] \
+         [--windows N] [--window MS] [--no-correction]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        spec_path: String::new(),
+        iters: 10_000,
+        policy: StepSizePolicy::sign_adaptive(1.0),
+        csv: None,
+        windows: 10,
+        window_ms: 2_000.0,
+        correction: true,
+    };
+    let mut it = args.iter();
+    opts.spec_path = it.next().ok_or("missing spec path")?.clone();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => {
+                opts.iters = it
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|_| "--iters must be an integer")?;
+            }
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                opts.policy = match v.as_str() {
+                    "adaptive" => StepSizePolicy::adaptive(1.0),
+                    "sign" => StepSizePolicy::sign_adaptive(1.0),
+                    other => match other.strip_prefix("fixed=") {
+                        Some(g) => StepSizePolicy::fixed(
+                            g.parse().map_err(|_| "fixed=<gamma> needs a number")?,
+                        ),
+                        None => return Err(format!("unknown policy `{other}`")),
+                    },
+                };
+            }
+            "--csv" => opts.csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
+            "--windows" => {
+                opts.windows = it
+                    .next()
+                    .ok_or("--windows needs a value")?
+                    .parse()
+                    .map_err(|_| "--windows must be an integer")?;
+            }
+            "--window" => {
+                opts.window_ms = it
+                    .next()
+                    .ok_or("--window needs a value")?
+                    .parse()
+                    .map_err(|_| "--window must be a number (ms)")?;
+            }
+            "--no-correction" => opts.correction = false,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<Problem, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    lla_spec::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(problem: &Problem) {
+    println!(
+        "{} resources, {} tasks, {} subtasks, {} paths",
+        problem.resources().len(),
+        problem.tasks().len(),
+        problem.num_subtasks(),
+        problem.num_paths()
+    );
+    for task in problem.tasks() {
+        println!(
+            "  task {:>12}: {} subtasks, {} paths, critical time {}ms, rate {:.3}/s",
+            task.name(),
+            task.len(),
+            task.graph().paths().len(),
+            task.critical_time(),
+            task.trigger().mean_rate() * 1_000.0
+        );
+    }
+}
+
+fn cmd_optimize(opts: &Options) -> Result<(), String> {
+    let problem = load(&opts.spec_path)?;
+    let mut opt = Optimizer::new(
+        problem,
+        OptimizerConfig { step_policy: opts.policy, ..OptimizerConfig::default() },
+    );
+    let outcome = opt.run_to_convergence(opts.iters);
+    println!(
+        "converged: {} after {} iterations, utility {:.3}, feasible {}",
+        outcome.converged, outcome.iterations, outcome.final_utility, outcome.feasible
+    );
+    let alloc = opt.allocation();
+    for task in opt.problem().tasks() {
+        println!(
+            "task {:>12}: end-to-end {:>8.2}ms / {}ms",
+            task.name(),
+            alloc.task_latency(task),
+            task.critical_time()
+        );
+        let shares = alloc.shares(opt.problem(), task);
+        for (s, sub) in task.subtasks().iter().enumerate() {
+            println!(
+                "    {:>12} @ {:>10}: latency {:>8.2}ms share {:.4}",
+                sub.name(),
+                opt.problem().resource(sub.resource()).name(),
+                alloc.latency(task.id().index(), s),
+                shares[s]
+            );
+        }
+    }
+    for r in opt.problem().resources() {
+        println!(
+            "resource {:>10}: usage {:.4} / {:.2}",
+            r.name(),
+            opt.problem().resource_usage(r.id(), alloc.lats()),
+            r.availability()
+        );
+    }
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, opt.trace().to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote trace to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_schedulability(opts: &Options) -> Result<(), String> {
+    let problem = load(&opts.spec_path)?;
+    let config = SchedulabilityConfig {
+        optimizer: OptimizerConfig { step_policy: opts.policy, ..OptimizerConfig::default() },
+        max_iters: opts.iters,
+        ..SchedulabilityConfig::default()
+    };
+    let verdict = analyze_schedulability(problem, &config);
+    println!("{verdict:?}");
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let problem = load(&opts.spec_path)?;
+    let mut cl = ClosedLoop::new(
+        problem,
+        OptimizerConfig { step_policy: opts.policy, ..OptimizerConfig::default() },
+        SimConfig::default(),
+        ClosedLoopConfig {
+            window: opts.window_ms,
+            correction_enabled: opts.correction,
+            ..Default::default()
+        },
+    );
+    cl.run_windows(opts.windows);
+    println!("{:>10} {:>12} {:>14}", "time_s", "utility", "miss_rates");
+    for rec in cl.history() {
+        println!(
+            "{:>10.1} {:>12.2} {:>14}",
+            rec.time / 1_000.0,
+            rec.utility,
+            rec.miss_rate
+                .iter()
+                .map(|m| format!("{:.1}%", m * 100.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
+    if let Some(path) = &opts.csv {
+        let mut csv = String::from("time_ms,utility\n");
+        for rec in cl.history() {
+            csv.push_str(&format!("{},{}\n", rec.time, rec.utility));
+        }
+        std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote window telemetry to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let opts = match parse_args(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match command.as_str() {
+        "check" => load(&opts.spec_path).map(|p| summarize(&p)),
+        "optimize" => cmd_optimize(&opts),
+        "schedulability" => cmd_schedulability(&opts),
+        "simulate" => cmd_simulate(&opts),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `lla-cli` binary against the shipped workload
+//! spec files.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lla-cli"))
+}
+
+#[test]
+fn check_summarizes_spec() {
+    let out = cli().args(["check", "examples/workloads/trading.lla"]).output().expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 resources, 2 tasks"), "unexpected summary: {stdout}");
+    assert!(stdout.contains("trading"));
+}
+
+#[test]
+fn optimize_converges_and_reports() {
+    let out = cli()
+        .args(["optimize", "examples/workloads/trading.lla", "--iters", "20000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("converged: true"), "did not converge: {stdout}");
+    assert!(stdout.contains("feasible true"));
+    assert!(stdout.contains("strategy"));
+}
+
+#[test]
+fn schedulability_verdict_prints() {
+    let out = cli()
+        .args(["schedulability", "examples/workloads/patient_monitoring.lla"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Schedulable"), "verdict: {stdout}");
+}
+
+#[test]
+fn simulate_runs_windows() {
+    let out = cli()
+        .args([
+            "simulate",
+            "examples/workloads/patient_monitoring.lla",
+            "--windows",
+            "3",
+            "--window",
+            "500",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Three window rows plus the header.
+    assert_eq!(stdout.lines().count(), 4, "output: {stdout}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = cli().args(["check", "no/such/file.lla"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_arguments_print_usage() {
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = cli().args(["optimize"]).output().expect("spawn");
+    assert!(!out.status.success());
+
+    let out = cli()
+        .args(["optimize", "examples/workloads/trading.lla", "--policy", "bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn fixed_policy_flag_parses() {
+    let out = cli()
+        .args([
+            "optimize",
+            "examples/workloads/patient_monitoring.lla",
+            "--policy",
+            "fixed=2.5",
+            "--iters",
+            "200",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}

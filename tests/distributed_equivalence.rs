@@ -1,0 +1,183 @@
+//! Distributed-vs-centralized integration tests: the message-passing
+//! deployments must match the centralized optimizer exactly under a
+//! perfect synchronous network, and degrade gracefully (not
+//! catastrophically) under loss, jitter, and delay.
+
+use lla::core::{AllocationSettings, Optimizer, OptimizerConfig, StepSizePolicy};
+use lla::dist::{DistConfig, DistributedLla, NetworkModel, ThreadedLla};
+use lla::workloads::{base_workload, RandomWorkloadConfig};
+
+fn settings() -> AllocationSettings {
+    AllocationSettings::default()
+}
+
+fn centralized_reference(rounds: usize) -> Vec<f64> {
+    let mut opt = Optimizer::new(
+        base_workload(),
+        OptimizerConfig {
+            step_policy: StepSizePolicy::adaptive(1.0),
+            allocation: settings(),
+            ..OptimizerConfig::default()
+        },
+    );
+    opt.run(rounds).into_iter().map(|r| r.utility).collect()
+}
+
+#[test]
+fn virtual_runtime_matches_centralized_on_base_workload() {
+    let rounds = 600;
+    let mut dist = DistributedLla::new(
+        base_workload(),
+        DistConfig {
+            step_policy: StepSizePolicy::adaptive(1.0),
+            allocation: settings(),
+            ..DistConfig::default()
+        },
+    );
+    dist.run_rounds(rounds);
+    let reference = centralized_reference(rounds);
+    for (round, (d, c)) in dist.utilities().iter().zip(&reference).enumerate() {
+        assert!(
+            (d - c).abs() < 1e-9,
+            "divergence at round {round}: distributed {d} vs centralized {c}"
+        );
+    }
+}
+
+#[test]
+fn threaded_runtime_matches_centralized_on_base_workload() {
+    let rounds = 400;
+    let mut dist = ThreadedLla::new(base_workload(), StepSizePolicy::adaptive(1.0), settings());
+    dist.run_rounds(rounds);
+    let threaded = dist.utility();
+    dist.shutdown();
+    let reference = centralized_reference(rounds);
+    assert!(
+        (threaded - reference[rounds - 1]).abs() < 1e-9,
+        "threaded {threaded} vs centralized {}",
+        reference[rounds - 1]
+    );
+}
+
+#[test]
+fn virtual_runtime_matches_centralized_on_random_workloads() {
+    for seed in [1u64, 7, 42] {
+        let cfg = RandomWorkloadConfig { seed, num_tasks: 3, ..Default::default() };
+        let rounds = 300;
+
+        let mut dist = DistributedLla::new(
+            cfg.generate().unwrap(),
+            DistConfig {
+                step_policy: StepSizePolicy::adaptive(1.0),
+                allocation: settings(),
+                ..DistConfig::default()
+            },
+        );
+        dist.run_rounds(rounds);
+
+        let mut opt = Optimizer::new(
+            cfg.generate().unwrap(),
+            OptimizerConfig {
+                step_policy: StepSizePolicy::adaptive(1.0),
+                allocation: settings(),
+                ..OptimizerConfig::default()
+            },
+        );
+        opt.run(rounds);
+        assert!(
+            (dist.utility() - opt.utility()).abs() < 1e-9,
+            "seed {seed}: distributed {} vs centralized {}",
+            dist.utility(),
+            opt.utility()
+        );
+    }
+}
+
+#[test]
+fn heavy_loss_degrades_gracefully() {
+    // 30% loss with the sign-adaptive policy: the system still lands on
+    // the centralized optimum and stays feasible. (The paper's
+    // congestion-only heuristic parks ~20% short under the same loss —
+    // see the step-policy ablation in EXPERIMENTS.md.)
+    let mut reference = Optimizer::new(
+        base_workload(),
+        OptimizerConfig {
+            step_policy: StepSizePolicy::sign_adaptive(1.0),
+            allocation: settings(),
+            ..OptimizerConfig::default()
+        },
+    );
+    reference.run_to_convergence(5_000);
+
+    let mut dist = DistributedLla::new(
+        base_workload(),
+        DistConfig {
+            step_policy: StepSizePolicy::sign_adaptive(1.0),
+            allocation: settings(),
+            network: NetworkModel::lossy(0.5, 1.0, 0.3),
+            seed: 17,
+            ..DistConfig::default()
+        },
+    );
+    dist.run_rounds(4_000);
+    assert!(dist.messages_dropped() > 1_000, "loss must actually occur");
+
+    let gap = (dist.utility() - reference.utility()).abs()
+        / reference.utility().abs().max(1.0);
+    assert!(gap < 0.02, "30% loss should still reach the optimum: gap {gap}");
+    assert!(
+        dist.problem().is_feasible(dist.allocation().lats(), 2e-2),
+        "allocation under loss must be (near) feasible"
+    );
+}
+
+#[test]
+fn cross_round_delay_still_converges() {
+    // Delays exceeding a round: every agent works with stale state.
+    let mut dist = DistributedLla::new(
+        base_workload(),
+        DistConfig {
+            step_policy: StepSizePolicy::adaptive(1.0),
+            allocation: settings(),
+            network: NetworkModel::lossy(15.0, 10.0, 0.0),
+            seed: 23,
+            round_length: 10.0,
+            tick_jitter: 0.0,
+        },
+    );
+    dist.run_rounds(4_000);
+    assert!(
+        dist.problem().is_feasible(dist.allocation().lats(), 2e-2),
+        "stale-price operation must still reach (near) feasibility"
+    );
+}
+
+#[test]
+fn threaded_free_run_is_safe() {
+    // Free-running agents on OS threads: the outcome depends on scheduling,
+    // so assert robust invariants — the agents actually ran (allocation
+    // moved off the initial one) and the utility is sane and bounded.
+    let mut dist = ThreadedLla::new(base_workload(), StepSizePolicy::sign_adaptive(1.0), settings());
+    let initial_alloc = dist.allocation();
+    dist.run_free(
+        std::time::Duration::from_micros(200),
+        std::time::Duration::from_millis(700),
+    );
+    let after_alloc = dist.allocation();
+    let after = dist.utility();
+    dist.shutdown();
+    assert_ne!(
+        initial_alloc.lats(),
+        after_alloc.lats(),
+        "free-running agents must have produced new allocations"
+    );
+    assert!(after.is_finite());
+    // All latencies remain within their tasks' critical times (the
+    // allocator clamps regardless of message staleness).
+    let problem = base_workload();
+    for task in problem.tasks() {
+        for &lat in &after_alloc.lats()[task.id().index()] {
+            assert!(lat > 0.0 && lat <= task.critical_time() + 1e-9);
+        }
+    }
+}
