@@ -64,10 +64,11 @@ struct NodePathStats {
 /// holds: each policy's per-path sum telescopes to at most `C` when every
 /// member uses the worst path it lies on.
 fn per_node_stats(task: &Task) -> Vec<NodePathStats> {
-    let mut stats = vec![
-        NodePathStats { max_len: 1, max_exec: 0.0, min_slack_per_hop: f64::INFINITY };
-        task.len()
-    ];
+    let mut stats =
+        vec![
+            NodePathStats { max_len: 1, max_exec: 0.0, min_slack_per_hop: f64::INFINITY };
+            task.len()
+        ];
     for path in task.graph().paths() {
         let len = path.len();
         let exec: f64 = path.subtasks().iter().map(|&v| task.subtasks()[v].exec_time()).sum();
@@ -103,10 +104,7 @@ impl DeadlineAssigner for EqualSlice {
     }
 
     fn assign_task(&self, task: &Task) -> Vec<f64> {
-        per_node_stats(task)
-            .into_iter()
-            .map(|s| task.critical_time() / s.max_len as f64)
-            .collect()
+        per_node_stats(task).into_iter().map(|s| task.critical_time() / s.max_len as f64).collect()
     }
 }
 
@@ -176,11 +174,7 @@ pub fn evaluate(problem: &Problem, assigner: &dyn DeadlineAssigner) -> BaselineR
         feasible: problem.is_feasible(&lats, 1e-3),
         max_resource_violation: problem.max_resource_violation(&lats),
         max_path_violation: problem.max_path_violation(&lats),
-        usage: problem
-            .resources()
-            .iter()
-            .map(|r| problem.resource_usage(r.id(), &lats))
-            .collect(),
+        usage: problem.resources().iter().map(|r| problem.resource_usage(r.id(), &lats)).collect(),
     }
 }
 
@@ -266,9 +260,8 @@ mod tests {
     #[test]
     fn fanout_uses_heaviest_path() {
         // 0 -> 1 (light leaf), 0 -> 2 (heavy leaf).
-        let resources: Vec<Resource> = (0..3)
-            .map(|i| Resource::new(ResourceId::new(i), ResourceKind::Cpu))
-            .collect();
+        let resources: Vec<Resource> =
+            (0..3).map(|i| Resource::new(ResourceId::new(i), ResourceKind::Cpu)).collect();
         let mut b = TaskBuilder::new("t");
         let root = b.subtask("r", ResourceId::new(0), 2.0);
         let light = b.subtask("l", ResourceId::new(1), 1.0);

@@ -28,10 +28,8 @@ fn bench_convergence(c: &mut Criterion) {
     group.bench_function("base_workload_fixed_gamma1_500_iters", |b| {
         // The paper's gamma=1 configuration needs ~500 iterations.
         b.iter(|| {
-            let mut opt = Optimizer::new(
-                base_workload(),
-                paper_optimizer_config(StepSizePolicy::fixed(1.0)),
-            );
+            let mut opt =
+                Optimizer::new(base_workload(), paper_optimizer_config(StepSizePolicy::fixed(1.0)));
             black_box(opt.run(500))
         });
     });

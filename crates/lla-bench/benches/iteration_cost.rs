@@ -12,10 +12,8 @@ fn bench_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("iteration");
 
     group.bench_function("base_workload_3_tasks", |b| {
-        let mut opt = Optimizer::new(
-            base_workload(),
-            paper_optimizer_config(StepSizePolicy::adaptive(1.0)),
-        );
+        let mut opt =
+            Optimizer::new(base_workload(), paper_optimizer_config(StepSizePolicy::adaptive(1.0)));
         b.iter(|| black_box(opt.step()));
     });
 

@@ -46,7 +46,8 @@ fn main() {
     }
 
     // The paper's §5.4 verdict via the schedulability API.
-    let verdict = analyze_schedulability(scaled_workload(2, false), &SchedulabilityConfig::default());
+    let verdict =
+        analyze_schedulability(scaled_workload(2, false), &SchedulabilityConfig::default());
     println!("\nschedulability verdict: {verdict:?}");
 
     println!("\npaper claims:");

@@ -40,13 +40,7 @@ fn main() {
         for (i, s) in task.subtasks().iter().enumerate() {
             let lat = result.allocation.latency(t, i);
             print!("  {:>4.1}", lat);
-            csv.push(vec![
-                t as f64,
-                i as f64,
-                s.resource().index() as f64,
-                s.exec_time(),
-                lat,
-            ]);
+            csv.push(vec![t as f64, i as f64, s.resource().index() as f64, s.exec_time(), lat]);
         }
         println!();
         let (cp, c) = result.critical[t];

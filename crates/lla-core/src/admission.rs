@@ -16,8 +16,7 @@ use crate::schedulability::{analyze_schedulability, SchedulabilityConfig, Schedu
 use crate::task::TaskBuilder;
 
 /// Policy for [`probe_admission`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AdmissionConfig {
     /// The schedulability probe configuration.
     pub schedulability: SchedulabilityConfig,
@@ -26,7 +25,6 @@ pub struct AdmissionConfig {
     /// current total utility). `None` admits on schedulability alone.
     pub max_incumbent_degradation: Option<f64>,
 }
-
 
 /// The outcome of an admission probe.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,19 +101,14 @@ pub fn probe_admission(
     let incumbent_after: f64 = problem
         .tasks()
         .iter()
-        .map(|t| {
-            expanded.tasks()[t.id().index()].utility(&alloc.lats()[t.id().index()])
-        })
+        .map(|t| expanded.tasks()[t.id().index()].utility(&alloc.lats()[t.id().index()]))
         .sum();
     let total = after_opt.utility();
 
     if let Some(max_drop) = config.max_incumbent_degradation {
         let drop = (before - incumbent_after) / before.abs().max(1.0);
         if drop > max_drop {
-            return Ok(AdmissionDecision::RejectDegradation {
-                before,
-                after: incumbent_after,
-            });
+            return Ok(AdmissionDecision::RejectDegradation { before, after: incumbent_after });
         }
     }
 
@@ -147,8 +140,7 @@ mod tests {
             let a = b.subtask("a", ResourceId::new(0), 2.0);
             let c = b.subtask("b", ResourceId::new(1), 3.0);
             b.edge(a, c).unwrap();
-            b.critical_time(60.0)
-                .utility(UtilityFn::linear_for_deadline(2.0, 60.0));
+            b.critical_time(60.0).utility(UtilityFn::linear_for_deadline(2.0, 60.0));
             tasks.push(b.build(TaskId::new(i)).unwrap());
         }
         Problem::new(resources, tasks).unwrap()
@@ -159,8 +151,7 @@ mod tests {
         let a = b.subtask("a", ResourceId::new(0), wcet);
         let c = b.subtask("b", ResourceId::new(1), wcet);
         b.edge(a, c).unwrap();
-        b.critical_time(critical_time)
-            .utility(UtilityFn::linear_for_deadline(2.0, critical_time));
+        b.critical_time(critical_time).utility(UtilityFn::linear_for_deadline(2.0, critical_time));
         b
     }
 
@@ -210,10 +201,7 @@ mod tests {
         let lenient = probe_admission(&problem, &greedy, &config()).unwrap();
         assert!(lenient.is_admitted(), "schedulable candidate should pass without policy");
 
-        let strict = AdmissionConfig {
-            max_incumbent_degradation: Some(0.02),
-            ..config()
-        };
+        let strict = AdmissionConfig { max_incumbent_degradation: Some(0.02), ..config() };
         let decision = probe_admission(&problem, &greedy, &strict).unwrap();
         assert!(
             matches!(decision, AdmissionDecision::RejectDegradation { .. }),

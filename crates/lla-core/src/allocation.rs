@@ -156,10 +156,7 @@ pub fn allocate_task(
             let model = problem.share_model(task.subtask_id(s));
             let mu = prices.mu(sub.resource().index());
             let pressure = -weights[s] * fprime + lambda_sum[s];
-            let lat = model
-                .stationary_latency(mu, pressure)
-                .unwrap_or(hi[s])
-                .clamp(lo[s], hi[s]);
+            let lat = model.stationary_latency(mu, pressure).unwrap_or(hi[s]).clamp(lo[s], hi[s]);
             out[s] = lat;
         }
     };
@@ -248,10 +245,7 @@ mod tests {
         let base = allocate_latencies(&p, &prices, &settings, &prev)[0][0];
         prices.set_lambda(0, 0, 3.0);
         let pressured = allocate_latencies(&p, &prices, &settings, &prev)[0][0];
-        assert!(
-            pressured < base,
-            "path price must push latencies down: {pressured} !< {base}"
-        );
+        assert!(pressured < base, "path price must push latencies down: {pressured} !< {base}");
         // d goes from 1 to 4 => lat shrinks by factor 2.
         assert!((base / pressured - 2.0).abs() < 1e-9);
     }
@@ -275,8 +269,7 @@ mod tests {
         let resources = vec![Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(5.0)];
         let mut b = TaskBuilder::new("fast");
         b.subtask("s", ResourceId::new(0), 5.0);
-        b.critical_time(1000.0)
-            .trigger(TriggerSpec::Periodic { period: 25.0 }); // 40/s
+        b.critical_time(1000.0).trigger(TriggerSpec::Periodic { period: 25.0 }); // 40/s
         let p = Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap();
         let mut prices = PriceState::new(&p, StepSizePolicy::fixed(1.0));
         prices.set_mu(0, 1e9); // enormous price => wants huge latency

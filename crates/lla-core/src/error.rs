@@ -135,9 +135,7 @@ mod tests {
         let cases: Vec<ModelError> = vec![
             ModelError::GraphCycle { task: TaskId::new(0) },
             ModelError::NoUniqueRoot { task: TaskId::new(0), roots: 2 },
-            ModelError::UnreachableSubtask {
-                subtask: SubtaskId::new(TaskId::new(0), 1),
-            },
+            ModelError::UnreachableSubtask { subtask: SubtaskId::new(TaskId::new(0), 1) },
             ModelError::UnknownSubtaskIndex { index: 9, len: 3 },
             ModelError::SelfLoop { index: 1 },
             ModelError::UnknownResource {

@@ -186,22 +186,9 @@ impl SubtaskGraph {
         }
         let weights: Vec<usize> = (0..n).map(|v| to_node[v] * from_node[v]).collect();
 
-        debug_assert_eq!(
-            weights[root],
-            paths.len(),
-            "root weight must equal total path count"
-        );
+        debug_assert_eq!(weights[root], paths.len(), "root weight must equal total path count");
 
-        Ok(SubtaskGraph {
-            n,
-            succ,
-            pred,
-            root,
-            leaves,
-            topo,
-            paths,
-            weights,
-        })
+        Ok(SubtaskGraph { n, succ, pred, root, leaves, topo, paths, weights })
     }
 
     fn enumerate(
@@ -212,10 +199,7 @@ impl SubtaskGraph {
         out: &mut Vec<Path>,
     ) {
         if succ[v].is_empty() {
-            out.push(Path {
-                id: PathId::new(task, out.len()),
-                subtasks: current.clone(),
-            });
+            out.push(Path { id: PathId::new(task, out.len()), subtasks: current.clone() });
             return;
         }
         for &w in &succ[v] {
@@ -502,7 +486,8 @@ mod tests {
 
     #[test]
     fn max_path_len_matches_enumeration() {
-        let g = SubtaskGraph::new(t(), 6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)]).unwrap();
+        let g =
+            SubtaskGraph::new(t(), 6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)]).unwrap();
         for v in 0..6 {
             let expected = g
                 .paths()

@@ -201,5 +201,4 @@ mod tests {
         let b = SubtaskId::new(TaskId::new(1), 0);
         assert!(a < b);
     }
-
 }

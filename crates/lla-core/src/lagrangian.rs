@@ -121,8 +121,7 @@ pub fn kkt_report(
             }
             let model = problem.share_model(task.subtask_id(s));
             let mu = prices.mu(task.subtasks()[s].resource().index());
-            let residual =
-                task.weights()[s] * fprime - lambda_sum[s] - mu * model.dshare_dlat(lat);
+            let residual = task.weights()[s] * fprime - lambda_sum[s] - mu * model.dshare_dlat(lat);
             stat = stat.max(residual.abs());
         }
     }

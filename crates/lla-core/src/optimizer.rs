@@ -221,7 +221,8 @@ impl Optimizer {
     /// Executes one LLA iteration: latency allocation at current prices,
     /// then price computation at the new latencies.
     pub fn step(&mut self) -> IterationReport {
-        self.lats = allocate_latencies(&self.problem, &self.prices, &self.config.allocation, &self.lats);
+        self.lats =
+            allocate_latencies(&self.problem, &self.prices, &self.config.allocation, &self.lats);
         self.prices.update(&self.problem, &self.lats);
 
         let utility = self.problem.total_utility(&self.lats);
@@ -360,6 +361,31 @@ pub struct OptimizerState {
     iteration: usize,
 }
 
+impl OptimizerState {
+    /// Assembles a state from its parts. Lets other drivers of the LLA
+    /// iteration — e.g. a distributed task controller writing a
+    /// checkpoint — capture their state in the same format the
+    /// [`Optimizer`] exports, so one restore path serves both.
+    pub fn from_parts(prices: PriceState, lats: Vec<Vec<f64>>, iteration: usize) -> Self {
+        OptimizerState { prices, lats, iteration }
+    }
+
+    /// The captured price state.
+    pub fn prices(&self) -> &PriceState {
+        &self.prices
+    }
+
+    /// The captured latency assignment.
+    pub fn lats(&self) -> &[Vec<f64>] {
+        &self.lats
+    }
+
+    /// The captured iteration counter.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,8 +406,7 @@ mod tests {
             let a = b.subtask("a", ResourceId::new(0), 2.0);
             let d = b.subtask("b", ResourceId::new(1), 3.0);
             b.edge(a, d).unwrap();
-            b.critical_time(c)
-                .utility(UtilityFn::linear_for_deadline(2.0, c));
+            b.critical_time(c).utility(UtilityFn::linear_for_deadline(2.0, c));
             tasks.push(b.build(TaskId::new(i)).unwrap());
         }
         Problem::new(resources, tasks).unwrap()

@@ -18,8 +18,7 @@ use crate::error::ModelError;
 use serde::{Deserialize, Serialize};
 
 /// Which latency statistic a task's utility is computed from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum PercentileSpec {
     /// Worst-case latency (the default in the paper's experiments).
     #[default]
@@ -27,7 +26,6 @@ pub enum PercentileSpec {
     /// The `p`-th percentile of end-to-end latencies, `p ∈ (0, 100]`.
     Percentile(f64),
 }
-
 
 impl PercentileSpec {
     /// Validates the percentile value.
@@ -39,10 +37,7 @@ impl PercentileSpec {
     pub fn validate(&self) -> Result<(), ModelError> {
         if let PercentileSpec::Percentile(p) = *self {
             if !p.is_finite() || p <= 0.0 || p > 100.0 {
-                return Err(ModelError::InvalidParameter {
-                    what: "latency percentile",
-                    value: p,
-                });
+                return Err(ModelError::InvalidParameter { what: "latency percentile", value: p });
             }
         }
         Ok(())
@@ -83,10 +78,7 @@ impl PercentileSpec {
 /// ```
 pub fn compose_path_percentile(p: f64, n: usize) -> f64 {
     assert!(n > 0, "path length must be positive");
-    assert!(
-        p > 0.0 && p <= 100.0,
-        "percentile must be in (0, 100], got {p}"
-    );
+    assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100], got {p}");
     let n = n as f64;
     p.powf(1.0 / n) * 100f64.powf((n - 1.0) / n)
 }

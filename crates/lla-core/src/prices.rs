@@ -134,17 +134,9 @@ impl PriceState {
         let g0 = policy.initial_gamma();
         PriceState {
             mu: vec![0.0; problem.resources().len()],
-            lambda: problem
-                .tasks()
-                .iter()
-                .map(|t| vec![0.0; t.graph().paths().len()])
-                .collect(),
+            lambda: problem.tasks().iter().map(|t| vec![0.0; t.graph().paths().len()]).collect(),
             gamma_r: vec![g0; problem.resources().len()],
-            gamma_p: problem
-                .tasks()
-                .iter()
-                .map(|t| vec![g0; t.graph().paths().len()])
-                .collect(),
+            gamma_p: problem.tasks().iter().map(|t| vec![g0; t.graph().paths().len()]).collect(),
             last_grad_r: vec![0.0; problem.resources().len()],
             last_grad_p: problem
                 .tasks()
@@ -282,8 +274,7 @@ impl PriceState {
             }
         };
         let new = (self.mu[r] - self.gamma_r[r] * grad).max(0.0);
-        self.last_max_rel_step =
-            self.last_max_rel_step.max((new - self.mu[r]).abs() / (1.0 + new));
+        self.last_max_rel_step = self.last_max_rel_step.max((new - self.mu[r]).abs() / (1.0 + new));
         self.mu[r] = new;
         self.last_grad_r[r] = grad;
         new
@@ -295,7 +286,13 @@ impl PriceState {
     /// resource's congestion bit travels with its price message in the
     /// distributed runtime). This is the operation a task controller
     /// performs locally. Returns the new `λ_p`.
-    pub fn apply_path_step(&mut self, t: usize, p: usize, grad: f64, traverses_congested: bool) -> f64 {
+    pub fn apply_path_step(
+        &mut self,
+        t: usize,
+        p: usize,
+        grad: f64,
+        traverses_congested: bool,
+    ) -> f64 {
         self.gamma_p[t][p] = match self.policy {
             StepSizePolicy::Fixed { gamma } => gamma,
             StepSizePolicy::Adaptive { initial, factor, max } => {

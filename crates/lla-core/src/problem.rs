@@ -169,10 +169,7 @@ impl Problem {
     /// `Σ_i U_i` for the given allocation (the paper's objective, Eq. 2,
     /// under the chosen aggregation variant).
     pub fn total_utility(&self, lats: &[Vec<f64>]) -> f64 {
-        self.tasks
-            .iter()
-            .map(|t| t.utility(&lats[t.id().index()]))
-            .sum()
+        self.tasks.iter().map(|t| t.utility(&lats[t.id().index()])).sum()
     }
 
     /// The largest resource-constraint violation

@@ -59,13 +59,7 @@ pub struct Resource {
 impl Resource {
     /// Creates a resource with full availability (`B_r = 1`) and zero lag.
     pub fn new(id: ResourceId, kind: ResourceKind) -> Self {
-        Resource {
-            id,
-            kind,
-            availability: 1.0,
-            lag: 0.0,
-            name: format!("{id}"),
-        }
+        Resource { id, kind, availability: 1.0, lag: 0.0, name: format!("{id}") }
     }
 
     /// Sets the availability fraction `B_r`.
@@ -174,8 +168,7 @@ mod tests {
     #[test]
     fn validate_rejects_bad_availability() {
         for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
-            let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu)
-                .with_availability(bad);
+            let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_availability(bad);
             assert!(r.validate().is_err(), "availability {bad} should be rejected");
         }
     }

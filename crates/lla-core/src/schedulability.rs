@@ -130,9 +130,7 @@ pub fn analyze_schedulability(
             max_resource_ratio,
         }
     } else {
-        SchedulabilityVerdict::Inconclusive {
-            oscillation: trace.utility_oscillation(window),
-        }
+        SchedulabilityVerdict::Inconclusive { oscillation: trace.utility_oscillation(window) }
     }
 }
 

@@ -56,10 +56,7 @@ impl ShareModel {
             });
         }
         if !lag.is_finite() || lag < 0.0 {
-            return Err(ModelError::InvalidParameter {
-                what: "share model lag (l_r)",
-                value: lag,
-            });
+            return Err(ModelError::InvalidParameter { what: "share model lag (l_r)", value: lag });
         }
         Ok(ShareModel { exec_time, lag, correction: 0.0, demand_scale: 1.0 })
     }
@@ -266,7 +263,7 @@ mod tests {
     #[test]
     fn stationary_latency_closed_form() {
         let m = ShareModel::new(2.0, 3.0).unwrap(); // demand 5
-        // d = 2, mu = 10 => lat = sqrt(10*5/2) = 5.
+                                                    // d = 2, mu = 10 => lat = sqrt(10*5/2) = 5.
         let lat = m.stationary_latency(10.0, 2.0).unwrap();
         assert!((lat - 5.0).abs() < 1e-12);
         // The stationarity condition holds: mu * dshare/dlat = -d.

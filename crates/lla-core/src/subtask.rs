@@ -40,13 +40,7 @@ impl Subtask {
     /// Creates a subtask with the given WCET (`c_s`, in milliseconds) on
     /// `resource`.
     pub fn new(id: SubtaskId, resource: ResourceId, exec_time: f64) -> Self {
-        Subtask {
-            id,
-            resource,
-            exec_time,
-            max_latency: None,
-            name: format!("{id}"),
-        }
+        Subtask { id, resource, exec_time, max_latency: None, name: format!("{id}") }
     }
 
     /// Sets a human-readable name used in reports.
@@ -107,10 +101,7 @@ impl Subtask {
         }
         if let Some(m) = self.max_latency {
             if !m.is_finite() || m <= 0.0 {
-                return Err(ModelError::InvalidParameter {
-                    what: "subtask max latency",
-                    value: m,
-                });
+                return Err(ModelError::InvalidParameter { what: "subtask max latency", value: m });
             }
         }
         Ok(())

@@ -14,8 +14,7 @@ use serde::{Deserialize, Serialize};
 /// The true objective uses the critical path (Eq. 1), but the critical path
 /// may change as latencies change, making the objective non-concave. The
 /// paper proposes two tractable variations:
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Aggregation {
     /// Utility of the *sum* of all subtask latencies in the task.
     Sum,
@@ -24,7 +23,6 @@ pub enum Aggregation {
     #[default]
     PathWeighted,
 }
-
 
 /// The arrival pattern of a task's triggering events.
 ///
@@ -74,7 +72,10 @@ impl TriggerSpec {
         match *self {
             TriggerSpec::Periodic { period } => {
                 if !period.is_finite() || period <= 0.0 {
-                    return Err(ModelError::InvalidParameter { what: "trigger period", value: period });
+                    return Err(ModelError::InvalidParameter {
+                        what: "trigger period",
+                        value: period,
+                    });
                 }
             }
             TriggerSpec::Poisson { rate } => {
@@ -84,7 +85,10 @@ impl TriggerSpec {
             }
             TriggerSpec::Bursty { period, burst } => {
                 if !period.is_finite() || period <= 0.0 {
-                    return Err(ModelError::InvalidParameter { what: "trigger period", value: period });
+                    return Err(ModelError::InvalidParameter {
+                        what: "trigger period",
+                        value: period,
+                    });
                 }
                 if burst == 0 {
                     return Err(ModelError::InvalidParameter { what: "burst size", value: 0.0 });
@@ -261,7 +265,12 @@ impl TaskBuilder {
 
     /// Adds a subtask with the given WCET (ms) on `resource`; returns its
     /// per-task index for use in [`edge`](Self::edge).
-    pub fn subtask(&mut self, name: impl Into<String>, resource: ResourceId, exec_time: f64) -> usize {
+    pub fn subtask(
+        &mut self,
+        name: impl Into<String>,
+        resource: ResourceId,
+        exec_time: f64,
+    ) -> usize {
         self.specs.push((name.into(), resource, exec_time, None));
         self.specs.len() - 1
     }
@@ -381,7 +390,8 @@ impl TaskBuilder {
             .iter()
             .enumerate()
             .map(|(i, (name, res, exec, cap))| {
-                let mut s = Subtask::new(SubtaskId::new(id, i), *res, *exec).with_name(name.clone());
+                let mut s =
+                    Subtask::new(SubtaskId::new(id, i), *res, *exec).with_name(name.clone());
                 if let Some(c) = cap {
                     s = s.with_max_latency(*c);
                 }
@@ -503,7 +513,8 @@ mod tests {
     #[test]
     fn chain_builder_matches_manual_edges() {
         let mut b = TaskBuilder::new("t");
-        let s: Vec<usize> = (0..4).map(|i| b.subtask(format!("s{i}"), ResourceId::new(i), 1.0)).collect();
+        let s: Vec<usize> =
+            (0..4).map(|i| b.subtask(format!("s{i}"), ResourceId::new(i), 1.0)).collect();
         b.chain(&s).unwrap();
         let t = b.critical_time(10.0).build(TaskId::new(1)).unwrap();
         assert!(t.graph().is_chain());
@@ -513,9 +524,7 @@ mod tests {
     fn trigger_rates() {
         assert!((TriggerSpec::Periodic { period: 100.0 }.mean_rate() - 0.01).abs() < 1e-12);
         assert!((TriggerSpec::Poisson { rate: 0.04 }.mean_rate() - 0.04).abs() < 1e-12);
-        assert!(
-            (TriggerSpec::Bursty { period: 100.0, burst: 5 }.mean_rate() - 0.05).abs() < 1e-12
-        );
+        assert!((TriggerSpec::Bursty { period: 100.0, burst: 5 }.mean_rate() - 0.05).abs() < 1e-12);
     }
 
     #[test]
@@ -530,8 +539,7 @@ mod tests {
     fn invalid_utility_rejected_at_build() {
         let mut b = TaskBuilder::new("t");
         b.subtask("a", ResourceId::new(0), 1.0);
-        b.critical_time(10.0)
-            .utility(UtilityFn::Linear { offset: 0.0, slope: 1.0 });
+        b.critical_time(10.0).utility(UtilityFn::Linear { offset: 0.0, slope: 1.0 });
         assert!(b.build(TaskId::new(0)).is_err());
     }
 }

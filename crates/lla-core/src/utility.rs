@@ -82,10 +82,7 @@ impl UtilityFn {
     pub fn linear_for_deadline(k: f64, critical_time: f64) -> Self {
         assert!(k >= 1.0, "k must be >= 1 (paper uses k = 2)");
         assert!(critical_time > 0.0, "critical time must be positive");
-        UtilityFn::Linear {
-            offset: k * critical_time,
-            slope: -1.0,
-        }
+        UtilityFn::Linear { offset: k * critical_time, slope: -1.0 }
     }
 
     /// The prototype utility `f(lat) = −lat`.
@@ -135,9 +132,15 @@ impl UtilityFn {
     /// slope) make the dual non-concave and the algorithm may diverge.
     pub fn is_valid(&self) -> bool {
         match *self {
-            UtilityFn::Linear { offset, slope } => offset.is_finite() && slope.is_finite() && slope <= 0.0,
+            UtilityFn::Linear { offset, slope } => {
+                offset.is_finite() && slope.is_finite() && slope <= 0.0
+            }
             UtilityFn::Quadratic { offset, lin, quad } => {
-                offset.is_finite() && lin.is_finite() && quad.is_finite() && lin >= 0.0 && quad >= 0.0
+                offset.is_finite()
+                    && lin.is_finite()
+                    && quad.is_finite()
+                    && lin >= 0.0
+                    && quad >= 0.0
             }
             UtilityFn::ExponentialPenalty { offset, a, b } => {
                 offset.is_finite() && a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0

@@ -1,19 +1,104 @@
-//! The two actor kinds of distributed LLA: resource price agents and task
-//! controllers.
+//! The actor kinds of distributed LLA: resource price agents, task
+//! controllers, and the control-plane agent that disseminates availability
+//! changes reliably.
 
 use crate::protocol::{Address, Message};
 use crate::runtime::{Actor, Outbox};
-use lla_core::{allocate_task, AllocationSettings, PriceState, Problem, StepSizePolicy};
+use lla_core::{
+    allocate_task, AllocationSettings, OptimizerState, PriceState, Problem, StepSizePolicy,
+};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 // Agents own a private copy of the `Problem` rather than sharing an
 // `Arc`: availability updates arrive as messages and each agent applies
-// them to its local view, exactly as a deployed agent would.
+// them to its local view, exactly as a deployed agent would. The problem
+// is *configuration* (reloaded from the local config store on restart),
+// so a crash does not wipe it — only algorithm state is volatile.
 
 /// Shared telemetry sink the controllers write their latest allocations
 /// into; the [`DistributedLla`](crate::DistributedLla) facade reads it.
 pub type SharedLats = Arc<Mutex<Vec<Vec<f64>>>>;
+
+/// Fault-tolerance knobs shared by the agents. The defaults disable every
+/// mechanism, which keeps the fault-free protocol bit-equivalent to the
+/// centralized optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessConfig {
+    /// Virtual ms between controller checkpoints ([`f64::INFINITY`]
+    /// disables checkpointing).
+    pub checkpoint_interval: f64,
+    /// Degrade gracefully once the newest price (controllers) or latency
+    /// (resource agents) heard from a peer is older than this many virtual
+    /// ms: freeze price steps and hold the last-known-good latencies
+    /// instead of integrating stale gradients ([`f64::INFINITY`] never
+    /// degrades).
+    pub staleness_ttl: f64,
+    /// Virtual ms between control-plane retransmissions of unacknowledged
+    /// availability updates.
+    pub retransmit_interval: f64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            checkpoint_interval: f64::INFINITY,
+            staleness_ttl: f64::INFINITY,
+            retransmit_interval: 10.0,
+        }
+    }
+}
+
+/// A task controller's durable checkpoint: algorithm state in the
+/// centralized [`Optimizer`](lla_core::Optimizer)'s export format, plus
+/// the controller-local congestion bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerCheckpoint {
+    /// Prices + latencies + iteration, as
+    /// [`Optimizer::export_state`](lla_core::Optimizer::export_state)
+    /// would capture them.
+    pub state: OptimizerState,
+    /// Last received congestion bit per resource.
+    pub congested: Vec<bool>,
+    /// Virtual time the checkpoint was taken.
+    pub at: f64,
+}
+
+/// Stable storage for controller checkpoints, shared between the agents
+/// and the runtime driver. Survives crashes by construction (a crashed
+/// actor keeps no reference — it re-reads the store on restart).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<HashMap<Address, ControllerCheckpoint>>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Writes (or overwrites) the checkpoint for `addr`.
+    pub fn save(&self, addr: Address, ckpt: ControllerCheckpoint) {
+        self.inner.lock().insert(addr, ckpt);
+    }
+
+    /// Reads the latest checkpoint for `addr`, if any.
+    pub fn load(&self, addr: Address) -> Option<ControllerCheckpoint> {
+        self.inner.lock().get(&addr).cloned()
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
 
 /// The price agent of one resource (§4.3, "Resource Price Computation").
 ///
@@ -25,11 +110,21 @@ pub type SharedLats = Arc<Mutex<Vec<Vec<f64>>>>;
 pub struct ResourceAgent {
     r: usize,
     problem: Problem,
+    policy: StepSizePolicy,
     prices: PriceState,
     /// Last received latency per hosted subtask, aligned with
     /// `problem.subtasks_on(r)`.
     latencies: Vec<f64>,
     subscribers: Vec<usize>,
+    robustness: RobustnessConfig,
+    /// Virtual time of the newest latency message heard.
+    last_heard: f64,
+    /// Congestion bit of the last non-degraded tick (rebroadcast while
+    /// degraded).
+    congested: bool,
+    degraded: bool,
+    /// Highest control-plane sequence applied (volatile; reset on crash).
+    last_avail_seq: u64,
 }
 
 impl ResourceAgent {
@@ -48,12 +143,36 @@ impl ResourceAgent {
         subscribers.sort_unstable();
         subscribers.dedup();
         let prices = PriceState::new(&problem, policy);
-        ResourceAgent { r, problem, prices, latencies, subscribers }
+        ResourceAgent {
+            r,
+            problem,
+            policy,
+            prices,
+            latencies,
+            subscribers,
+            robustness: RobustnessConfig::default(),
+            last_heard: 0.0,
+            congested: false,
+            degraded: false,
+            last_avail_seq: 0,
+        }
+    }
+
+    /// Sets the fault-tolerance configuration.
+    pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = robustness;
+        self
     }
 
     /// The current price `μ_r`.
     pub fn mu(&self) -> f64 {
         self.prices.mu(self.r)
+    }
+
+    /// Whether the agent is currently holding its price because its
+    /// latency inputs went stale.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The share sum currently demanded by the stored latencies.
@@ -66,23 +185,37 @@ impl ResourceAgent {
             .map(|(sid, &lat)| self.problem.share_model(*sid).share_for_latency(lat))
             .sum()
     }
+
+    fn apply_availability(&mut self, resource: usize, availability: f64) {
+        self.problem
+            .set_resource_availability(self.problem.resources()[resource].id(), availability);
+    }
 }
 
 impl Actor for ResourceAgent {
-    fn on_tick(&mut self, _now: f64, outbox: &mut Outbox) {
-        let usage = self.usage();
-        let availability = self.problem.resources()[self.r].availability();
-        let grad = availability - usage;
-        let mu = self.prices.apply_resource_step(self.r, grad);
+    fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
+        self.degraded = now - self.last_heard > self.robustness.staleness_ttl;
+        let mu = if self.degraded {
+            // Latency inputs are stale (partition, crashed controllers):
+            // integrating the frozen gradient would drift the price away
+            // from the operating point. Hold and keep announcing it.
+            self.prices.mu(self.r)
+        } else {
+            let usage = self.usage();
+            let availability = self.problem.resources()[self.r].availability();
+            let grad = availability - usage;
+            self.congested = grad < 0.0;
+            self.prices.apply_resource_step(self.r, grad)
+        };
         for &t in &self.subscribers {
             outbox.send(
                 Address::Controller(t),
-                Message::Price { resource: self.r, mu, congested: grad < 0.0 },
+                Message::Price { resource: self.r, mu, congested: self.congested },
             );
         }
     }
 
-    fn on_message(&mut self, _now: f64, msg: Message, _outbox: &mut Outbox) {
+    fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
         match msg {
             Message::Latency { task, subtask, latency } => {
                 let rid = self.problem.resources()[self.r].id();
@@ -93,16 +226,58 @@ impl Actor for ResourceAgent {
                     .position(|sid| sid.task().index() == task && sid.index() == subtask);
                 if let Some(pos) = pos {
                     self.latencies[pos] = latency;
+                    self.last_heard = now;
                 }
             }
-            Message::AvailabilityUpdate { resource, availability } if resource == self.r => {
-                self.problem.set_resource_availability(
-                    self.problem.resources()[resource].id(),
-                    availability,
-                );
+            Message::AvailabilityUpdate { resource, availability, seq } => {
+                if seq == 0 {
+                    // Out-of-band management command (bypass path).
+                    if resource == self.r {
+                        self.apply_availability(resource, availability);
+                    }
+                } else {
+                    if resource == self.r && seq > self.last_avail_seq {
+                        self.apply_availability(resource, availability);
+                        self.last_avail_seq = seq;
+                    }
+                    // Always ack, even duplicates — the ack may have been
+                    // the lost message.
+                    outbox.send(
+                        Address::ControlPlane,
+                        Message::AvailabilityAck { resource, seq, from: Address::Resource(self.r) },
+                    );
+                }
             }
             _ => {}
         }
+    }
+
+    fn on_crash(&mut self, _now: f64) {
+        // All algorithm state is volatile: the restarted agent re-learns
+        // latencies from controller traffic and restarts its price from
+        // the initial point.
+        let init = self.problem.initial_allocation();
+        let rid = self.problem.resources()[self.r].id();
+        self.latencies = self
+            .problem
+            .subtasks_on(rid)
+            .iter()
+            .map(|sid| init[sid.task().index()][sid.index()])
+            .collect();
+        self.prices = PriceState::new(&self.problem, self.policy);
+        self.last_heard = 0.0;
+        self.congested = false;
+        self.degraded = false;
+        self.last_avail_seq = 0;
+    }
+
+    fn on_restart(&mut self, now: f64, _outbox: &mut Outbox) {
+        // Give the staleness TTL a fresh grace period.
+        self.last_heard = now;
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -111,15 +286,34 @@ impl Actor for ResourceAgent {
 /// Holds the latest resource prices received from the price agents,
 /// updates its paths' prices locally, re-solves its latency allocation,
 /// and sends the new latencies to the resources its subtasks run on.
+///
+/// Fault tolerance (all opt-in via [`RobustnessConfig`]): the controller
+/// records when it last heard each relevant resource's price and degrades
+/// to holding its last-known-good latencies once any of them exceeds the
+/// staleness TTL; it periodically writes a [`ControllerCheckpoint`] to a
+/// [`CheckpointStore`] and restores from it after a crash.
 #[derive(Debug)]
 pub struct TaskController {
     t: usize,
     problem: Problem,
+    policy: StepSizePolicy,
     prices: PriceState,
     congested: Vec<bool>,
     lats: Vec<f64>,
     settings: AllocationSettings,
     telemetry: SharedLats,
+    robustness: RobustnessConfig,
+    checkpoints: Option<CheckpointStore>,
+    last_checkpoint: f64,
+    /// Virtual time of the newest price heard, per resource.
+    last_heard: Vec<f64>,
+    /// Resource indices this task's subtasks actually use.
+    used_resources: Vec<usize>,
+    ticks: usize,
+    degraded: bool,
+    degraded_ticks: u64,
+    /// Highest applied control-plane sequence, per resource (volatile).
+    last_avail_seq: HashMap<usize, u64>,
 }
 
 impl TaskController {
@@ -133,59 +327,309 @@ impl TaskController {
     ) -> Self {
         let lats = problem.initial_allocation()[t].clone();
         let congested = vec![false; problem.resources().len()];
+        let last_heard = vec![0.0; problem.resources().len()];
+        let mut used_resources: Vec<usize> =
+            problem.tasks()[t].subtasks().iter().map(|s| s.resource().index()).collect();
+        used_resources.sort_unstable();
+        used_resources.dedup();
         let prices = PriceState::new(&problem, policy);
-        TaskController { t, problem, prices, congested, lats, settings, telemetry }
+        TaskController {
+            t,
+            problem,
+            policy,
+            prices,
+            congested,
+            lats,
+            settings,
+            telemetry,
+            robustness: RobustnessConfig::default(),
+            checkpoints: None,
+            last_checkpoint: 0.0,
+            last_heard,
+            used_resources,
+            ticks: 0,
+            degraded: false,
+            degraded_ticks: 0,
+            last_avail_seq: HashMap::new(),
+        }
+    }
+
+    /// Sets the fault-tolerance configuration.
+    pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = robustness;
+        self
+    }
+
+    /// Attaches the stable store this controller checkpoints into (and
+    /// restores from after a crash).
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.checkpoints = Some(store);
+        self
     }
 
     /// The controller's current latency assignment.
     pub fn lats(&self) -> &[f64] {
         &self.lats
     }
+
+    /// Whether the controller is currently holding its last-known-good
+    /// latencies because some price went stale.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Ticks spent in degraded mode so far.
+    pub fn degraded_ticks(&self) -> u64 {
+        self.degraded_ticks
+    }
+
+    /// Captures the controller's algorithm state in the centralized
+    /// optimizer's export format (rows of other tasks hold the initial
+    /// allocation — this controller only owns its own row).
+    pub fn export_state(&self) -> OptimizerState {
+        let mut lats = self.problem.initial_allocation();
+        lats[self.t] = self.lats.clone();
+        OptimizerState::from_parts(self.prices.clone(), lats, self.ticks)
+    }
+
+    /// Restores algorithm state captured with
+    /// [`export_state`](Self::export_state).
+    pub fn import_state(&mut self, state: &OptimizerState) {
+        self.prices = state.prices().clone();
+        self.lats = state.lats()[self.t].clone();
+        self.ticks = state.iteration();
+    }
+
+    /// Staleness of the oldest relevant price at virtual time `now`.
+    fn staleness(&self, now: f64) -> f64 {
+        self.used_resources.iter().map(|&r| now - self.last_heard[r]).fold(0.0, f64::max)
+    }
 }
 
 impl Actor for TaskController {
-    fn on_tick(&mut self, _now: f64, outbox: &mut Outbox) {
-        let task = &self.problem.tasks()[self.t];
+    fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
+        self.ticks += 1;
+        self.degraded = self.staleness(now) > self.robustness.staleness_ttl;
+        if self.degraded {
+            // Graceful degradation: stale prices would make the gradient
+            // steps integrate noise, so freeze both price layers and hold
+            // the last-known-good latencies (the resources keep running
+            // with them). Recovery is automatic: fresh prices reset the
+            // staleness clock.
+            self.degraded_ticks += 1;
+        } else {
+            let task = &self.problem.tasks()[self.t];
 
-        // Path price computation from the *previous* allocation — matching
-        // the centralized iteration order, where prices computed at the end
-        // of step k−1 feed the allocation of step k.
-        for (p, path) in task.graph().paths().iter().enumerate() {
-            let grad = 1.0 - path.latency(&self.lats) / task.critical_time();
-            let traverses_congested = path
-                .subtasks()
-                .iter()
-                .any(|&s| self.congested[task.subtasks()[s].resource().index()]);
-            self.prices.apply_path_step(self.t, p, grad, traverses_congested);
+            // Path price computation from the *previous* allocation —
+            // matching the centralized iteration order, where prices
+            // computed at the end of step k−1 feed the allocation of step
+            // k.
+            for (p, path) in task.graph().paths().iter().enumerate() {
+                let grad = 1.0 - path.latency(&self.lats) / task.critical_time();
+                let traverses_congested = path
+                    .subtasks()
+                    .iter()
+                    .any(|&s| self.congested[task.subtasks()[s].resource().index()]);
+                self.prices.apply_path_step(self.t, p, grad, traverses_congested);
+            }
+
+            // Latency allocation at the stored resource prices.
+            self.lats =
+                allocate_task(&self.problem, task, &self.prices, &self.settings, &self.lats);
+            self.telemetry.lock()[self.t] = self.lats.clone();
+
+            for (s, sub) in task.subtasks().iter().enumerate() {
+                outbox.send(
+                    Address::Resource(sub.resource().index()),
+                    Message::Latency { task: self.t, subtask: s, latency: self.lats[s] },
+                );
+            }
         }
 
-        // Latency allocation at the stored resource prices.
-        self.lats = allocate_task(&self.problem, task, &self.prices, &self.settings, &self.lats);
-        self.telemetry.lock()[self.t] = self.lats.clone();
-
-        for (s, sub) in task.subtasks().iter().enumerate() {
-            outbox.send(
-                Address::Resource(sub.resource().index()),
-                Message::Latency { task: self.t, subtask: s, latency: self.lats[s] },
-            );
+        if let Some(store) = &self.checkpoints {
+            if now - self.last_checkpoint >= self.robustness.checkpoint_interval {
+                store.save(
+                    Address::Controller(self.t),
+                    ControllerCheckpoint {
+                        state: self.export_state(),
+                        congested: self.congested.clone(),
+                        at: now,
+                    },
+                );
+                self.last_checkpoint = now;
+            }
         }
     }
 
-    fn on_message(&mut self, _now: f64, msg: Message, _outbox: &mut Outbox) {
+    fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
         match msg {
             Message::Price { resource, mu, congested } => {
                 self.prices.set_mu(resource, mu);
                 self.congested[resource] = congested;
+                self.last_heard[resource] = now;
             }
-            Message::AvailabilityUpdate { resource, availability } => {
+            Message::AvailabilityUpdate { resource, availability, seq } => {
                 // Controllers use B_r in their clamping bounds.
-                self.problem.set_resource_availability(
-                    self.problem.resources()[resource].id(),
-                    availability,
-                );
+                let apply = if seq == 0 {
+                    true
+                } else {
+                    let seen = self.last_avail_seq.entry(resource).or_insert(0);
+                    let fresh = seq > *seen;
+                    if fresh {
+                        *seen = seq;
+                    }
+                    outbox.send(
+                        Address::ControlPlane,
+                        Message::AvailabilityAck {
+                            resource,
+                            seq,
+                            from: Address::Controller(self.t),
+                        },
+                    );
+                    fresh
+                };
+                if apply {
+                    self.problem.set_resource_availability(
+                        self.problem.resources()[resource].id(),
+                        availability,
+                    );
+                }
             }
             _ => {}
         }
+    }
+
+    fn on_crash(&mut self, _now: f64) {
+        // Volatile state is gone; the problem spec is configuration and
+        // survives. Start from the initial point — on_restart may replace
+        // this with a checkpoint.
+        self.prices = PriceState::new(&self.problem, self.policy);
+        self.lats = self.problem.initial_allocation()[self.t].clone();
+        self.congested = vec![false; self.problem.resources().len()];
+        self.last_heard = vec![0.0; self.problem.resources().len()];
+        self.ticks = 0;
+        self.degraded = false;
+        self.last_avail_seq.clear();
+    }
+
+    fn on_restart(&mut self, now: f64, _outbox: &mut Outbox) {
+        if let Some(ckpt) =
+            self.checkpoints.as_ref().and_then(|s| s.load(Address::Controller(self.t)))
+        {
+            self.import_state(&ckpt.state);
+            self.congested = ckpt.congested;
+            self.last_checkpoint = now;
+        }
+        // Fresh staleness grace period either way.
+        self.last_heard = vec![now; self.problem.resources().len()];
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// The management-plane agent that disseminates availability changes
+/// *reliably* over the same lossy network as data-plane traffic.
+///
+/// An operator submits a command as an [`AvailabilityUpdate`] with
+/// `seq == 0`; the control plane assigns the next sequence number and
+/// fans the update out to the affected resource agent and every task
+/// controller, retransmitting on every tick until each recipient has
+/// acknowledged the sequence. Recipients deduplicate by sequence, so
+/// at-least-once delivery composes to exactly-once application.
+///
+/// [`AvailabilityUpdate`]: Message::AvailabilityUpdate
+#[derive(Debug)]
+pub struct ControlPlaneAgent {
+    n_tasks: usize,
+    next_seq: u64,
+    pending: Vec<PendingUpdate>,
+}
+
+#[derive(Debug)]
+struct PendingUpdate {
+    resource: usize,
+    availability: f64,
+    seq: u64,
+    awaiting: Vec<Address>,
+}
+
+impl ControlPlaneAgent {
+    /// Creates the control plane for a deployment with `n_tasks` task
+    /// controllers.
+    pub fn new(n_tasks: usize) -> Self {
+        ControlPlaneAgent { n_tasks, next_seq: 0, pending: Vec::new() }
+    }
+
+    /// Updates not yet acknowledged by every recipient.
+    pub fn pending_updates(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequence numbers assigned so far.
+    pub fn sequences_assigned(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn recipients(&self, resource: usize) -> Vec<Address> {
+        let mut v = Vec::with_capacity(self.n_tasks + 1);
+        v.push(Address::Resource(resource));
+        v.extend((0..self.n_tasks).map(Address::Controller));
+        v
+    }
+}
+
+impl Actor for ControlPlaneAgent {
+    fn on_tick(&mut self, _now: f64, outbox: &mut Outbox) {
+        // Retransmit every unacknowledged update to every recipient still
+        // missing.
+        for p in &self.pending {
+            for &addr in &p.awaiting {
+                outbox.send(
+                    addr,
+                    Message::AvailabilityUpdate {
+                        resource: p.resource,
+                        availability: p.availability,
+                        seq: p.seq,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_message(&mut self, _now: f64, msg: Message, outbox: &mut Outbox) {
+        match msg {
+            Message::AvailabilityUpdate { resource, availability, seq: 0 } => {
+                self.next_seq += 1;
+                let seq = self.next_seq;
+                let awaiting = self.recipients(resource);
+                for &addr in &awaiting {
+                    outbox.send(addr, Message::AvailabilityUpdate { resource, availability, seq });
+                }
+                self.pending.push(PendingUpdate { resource, availability, seq, awaiting });
+            }
+            Message::AvailabilityAck { seq, from, .. } => {
+                for p in &mut self.pending {
+                    if p.seq == seq {
+                        p.awaiting.retain(|&a| a != from);
+                    }
+                }
+                self.pending.retain(|p| !p.awaiting.is_empty());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: f64) {
+        // Pending retransmissions are volatile. Sequence numbers must stay
+        // monotone across restarts; a real control plane would persist the
+        // counter, which the round-up on restart emulates.
+        self.pending.clear();
+    }
+
+    fn as_any(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -242,7 +686,11 @@ mod tests {
         );
         let mut outbox = Outbox::default();
         ctl.on_message(0.0, Message::Price { resource: 0, mu: 9.0, congested: false }, &mut outbox);
-        ctl.on_message(0.0, Message::Price { resource: 1, mu: 16.0, congested: false }, &mut outbox);
+        ctl.on_message(
+            0.0,
+            Message::Price { resource: 1, mu: 16.0, congested: false },
+            &mut outbox,
+        );
         ctl.on_tick(0.0, &mut outbox);
         // One latency message per subtask.
         assert_eq!(outbox.len(), 2);
@@ -250,5 +698,142 @@ mod tests {
         let lats = telemetry.lock()[0].clone();
         assert!((lats[0] - 27f64.sqrt()).abs() < 1e-9);
         assert!((lats[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn controller_degrades_on_stale_prices_and_recovers() {
+        let p = problem();
+        let telemetry: SharedLats = Arc::new(Mutex::new(p.initial_allocation()));
+        let mut ctl = TaskController::new(
+            0,
+            p,
+            StepSizePolicy::fixed(1.0),
+            AllocationSettings { throughput_floor: false, ..Default::default() },
+            telemetry,
+        )
+        .with_robustness(RobustnessConfig { staleness_ttl: 20.0, ..Default::default() });
+        let mut outbox = Outbox::default();
+        ctl.on_message(0.0, Message::Price { resource: 0, mu: 9.0, congested: false }, &mut outbox);
+        ctl.on_message(
+            0.0,
+            Message::Price { resource: 1, mu: 16.0, congested: false },
+            &mut outbox,
+        );
+        ctl.on_tick(10.0, &mut outbox);
+        assert!(!ctl.is_degraded());
+        let held = ctl.lats().to_vec();
+        // No prices for 30 ms > TTL: hold, send nothing.
+        let before = outbox.len();
+        ctl.on_tick(40.0, &mut outbox);
+        assert!(ctl.is_degraded());
+        assert_eq!(ctl.degraded_ticks(), 1);
+        assert_eq!(outbox.len(), before, "degraded tick must not send");
+        assert_eq!(ctl.lats(), held.as_slice(), "degraded tick must hold latencies");
+        // Fresh prices end degradation.
+        ctl.on_message(
+            41.0,
+            Message::Price { resource: 0, mu: 9.0, congested: false },
+            &mut outbox,
+        );
+        ctl.on_message(
+            41.0,
+            Message::Price { resource: 1, mu: 16.0, congested: false },
+            &mut outbox,
+        );
+        ctl.on_tick(42.0, &mut outbox);
+        assert!(!ctl.is_degraded());
+    }
+
+    #[test]
+    fn controller_checkpoints_and_restores_after_crash() {
+        let p = problem();
+        let telemetry: SharedLats = Arc::new(Mutex::new(p.initial_allocation()));
+        let store = CheckpointStore::new();
+        let mut ctl = TaskController::new(
+            0,
+            p,
+            StepSizePolicy::fixed(1.0),
+            AllocationSettings { throughput_floor: false, ..Default::default() },
+            telemetry,
+        )
+        .with_robustness(RobustnessConfig { checkpoint_interval: 5.0, ..Default::default() })
+        .with_checkpoints(store.clone());
+        let mut outbox = Outbox::default();
+        ctl.on_message(0.0, Message::Price { resource: 0, mu: 9.0, congested: false }, &mut outbox);
+        ctl.on_message(
+            0.0,
+            Message::Price { resource: 1, mu: 16.0, congested: false },
+            &mut outbox,
+        );
+        ctl.on_tick(6.0, &mut outbox);
+        assert_eq!(store.len(), 1, "checkpoint written");
+        let converged = ctl.lats().to_vec();
+
+        ctl.on_crash(7.0);
+        assert_ne!(ctl.lats(), converged.as_slice(), "crash wipes volatile state");
+        ctl.on_restart(8.0, &mut outbox);
+        assert_eq!(ctl.lats(), converged.as_slice(), "restart restores the checkpoint");
+    }
+
+    #[test]
+    fn resource_agent_dedupes_by_sequence_and_acks() {
+        let p = problem();
+        let mut agent = ResourceAgent::new(0, p, StepSizePolicy::fixed(1.0));
+        let mut outbox = Outbox::default();
+        let update = Message::AvailabilityUpdate { resource: 0, availability: 0.5, seq: 3 };
+        agent.on_message(0.0, update.clone(), &mut outbox);
+        agent.on_message(1.0, update, &mut outbox);
+        // A *lower* sequence must not roll availability back.
+        agent.on_message(
+            2.0,
+            Message::AvailabilityUpdate { resource: 0, availability: 0.9, seq: 2 },
+            &mut outbox,
+        );
+        let msgs = outbox.into_messages();
+        assert_eq!(msgs.len(), 3, "every sequenced update is acked, even duplicates");
+        assert!(msgs.iter().all(|(to, m)| *to == Address::ControlPlane
+            && matches!(m, Message::AvailabilityAck { from: Address::Resource(0), .. })));
+    }
+
+    #[test]
+    fn control_plane_retransmits_until_acked() {
+        let mut cp = ControlPlaneAgent::new(2);
+        let mut outbox = Outbox::default();
+        cp.on_message(
+            0.0,
+            Message::AvailabilityUpdate { resource: 1, availability: 0.5, seq: 0 },
+            &mut outbox,
+        );
+        // Fan-out to resource 1 + both controllers.
+        assert_eq!(outbox.len(), 3);
+        assert_eq!(cp.pending_updates(), 1);
+        let sent = outbox.into_messages();
+        assert!(sent
+            .iter()
+            .all(|(_, m)| *m
+                == Message::AvailabilityUpdate { resource: 1, availability: 0.5, seq: 1 }));
+
+        // Two of three ack: retransmit only to the silent one.
+        for from in [Address::Resource(1), Address::Controller(0)] {
+            let mut ob = Outbox::default();
+            cp.on_message(1.0, Message::AvailabilityAck { resource: 1, seq: 1, from }, &mut ob);
+        }
+        let mut ob = Outbox::default();
+        cp.on_tick(2.0, &mut ob);
+        let retries = ob.into_messages();
+        assert_eq!(retries.len(), 1);
+        assert_eq!(retries[0].0, Address::Controller(1));
+
+        // Final ack clears the pending set; ticks go quiet.
+        let mut ob = Outbox::default();
+        cp.on_message(
+            3.0,
+            Message::AvailabilityAck { resource: 1, seq: 1, from: Address::Controller(1) },
+            &mut ob,
+        );
+        assert_eq!(cp.pending_updates(), 0);
+        let mut ob = Outbox::default();
+        cp.on_tick(4.0, &mut ob);
+        assert!(ob.is_empty(), "an idle control plane is silent");
     }
 }

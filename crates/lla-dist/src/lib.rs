@@ -10,11 +10,18 @@
 //! * [`network`] — a seeded delay/jitter/loss model standing in for a real
 //!   network.
 //! * [`runtime`] — a deterministic virtual-time actor runtime.
+//! * [`fault`] — [`FaultPlan`](fault::FaultPlan): scheduled partitions,
+//!   crashes/restarts, and availability drops on the virtual clock,
+//!   enforced by the runtime.
 //! * [`agents`] — [`ResourceAgent`](agents::ResourceAgent) (price
-//!   computation, Eq. 8) and [`TaskController`](agents::TaskController)
-//!   (path prices + latency allocation, Eq. 7/9), both thin wrappers over
+//!   computation, Eq. 8), [`TaskController`](agents::TaskController)
+//!   (path prices + latency allocation, Eq. 7/9), and
+//!   [`ControlPlaneAgent`](agents::ControlPlaneAgent) (reliable
+//!   availability dissemination); the first two are thin wrappers over
 //!   `lla-core`'s primitives so the distributed and centralized code paths
-//!   share one implementation.
+//!   share one implementation. Controllers checkpoint into a
+//!   [`CheckpointStore`](agents::CheckpointStore) and degrade gracefully
+//!   when prices go stale (see [`RobustnessConfig`](agents::RobustnessConfig)).
 //! * [`system`] — [`DistributedLla`]: a full deployment on the virtual
 //!   runtime. With a perfect network and round-based ticking it is
 //!   **bit-equivalent** to the centralized [`lla_core::Optimizer`] (tested);
@@ -26,12 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod fault;
 pub mod network;
 pub mod protocol;
 pub mod runtime;
 pub mod system;
 pub mod threaded;
 
+pub use agents::{CheckpointStore, ControlPlaneAgent, ControllerCheckpoint, RobustnessConfig};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use network::{NetworkModel, NetworkSampler};
 pub use protocol::{Address, Message};
 pub use runtime::{Actor, Outbox, VirtualRuntime};

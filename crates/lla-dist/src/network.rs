@@ -1,21 +1,41 @@
 //! The simulated network between controllers and resources.
 //!
 //! Substitutes for the paper's real network: messages experience a base
-//! propagation delay, uniform jitter, and independent loss. The model is
-//! deterministic given its seed, so distributed runs are reproducible.
+//! propagation delay, uniform jitter, independent loss, independent
+//! duplication, and occasional reordering spikes (a large extra delay that
+//! lets later messages overtake this one). The model is deterministic
+//! given its seed, so distributed runs are reproducible.
+//!
+//! Time-windowed *partitions* between address groups are not part of this
+//! per-message model — they depend on who talks to whom and on the virtual
+//! clock, so they live in the runtime's fault layer
+//! ([`FaultPlan`](crate::fault::FaultPlan)).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Delay/loss model applied to every message.
+/// Delay/loss/duplication model applied to every message.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
     /// Fixed propagation delay added to every delivery (virtual ms).
     pub base_delay: f64,
     /// Extra uniform-random delay in `[0, jitter)` (virtual ms).
     pub jitter: f64,
-    /// Probability that a message is silently dropped, in `[0, 1)`.
+    /// Probability that a message is silently dropped, in `[0, 1]`.
+    /// `1` is a full blackout — the degenerate case partition modeling
+    /// builds on.
     pub loss_probability: f64,
+    /// Probability that a message is delivered twice (the duplicate takes
+    /// an independent delay sample), in `[0, 1]`.
+    pub duplicate_probability: f64,
+    /// Probability that a delivery takes an extra [`reorder_spike`]
+    /// delay, in `[0, 1]`. With a spike longer than the message interval,
+    /// later messages overtake this one — out-of-order delivery.
+    ///
+    /// [`reorder_spike`]: NetworkModel::reorder_spike
+    pub reorder_probability: f64,
+    /// The extra delay of a reordering spike (virtual ms).
+    pub reorder_spike: f64,
 }
 
 impl NetworkModel {
@@ -23,7 +43,14 @@ impl NetworkModel {
     /// this makes the distributed runtime bit-equivalent to the
     /// centralized optimizer.
     pub fn perfect() -> Self {
-        NetworkModel { base_delay: 0.0, jitter: 0.0, loss_probability: 0.0 }
+        NetworkModel {
+            base_delay: 0.0,
+            jitter: 0.0,
+            loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_spike: 0.0,
+        }
     }
 
     /// A lossy, jittery network.
@@ -31,12 +58,39 @@ impl NetworkModel {
     /// # Panics
     ///
     /// Panics if parameters are negative, non-finite, or
-    /// `loss_probability ≥ 1`.
+    /// `loss_probability > 1`. A `loss_probability` of exactly `1` is
+    /// accepted: it models a total blackout, which partition modeling
+    /// needs as its degenerate case.
     pub fn lossy(base_delay: f64, jitter: f64, loss_probability: f64) -> Self {
         assert!(base_delay.is_finite() && base_delay >= 0.0);
         assert!(jitter.is_finite() && jitter >= 0.0);
-        assert!((0.0..1.0).contains(&loss_probability));
-        NetworkModel { base_delay, jitter, loss_probability }
+        assert!((0.0..=1.0).contains(&loss_probability));
+        NetworkModel { base_delay, jitter, loss_probability, ..NetworkModel::perfect() }
+    }
+
+    /// Adds independent message duplication with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplication probability {p} outside [0, 1]");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Adds reordering spikes: with probability `p` a delivery takes an
+    /// extra `spike` ms of delay, letting later messages overtake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or `spike` is negative/non-finite.
+    pub fn with_reordering(mut self, p: f64, spike: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "reorder probability {p} outside [0, 1]");
+        assert!(spike.is_finite() && spike >= 0.0, "reorder spike must be finite and ≥ 0");
+        self.reorder_probability = p;
+        self.reorder_spike = spike;
+        self
     }
 }
 
@@ -53,31 +107,73 @@ pub struct NetworkSampler {
     rng: StdRng,
     delivered: u64,
     dropped: u64,
+    duplicated: u64,
 }
+
+/// The sampled fate of one message: the delays of each delivered copy.
+///
+/// Empty means the message was dropped; two entries mean it was
+/// duplicated.
+pub type Deliveries = Vec<f64>;
 
 impl NetworkSampler {
     /// Creates a sampler.
     pub fn new(model: NetworkModel, seed: u64) -> Self {
-        NetworkSampler { model, rng: StdRng::seed_from_u64(seed), delivered: 0, dropped: 0 }
+        NetworkSampler {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            delivered: 0,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    fn one_delay(&mut self) -> f64 {
+        let jitter =
+            if self.model.jitter > 0.0 { self.rng.gen_range(0.0..self.model.jitter) } else { 0.0 };
+        let spike = if self.model.reorder_probability > 0.0
+            && self.rng.gen_bool(self.model.reorder_probability)
+        {
+            self.model.reorder_spike
+        } else {
+            0.0
+        };
+        self.model.base_delay + jitter + spike
     }
 
     /// Samples the fate of one message: `Some(delay)` to deliver after
-    /// `delay` virtual milliseconds, `None` if dropped.
+    /// `delay` virtual milliseconds, `None` if dropped. Ignores
+    /// duplication — use [`sample_deliveries`](Self::sample_deliveries)
+    /// for the full model.
     pub fn sample(&mut self) -> Option<f64> {
         if self.model.loss_probability > 0.0 && self.rng.gen_bool(self.model.loss_probability) {
             self.dropped += 1;
             return None;
         }
         self.delivered += 1;
-        let jitter = if self.model.jitter > 0.0 {
-            self.rng.gen_range(0.0..self.model.jitter)
-        } else {
-            0.0
-        };
-        Some(self.model.base_delay + jitter)
+        Some(self.one_delay())
     }
 
-    /// Messages delivered so far.
+    /// Samples the full fate of one message: the delay of every copy the
+    /// network delivers (empty on loss, two entries on duplication).
+    pub fn sample_deliveries(&mut self) -> Deliveries {
+        match self.sample() {
+            None => Vec::new(),
+            Some(delay) => {
+                if self.model.duplicate_probability > 0.0
+                    && self.rng.gen_bool(self.model.duplicate_probability)
+                {
+                    self.duplicated += 1;
+                    let dup = self.one_delay();
+                    vec![delay, dup]
+                } else {
+                    vec![delay]
+                }
+            }
+        }
+    }
+
+    /// Messages delivered so far (duplicates not counted).
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
@@ -85,6 +181,11 @@ impl NetworkSampler {
     /// Messages dropped so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Messages duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
     }
 }
 
@@ -124,16 +225,68 @@ mod tests {
 
     #[test]
     fn sampler_is_deterministic() {
-        let a: Vec<Option<f64>> =
-            (0..50).map(|_| NetworkSampler::new(NetworkModel::lossy(1.0, 2.0, 0.1), 5).sample()).collect();
-        let b: Vec<Option<f64>> =
-            (0..50).map(|_| NetworkSampler::new(NetworkModel::lossy(1.0, 2.0, 0.1), 5).sample()).collect();
+        let a: Vec<Option<f64>> = (0..50)
+            .map(|_| NetworkSampler::new(NetworkModel::lossy(1.0, 2.0, 0.1), 5).sample())
+            .collect();
+        let b: Vec<Option<f64>> = (0..50)
+            .map(|_| NetworkSampler::new(NetworkModel::lossy(1.0, 2.0, 0.1), 5).sample())
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
+    fn accepts_full_loss_as_blackout() {
+        let mut s = NetworkSampler::new(NetworkModel::lossy(0.0, 0.0, 1.0), 1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(), None);
+        }
+        assert_eq!(s.dropped(), 100);
+        assert_eq!(s.delivered(), 0);
+    }
+
+    #[test]
     #[should_panic]
-    fn rejects_full_loss() {
-        let _ = NetworkModel::lossy(0.0, 0.0, 1.0);
+    fn rejects_loss_above_one() {
+        let _ = NetworkModel::lossy(0.0, 0.0, 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn duplication_rate_is_respected() {
+        let mut s = NetworkSampler::new(NetworkModel::perfect().with_duplication(0.25), 13);
+        let n = 20_000;
+        let mut copies = 0usize;
+        for _ in 0..n {
+            copies += s.sample_deliveries().len();
+        }
+        let rate = copies as f64 / n as f64 - 1.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed duplication {rate}");
+        assert_eq!(s.duplicated() as usize, copies - n);
+    }
+
+    #[test]
+    fn reorder_spikes_delay_a_fraction_of_messages() {
+        let mut s =
+            NetworkSampler::new(NetworkModel::lossy(1.0, 1.0, 0.0).with_reordering(0.2, 50.0), 17);
+        let n = 10_000;
+        let mut spiked = 0usize;
+        for _ in 0..n {
+            let d = s.sample().unwrap();
+            if d >= 50.0 {
+                spiked += 1;
+            } else {
+                assert!((1.0..2.0).contains(&d), "non-spiked delay {d}");
+            }
+        }
+        let rate = spiked as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed spike rate {rate}");
+    }
+
+    #[test]
+    fn duplication_off_means_single_copies() {
+        let mut s = NetworkSampler::new(NetworkModel::perfect(), 3);
+        for _ in 0..100 {
+            assert_eq!(s.sample_deliveries(), vec![0.0]);
+        }
+        assert_eq!(s.duplicated(), 0);
     }
 }

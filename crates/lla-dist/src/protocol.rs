@@ -4,6 +4,11 @@
 //! price `μ_r` and sends it to the controllers of tasks with subtasks on
 //! it; each *task controller* computes path prices locally and sends newly
 //! allocated latencies to the resources where its subtasks run.
+//!
+//! Control-plane traffic (availability changes) travels over the same
+//! lossy network as data-plane traffic, made reliable by sequence numbers
+//! and retransmit-until-ack (see
+//! [`ControlPlaneAgent`](crate::agents::ControlPlaneAgent)).
 
 /// Address of an actor in the distributed runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -13,6 +18,10 @@ pub enum Address {
     Resource(usize),
     /// The controller of task `t`.
     Controller(usize),
+    /// The management-plane agent that disseminates availability changes
+    /// reliably (sequence numbers + retransmission) over the lossy
+    /// network.
+    ControlPlane,
 }
 
 impl std::fmt::Display for Address {
@@ -20,6 +29,7 @@ impl std::fmt::Display for Address {
         match self {
             Address::Resource(r) => write!(f, "resource[{r}]"),
             Address::Controller(t) => write!(f, "controller[{t}]"),
+            Address::ControlPlane => write!(f, "control-plane"),
         }
     }
 }
@@ -52,11 +62,29 @@ pub enum Message {
     /// Control plane → any agent: a resource's availability `B_r` changed
     /// (failure, competing reservation). Resources use it in their price
     /// gradient; controllers in their clamping bounds. LLA re-converges.
+    ///
+    /// Delivery is at-least-once over the lossy network: the control plane
+    /// retransmits until every recipient acknowledges `seq`, and
+    /// recipients deduplicate/order by `seq` (per resource, monotonically
+    /// increasing; a higher `seq` supersedes any lower one).
     AvailabilityUpdate {
         /// The resource index.
         resource: usize,
         /// The new availability fraction.
         availability: f64,
+        /// Control-plane sequence number (0 on operator-submitted
+        /// commands; the control plane assigns the real sequence).
+        seq: u64,
+    },
+    /// Agent → control plane: acknowledges receipt of the availability
+    /// update carrying `seq` for `resource`.
+    AvailabilityAck {
+        /// The resource index of the acknowledged update.
+        resource: usize,
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// The acknowledging agent.
+        from: Address,
     },
 }
 
@@ -68,14 +96,20 @@ mod tests {
     fn address_display() {
         assert_eq!(Address::Resource(2).to_string(), "resource[2]");
         assert_eq!(Address::Controller(0).to_string(), "controller[0]");
+        assert_eq!(Address::ControlPlane.to_string(), "control-plane");
     }
 
     #[test]
     fn addresses_are_ordered_and_hashable() {
-        let mut v = vec![Address::Controller(1), Address::Resource(0), Address::Controller(0)];
+        let mut v = vec![
+            Address::ControlPlane,
+            Address::Controller(1),
+            Address::Resource(0),
+            Address::Controller(0),
+        ];
         v.sort();
         assert_eq!(v[0], Address::Resource(0));
         let set: std::collections::HashSet<Address> = v.into_iter().collect();
-        assert_eq!(set.len(), 3);
+        assert_eq!(set.len(), 4);
     }
 }

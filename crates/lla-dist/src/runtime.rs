@@ -5,11 +5,19 @@
 //! in timestamp order (FIFO among ties, via a sequence number). Everything
 //! is seeded, so a distributed run is exactly reproducible — which the
 //! equivalence tests against the centralized optimizer rely on.
+//!
+//! Faults are first-class events on the same clock: a [`FaultPlan`]
+//! schedules crashes, restarts, partitions, and availability drops, and
+//! the runtime enforces their semantics (crashed actors receive nothing;
+//! partitioned pairs drop messages at send time; in-flight messages
+//! outlive both the sender's crash and a partition's onset, as on a real
+//! network).
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::network::{NetworkModel, NetworkSampler};
 use crate::protocol::{Address, Message};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// Messages an actor emits during a callback, with their destinations.
 #[derive(Debug, Default)]
@@ -47,12 +55,27 @@ pub trait Actor: Send + std::fmt::Debug {
 
     /// Called when a message is delivered to this actor.
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox);
+
+    /// Called when the actor crashes: drop all volatile in-memory state
+    /// (a real process would lose it). Durable state — e.g. a checkpoint
+    /// written to a [`CheckpointStore`](crate::agents::CheckpointStore) —
+    /// survives by construction.
+    fn on_crash(&mut self, _now: f64) {}
+
+    /// Called when a crashed actor restarts: rebuild state (from a
+    /// checkpoint if one exists) and optionally emit recovery messages.
+    fn on_restart(&mut self, _now: f64, _outbox: &mut Outbox) {}
+
+    /// Downcast hook so drivers and tests can reach the concrete actor
+    /// behind a `Box<dyn Actor>` (telemetry extraction, assertions).
+    fn as_any(&mut self) -> &mut dyn std::any::Any;
 }
 
 #[derive(Debug)]
 enum EventKind {
     Tick(Address),
     Deliver(Address, Message),
+    Fault(FaultKind),
 }
 
 #[derive(Debug)]
@@ -91,6 +114,22 @@ struct TickSchedule {
     next: f64,
 }
 
+/// An active network partition: messages between `a` and `b` drop until
+/// the heal time.
+#[derive(Debug)]
+struct ActivePartition {
+    a: HashSet<Address>,
+    b: HashSet<Address>,
+    until: f64,
+}
+
+impl ActivePartition {
+    fn separates(&self, from: Address, to: Address) -> bool {
+        (self.a.contains(&from) && self.b.contains(&to))
+            || (self.b.contains(&from) && self.a.contains(&to))
+    }
+}
+
 /// The virtual-time runtime.
 #[derive(Debug)]
 pub struct VirtualRuntime {
@@ -98,9 +137,15 @@ pub struct VirtualRuntime {
     schedules: HashMap<Address, TickSchedule>,
     queue: BinaryHeap<Event>,
     network: NetworkSampler,
+    crashed: HashSet<Address>,
+    partitions: Vec<ActivePartition>,
     now: f64,
     seq: u64,
     messages_sent: u64,
+    dropped_by_partition: u64,
+    dropped_at_crashed: u64,
+    crashes: u64,
+    restarts: u64,
 }
 
 impl VirtualRuntime {
@@ -112,9 +157,15 @@ impl VirtualRuntime {
             schedules: HashMap::new(),
             queue: BinaryHeap::new(),
             network: NetworkSampler::new(network, seed),
+            crashed: HashSet::new(),
+            partitions: Vec::new(),
             now: 0.0,
             seq: 0,
             messages_sent: 0,
+            dropped_by_partition: 0,
+            dropped_at_crashed: 0,
+            crashes: 0,
+            restarts: 0,
         }
     }
 
@@ -126,12 +177,17 @@ impl VirtualRuntime {
     /// Panics if the address is already registered or `interval ≤ 0`.
     pub fn register(&mut self, addr: Address, actor: Box<dyn Actor>, interval: f64, phase: f64) {
         assert!(interval > 0.0, "tick interval must be positive");
-        assert!(
-            self.actors.insert(addr, actor).is_none(),
-            "address {addr} registered twice"
-        );
+        assert!(self.actors.insert(addr, actor).is_none(), "address {addr} registered twice");
         self.schedules.insert(addr, TickSchedule { interval, next: phase });
         self.push(phase, EventKind::Tick(addr));
+    }
+
+    /// Schedules every event of `plan` on the virtual clock. May be
+    /// called repeatedly; plans accumulate.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for event in plan.events() {
+            self.push(event.at, EventKind::Fault(event.kind.clone()));
+        }
     }
 
     fn push(&mut self, time: f64, kind: EventKind) {
@@ -150,9 +206,115 @@ impl VirtualRuntime {
         self.messages_sent
     }
 
-    /// Messages dropped by the network so far.
+    /// Messages dropped by the network's random loss so far.
     pub fn messages_dropped(&self) -> u64 {
         self.network.dropped()
+    }
+
+    /// Messages duplicated by the network so far.
+    pub fn messages_duplicated(&self) -> u64 {
+        self.network.duplicated()
+    }
+
+    /// Messages dropped because sender and receiver were partitioned.
+    pub fn dropped_by_partition(&self) -> u64 {
+        self.dropped_by_partition
+    }
+
+    /// Message deliveries discarded because the receiver was crashed.
+    pub fn dropped_at_crashed(&self) -> u64 {
+        self.dropped_at_crashed
+    }
+
+    /// Crash events executed so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// Restart events executed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Whether `addr` is currently crashed.
+    pub fn is_crashed(&self, addr: Address) -> bool {
+        self.crashed.contains(&addr)
+    }
+
+    /// Whether a currently active partition separates `from` and `to`.
+    pub fn is_partitioned(&self, from: Address, to: Address) -> bool {
+        let now = self.now;
+        self.partitions.iter().any(|p| p.until > now && p.separates(from, to))
+    }
+
+    /// Sends everything in `outbox` from `from` through the network:
+    /// partition check at send time, then loss/delay/duplication
+    /// sampling per message.
+    fn dispatch(&mut self, from: Address, outbox: Outbox) {
+        for (to, msg) in outbox.msgs {
+            self.messages_sent += 1;
+            if self.is_partitioned(from, to) {
+                self.dropped_by_partition += 1;
+                continue;
+            }
+            for delay in self.network.sample_deliveries() {
+                let at = self.now + delay;
+                self.push(at, EventKind::Deliver(to, msg.clone()));
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Partition { a, b, duration } => {
+                self.partitions.push(ActivePartition {
+                    a: a.into_iter().collect(),
+                    b: b.into_iter().collect(),
+                    until: self.now + duration,
+                });
+                // Healed partitions can never separate anything again;
+                // drop them so long runs don't accumulate garbage.
+                let now = self.now;
+                self.partitions.retain(|p| p.until > now);
+            }
+            FaultKind::Crash { addr } => {
+                if self.crashed.insert(addr) {
+                    self.crashes += 1;
+                    if let Some(actor) = self.actors.get_mut(&addr) {
+                        actor.on_crash(self.now);
+                    }
+                }
+            }
+            FaultKind::Restart { addr } => {
+                if self.crashed.remove(&addr) {
+                    self.restarts += 1;
+                    let mut outbox = Outbox::default();
+                    if let Some(actor) = self.actors.get_mut(&addr) {
+                        actor.on_restart(self.now, &mut outbox);
+                    }
+                    self.dispatch(addr, outbox);
+                }
+            }
+            FaultKind::SetAvailability { resource, availability } => {
+                let msg = Message::AvailabilityUpdate { resource, availability, seq: 0 };
+                if self.actors.contains_key(&Address::ControlPlane) {
+                    // Hand the command to the control plane, which
+                    // disseminates it reliably over the network.
+                    let now = self.now;
+                    self.push(now, EventKind::Deliver(Address::ControlPlane, msg));
+                } else {
+                    // No control plane deployed: management-plane
+                    // broadcast directly to every live actor (the legacy
+                    // out-of-band path).
+                    let mut addrs: Vec<Address> = self.actors.keys().copied().collect();
+                    addrs.sort_unstable();
+                    let now = self.now;
+                    for addr in addrs {
+                        self.push(now, EventKind::Deliver(addr, msg.clone()));
+                    }
+                }
+            }
+        }
     }
 
     /// Runs until the virtual clock reaches `t_end` (events at exactly
@@ -168,25 +330,29 @@ impl VirtualRuntime {
             let mut outbox = Outbox::default();
             match event.kind {
                 EventKind::Tick(addr) => {
-                    if let Some(actor) = self.actors.get_mut(&addr) {
-                        actor.on_tick(self.now, &mut outbox);
+                    if !self.crashed.contains(&addr) {
+                        if let Some(actor) = self.actors.get_mut(&addr) {
+                            actor.on_tick(self.now, &mut outbox);
+                        }
                     }
+                    // Reschedule even while crashed, so ticking resumes
+                    // seamlessly after a restart.
                     let sched = self.schedules.get_mut(&addr).expect("scheduled");
                     sched.next += sched.interval;
                     let next = sched.next;
                     self.push(next, EventKind::Tick(addr));
+                    self.dispatch(addr, outbox);
                 }
                 EventKind::Deliver(addr, msg) => {
-                    if let Some(actor) = self.actors.get_mut(&addr) {
+                    if self.crashed.contains(&addr) {
+                        self.dropped_at_crashed += 1;
+                    } else if let Some(actor) = self.actors.get_mut(&addr) {
                         actor.on_message(self.now, msg, &mut outbox);
+                        self.dispatch(addr, outbox);
                     }
                 }
-            }
-            for (to, msg) in outbox.msgs {
-                self.messages_sent += 1;
-                if let Some(delay) = self.network.sample() {
-                    let at = self.now + delay;
-                    self.push(at, EventKind::Deliver(to, msg));
+                EventKind::Fault(kind) => {
+                    self.apply_fault(kind);
                 }
             }
         }
@@ -199,8 +365,20 @@ impl VirtualRuntime {
         self.actors.get_mut(&addr)
     }
 
+    /// Downcast access to the concrete actor registered at `addr`.
+    pub fn actor_as<T: 'static>(&mut self, addr: Address) -> Option<&mut T> {
+        self.actors.get_mut(&addr).and_then(|a| a.as_any().downcast_mut::<T>())
+    }
+
     /// Delivers a control-plane message to an actor at the current virtual
     /// time, bypassing the network model (immediate and reliable).
+    ///
+    /// Queued after every event already scheduled at the current instant
+    /// (FIFO among ties), and composes with [`run_until`]: injecting at
+    /// the boundary time `t` of a previous `run_until(t)` makes the
+    /// message processable by the next `run_until`.
+    ///
+    /// [`run_until`]: VirtualRuntime::run_until
     pub fn inject(&mut self, to: Address, msg: Message) {
         let now = self.now;
         self.push(now, EventKind::Deliver(to, msg));
@@ -229,6 +407,13 @@ mod tests {
         fn on_message(&mut self, now: f64, msg: Message, _outbox: &mut Outbox) {
             self.received.push((now, msg));
         }
+        fn on_crash(&mut self, _now: f64) {
+            self.ticks.clear();
+            self.received.clear();
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
     }
 
     fn recorder(reply_to: Option<Address>) -> Box<Recorder> {
@@ -240,11 +425,10 @@ mod tests {
         let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
         rt.register(Address::Resource(0), recorder(None), 10.0, 0.0);
         rt.run_until(35.0);
-        // Downcast via Debug formatting is fragile; instead re-register and
-        // inspect through actor_mut + Any is unavailable — so assert on the
-        // runtime-visible side effects: time advanced, no messages.
         assert_eq!(rt.now(), 35.0);
         assert_eq!(rt.messages_sent(), 0);
+        let rec = rt.actor_as::<Recorder>(Address::Resource(0)).expect("registered");
+        assert_eq!(rec.ticks, vec![0.0, 10.0, 20.0, 30.0]);
     }
 
     #[test]
@@ -270,6 +454,19 @@ mod tests {
     }
 
     #[test]
+    fn duplicating_network_delivers_extra_copies() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect().with_duplication(0.5), 5);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 1.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        rt.run_until(1000.0);
+        assert_eq!(rt.messages_sent(), 1000);
+        let dup = rt.messages_duplicated();
+        assert!((400..600).contains(&(dup as usize)), "duplicated {dup}");
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        assert_eq!(rec.received.len() as u64, 1000 + dup);
+    }
+
+    #[test]
     fn run_until_composes() {
         let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
         rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
@@ -280,6 +477,136 @@ mod tests {
         let second = rt.messages_sent();
         assert_eq!(first, 1, "tick at 0 only (event at 10 excluded)");
         assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn inject_delivers_fifo_among_ties_after_queued_deliveries() {
+        // A network delivery and two injected messages all land at t=0;
+        // processing must preserve enqueue order (the tick that produced
+        // the network delivery ran first, so its message precedes the
+        // injections, and the injections keep their relative order).
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 50.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        // Process the t=0 ticks; the resource's Price lands at t=0 too but
+        // sits in the queue until the next run_until.
+        rt.run_until(0.0 + f64::MIN_POSITIVE);
+        rt.inject(
+            Address::Controller(0),
+            Message::AvailabilityUpdate { resource: 0, availability: 0.7, seq: 1 },
+        );
+        rt.inject(
+            Address::Controller(0),
+            Message::AvailabilityUpdate { resource: 0, availability: 0.6, seq: 2 },
+        );
+        rt.run_until(10.0);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        assert_eq!(rec.received.len(), 3);
+        assert!(
+            matches!(rec.received[0].1, Message::Price { .. }),
+            "queued network delivery must precede later injections: {:?}",
+            rec.received
+        );
+        assert_eq!(
+            rec.received[1].1,
+            Message::AvailabilityUpdate { resource: 0, availability: 0.7, seq: 1 }
+        );
+        assert_eq!(
+            rec.received[2].1,
+            Message::AvailabilityUpdate { resource: 0, availability: 0.6, seq: 2 }
+        );
+        // All three were delivered at the same virtual instant.
+        assert!(rec.received.iter().all(|(t, _)| *t < 1.0));
+    }
+
+    #[test]
+    fn inject_survives_run_until_composition() {
+        // Injecting exactly at a run_until boundary: the message sits at
+        // t == boundary, which run_until(boundary) excludes, so the next
+        // run_until picks it up — injections compose, none are lost.
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Controller(0), recorder(None), 7.0, 0.0);
+        rt.run_until(10.0);
+        rt.inject(
+            Address::Controller(0),
+            Message::AvailabilityUpdate { resource: 0, availability: 0.5, seq: 1 },
+        );
+        {
+            let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+            assert!(rec.received.is_empty(), "not yet processed");
+        }
+        rt.run_until(10.0); // same boundary: event at exactly t_end stays queued
+        {
+            let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+            assert!(rec.received.is_empty(), "t_end events are excluded by contract");
+        }
+        rt.run_until(20.0);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        assert_eq!(rec.received.len(), 1);
+        assert_eq!(rec.received[0].0, 10.0, "delivered at the injection time");
+    }
+
+    #[test]
+    fn crashed_actor_misses_ticks_and_messages_until_restart() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 10.0, 5.0);
+        let plan = FaultPlan::new().crash_for(21.0, 20.0, Address::Controller(0));
+        rt.schedule_faults(&plan);
+        rt.run_until(60.0);
+        assert_eq!(rt.crashes(), 1);
+        assert_eq!(rt.restarts(), 1);
+        assert!(!rt.is_crashed(Address::Controller(0)));
+        // Messages sent at t=30 and t=40 hit a crashed receiver.
+        assert_eq!(rt.dropped_at_crashed(), 2);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        // on_crash cleared history; ticks resume at 45, 55 after restart,
+        // and the receiver hears the t=50 price again.
+        assert_eq!(rec.ticks, vec![45.0, 55.0]);
+        assert_eq!(rec.received.len(), 1);
+        assert_eq!(rec.received[0].0, 50.0);
+    }
+
+    #[test]
+    fn partition_drops_messages_both_ways_then_heals() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(Some(Address::Resource(0))), 10.0, 0.0);
+        let plan = FaultPlan::new().partition(
+            15.0,
+            30.0,
+            vec![Address::Resource(0)],
+            vec![Address::Controller(0)],
+        );
+        rt.schedule_faults(&plan);
+        rt.run_until(100.0);
+        // Ticks at 20, 30, 40 fall inside [15, 45): 2 actors × 3 ticks.
+        assert_eq!(rt.dropped_by_partition(), 6);
+        assert!(!rt.is_partitioned(Address::Resource(0), Address::Controller(0)));
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        // 10 ticks total, 3 partitioned away.
+        assert_eq!(rec.received.len(), 7);
+    }
+
+    #[test]
+    fn in_flight_messages_survive_partition_onset() {
+        // A message sent at t=0 with delay 10 is in flight when the
+        // partition starts at t=5; like a real network, it still arrives.
+        let mut rt = VirtualRuntime::new(NetworkModel::lossy(10.0, 0.0, 0.0), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 100.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        let plan = FaultPlan::new().partition(
+            5.0,
+            50.0,
+            vec![Address::Resource(0)],
+            vec![Address::Controller(0)],
+        );
+        rt.schedule_faults(&plan);
+        rt.run_until(200.0);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        let times: Vec<f64> = rec.received.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![10.0, 110.0], "t=0 send arrives; t=100 (partitioned) dropped");
+        assert_eq!(rt.dropped_by_partition(), 0, "t=100 send is after heal at t=55");
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The distributed-LLA facade over the virtual-time runtime.
 
-use crate::agents::{ResourceAgent, SharedLats, TaskController};
+use crate::agents::{
+    CheckpointStore, ControlPlaneAgent, ResourceAgent, RobustnessConfig, SharedLats, TaskController,
+};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::network::NetworkModel;
 use crate::protocol::{Address, Message};
 use crate::runtime::VirtualRuntime;
@@ -32,6 +35,11 @@ pub struct DistConfig {
     /// agents entirely — a deterministic emulation of fully asynchronous
     /// operation.
     pub tick_jitter: f64,
+    /// Fault-tolerance configuration for every agent (checkpoints,
+    /// staleness TTL, control-plane retransmission). The default disables
+    /// checkpointing and staleness degradation, preserving bit-equivalence
+    /// with the centralized optimizer.
+    pub robustness: RobustnessConfig,
 }
 
 impl Default for DistConfig {
@@ -43,12 +51,14 @@ impl Default for DistConfig {
             seed: 0,
             round_length: 10.0,
             tick_jitter: 0.0,
+            robustness: RobustnessConfig::default(),
         }
     }
 }
 
 /// A full distributed deployment of LLA: one price agent per resource, one
-/// controller per task, exchanging messages over a simulated network.
+/// controller per task, and a control-plane agent, exchanging messages
+/// over a simulated network.
 ///
 /// # Example
 /// ```
@@ -68,16 +78,22 @@ pub struct DistributedLla {
     problem: Arc<Problem>,
     runtime: VirtualRuntime,
     telemetry: SharedLats,
+    checkpoints: CheckpointStore,
     config: DistConfig,
     rounds: usize,
     utilities: Vec<f64>,
+    /// `(at, resource, availability)` of scheduled availability faults not
+    /// yet reflected in the facade's own problem copy.
+    pending_availability: Vec<(f64, usize, f64)>,
 }
 
 impl DistributedLla {
-    /// Deploys agents for every resource and task of `problem`.
+    /// Deploys agents for every resource and task of `problem`, plus the
+    /// control-plane agent.
     pub fn new(problem: Problem, config: DistConfig) -> Self {
         let problem = Arc::new(problem);
         let telemetry: SharedLats = Arc::new(Mutex::new(problem.initial_allocation()));
+        let checkpoints = CheckpointStore::new();
         let mut runtime = VirtualRuntime::new(config.network, config.seed);
 
         use rand::{Rng, SeedableRng};
@@ -100,13 +116,17 @@ impl DistributedLla {
             let (interval, phase) = jittered(controller_phase);
             runtime.register(
                 Address::Controller(t),
-                Box::new(TaskController::new(
-                    t,
-                    (*problem).clone(),
-                    config.step_policy,
-                    config.allocation,
-                    Arc::clone(&telemetry),
-                )),
+                Box::new(
+                    TaskController::new(
+                        t,
+                        (*problem).clone(),
+                        config.step_policy,
+                        config.allocation,
+                        Arc::clone(&telemetry),
+                    )
+                    .with_robustness(config.robustness)
+                    .with_checkpoints(checkpoints.clone()),
+                ),
                 interval,
                 phase,
             );
@@ -115,18 +135,65 @@ impl DistributedLla {
             let (interval, phase) = jittered(resource_phase);
             runtime.register(
                 Address::Resource(r),
-                Box::new(ResourceAgent::new(r, (*problem).clone(), config.step_policy)),
+                Box::new(
+                    ResourceAgent::new(r, (*problem).clone(), config.step_policy)
+                        .with_robustness(config.robustness),
+                ),
                 interval,
                 phase,
             );
         }
+        // The control plane ticks at the retransmission interval; idle it
+        // sends nothing, so fault-free runs are unaffected.
+        runtime.register(
+            Address::ControlPlane,
+            Box::new(ControlPlaneAgent::new(problem.tasks().len())),
+            config.robustness.retransmit_interval,
+            0.5 * config.round_length,
+        );
 
-        DistributedLla { problem, runtime, telemetry, config, rounds: 0, utilities: Vec::new() }
+        DistributedLla {
+            problem,
+            runtime,
+            telemetry,
+            checkpoints,
+            config,
+            rounds: 0,
+            utilities: Vec::new(),
+            pending_availability: Vec::new(),
+        }
     }
 
     /// The deployed problem.
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// The underlying virtual runtime (fault counters, clock).
+    pub fn runtime(&self) -> &VirtualRuntime {
+        &self.runtime
+    }
+
+    /// Mutable access to the runtime — for inspecting agents via
+    /// [`VirtualRuntime::actor_as`] in tests and drivers.
+    pub fn runtime_mut(&mut self) -> &mut VirtualRuntime {
+        &mut self.runtime
+    }
+
+    /// The stable store the controllers checkpoint into.
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+
+    /// Schedules a fault plan on the runtime's virtual clock. Faults fire
+    /// as their times are reached by [`run_rounds`](Self::run_rounds).
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for event in plan.events() {
+            if let FaultKind::SetAvailability { resource, availability } = event.kind {
+                self.pending_availability.push((event.at, resource, availability));
+            }
+        }
+        self.runtime.schedule_faults(plan);
     }
 
     /// Runs `n` protocol rounds, recording the system utility after each.
@@ -135,7 +202,21 @@ impl DistributedLla {
             self.rounds += 1;
             let t_end = self.rounds as f64 * self.config.round_length;
             self.runtime.run_until(t_end);
-            self.utilities.push(self.utility());
+            // Mirror fired availability faults into the facade's problem
+            // copy, so feasibility/usage reporting sees them.
+            let problem = Arc::make_mut(&mut self.problem);
+            self.pending_availability.retain(|&(at, resource, availability)| {
+                if at < t_end {
+                    problem.set_resource_availability(
+                        problem.resources()[resource].id(),
+                        availability,
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+            self.utilities.push(self.problem.total_utility(&self.telemetry.lock()));
         }
     }
 
@@ -169,14 +250,26 @@ impl DistributedLla {
         self.runtime.messages_dropped()
     }
 
-    /// Announces a change of resource availability to every agent (the
-    /// control-plane message of a failure or a new reservation). Delivery
-    /// is immediate and reliable — availability changes are assumed to
-    /// come from the local node's management plane, not the emulated
-    /// network. LLA re-converges from the current prices.
+    /// Announces a change of resource availability through the
+    /// control-plane agent: the update is assigned a sequence number and
+    /// disseminated over the (possibly lossy) network with
+    /// retransmit-until-ack, so it reaches every agent even under heavy
+    /// loss. LLA re-converges from the current prices.
     pub fn set_resource_availability(&mut self, r: ResourceId, availability: f64) {
         Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
-        let msg = Message::AvailabilityUpdate { resource: r.index(), availability };
+        self.runtime.inject(
+            Address::ControlPlane,
+            Message::AvailabilityUpdate { resource: r.index(), availability, seq: 0 },
+        );
+    }
+
+    /// Announces a change of resource availability out of band: delivered
+    /// to every agent immediately and reliably, bypassing both the network
+    /// model and the control plane. This is the idealized baseline the
+    /// reliable path is tested against.
+    pub fn set_resource_availability_bypass(&mut self, r: ResourceId, availability: f64) {
+        Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
+        let msg = Message::AvailabilityUpdate { resource: r.index(), availability, seq: 0 };
         self.runtime.inject(Address::Resource(r.index()), msg.clone());
         for t in 0..self.problem.tasks().len() {
             self.runtime.inject(Address::Controller(t), msg.clone());
@@ -187,7 +280,9 @@ impl DistributedLla {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lla_core::{Optimizer, OptimizerConfig, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId};
+    use lla_core::{
+        Optimizer, OptimizerConfig, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId,
+    };
 
     fn problem() -> Problem {
         let resources = vec![
@@ -240,11 +335,7 @@ mod tests {
     fn lossy_network_still_converges_close() {
         let mut dist = DistributedLla::new(
             problem(),
-            DistConfig {
-                network: NetworkModel::lossy(0.5, 1.0, 0.1),
-                seed: 11,
-                ..config()
-            },
+            DistConfig { network: NetworkModel::lossy(0.5, 1.0, 0.1), seed: 11, ..config() },
         );
         dist.run_rounds(1_500);
         assert!(dist.messages_dropped() > 0, "loss model must be active");
@@ -271,11 +362,7 @@ mod tests {
         // One-round delays => agents work with stale prices.
         let mut dist = DistributedLla::new(
             problem(),
-            DistConfig {
-                network: NetworkModel::lossy(12.0, 5.0, 0.0),
-                seed: 3,
-                ..config()
-            },
+            DistConfig { network: NetworkModel::lossy(12.0, 5.0, 0.0), seed: 3, ..config() },
         );
         dist.run_rounds(1_500);
         assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
@@ -290,10 +377,7 @@ mod tests {
         dist.set_resource_availability(ResourceId::new(0), 0.5);
         dist.run_rounds(1_500);
         let after = dist.utility();
-        assert!(
-            after <= before + 1e-6,
-            "losing capacity cannot raise utility: {after} > {before}"
-        );
+        assert!(after <= before + 1e-6, "losing capacity cannot raise utility: {after} > {before}");
         // The new allocation respects the reduced availability.
         let alloc = dist.allocation();
         let usage = dist.problem().resource_usage(ResourceId::new(0), alloc.lats());
@@ -320,6 +404,26 @@ mod tests {
     }
 
     #[test]
+    fn reliable_path_matches_bypass_on_perfect_network() {
+        // Over a perfect network the control-plane dissemination applies
+        // the update at the same virtual instant as the out-of-band
+        // bypass, so the runs stay bit-equal round by round.
+        let mut reliable = DistributedLla::new(problem(), config());
+        let mut bypass = DistributedLla::new(problem(), config());
+        reliable.run_rounds(400);
+        bypass.run_rounds(400);
+        reliable.set_resource_availability(ResourceId::new(0), 0.5);
+        bypass.set_resource_availability_bypass(ResourceId::new(0), 0.5);
+        reliable.run_rounds(400);
+        bypass.run_rounds(400);
+        for (round, (a, b)) in
+            reliable.utilities().iter().zip(bypass.utilities().iter()).enumerate()
+        {
+            assert!((a - b).abs() < 1e-12, "round {round}: reliable {a} != bypass {b}");
+        }
+    }
+
+    #[test]
     fn desynchronized_ticks_still_converge() {
         // Fully asynchronous agents: every interval and phase jittered by
         // up to 40% of a round. Prices and latencies are arbitrarily stale
@@ -327,13 +431,16 @@ mod tests {
         // feasible allocation near the synchronous optimum.
         let mut sync = DistributedLla::new(problem(), config());
         sync.run_rounds(2_000);
-        let mut async_ = DistributedLla::new(
-            problem(),
-            DistConfig { tick_jitter: 0.4, seed: 5, ..config() },
-        );
+        let mut async_ =
+            DistributedLla::new(problem(), DistConfig { tick_jitter: 0.4, seed: 5, ..config() });
         async_.run_rounds(2_000);
         let gap = (async_.utility() - sync.utility()).abs() / sync.utility().abs().max(1.0);
-        assert!(gap < 0.05, "async gap {gap} too large: {} vs {}", async_.utility(), sync.utility());
+        assert!(
+            gap < 0.05,
+            "async gap {gap} too large: {} vs {}",
+            async_.utility(),
+            sync.utility()
+        );
         assert!(async_.problem().is_feasible(async_.allocation().lats(), 1e-2));
     }
 
@@ -342,8 +449,24 @@ mod tests {
         let mut dist = DistributedLla::new(problem(), config());
         dist.run_rounds(10);
         // Per round: 2 controllers × 2 latency msgs + 2 resources × (tasks
-        // hosted) price msgs = 4 + 4.
+        // hosted) price msgs = 4 + 4. The idle control plane sends nothing.
         assert_eq!(dist.messages_sent(), 80);
         assert_eq!(dist.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn scheduled_availability_fault_reaches_facade_problem() {
+        let mut dist = DistributedLla::new(problem(), config());
+        let plan = FaultPlan::new().set_availability(95.0, 0, 0.5);
+        dist.schedule_faults(&plan);
+        dist.run_rounds(8);
+        assert!(
+            (dist.problem().resources()[0].availability() - 1.0).abs() < 1e-12,
+            "fault at 95 must not fire before round 10"
+        );
+        dist.run_rounds(800);
+        assert!((dist.problem().resources()[0].availability() - 0.5).abs() < 1e-12);
+        let usage = dist.problem().resource_usage(ResourceId::new(0), dist.allocation().lats());
+        assert!(usage <= 0.5 + 1e-3, "usage {usage} exceeds degraded availability");
     }
 }

@@ -26,7 +26,9 @@ enum Ctl {
     /// Drain the inbox, tick once, confirm.
     Tick,
     /// Drain the inbox, tick, repeat freely every `interval` until `Stop`.
-    Free { interval: Duration },
+    Free {
+        interval: Duration,
+    },
     Stop,
 }
 
@@ -266,7 +268,9 @@ impl Drop for ThreadedLla {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lla_core::{Optimizer, OptimizerConfig, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId};
+    use lla_core::{
+        Optimizer, OptimizerConfig, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId,
+    };
 
     fn problem() -> Problem {
         let resources = vec![

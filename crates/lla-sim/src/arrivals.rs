@@ -30,11 +30,7 @@ impl ArrivalProcess {
     /// Poisson interarrivals (periodic and bursty processes are
     /// deterministic).
     pub fn new(spec: TriggerSpec, seed: u64) -> Self {
-        ArrivalProcess {
-            spec,
-            rng: StdRng::seed_from_u64(seed),
-            next_time: 0.0,
-        }
+        ArrivalProcess { spec, rng: StdRng::seed_from_u64(seed), next_time: 0.0 }
     }
 
     /// The time of the next batch without consuming it.
@@ -109,10 +105,7 @@ mod tests {
             last = a.next_batch().0;
         }
         let measured = (n as f64 - 1.0) / last;
-        assert!(
-            (measured - rate).abs() / rate < 0.05,
-            "measured rate {measured} vs {rate}"
-        );
+        assert!((measured - rate).abs() / rate < 0.05, "measured rate {measured} vs {rate}");
     }
 
     #[test]

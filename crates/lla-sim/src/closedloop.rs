@@ -201,9 +201,7 @@ impl ClosedLoop {
                 let stats = self.simulator.subtask_stats(t, s);
                 let q = stats.quantile_estimate();
                 row.push(q.unwrap_or(f64::NAN));
-                if self.config.correction_enabled
-                    && stats.count() >= self.config.min_samples
-                {
+                if self.config.correction_enabled && stats.count() >= self.config.min_samples {
                     if let Some(q) = q {
                         let sid = task.subtask_id(s);
                         let model = problem.share_model(sid);
@@ -389,11 +387,7 @@ mod tests {
         let last = cl.history().last().unwrap();
         // The worst-case model over-predicts under unsynchronized releases:
         // corrections should be negative for at least some subtasks.
-        let any_negative = last
-            .corrections
-            .iter()
-            .flatten()
-            .any(|&e| e < -0.1);
+        let any_negative = last.corrections.iter().flatten().any(|&e| e < -0.1);
         assert!(any_negative, "expected negative corrections, got {:?}", last.corrections);
     }
 

@@ -58,10 +58,7 @@ impl PsResource {
             availability > 0.0 && availability <= 1.0,
             "availability must be in (0, 1], got {availability}"
         );
-        PsResource {
-            sessions: Vec::new(),
-            background_weight: 1.0 - availability,
-        }
+        PsResource { sessions: Vec::new(), background_weight: 1.0 - availability }
     }
 
     /// Adds a session with the given initial share; returns its index.
@@ -113,22 +110,12 @@ impl PsResource {
     /// The instantaneous service rate of each session's head job
     /// (0 for idle sessions).
     pub fn rates(&self) -> Vec<f64> {
-        let total: f64 = self
-            .sessions
-            .iter()
-            .filter(|s| !s.queue.is_empty())
-            .map(|s| s.share)
-            .sum::<f64>()
-            + self.background_weight;
+        let total: f64 =
+            self.sessions.iter().filter(|s| !s.queue.is_empty()).map(|s| s.share).sum::<f64>()
+                + self.background_weight;
         self.sessions
             .iter()
-            .map(|s| {
-                if s.queue.is_empty() || total <= 0.0 {
-                    0.0
-                } else {
-                    s.share / total
-                }
-            })
+            .map(|s| if s.queue.is_empty() || total <= 0.0 { 0.0 } else { s.share / total })
             .collect()
     }
 

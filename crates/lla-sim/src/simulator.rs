@@ -156,9 +156,7 @@ impl Simulator {
             .map(|t| {
                 (0..t.len())
                     .map(|s| {
-                        let q = match t
-                            .percentile()
-                            .per_subtask(t.graph().max_path_len_through(s))
+                        let q = match t.percentile().per_subtask(t.graph().max_path_len_through(s))
                         {
                             Some(p) => (p / 100.0).clamp(0.01, 0.999),
                             None => config.quantile,
@@ -291,11 +289,8 @@ impl Simulator {
     /// Runs the simulation until `t_end` (absolute simulation time).
     pub fn run_until(&mut self, t_end: f64) {
         while self.now < t_end - TIME_EPS {
-            let t_arr = self
-                .arrivals
-                .iter()
-                .map(ArrivalProcess::peek)
-                .fold(f64::INFINITY, f64::min);
+            let t_arr =
+                self.arrivals.iter().map(ArrivalProcess::peek).fold(f64::INFINITY, f64::min);
             let t_comp = self
                 .resources
                 .iter()
@@ -361,10 +356,8 @@ impl Simulator {
 
         // Release successors whose predecessors are all complete.
         for &succ in &successors {
-            let ready = self
-                .in_flight
-                .get(&job.set_id)
-                .is_some_and(|set| set.pending_preds[succ] == 0);
+            let ready =
+                self.in_flight.get(&job.set_id).is_some_and(|set| set.pending_preds[succ] == 0);
             if ready {
                 self.release(job.set_id, t, succ);
             }
@@ -506,8 +499,7 @@ mod tests {
         let a = b.subtask("a", ResourceId::new(0), 3.0);
         let c = b.subtask("b", ResourceId::new(1), 2.0);
         b.edge(a, c).unwrap();
-        b.critical_time(1000.0)
-            .trigger(TriggerSpec::Periodic { period: 50.0 });
+        b.critical_time(1000.0).trigger(TriggerSpec::Periodic { period: 50.0 });
         let p = Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap();
         let mut sim = Simulator::new(p, &[vec![0.5, 0.5]], SimConfig::default());
         sim.run_until(500.0);
@@ -518,17 +510,15 @@ mod tests {
 
     #[test]
     fn fanout_completes_when_all_leaves_finish() {
-        let resources: Vec<Resource> = (0..3)
-            .map(|i| Resource::new(ResourceId::new(i), ResourceKind::Cpu))
-            .collect();
+        let resources: Vec<Resource> =
+            (0..3).map(|i| Resource::new(ResourceId::new(i), ResourceKind::Cpu)).collect();
         let mut b = TaskBuilder::new("fan");
         let root = b.subtask("r", ResourceId::new(0), 1.0);
         let l1 = b.subtask("l1", ResourceId::new(1), 2.0);
         let l2 = b.subtask("l2", ResourceId::new(2), 7.0);
         b.edge(root, l1).unwrap();
         b.edge(root, l2).unwrap();
-        b.critical_time(1000.0)
-            .trigger(TriggerSpec::Periodic { period: 100.0 });
+        b.critical_time(1000.0).trigger(TriggerSpec::Periodic { period: 100.0 });
         let p = Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap();
         let mut sim = Simulator::new(p, &[vec![0.9, 0.9, 0.9]], SimConfig::default());
         sim.run_until(300.0);
@@ -577,8 +567,7 @@ mod tests {
         let resources = vec![Resource::new(ResourceId::new(0), ResourceKind::Cpu)];
         let mut b = TaskBuilder::new("burst");
         b.subtask("s", ResourceId::new(0), 1.0);
-        b.critical_time(1000.0)
-            .trigger(TriggerSpec::Bursty { period: 100.0, burst: 4 });
+        b.critical_time(1000.0).trigger(TriggerSpec::Bursty { period: 100.0, burst: 4 });
         let p = Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap();
         let mut sim = Simulator::new(p, &[vec![1.0]], SimConfig::default());
         sim.run_until(100.0);
@@ -596,8 +585,7 @@ mod tests {
         for i in 0..2 {
             let mut b = TaskBuilder::new(format!("t{i}"));
             b.subtask("s", ResourceId::new(0), 5.0);
-            b.critical_time(10_000.0)
-                .trigger(TriggerSpec::Periodic { period: 20.0 });
+            b.critical_time(10_000.0).trigger(TriggerSpec::Periodic { period: 20.0 });
             tasks.push(b.build(TaskId::new(i)).unwrap());
         }
         let p = Problem::new(resources, tasks).unwrap();
@@ -626,8 +614,11 @@ mod tests {
                 .percentile(spec);
             Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap()
         };
-        let mut median_sim =
-            Simulator::new(build(PercentileSpec::Percentile(50.0)), &[vec![1.0]], SimConfig::default());
+        let mut median_sim = Simulator::new(
+            build(PercentileSpec::Percentile(50.0)),
+            &[vec![1.0]],
+            SimConfig::default(),
+        );
         let mut worst_sim =
             Simulator::new(build(PercentileSpec::WorstCase), &[vec![1.0]], SimConfig::default());
         median_sim.run_until(20_000.0);

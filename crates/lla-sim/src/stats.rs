@@ -116,12 +116,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let sign = d.signum();
                 let candidate = self.parabolic(i, sign);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += sign;
             }
@@ -390,10 +390,7 @@ mod tests {
         }
         let exact = exact_quantile(&mut data, 0.5);
         let approx = est.estimate().unwrap();
-        assert!(
-            (approx - exact).abs() < 1.5,
-            "P2 median {approx} too far from exact {exact}"
-        );
+        assert!((approx - exact).abs() < 1.5, "P2 median {approx} too far from exact {exact}");
     }
 
     #[test]
@@ -410,10 +407,7 @@ mod tests {
         let exact = exact_quantile(&mut data, 0.9);
         let approx = est.estimate().unwrap();
         // Theoretical p90 of Exp(10) is 10*ln(10) ≈ 23.03.
-        assert!(
-            (approx - exact).abs() / exact < 0.05,
-            "P2 p90 {approx} vs exact {exact}"
-        );
+        assert!((approx - exact).abs() / exact < 0.05, "P2 p90 {approx} vs exact {exact}");
     }
 
     #[test]
@@ -430,11 +424,7 @@ mod tests {
             q50.observe(x);
             q99.observe(x);
         }
-        let (a, b, c) = (
-            q10.estimate().unwrap(),
-            q50.estimate().unwrap(),
-            q99.estimate().unwrap(),
-        );
+        let (a, b, c) = (q10.estimate().unwrap(), q50.estimate().unwrap(), q99.estimate().unwrap());
         assert!(a <= b && b <= c, "quantiles not monotone: {a} {b} {c}");
     }
 

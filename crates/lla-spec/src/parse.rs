@@ -30,10 +30,9 @@ impl<'a> Pairs<'a> {
     fn new(line: usize, tokens: &[&'a str], allowed: &[&str]) -> Result<Self, SpecError> {
         let mut map = HashMap::new();
         for token in tokens {
-            let (k, v) = token.split_once('=').ok_or_else(|| SpecError::MalformedPair {
-                line,
-                token: token.to_string(),
-            })?;
+            let (k, v) = token
+                .split_once('=')
+                .ok_or_else(|| SpecError::MalformedPair { line, token: token.to_string() })?;
             if !allowed.contains(&k) {
                 return Err(SpecError::UnknownKey { line, key: k.to_string() });
             }
@@ -113,10 +112,7 @@ impl Parser {
                 "edge" => self.edge(line, &tokens[1..])?,
                 "chain" => self.chain(line, &tokens[1..])?,
                 other => {
-                    return Err(SpecError::UnknownDeclaration {
-                        line,
-                        keyword: other.to_string(),
-                    })
+                    return Err(SpecError::UnknownDeclaration { line, keyword: other.to_string() })
                 }
             }
         }
@@ -125,10 +121,8 @@ impl Parser {
     }
 
     fn resource(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
-        let name = tokens
-            .first()
-            .copied()
-            .ok_or(SpecError::MissingField { line, field: "name" })?;
+        let name =
+            tokens.first().copied().ok_or(SpecError::MissingField { line, field: "name" })?;
         if self.resource_names.contains_key(name) {
             return Err(SpecError::DuplicateName { line, name: name.to_string() });
         }
@@ -153,16 +147,26 @@ impl Parser {
 
     fn task(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
         self.finish_task()?;
-        let name = tokens
-            .first()
-            .copied()
-            .ok_or(SpecError::MissingField { line, field: "name" })?;
+        let name =
+            tokens.first().copied().ok_or(SpecError::MissingField { line, field: "name" })?;
         let pairs = Pairs::new(
             line,
             &tokens[1..],
             &[
-                "critical", "utility", "k", "umax", "sharpness", "offset", "lin", "quad",
-                "trigger", "period", "rate", "burst", "aggregation", "percentile",
+                "critical",
+                "utility",
+                "k",
+                "umax",
+                "sharpness",
+                "offset",
+                "lin",
+                "quad",
+                "trigger",
+                "period",
+                "rate",
+                "burst",
+                "aggregation",
+                "percentile",
             ],
         )?;
         let critical = pairs.required_float("critical")?;
@@ -229,36 +233,25 @@ impl Parser {
             .trigger(trigger)
             .aggregation(aggregation)
             .percentile(percentile);
-        self.current = Some(PendingTask {
-            line,
-            builder,
-            subtask_names: HashMap::new(),
-            has_subtask: false,
-        });
+        self.current =
+            Some(PendingTask { line, builder, subtask_names: HashMap::new(), has_subtask: false });
         Ok(())
     }
 
     fn subtask(&mut self, line: usize, tokens: &[&str]) -> Result<(), SpecError> {
-        let name = tokens
-            .first()
-            .copied()
-            .ok_or(SpecError::MissingField { line, field: "name" })?;
+        let name =
+            tokens.first().copied().ok_or(SpecError::MissingField { line, field: "name" })?;
         let pairs = Pairs::new(line, &tokens[1..], &["resource", "exec", "max_latency"])?;
         let resource_name =
             pairs.str("resource").ok_or(SpecError::MissingField { line, field: "resource" })?;
-        let resource =
-            *self.resource_names.get(resource_name).ok_or_else(|| SpecError::UnknownName {
-                line,
-                entity: "resource",
-                name: resource_name.to_string(),
-            })?;
+        let resource = *self.resource_names.get(resource_name).ok_or_else(|| {
+            SpecError::UnknownName { line, entity: "resource", name: resource_name.to_string() }
+        })?;
         let exec = pairs.required_float("exec")?;
         let cap = pairs.float("max_latency")?;
 
-        let task = self
-            .current
-            .as_mut()
-            .ok_or(SpecError::OutsideTask { line, keyword: "subtask" })?;
+        let task =
+            self.current.as_mut().ok_or(SpecError::OutsideTask { line, keyword: "subtask" })?;
         if task.subtask_names.contains_key(name) {
             return Err(SpecError::DuplicateName { line, name: name.to_string() });
         }
@@ -272,10 +265,7 @@ impl Parser {
     }
 
     fn resolve(&self, line: usize, name: &str) -> Result<usize, SpecError> {
-        let task = self
-            .current
-            .as_ref()
-            .ok_or(SpecError::OutsideTask { line, keyword: "edge" })?;
+        let task = self.current.as_ref().ok_or(SpecError::OutsideTask { line, keyword: "edge" })?;
         task.subtask_names.get(name).copied().ok_or_else(|| SpecError::UnknownName {
             line,
             entity: "subtask",
@@ -298,10 +288,8 @@ impl Parser {
         if tokens.len() < 2 {
             return Err(SpecError::MissingField { line, field: "chain members" });
         }
-        let indices: Vec<usize> = tokens
-            .iter()
-            .map(|t| self.resolve(line, t))
-            .collect::<Result<_, _>>()?;
+        let indices: Vec<usize> =
+            tokens.iter().map(|t| self.resolve(line, t)).collect::<Result<_, _>>()?;
         let task = self.current.as_mut().expect("checked by resolve");
         task.builder.chain(&indices)?;
         Ok(())
@@ -382,7 +370,9 @@ task batch critical=80 utility=negative_latency trigger=poisson rate=0.01 aggreg
 
     #[test]
     fn percentile_value_parses() {
-        let p = parse("resource r\ntask t critical=40 percentile=99\n subtask s resource=r exec=1\n").unwrap();
+        let p =
+            parse("resource r\ntask t critical=40 percentile=99\n subtask s resource=r exec=1\n")
+                .unwrap();
         assert_eq!(p.tasks()[0].percentile(), PercentileSpec::Percentile(99.0));
     }
 
@@ -406,10 +396,9 @@ task batch critical=80 utility=negative_latency trigger=poisson rate=0.01 aggreg
 
     #[test]
     fn unknown_subtask_in_edge_rejected() {
-        let e = parse(
-            "resource r\ntask t critical=10\n subtask a resource=r exec=1\n edge a ghost\n",
-        )
-        .unwrap_err();
+        let e =
+            parse("resource r\ntask t critical=10\n subtask a resource=r exec=1\n edge a ghost\n")
+                .unwrap_err();
         assert!(matches!(e, SpecError::UnknownName { entity: "subtask", .. }));
     }
 
@@ -450,8 +439,10 @@ task batch critical=80 utility=negative_latency trigger=poisson rate=0.01 aggreg
 
     #[test]
     fn empty_task_rejected() {
-        let e = parse("resource r\ntask t critical=10\ntask u critical=10\n subtask s resource=r exec=1\n")
-            .unwrap_err();
+        let e = parse(
+            "resource r\ntask t critical=10\ntask u critical=10\n subtask s resource=r exec=1\n",
+        )
+        .unwrap_err();
         assert!(matches!(e, SpecError::MissingField { line: 2, field: "subtask" }));
     }
 

@@ -102,9 +102,7 @@ pub fn write(problem: &Problem) -> String {
 /// Names are whitespace-delimited tokens in the format; replace anything
 /// that would break tokenization.
 fn sanitize(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_whitespace() || c == '#' || c == '=' { '_' } else { c })
-        .collect()
+    name.chars().map(|c| if c.is_whitespace() || c == '#' || c == '=' { '_' } else { c }).collect()
 }
 
 #[cfg(test)]

@@ -47,11 +47,8 @@ pub const BASE_LAG_MS: f64 = 1.0;
 pub const BASE_CRITICAL_TIMES: [f64; 3] = [45.0, 76.0, 53.0];
 
 /// Table 1 resource assignment of every subtask of the three base tasks.
-pub const BASE_RESOURCES: [&[usize]; 3] = [
-    &[0, 1, 2, 3, 4, 5, 6],
-    &[0, 1, 2, 4, 5, 6, 3, 7],
-    &[0, 1, 2, 4, 6, 7],
-];
+pub const BASE_RESOURCES: [&[usize]; 3] =
+    [&[0, 1, 2, 3, 4, 5, 6], &[0, 1, 2, 4, 5, 6, 3, 7], &[0, 1, 2, 4, 6, 7]];
 
 /// Table 1 execution times (ms) of every subtask of the three base tasks.
 pub const BASE_EXEC_TIMES: [&[f64]; 3] = [
@@ -92,11 +89,7 @@ fn base_task(
 ) -> Result<Task, ModelError> {
     let names = ["push-multicast", "complex-pull", "client-server"];
     let mut b = TaskBuilder::new(names[index]);
-    for (j, (&r, &c)) in BASE_RESOURCES[index]
-        .iter()
-        .zip(BASE_EXEC_TIMES[index])
-        .enumerate()
-    {
+    for (j, (&r, &c)) in BASE_RESOURCES[index].iter().zip(BASE_EXEC_TIMES[index]).enumerate() {
         b.subtask(format!("T{}{}", index + 1, j + 1), ResourceId::new(r), c);
     }
     for &(a, c) in BASE_EDGES[index] {

@@ -253,9 +253,8 @@ impl RandomWorkloadConfig {
         resources.shuffle(rng);
 
         let (lo, hi) = self.exec_time_range;
-        let exec_times: Vec<f64> = (0..n)
-            .map(|_| if lo == hi { lo } else { rng.gen_range(lo..hi) })
-            .collect();
+        let exec_times: Vec<f64> =
+            (0..n).map(|_| if lo == hi { lo } else { rng.gen_range(lo..hi) }).collect();
 
         Ok(TaskDraft { resources, exec_times, edges })
     }
@@ -360,9 +359,7 @@ mod tests {
         assert!(RandomWorkloadConfig { min_subtasks: 5, max_subtasks: 3, ..base }
             .generate()
             .is_err());
-        assert!(RandomWorkloadConfig { exec_time_range: (0.0, 1.0), ..base }
-            .generate()
-            .is_err());
+        assert!(RandomWorkloadConfig { exec_time_range: (0.0, 1.0), ..base }.generate().is_err());
     }
 
     #[test]

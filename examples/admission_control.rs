@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\nadmitted {admitted} extra monitors; final system has {} tasks", problem.tasks().len());
+    println!(
+        "\nadmitted {admitted} extra monitors; final system has {} tasks",
+        problem.tasks().len()
+    );
     let mut opt = Optimizer::new(problem, admission.schedulability.optimizer);
     let outcome = opt.run_to_convergence(10_000);
     println!(

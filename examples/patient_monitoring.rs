@@ -84,11 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // Deadline safety throughout: the alerting task must never miss.
     for rec in loop_.history() {
-        assert!(
-            rec.miss_rate[0] < 0.01,
-            "alerting deadline misses appeared: {:?}",
-            rec.miss_rate
-        );
+        assert!(rec.miss_rate[0] < 0.01, "alerting deadline misses appeared: {:?}", rec.miss_rate);
     }
     assert!(trends_share_after > trends_share_before);
 

@@ -45,8 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alloc = opt.allocation();
     for task in opt.problem().tasks() {
         let shares = alloc.shares(opt.problem(), task);
-        println!("task {:>8}: deadline {:>5.1}ms, end-to-end {:>5.1}ms", task.name(),
-            task.critical_time(), alloc.task_latency(task));
+        println!(
+            "task {:>8}: deadline {:>5.1}ms, end-to-end {:>5.1}ms",
+            task.name(),
+            task.critical_time(),
+            alloc.task_latency(task)
+        );
         for (s, sub) in task.subtasks().iter().enumerate() {
             println!(
                 "    {:>8} on {}: latency {:>5.1}ms, share {:.3}",

@@ -24,8 +24,7 @@ fn workload(n: usize, deadline: f64) -> Problem {
         let a = b.subtask("stage0", ResourceId::new(0), 2.0);
         let c = b.subtask("stage1", ResourceId::new(1), 3.0);
         b.edge(a, c).expect("valid indices");
-        b.critical_time(deadline)
-            .utility(UtilityFn::linear_for_deadline(2.0, deadline));
+        b.critical_time(deadline).utility(UtilityFn::linear_for_deadline(2.0, deadline));
         tasks.push(b.build(TaskId::new(i)).expect("valid task"));
     }
     Problem::new(resources, tasks).expect("valid problem")

@@ -9,15 +9,22 @@
 //!
 //! Run with `cargo run --example sensor_fusion`.
 
-use lla::core::{Optimizer, OptimizerConfig, Problem, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId, UtilityFn};
+use lla::core::{
+    Optimizer, OptimizerConfig, Problem, Resource, ResourceId, ResourceKind, TaskBuilder, TaskId,
+    UtilityFn,
+};
 use lla::dist::{DistConfig, DistributedLla, NetworkModel};
 
 fn build_problem() -> Result<Problem, Box<dyn std::error::Error>> {
     let resources = vec![
         Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0).with_name("gateway"),
-        Resource::new(ResourceId::new(1), ResourceKind::NetworkLink).with_lag(0.5).with_name("uplink"),
+        Resource::new(ResourceId::new(1), ResourceKind::NetworkLink)
+            .with_lag(0.5)
+            .with_name("uplink"),
         Resource::new(ResourceId::new(2), ResourceKind::Cpu).with_lag(1.0).with_name("fusion-node"),
-        Resource::new(ResourceId::new(3), ResourceKind::NetworkLink).with_lag(0.5).with_name("downlink"),
+        Resource::new(ResourceId::new(3), ResourceKind::NetworkLink)
+            .with_lag(0.5)
+            .with_name("downlink"),
     ];
 
     // Fusion task: request -> fetch -> fuse -> {alert, archive}.

@@ -104,11 +104,8 @@ fn availability_drop_is_absorbed() {
     let problem = two_pipeline_problem(40.0);
     let mut opt = Optimizer::new(problem.clone(), opt_config());
     opt.run_to_convergence(5_000);
-    let shares0: Vec<Vec<f64>> = problem
-        .tasks()
-        .iter()
-        .map(|t| opt.allocation().shares(&problem, t))
-        .collect();
+    let shares0: Vec<Vec<f64>> =
+        problem.tasks().iter().map(|t| opt.allocation().shares(&problem, t)).collect();
     let mut sim = Simulator::new(problem.clone(), &shares0, SimConfig::default());
     sim.run_for(5_000.0);
     assert_eq!(sim.dropped(), 0);
@@ -117,12 +114,8 @@ fn availability_drop_is_absorbed() {
     opt.set_resource_availability(ResourceId::new(1), 0.6);
     let outcome = opt.run_to_convergence(20_000);
     assert!(outcome.converged, "must re-converge after availability drop: {outcome:?}");
-    let shares1: Vec<Vec<f64>> = opt
-        .problem()
-        .tasks()
-        .iter()
-        .map(|t| opt.allocation().shares(opt.problem(), t))
-        .collect();
+    let shares1: Vec<Vec<f64>> =
+        opt.problem().tasks().iter().map(|t| opt.allocation().shares(opt.problem(), t)).collect();
     let usage: f64 = shares1.iter().map(|row| row[1]).sum();
     assert!(usage <= 0.6 + 1e-6, "new allocation must fit the degraded capacity: {usage}");
     sim.enact_shares(&shares1);
@@ -130,11 +123,7 @@ fn availability_drop_is_absorbed() {
     sim.run_for(10_000.0);
     for t in 0..2 {
         assert!(sim.completions(t) > 0);
-        assert_eq!(
-            sim.deadline_misses(t),
-            0,
-            "task {t} missed deadlines after adaptation"
-        );
+        assert_eq!(sim.deadline_misses(t), 0, "task {t} missed deadlines after adaptation");
     }
 }
 

@@ -122,8 +122,7 @@ fn heavy_loss_degrades_gracefully() {
     dist.run_rounds(4_000);
     assert!(dist.messages_dropped() > 1_000, "loss must actually occur");
 
-    let gap = (dist.utility() - reference.utility()).abs()
-        / reference.utility().abs().max(1.0);
+    let gap = (dist.utility() - reference.utility()).abs() / reference.utility().abs().max(1.0);
     assert!(gap < 0.02, "30% loss should still reach the optimum: gap {gap}");
     assert!(
         dist.problem().is_feasible(dist.allocation().lats(), 2e-2),
@@ -143,6 +142,7 @@ fn cross_round_delay_still_converges() {
             seed: 23,
             round_length: 10.0,
             tick_jitter: 0.0,
+            ..DistConfig::default()
         },
     );
     dist.run_rounds(4_000);
@@ -157,12 +157,10 @@ fn threaded_free_run_is_safe() {
     // Free-running agents on OS threads: the outcome depends on scheduling,
     // so assert robust invariants — the agents actually ran (allocation
     // moved off the initial one) and the utility is sane and bounded.
-    let mut dist = ThreadedLla::new(base_workload(), StepSizePolicy::sign_adaptive(1.0), settings());
+    let mut dist =
+        ThreadedLla::new(base_workload(), StepSizePolicy::sign_adaptive(1.0), settings());
     let initial_alloc = dist.allocation();
-    dist.run_free(
-        std::time::Duration::from_micros(200),
-        std::time::Duration::from_millis(700),
-    );
+    dist.run_free(std::time::Duration::from_micros(200), std::time::Duration::from_millis(700));
     let after_alloc = dist.allocation();
     let after = dist.utility();
     dist.shutdown();

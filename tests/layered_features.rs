@@ -124,8 +124,7 @@ fn admission_fills_until_capacity() {
         let a = b.subtask("a", ResourceId::new(3), 2.0);
         let c = b.subtask("b", ResourceId::new(7), 2.0);
         b.edge(a, c).unwrap();
-        b.critical_time(70.0)
-            .utility(UtilityFn::linear_for_deadline(2.0, 70.0));
+        b.critical_time(70.0).utility(UtilityFn::linear_for_deadline(2.0, 70.0));
         b
     };
 

@@ -1,4 +1,10 @@
-//! Property-based tests over randomly generated workloads and inputs.
+//! Randomized property tests over generated workloads and inputs.
+//!
+//! Formerly written against `proptest`; the offline build environment
+//! cannot fetch it, so the same properties are now driven by an explicit
+//! seeded RNG (the vendored `rand` stub). Every case derives from a fixed
+//! master seed, so failures are exactly reproducible; the case count per
+//! property matches the old `ProptestConfig::with_cases(24)`.
 //!
 //! The random workload generator guarantees schedulability by
 //! construction (a witness allocation exists), so LLA's convergence and
@@ -9,72 +15,73 @@ use lla::core::{
     OptimizerConfig, PriceState, ShareModel, StepSizePolicy, SubtaskGraph, TaskId,
 };
 use lla::workloads::{RandomWorkloadConfig, TaskShape};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn shape_strategy() -> impl Strategy<Value = TaskShape> {
-    prop_oneof![
-        Just(TaskShape::Chain),
-        Just(TaskShape::FanOut),
-        Just(TaskShape::Diamond),
-        Just(TaskShape::RandomDag),
-        Just(TaskShape::Mixed),
-    ]
+const CASES: usize = 24;
+
+/// Per-property master seeds: independent streams, stable across runs.
+fn cases(salt: u64) -> impl Iterator<Item = StdRng> {
+    (0..CASES as u64).map(move |i| StdRng::seed_from_u64(salt.wrapping_mul(0x9e37_79b9) + i))
 }
 
-fn workload_strategy() -> impl Strategy<Value = RandomWorkloadConfig> {
-    (
-        2usize..=8,      // resources
-        1usize..=5,      // tasks
-        shape_strategy(),
-        0.5f64..0.95,    // target load
-        1.2f64..3.0,     // headroom
-        any::<u64>(),    // seed
-    )
-        .prop_map(|(num_resources, num_tasks, shape, target_load, deadline_headroom, seed)| {
-            RandomWorkloadConfig {
-                num_resources,
-                num_tasks,
-                min_subtasks: 2,
-                max_subtasks: 6,
-                shape,
-                exec_time_range: (1.0, 6.0),
-                lag: 1.0,
-                target_load,
-                deadline_headroom,
-                seed,
-            }
-        })
+fn random_shape(rng: &mut StdRng) -> TaskShape {
+    match rng.gen_range(0usize..5) {
+        0 => TaskShape::Chain,
+        1 => TaskShape::FanOut,
+        2 => TaskShape::Diamond,
+        3 => TaskShape::RandomDag,
+        _ => TaskShape::Mixed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_workload(rng: &mut StdRng) -> RandomWorkloadConfig {
+    RandomWorkloadConfig {
+        num_resources: rng.gen_range(2usize..=8),
+        num_tasks: rng.gen_range(1usize..=5),
+        min_subtasks: 2,
+        max_subtasks: 6,
+        shape: random_shape(rng),
+        exec_time_range: (1.0, 6.0),
+        lag: 1.0,
+        target_load: rng.gen_range(0.5f64..0.95),
+        deadline_headroom: rng.gen_range(1.2f64..3.0),
+        seed: rng.gen(),
+    }
+}
 
-    /// LLA converges on every constructively-schedulable random workload,
-    /// and the result is feasible.
-    #[test]
-    fn lla_converges_on_random_schedulable_workloads(cfg in workload_strategy()) {
+/// LLA converges on every constructively-schedulable random workload,
+/// and the result is feasible.
+#[test]
+fn lla_converges_on_random_schedulable_workloads() {
+    for mut rng in cases(1) {
+        let cfg = random_workload(&mut rng);
         let problem = cfg.generate().expect("valid config");
-        let mut opt = Optimizer::new(problem, OptimizerConfig {
-            step_policy: StepSizePolicy::sign_adaptive(1.0),
-            ..OptimizerConfig::default()
-        });
+        let mut opt = Optimizer::new(
+            problem,
+            OptimizerConfig {
+                step_policy: StepSizePolicy::sign_adaptive(1.0),
+                ..OptimizerConfig::default()
+            },
+        );
         let outcome = opt.run_to_convergence(15_000);
-        prop_assert!(outcome.converged, "did not converge: {:?}", outcome);
-        prop_assert!(
+        assert!(outcome.converged, "did not converge on {cfg:?}: {outcome:?}");
+        assert!(
             opt.problem().is_feasible(opt.allocation().lats(), 1e-2),
-            "infeasible at convergence: resource {:?}, path {:?}",
+            "infeasible at convergence on {cfg:?}: resource {:?}, path {:?}",
             opt.problem().max_resource_violation(opt.allocation().lats()),
             opt.problem().max_path_violation(opt.allocation().lats())
         );
     }
+}
 
-    /// Weak duality: for any prices, the dual value dominates the utility
-    /// of the witness (feasible) allocation.
-    #[test]
-    fn weak_duality_on_random_workloads(
-        cfg in workload_strategy(),
-        mu_scale in 0.0f64..200.0,
-    ) {
+/// Weak duality: for any prices, the dual value dominates the utility
+/// of the witness (feasible) allocation.
+#[test]
+fn weak_duality_on_random_workloads() {
+    for mut rng in cases(2) {
+        let cfg = random_workload(&mut rng);
+        let mu_scale = rng.gen_range(0.0f64..200.0);
         let problem = cfg.generate().expect("valid config");
         let settings = AllocationSettings::default();
         let mut prices = PriceState::new(&problem, StepSizePolicy::fixed(1.0));
@@ -88,30 +95,39 @@ proptest! {
                 n_r[s.resource().index()] += 1;
             }
         }
-        let witness: Vec<Vec<f64>> = problem.tasks().iter().map(|t| {
-            t.subtasks().iter().map(|s| {
-                let share = cfg.target_load / n_r[s.resource().index()] as f64;
-                (s.exec_time() + cfg.lag) / share
-            }).collect()
-        }).collect();
-        prop_assert!(problem.is_feasible(&witness, 1e-9));
+        let witness: Vec<Vec<f64>> = problem
+            .tasks()
+            .iter()
+            .map(|t| {
+                t.subtasks()
+                    .iter()
+                    .map(|s| {
+                        let share = cfg.target_load / n_r[s.resource().index()] as f64;
+                        (s.exec_time() + cfg.lag) / share
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(problem.is_feasible(&witness, 1e-9));
         let primal = problem.total_utility(&witness);
         let dual = dual_value(&problem, &prices, &settings);
-        prop_assert!(
+        assert!(
             dual.value >= primal - 1e-6,
-            "weak duality violated: dual {} < primal {}", dual.value, primal
+            "weak duality violated on {cfg:?}: dual {} < primal {primal}",
+            dual.value
         );
     }
+}
 
-    /// The allocator's output maximizes the Lagrangian over the clamping
-    /// box: no unilateral in-box perturbation of any subtask latency may
-    /// increase it.
-    #[test]
-    fn allocation_maximizes_lagrangian(
-        cfg in workload_strategy(),
-        mu in 1.0f64..100.0,
-        delta in 0.05f64..2.0,
-    ) {
+/// The allocator's output maximizes the Lagrangian over the clamping
+/// box: no unilateral in-box perturbation of any subtask latency may
+/// increase it.
+#[test]
+fn allocation_maximizes_lagrangian() {
+    for mut rng in cases(3) {
+        let cfg = random_workload(&mut rng);
+        let mu = rng.gen_range(1.0f64..100.0);
+        let delta = rng.gen_range(0.05f64..2.0);
         let problem = cfg.generate().expect("valid config");
         let settings = AllocationSettings::default();
         let mut prices = PriceState::new(&problem, StepSizePolicy::fixed(1.0));
@@ -125,67 +141,72 @@ proptest! {
             for s in 0..task.len() {
                 for sign in [-1.0, 1.0] {
                     let mut perturbed = dual.maximizer.clone();
-                    let candidate =
-                        (perturbed[t][s] + sign * delta).clamp(lo[s], hi[s]);
+                    let candidate = (perturbed[t][s] + sign * delta).clamp(lo[s], hi[s]);
                     if (candidate - perturbed[t][s]).abs() < 1e-12 {
                         continue; // already at the box boundary
                     }
                     perturbed[t][s] = candidate;
                     let l = lagrangian_value(&problem, &perturbed, &prices);
-                    prop_assert!(
+                    assert!(
                         l <= base + 1e-7,
-                        "perturbing ({t},{s}) by {} raised L: {} > {}",
-                        sign * delta, l, base
+                        "perturbing ({t},{s}) by {} raised L: {l} > {base} on {cfg:?}",
+                        sign * delta
                     );
                 }
             }
         }
     }
+}
 
-    /// Share model: `share_for_latency` and `latency_for_share` are exact
-    /// inverses, and the share function is strictly decreasing and convex.
-    #[test]
-    fn share_model_inverse_and_convex(
-        exec in 0.1f64..50.0,
-        lag in 0.0f64..10.0,
-        correction in -20.0f64..20.0,
-        lat in 0.1f64..500.0,
-    ) {
+/// Share model: `share_for_latency` and `latency_for_share` are exact
+/// inverses, and the share function is strictly decreasing and convex.
+#[test]
+fn share_model_inverse_and_convex() {
+    for mut rng in cases(4) {
+        let exec = rng.gen_range(0.1f64..50.0);
+        let lag = rng.gen_range(0.0f64..10.0);
+        let correction = rng.gen_range(-20.0f64..20.0);
+        let lat = rng.gen_range(0.1f64..500.0);
         let mut m = ShareModel::new(exec, lag).expect("valid");
         m.set_correction(correction);
         let lat = lat + correction.max(0.0) + 0.1; // stay in the valid domain
         let share = m.share_for_latency(lat);
         if share.is_finite() && share > 0.0 {
-            prop_assert!((m.latency_for_share(share) - lat).abs() < 1e-6 * lat.max(1.0));
+            assert!((m.latency_for_share(share) - lat).abs() < 1e-6 * lat.max(1.0));
             // Strict decrease.
             let share2 = m.share_for_latency(lat * 1.01);
-            prop_assert!(share2 < share);
+            assert!(share2 < share);
             // Convexity via midpoint.
             let a = lat;
             let b = lat * 2.0;
             let mid = m.share_for_latency((a + b) / 2.0);
             let chord = (m.share_for_latency(a) + m.share_for_latency(b)) / 2.0;
-            prop_assert!(mid <= chord + 1e-12);
+            assert!(mid <= chord + 1e-12);
         }
     }
+}
 
-    /// Percentile composition: the per-subtask percentile recombines to
-    /// the requested end-to-end percentile for any path length.
-    #[test]
-    fn percentile_composition_roundtrip(p in 0.1f64..100.0, n in 1usize..10) {
+/// Percentile composition: the per-subtask percentile recombines to
+/// the requested end-to-end percentile for any path length.
+#[test]
+fn percentile_composition_roundtrip() {
+    for mut rng in cases(5) {
+        let p = rng.gen_range(0.1f64..100.0);
+        let n = rng.gen_range(1usize..10);
         let q = compose_path_percentile(p, n);
-        prop_assert!((0.0..=100.0 + 1e-9).contains(&q));
-        prop_assert!(q >= p - 1e-9, "per-subtask percentile must not be below end-to-end");
+        assert!((0.0..=100.0 + 1e-9).contains(&q));
+        assert!(q >= p - 1e-9, "per-subtask percentile must not be below end-to-end");
         let back = (q / 100.0).powi(n as i32) * 100.0;
-        prop_assert!((back - p).abs() < 1e-6, "p={p} n={n} q={q} back={back}");
+        assert!((back - p).abs() < 1e-6, "p={p} n={n} q={q} back={back}");
     }
+}
 
-    /// Random DAGs: the DP-computed path weights agree with explicit path
-    /// enumeration, and every path runs root to leaf.
-    #[test]
-    fn graph_weights_match_enumeration(n in 1usize..9, seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Random DAGs: the DP-computed path weights agree with explicit path
+/// enumeration, and every path runs root to leaf.
+#[test]
+fn graph_weights_match_enumeration() {
+    for mut rng in cases(6) {
+        let n = rng.gen_range(1usize..9);
         let mut edges = Vec::new();
         for i in 1..n {
             edges.push((rng.gen_range(0..i), i));
@@ -197,40 +218,69 @@ proptest! {
         let g = SubtaskGraph::new(TaskId::new(0), n, &edges).expect("valid DAG");
         for v in 0..n {
             let count = g.paths().iter().filter(|p| p.subtasks().contains(&v)).count();
-            prop_assert_eq!(g.path_weight(v), count, "weight mismatch at node {}", v);
+            assert_eq!(g.path_weight(v), count, "weight mismatch at node {v}");
         }
         for path in g.paths() {
-            prop_assert_eq!(path.subtasks()[0], g.root());
+            assert_eq!(path.subtasks()[0], g.root());
             let last = *path.subtasks().last().unwrap();
-            prop_assert!(g.successors(last).is_empty());
+            assert!(g.successors(last).is_empty());
         }
     }
+}
 
-    /// The spec parser never panics, whatever garbage it is fed — it
-    /// either produces a problem or a structured error.
-    #[test]
-    fn spec_parser_is_panic_free(input in "\\PC{0,300}") {
+/// The spec parser never panics, whatever garbage it is fed — it
+/// either produces a problem or a structured error.
+#[test]
+fn spec_parser_is_panic_free() {
+    for mut rng in cases(7) {
+        let len = rng.gen_range(0usize..=300);
+        let input: String = (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with occasional multi-byte and
+                // control characters, approximating proptest's `\PC`.
+                match rng.gen_range(0usize..20) {
+                    0 => '\u{e9}',   // é
+                    1 => '\u{4e16}', // 世
+                    2 => '\t',
+                    3 => '\n',
+                    _ => char::from(rng.gen_range(0x20u8..0x7f)),
+                }
+            })
+            .collect();
         let _ = lla::spec::parse(&input);
     }
+}
 
-    /// Spec parser robustness against syntactically-plausible fragments.
-    #[test]
-    fn spec_parser_handles_fragmented_declarations(
-        keyword in prop_oneof![
-            Just("resource"), Just("task"), Just("subtask"), Just("edge"), Just("chain")
-        ],
-        tokens in proptest::collection::vec("[a-z0-9=.]{0,8}", 0..5),
-    ) {
+/// Spec parser robustness against syntactically-plausible fragments.
+#[test]
+fn spec_parser_handles_fragmented_declarations() {
+    const KEYWORDS: [&str; 5] = ["resource", "task", "subtask", "edge", "chain"];
+    const TOKEN_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789=.";
+    for mut rng in cases(8) {
+        let keyword = KEYWORDS[rng.gen_range(0usize..KEYWORDS.len())];
+        let n_tokens = rng.gen_range(0usize..5);
+        let tokens: Vec<String> = (0..n_tokens)
+            .map(|_| {
+                let len = rng.gen_range(0usize..=8);
+                (0..len)
+                    .map(|_| TOKEN_CHARS[rng.gen_range(0usize..TOKEN_CHARS.len())] as char)
+                    .collect()
+            })
+            .collect();
         let line = format!("{keyword} {}", tokens.join(" "));
         let _ = lla::spec::parse(&line);
     }
+}
 
-    /// Schedulability is monotone in the deadline scale: if a workload is
-    /// schedulable, relaxing every critical time keeps it schedulable
-    /// (probed through the generator's headroom knob).
-    #[test]
-    fn schedulability_monotone_in_headroom(seed in any::<u64>(), load in 0.6f64..0.9) {
-        use lla::core::{analyze_schedulability, SchedulabilityConfig};
+/// Schedulability is monotone in the deadline scale: if a workload is
+/// schedulable, relaxing every critical time keeps it schedulable
+/// (probed through the generator's headroom knob).
+#[test]
+fn schedulability_monotone_in_headroom() {
+    use lla::core::{analyze_schedulability, SchedulabilityConfig};
+    for mut rng in cases(9) {
+        let seed: u64 = rng.gen();
+        let load = rng.gen_range(0.6f64..0.9);
         let config = SchedulabilityConfig {
             optimizer: OptimizerConfig {
                 step_policy: StepSizePolicy::sign_adaptive(1.0),
@@ -250,31 +300,37 @@ proptest! {
         let tight_verdict = analyze_schedulability(tight.generate().unwrap(), &config);
         if tight_verdict.is_schedulable() {
             let relaxed_verdict = analyze_schedulability(relaxed.generate().unwrap(), &config);
-            prop_assert!(
+            assert!(
                 relaxed_verdict.is_schedulable(),
-                "relaxing deadlines must preserve schedulability: {:?}",
-                relaxed_verdict
+                "relaxing deadlines must preserve schedulability (seed {seed}): {relaxed_verdict:?}"
             );
         }
     }
+}
 
-    /// Price projection: prices never go negative whatever the allocation.
-    #[test]
-    fn prices_stay_nonnegative(cfg in workload_strategy(), iters in 1usize..60) {
+/// Price projection: prices never go negative whatever the allocation.
+#[test]
+fn prices_stay_nonnegative() {
+    for mut rng in cases(10) {
+        let cfg = random_workload(&mut rng);
+        let iters = rng.gen_range(1usize..60);
         let problem = cfg.generate().expect("valid config");
-        let mut opt = Optimizer::new(problem, OptimizerConfig {
-            step_policy: StepSizePolicy::adaptive(1.0),
-            ..OptimizerConfig::default()
-        });
+        let mut opt = Optimizer::new(
+            problem,
+            OptimizerConfig {
+                step_policy: StepSizePolicy::adaptive(1.0),
+                ..OptimizerConfig::default()
+            },
+        );
         for _ in 0..iters {
             opt.step();
         }
         for r in 0..opt.problem().resources().len() {
-            prop_assert!(opt.prices().mu(r) >= 0.0);
+            assert!(opt.prices().mu(r) >= 0.0);
         }
         for (t, task) in opt.problem().tasks().iter().enumerate() {
             for p in 0..task.graph().paths().len() {
-                prop_assert!(opt.prices().lambda(t, p) >= 0.0);
+                assert!(opt.prices().lambda(t, p) >= 0.0);
             }
         }
     }

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses only `crossbeam::channel`'s unbounded MPSC channels
+//! (single consumer per receiver), which `std::sync::mpsc` covers exactly:
+//! `Sender` is `Clone + Send + Sync`, `Receiver` supports `recv`,
+//! `try_recv`, and `recv_timeout` with the same error enums. This module
+//! re-exports the std types under the crossbeam names.
+
+/// Multi-producer channels (std-backed subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_across_clones() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_variants() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides the `Serialize`/`Deserialize` names (traits in the type
+//! namespace, no-op derive macros in the macro namespace) so the model
+//! types' `#[derive(Serialize, Deserialize)]` annotations compile without
+//! network access. No serializer exists in this workspace, so no code
+//! depends on actual trait implementations; the derives expand to nothing
+//! (see `serde_derive`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. Never implemented by
+/// the no-op derive; present so `use serde::Serialize` resolves.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name. Never implemented by
+/// the no-op derive; present so `use serde::Deserialize` resolves.
+pub trait Deserialize<'de>: Sized {}
