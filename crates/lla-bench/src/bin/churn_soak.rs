@@ -1,0 +1,62 @@
+//! Chaos soak harness: Poisson task churn × crash/restart × partition ×
+//! message loss on the virtual clock, followed by a deliberate overload
+//! phase that exercises utility-aware load shedding with hysteresis.
+//!
+//! Prints a per-event summary and writes the byte-deterministic
+//! `results/churn_sweep.csv` (all inputs are seeded; re-running produces
+//! identical bytes).
+
+use lla_bench::churn::{run_churn_soak, ChurnConfig, SoakEventKind};
+
+fn main() {
+    let config = ChurnConfig::default();
+    println!("=== chaos soak: churn x crash x partition x {:.0}% loss ===\n", config.loss * 100.0);
+    println!(
+        "{:>5} {:>6} {:>5} {:>7} {:>6} {:>7} {:>10} {:>12} {:>12} {:>8}",
+        "event",
+        "kind",
+        "slot",
+        "round",
+        "epoch",
+        "tasks",
+        "reconverge",
+        "u_dist",
+        "u_oracle",
+        "gap"
+    );
+    let report = run_churn_soak(&config);
+    for (i, e) in report.events.iter().enumerate() {
+        let kind = match e.kind {
+            SoakEventKind::Join(_) => "join",
+            SoakEventKind::Leave(_) => "leave",
+            SoakEventKind::Shed(_) => "shed",
+        };
+        let reconverge =
+            e.rounds_to_reconverge.map_or("never".to_string(), |r| format!("{r} rounds"));
+        println!(
+            "{i:>5} {kind:>6} {:>5} {:>7} {:>6} {:>7} {reconverge:>10} {:>12.3} {:>12.3} {:>7.2}%",
+            e.kind.slot(),
+            e.round,
+            e.epoch,
+            e.n_tasks,
+            e.u_dist,
+            e.u_oracle,
+            e.gap * 100.0
+        );
+    }
+    println!(
+        "\n{} events over {} rounds; max settled gap {:.2}%; shed {:?}; flapping: {}",
+        report.events.len(),
+        report.rounds,
+        report.max_settled_gap * 100.0,
+        report.shed_slots,
+        report.flapped
+    );
+    match report.series.write_csv("churn_sweep") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    if !report.all_reconverged() || report.flapped {
+        std::process::exit(1);
+    }
+}

@@ -9,9 +9,8 @@
 //! fraction.
 
 use crate::error::ModelError;
-use crate::ids::TaskId;
 use crate::optimizer::Optimizer;
-use crate::problem::Problem;
+use crate::problem::{MembershipReport, Problem};
 use crate::schedulability::{analyze_schedulability, SchedulabilityConfig, SchedulabilityVerdict};
 use crate::task::TaskBuilder;
 
@@ -41,6 +40,12 @@ pub enum AdmissionDecision {
         incumbent_utility_after: f64,
         /// Total utility after admission (candidate included).
         total_utility: f64,
+        /// How dense indices moved (nothing did — incumbents keep their
+        /// ids; the candidate's id is in
+        /// [`MembershipReport::added_task`]). Feed this to
+        /// [`PriceState::remap`](crate::PriceState::remap) to splice the
+        /// newcomer into a running optimizer warm.
+        remap: MembershipReport,
     },
     /// The expanded system is unschedulable (or could not be shown
     /// schedulable within the probe budget).
@@ -67,8 +72,9 @@ impl AdmissionDecision {
 
 /// Probes whether `candidate` can join `problem` without breaking it.
 ///
-/// The candidate keeps its builder form because its [`TaskId`] is assigned
-/// here (dense, one past the incumbents).
+/// The candidate keeps its builder form because its
+/// [`TaskId`](crate::TaskId) is assigned here (dense, one past the
+/// incumbents).
 ///
 /// # Errors
 ///
@@ -79,10 +85,8 @@ pub fn probe_admission(
     candidate: &TaskBuilder,
     config: &AdmissionConfig,
 ) -> Result<AdmissionDecision, ModelError> {
-    let candidate_task = candidate.build(TaskId::new(problem.tasks().len()))?;
-    let mut tasks = problem.tasks().to_vec();
-    tasks.push(candidate_task);
-    let expanded = Problem::new(problem.resources().to_vec(), tasks)?;
+    let mut expanded = problem.clone();
+    let remap = expanded.add_task(candidate)?;
 
     // Schedulability probe on the expanded system.
     let verdict = analyze_schedulability(expanded.clone(), &config.schedulability);
@@ -117,13 +121,14 @@ pub fn probe_admission(
         incumbent_utility_before: before,
         incumbent_utility_after: incumbent_after,
         total_utility: total,
+        remap,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::ResourceId;
+    use crate::ids::{ResourceId, TaskId};
     use crate::optimizer::OptimizerConfig;
     use crate::prices::StepSizePolicy;
     use crate::resource::{Resource, ResourceKind};
@@ -218,6 +223,45 @@ mod tests {
         };
         let mut opt = Optimizer::new(problem, config().schedulability.optimizer);
         assert!(opt.run_to_convergence(5_000).converged);
+    }
+
+    #[test]
+    fn admit_reports_identity_remap_with_new_id() {
+        let problem = base_problem(2);
+        let decision = probe_admission(&problem, &candidate(60.0, 2.0), &config()).unwrap();
+        let AdmissionDecision::Admit { remap, .. } = decision else {
+            panic!("expected admit");
+        };
+        assert_eq!(remap.added_task, Some(TaskId::new(2)));
+        assert_eq!(remap.task_map, vec![Some(0), Some(1)], "incumbents keep their ids");
+        assert!(remap.resource_map.iter().enumerate().all(|(i, m)| *m == Some(i)));
+    }
+
+    #[test]
+    fn admit_then_evict_is_bit_identical_to_never_admitting() {
+        // Regression: splicing a task in via the admission remap and then
+        // removing it again must leave the incumbents' problem — and the
+        // allocation a fresh solve produces — exactly as if the candidate
+        // had never existed.
+        let problem = base_problem(2);
+        let mut baseline = Optimizer::new(problem.clone(), config().schedulability.optimizer);
+        baseline.run(400);
+
+        let decision = probe_admission(&problem, &candidate(60.0, 2.0), &config()).unwrap();
+        let AdmissionDecision::Admit { problem: expanded, remap, .. } = decision else {
+            panic!("expected admit");
+        };
+        let mut churned = expanded;
+        churned.remove_task(remap.added_task.unwrap()).unwrap();
+        assert_eq!(churned, problem, "admit+evict must round-trip the problem exactly");
+
+        let mut after = Optimizer::new(churned, config().schedulability.optimizer);
+        after.run(400);
+        assert_eq!(
+            baseline.allocation().lats(),
+            after.allocation().lats(),
+            "incumbent allocations must be bit-identical"
+        );
     }
 
     #[test]

@@ -73,6 +73,28 @@ pub enum ModelError {
         /// The empty task.
         task: TaskId,
     },
+    /// A membership operation referenced a task not in the problem.
+    UnknownTask {
+        /// The missing task.
+        task: TaskId,
+        /// Number of tasks in the problem.
+        len: usize,
+    },
+    /// A membership operation referenced a resource not in the problem.
+    UnknownResourceId {
+        /// The missing resource.
+        resource: ResourceId,
+        /// Number of resources in the problem.
+        len: usize,
+    },
+    /// A resource cannot be retired while subtasks still run on it;
+    /// drain them first (see `Problem::reassign_resource`).
+    ResourceInUse {
+        /// The busy resource.
+        resource: ResourceId,
+        /// How many subtasks still run on it.
+        subtasks: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -106,6 +128,15 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid value {value} for {what}")
             }
             ModelError::EmptyTask { task } => write!(f, "task {task} has no subtasks"),
+            ModelError::UnknownTask { task, len } => {
+                write!(f, "task {task} not found in problem with {len} tasks")
+            }
+            ModelError::UnknownResourceId { resource, len } => {
+                write!(f, "resource {resource} not found in problem with {len} resources")
+            }
+            ModelError::ResourceInUse { resource, subtasks } => {
+                write!(f, "resource {resource} still hosts {subtasks} subtasks and cannot retire")
+            }
         }
     }
 }
@@ -146,6 +177,9 @@ mod tests {
             ModelError::NonDenseTaskIds { task: TaskId::new(4), expected: 0 },
             ModelError::InvalidParameter { what: "critical time", value: -1.0 },
             ModelError::EmptyTask { task: TaskId::new(1) },
+            ModelError::UnknownTask { task: TaskId::new(7), len: 3 },
+            ModelError::UnknownResourceId { resource: ResourceId::new(7), len: 3 },
+            ModelError::ResourceInUse { resource: ResourceId::new(2), subtasks: 4 },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

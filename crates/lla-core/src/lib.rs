@@ -73,6 +73,7 @@ pub mod graph;
 pub mod ids;
 pub mod lagrangian;
 pub mod optimizer;
+pub mod overload;
 pub mod percentile;
 pub mod prices;
 pub mod problem;
@@ -93,9 +94,10 @@ pub use lagrangian::{dual_value, kkt_report, lagrangian_value, DualReport, KktRe
 pub use optimizer::{
     Allocation, IterationReport, Optimizer, OptimizerConfig, OptimizerState, RunOutcome,
 };
+pub use overload::{governed_step, select_victim, shed_ranking, OverloadConfig, OverloadMonitor};
 pub use percentile::{compose_path_percentile, PercentileSpec};
 pub use prices::{PriceState, StepSizePolicy};
-pub use problem::Problem;
+pub use problem::{MembershipReport, Problem};
 pub use resource::{Resource, ResourceKind};
 pub use schedulability::{analyze_schedulability, SchedulabilityConfig, SchedulabilityVerdict};
 pub use share::ShareModel;

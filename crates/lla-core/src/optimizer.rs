@@ -11,10 +11,13 @@
 //! message-passing actors.
 
 use crate::allocation::{allocate_latencies, AllocationSettings};
+use crate::error::ModelError;
+use crate::ids::{ResourceId, TaskId};
 use crate::lagrangian::{kkt_report, KktReport};
 use crate::prices::{PriceState, StepSizePolicy};
-use crate::problem::Problem;
-use crate::task::Task;
+use crate::problem::{MembershipReport, Problem};
+use crate::resource::Resource;
+use crate::task::{Task, TaskBuilder};
 use crate::trace::{Trace, TraceRecord};
 use serde::{Deserialize, Serialize};
 
@@ -216,6 +219,110 @@ impl Optimizer {
     /// the problem).
     pub fn rearm(&mut self) {
         self.below_tol = 0;
+    }
+
+    /// Admits a task mid-run with warm-started duals: incumbents keep
+    /// their prices and latencies; the newcomer starts from the problem's
+    /// initial allocation and zero duals. Returns the new task's id.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Problem::add_task`]; the optimizer is unchanged on
+    /// error.
+    pub fn add_task(&mut self, builder: &TaskBuilder) -> Result<TaskId, ModelError> {
+        let report = self.problem.add_task(builder)?;
+        let id = report.added_task.expect("add_task reports the new id");
+        self.prices = self.prices.remap(&self.problem, &report);
+        self.lats.push(self.problem.initial_allocation()[id.index()].clone());
+        self.finish_membership_change();
+        Ok(id)
+    }
+
+    /// Discards the dual state and restarts every price (and step size)
+    /// from the initial point, keeping the current allocation.
+    ///
+    /// Warm duals are normally the point of online membership — but duals
+    /// that integrated a *sustained-infeasible* gradient are poisoned:
+    /// they grow without bound while the overload lasts, and once load is
+    /// shed the re-bound constraints leave them decaying at a near-zero
+    /// rate (`γ·slack` with `slack → 0`), parking the allocation far from
+    /// the optimum indefinitely. Overload shedding therefore resets the
+    /// prices (see [`governed_step`](crate::overload::governed_step));
+    /// re-convergence is then bounded by the cold-start rate.
+    pub fn reset_prices(&mut self) {
+        self.prices = PriceState::new(&self.problem, self.config.step_policy);
+    }
+
+    /// Removes a task mid-run; survivors keep warm duals and latencies
+    /// under their re-densified ids. Returns the id-remap report.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Problem::remove_task`]; the optimizer is unchanged
+    /// on error.
+    pub fn remove_task(&mut self, id: TaskId) -> Result<MembershipReport, ModelError> {
+        let report = self.problem.remove_task(id)?;
+        self.prices = self.prices.remap(&self.problem, &report);
+        let mut lats = vec![Vec::new(); self.problem.tasks().len()];
+        for (old, m) in report.task_map.iter().enumerate() {
+            if let Some(new) = *m {
+                lats[new] = std::mem::take(&mut self.lats[old]);
+            }
+        }
+        self.lats = lats;
+        self.finish_membership_change();
+        Ok(report)
+    }
+
+    /// Adds a resource mid-run (it starts unpriced and empty). Returns the
+    /// new resource's id.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Problem::add_resource`].
+    pub fn add_resource(&mut self, resource: Resource) -> Result<ResourceId, ModelError> {
+        let report = self.problem.add_resource(resource)?;
+        let id = report.added_resource.expect("add_resource reports the new id");
+        self.prices = self.prices.remap(&self.problem, &report);
+        self.finish_membership_change();
+        Ok(id)
+    }
+
+    /// Retires a (drained) resource mid-run; surviving resources keep warm
+    /// duals under their re-densified ids. Returns the id-remap report.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Problem::retire_resource`].
+    pub fn retire_resource(&mut self, id: ResourceId) -> Result<MembershipReport, ModelError> {
+        let report = self.problem.retire_resource(id)?;
+        self.prices = self.prices.remap(&self.problem, &report);
+        self.finish_membership_change();
+        Ok(report)
+    }
+
+    /// Moves every subtask on `from` over to `to` (drain before
+    /// retirement); share models are rebuilt with the destination lag.
+    /// Returns how many subtasks moved.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`Problem::reassign_resource`].
+    pub fn reassign_resource(
+        &mut self,
+        from: ResourceId,
+        to: ResourceId,
+    ) -> Result<usize, ModelError> {
+        let moved = self.problem.reassign_resource(from, to)?;
+        if moved > 0 {
+            self.rearm();
+        }
+        Ok(moved)
+    }
+
+    fn finish_membership_change(&mut self) {
+        self.last_utility = self.problem.total_utility(&self.lats);
+        self.rearm();
     }
 
     /// Executes one LLA iteration: latency allocation at current prices,
@@ -553,6 +660,67 @@ mod tests {
                 b.utility
             );
         }
+    }
+
+    #[test]
+    fn warm_add_task_keeps_incumbent_duals_and_reconverges() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        assert!(opt.run_to_convergence(5_000).converged);
+        let mu_before = opt.prices().mus().to_vec();
+
+        let mut b = TaskBuilder::new("late-joiner");
+        b.subtask("solo", ResourceId::new(0), 1.0);
+        b.critical_time(50.0).utility(UtilityFn::linear_for_deadline(2.0, 50.0));
+        let id = opt.add_task(&b).unwrap();
+        assert_eq!(id, TaskId::new(2));
+        assert_eq!(opt.prices().mus(), &mu_before[..], "incumbent duals must carry over");
+        assert!(!opt.has_converged(), "membership change must re-arm the detector");
+        assert!(opt.run_to_convergence(10_000).converged, "warm restart must re-converge");
+        assert_eq!(opt.allocation().lats().len(), 3);
+    }
+
+    #[test]
+    fn warm_remove_task_shifts_survivor_state() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        assert!(opt.run_to_convergence(5_000).converged);
+        let lat1 = opt.allocation().lats()[1].clone();
+        let report = opt.remove_task(TaskId::new(0)).unwrap();
+        assert_eq!(report.task_map, vec![None, Some(0)]);
+        assert_eq!(opt.allocation().lats()[0], lat1, "survivor keeps its latencies");
+        assert!(opt.run_to_convergence(10_000).converged);
+    }
+
+    #[test]
+    fn warm_matches_cold_solve_within_tolerance() {
+        // Converge, churn a task in, re-converge warm; a cold solve of the
+        // final problem must land on (essentially) the same utility.
+        let mut warm = Optimizer::new(small_problem(), config());
+        warm.run_to_convergence(5_000);
+        let mut b = TaskBuilder::new("late");
+        b.subtask("s", ResourceId::new(1), 2.0);
+        b.critical_time(45.0).utility(UtilityFn::linear_for_deadline(2.0, 45.0));
+        warm.add_task(&b).unwrap();
+        assert!(warm.run_to_convergence(20_000).converged);
+
+        let mut cold = Optimizer::new(warm.problem().clone(), config());
+        assert!(cold.run_to_convergence(20_000).converged);
+        let (wu, cu) = (warm.utility(), cold.utility());
+        assert!(
+            (wu - cu).abs() <= 1e-2 * cu.abs().max(1.0),
+            "warm {wu} vs cold {cu} differ beyond tolerance"
+        );
+    }
+
+    #[test]
+    fn warm_retire_resource_after_drain() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.run_to_convergence(5_000);
+        let moved = opt.reassign_resource(ResourceId::new(1), ResourceId::new(0)).unwrap();
+        assert_eq!(moved, 2);
+        let report = opt.retire_resource(ResourceId::new(1)).unwrap();
+        assert_eq!(report.resource_map, vec![Some(0), None]);
+        assert_eq!(opt.problem().resources().len(), 1);
+        assert!(opt.run_to_convergence(20_000).converged, "must re-converge on one resource");
     }
 
     #[test]

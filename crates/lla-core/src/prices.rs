@@ -14,7 +14,7 @@
 //! every path traversing it — for as long as the resource stays congested,
 //! and reverts to the initial value as soon as it decongests.
 
-use crate::problem::Problem;
+use crate::problem::{MembershipReport, Problem};
 use serde::{Deserialize, Serialize};
 
 /// How price-update step sizes `γ_r`, `γ_p` are chosen.
@@ -125,6 +125,7 @@ pub struct PriceState {
     last_grad_r: Vec<f64>,
     last_grad_p: Vec<Vec<f64>>,
     last_max_rel_step: f64,
+    rejected_samples: u64,
     policy: StepSizePolicy,
 }
 
@@ -144,8 +145,47 @@ impl PriceState {
                 .map(|t| vec![0.0; t.graph().paths().len()])
                 .collect(),
             last_max_rel_step: f64::INFINITY,
+            rejected_samples: 0,
             policy,
         }
+    }
+
+    /// Warm-starts a price state for a problem produced by a membership
+    /// change: surviving resources keep `μ_r`, step size, and last
+    /// gradient; surviving tasks keep their whole `λ` row; newcomers start
+    /// from zero prices at the initial step size.
+    ///
+    /// A surviving task whose path count changed (it was rebuilt with a
+    /// different graph) also restarts fresh — stale per-path duals for a
+    /// different path set would be meaningless.
+    pub fn remap(&self, problem: &Problem, report: &MembershipReport) -> PriceState {
+        let mut next = PriceState::new(problem, self.policy);
+        for (old, m) in report.resource_map.iter().enumerate() {
+            if let Some(new) = *m {
+                next.mu[new] = self.mu[old];
+                next.gamma_r[new] = self.gamma_r[old];
+                next.last_grad_r[new] = self.last_grad_r[old];
+            }
+        }
+        for (old, m) in report.task_map.iter().enumerate() {
+            if let Some(new) = *m {
+                if self.lambda[old].len() == next.lambda[new].len() {
+                    next.lambda[new].copy_from_slice(&self.lambda[old]);
+                    next.gamma_p[new].copy_from_slice(&self.gamma_p[old]);
+                    next.last_grad_p[new].copy_from_slice(&self.last_grad_p[old]);
+                }
+            }
+        }
+        next.last_max_rel_step = self.last_max_rel_step;
+        next.rejected_samples = self.rejected_samples;
+        next
+    }
+
+    /// How many non-finite price samples have been rejected (see
+    /// [`set_mu`](Self::set_mu) and the step appliers). A nonzero count
+    /// under faults means the guards saved the duals from NaN/∞ poisoning.
+    pub fn rejected_samples(&self) -> u64 {
+        self.rejected_samples
     }
 
     /// The largest relative price movement `|Δprice|/(1 + price)` of the
@@ -177,12 +217,25 @@ impl PriceState {
 
     /// Overwrites the resource price (used by the distributed runtime when
     /// a price message arrives).
+    ///
+    /// A non-finite value is rejected — `NaN.max(0.0)` would poison `μ_r`
+    /// for the rest of the run — keeping the previous finite price and
+    /// bumping [`rejected_samples`](Self::rejected_samples).
     pub fn set_mu(&mut self, r: usize, value: f64) {
+        if !value.is_finite() {
+            self.rejected_samples += 1;
+            return;
+        }
         self.mu[r] = value.max(0.0);
     }
 
-    /// Overwrites a path price (used by the distributed runtime).
+    /// Overwrites a path price (used by the distributed runtime). Rejects
+    /// non-finite values like [`set_mu`](Self::set_mu).
     pub fn set_lambda(&mut self, t: usize, p: usize, value: f64) {
+        if !value.is_finite() {
+            self.rejected_samples += 1;
+            return;
+        }
         self.lambda[t][p] = value.max(0.0);
     }
 
@@ -250,6 +303,13 @@ impl PriceState {
     /// adaptation. This is the operation a distributed resource agent
     /// performs locally. Returns the new `μ_r`.
     pub fn apply_resource_step(&mut self, r: usize, grad: f64) -> f64 {
+        // A NaN/∞ gradient (zero-availability resource after a fault,
+        // corrupt message) would poison μ_r and `last_grad` permanently;
+        // drop the sample and keep the previous finite price.
+        if !grad.is_finite() {
+            self.rejected_samples += 1;
+            return self.mu[r];
+        }
         let congested = grad < 0.0;
         self.gamma_r[r] = match self.policy {
             StepSizePolicy::Fixed { gamma } => gamma,
@@ -293,6 +353,10 @@ impl PriceState {
         grad: f64,
         traverses_congested: bool,
     ) -> f64 {
+        if !grad.is_finite() {
+            self.rejected_samples += 1;
+            return self.lambda[t][p];
+        }
         self.gamma_p[t][p] = match self.policy {
             StepSizePolicy::Fixed { gamma } => gamma,
             StepSizePolicy::Adaptive { initial, factor, max } => {
@@ -447,6 +511,63 @@ mod tests {
     #[should_panic(expected = "step size must be positive")]
     fn fixed_policy_rejects_zero() {
         let _ = StepSizePolicy::fixed(0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_not_absorbed() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(1.0));
+        s.set_mu(0, 3.0);
+        s.set_mu(0, f64::NAN);
+        s.set_mu(0, f64::INFINITY);
+        assert_eq!(s.mu(0), 3.0, "non-finite set_mu must keep the previous price");
+        s.set_lambda(0, 0, 1.5);
+        s.set_lambda(0, 0, f64::NEG_INFINITY);
+        assert_eq!(s.lambda(0, 0), 1.5);
+        let before = s.clone();
+        assert_eq!(s.apply_resource_step(0, f64::NAN), 3.0);
+        assert_eq!(s.apply_path_step(0, 0, f64::INFINITY, false), 1.5);
+        assert_eq!(s.mus(), before.mus(), "rejected gradients must not move prices");
+        assert_eq!(s.rejected_samples(), 5);
+        // Finite samples still flow normally afterwards.
+        s.apply_resource_step(0, -1.0);
+        assert_eq!(s.mu(0), 4.0);
+        assert_eq!(s.rejected_samples(), 5);
+    }
+
+    #[test]
+    fn remap_carries_survivor_duals_and_zeroes_newcomers() {
+        let mut p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::adaptive(1.0));
+        // Resource 0 congested (share 3/1) and the path late (26 > C=20),
+        // so both a μ and a λ move off zero.
+        let congested = vec![vec![1.0, 25.0]];
+        for _ in 0..3 {
+            s.update(&p, &congested);
+        }
+        let (mu0, mu1) = (s.mu(0), s.mu(1));
+        let lam = s.lambda(0, 0);
+        assert!(mu0 > 0.0 && lam > 0.0);
+
+        // Admit a second task: survivors keep duals, the newcomer is fresh.
+        let mut b = TaskBuilder::new("new");
+        b.subtask("n", ResourceId::new(0), 1.0);
+        b.critical_time(15.0);
+        let report = p.add_task(&b).unwrap();
+        let warm = s.remap(&p, &report);
+        assert_eq!(warm.mu(0), mu0);
+        assert_eq!(warm.mu(1), mu1);
+        assert_eq!(warm.gamma_r(0), s.gamma_r(0));
+        assert_eq!(warm.lambda(0, 0), lam);
+        assert_eq!(warm.lambda(1, 0), 0.0, "newcomer starts with zero duals");
+        assert_eq!(warm.gamma_p(1, 0), 1.0);
+
+        // Remove the original task: the newcomer shifts to index 0 with its
+        // (zero) duals; resource prices persist.
+        let report = p.remove_task(TaskId::new(0)).unwrap();
+        let warm2 = warm.remap(&p, &report);
+        assert_eq!(warm2.mu(0), mu0);
+        assert_eq!(warm2.lambda(0, 0), 0.0);
     }
 
     #[test]

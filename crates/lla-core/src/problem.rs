@@ -5,7 +5,43 @@ use crate::error::ModelError;
 use crate::ids::{ResourceId, SubtaskId, TaskId};
 use crate::resource::Resource;
 use crate::share::ShareModel;
-use crate::task::Task;
+use crate::task::{Task, TaskBuilder};
+
+/// How dense indices moved across one membership change
+/// ([`Problem::add_task`], [`Problem::remove_task`],
+/// [`Problem::add_resource`], [`Problem::retire_resource`]).
+///
+/// `task_map[old] == Some(new)` says the task at dense index `old` before
+/// the change now sits at `new`; `None` means it left the problem. The
+/// resource map reads the same way. Newly added members appear only in
+/// `added_task` / `added_resource` (they had no old index).
+///
+/// Warm-start consumers ([`PriceState::remap`](crate::PriceState::remap))
+/// use the report to carry duals across the change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipReport {
+    /// Old task index → new task index (`None` = removed).
+    pub task_map: Vec<Option<usize>>,
+    /// Old resource index → new resource index (`None` = retired).
+    pub resource_map: Vec<Option<usize>>,
+    /// Id assigned to a task added by this change, if any.
+    pub added_task: Option<TaskId>,
+    /// Id assigned to a resource added by this change, if any.
+    pub added_resource: Option<ResourceId>,
+}
+
+impl MembershipReport {
+    /// An identity report for a problem with `tasks` tasks and `resources`
+    /// resources: nothing moved, nothing added.
+    pub fn identity(tasks: usize, resources: usize) -> Self {
+        MembershipReport {
+            task_map: (0..tasks).map(Some).collect(),
+            resource_map: (0..resources).map(Some).collect(),
+            added_task: None,
+            added_resource: None,
+        }
+    }
+}
 
 /// A validated system: a set of [`Resource`]s and a set of [`Task`]s whose
 /// subtasks consume them.
@@ -203,6 +239,188 @@ impl Problem {
         self.max_resource_violation(lats) <= tol && self.max_path_violation(lats) <= tol
     }
 
+    /// Rebuilds `subtasks_on` from the current task set, in the same order
+    /// [`Problem::new`] builds it (tasks in id order, subtasks in index
+    /// order) so membership changes round-trip to structurally identical
+    /// problems.
+    fn rebuild_subtasks_on(&mut self) {
+        let mut subtasks_on = vec![Vec::new(); self.resources.len()];
+        for t in &self.tasks {
+            for s in t.subtasks() {
+                subtasks_on[s.resource().index()].push(s.id());
+            }
+        }
+        self.subtasks_on = subtasks_on;
+    }
+
+    /// Admits a new task online, assigning it the next dense id.
+    ///
+    /// Existing tasks keep their indices; share-model corrections are
+    /// untouched. On error the problem is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Any build-validation error from the builder, or
+    /// [`ModelError::UnknownResource`] if a subtask references a resource
+    /// not in the problem.
+    pub fn add_task(&mut self, builder: &TaskBuilder) -> Result<MembershipReport, ModelError> {
+        let id = TaskId::new(self.tasks.len());
+        let task = builder.build(id)?;
+        // Validate resources and build share models before mutating.
+        let mut models = Vec::with_capacity(task.len());
+        for s in task.subtasks() {
+            let r = s.resource();
+            if r.index() >= self.resources.len() {
+                return Err(ModelError::UnknownResource { subtask: s.id(), resource: r });
+            }
+            models.push(ShareModel::new(s.exec_time(), self.resources[r.index()].lag())?);
+        }
+        for s in task.subtasks() {
+            self.subtasks_on[s.resource().index()].push(s.id());
+        }
+        self.tasks.push(task);
+        self.share_models.push(models);
+        let mut report = MembershipReport::identity(self.tasks.len() - 1, self.resources.len());
+        report.added_task = Some(id);
+        Ok(report)
+    }
+
+    /// Removes a task online, re-densifying the ids of every later task.
+    ///
+    /// Surviving tasks keep their share models (including online
+    /// corrections); only ids shift.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownTask`] if `id` is out of range.
+    pub fn remove_task(&mut self, id: TaskId) -> Result<MembershipReport, ModelError> {
+        let idx = id.index();
+        if idx >= self.tasks.len() {
+            return Err(ModelError::UnknownTask { task: id, len: self.tasks.len() });
+        }
+        let mut report = MembershipReport::identity(self.tasks.len(), self.resources.len());
+        report.task_map[idx] = None;
+        for m in report.task_map[idx + 1..].iter_mut() {
+            *m = m.map(|i| i - 1);
+        }
+        self.tasks.remove(idx);
+        self.share_models.remove(idx);
+        let identity: Vec<Option<usize>> = (0..self.resources.len()).map(Some).collect();
+        for i in idx..self.tasks.len() {
+            self.tasks[i] = self.tasks[i]
+                .remapped(TaskId::new(i), &identity)
+                .expect("identity resource map cannot fail");
+        }
+        self.rebuild_subtasks_on();
+        Ok(report)
+    }
+
+    /// Adds a resource online. Its id must be the next dense index.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::NonDenseResourceIds`] if the id is not
+    /// `resources.len()`, or any parameter-validation error.
+    pub fn add_resource(&mut self, resource: Resource) -> Result<MembershipReport, ModelError> {
+        if resource.id().index() != self.resources.len() {
+            return Err(ModelError::NonDenseResourceIds {
+                resource: resource.id(),
+                expected: self.resources.len(),
+            });
+        }
+        resource.validate()?;
+        let id = resource.id();
+        self.resources.push(resource);
+        self.subtasks_on.push(Vec::new());
+        let mut report = MembershipReport::identity(self.tasks.len(), self.resources.len() - 1);
+        report.added_resource = Some(id);
+        Ok(report)
+    }
+
+    /// Retires a resource online, re-densifying the ids of every later
+    /// resource and rewriting subtask bindings accordingly.
+    ///
+    /// The resource must be empty — drain it first with
+    /// [`Problem::reassign_resource`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] if `id` is out of range, or
+    /// [`ModelError::ResourceInUse`] if subtasks still run on it.
+    pub fn retire_resource(&mut self, id: ResourceId) -> Result<MembershipReport, ModelError> {
+        let idx = id.index();
+        if idx >= self.resources.len() {
+            return Err(ModelError::UnknownResourceId { resource: id, len: self.resources.len() });
+        }
+        if !self.subtasks_on[idx].is_empty() {
+            return Err(ModelError::ResourceInUse {
+                resource: id,
+                subtasks: self.subtasks_on[idx].len(),
+            });
+        }
+        let mut report = MembershipReport::identity(self.tasks.len(), self.resources.len());
+        report.resource_map[idx] = None;
+        for m in report.resource_map[idx + 1..].iter_mut() {
+            *m = m.map(|i| i - 1);
+        }
+        self.resources.remove(idx);
+        for i in idx..self.resources.len() {
+            self.resources[i] = self.resources[i].reindexed(ResourceId::new(i));
+        }
+        for i in 0..self.tasks.len() {
+            self.tasks[i] = self.tasks[i]
+                .remapped(TaskId::new(i), &report.resource_map)
+                .expect("retired resource hosts no subtasks");
+        }
+        self.rebuild_subtasks_on();
+        Ok(report)
+    }
+
+    /// Moves every subtask running on `from` over to `to` (drain before
+    /// retirement), rebuilding their share models with the destination's
+    /// lag while preserving corrections and demand scales. Returns how
+    /// many subtasks moved.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] if either id is out of range.
+    pub fn reassign_resource(
+        &mut self,
+        from: ResourceId,
+        to: ResourceId,
+    ) -> Result<usize, ModelError> {
+        for id in [from, to] {
+            if id.index() >= self.resources.len() {
+                return Err(ModelError::UnknownResourceId {
+                    resource: id,
+                    len: self.resources.len(),
+                });
+            }
+        }
+        if from == to || self.subtasks_on[from.index()].is_empty() {
+            return Ok(0);
+        }
+        let moved: Vec<SubtaskId> = self.subtasks_on[from.index()].clone();
+        let mut map: Vec<Option<usize>> = (0..self.resources.len()).map(Some).collect();
+        map[from.index()] = Some(to.index());
+        let lag = self.resources[to.index()].lag();
+        for &sid in &moved {
+            let t = sid.task().index();
+            let old = &self.share_models[t][sid.index()];
+            let mut model = ShareModel::new(old.exec_time(), lag)?;
+            model.set_correction(old.correction());
+            model.set_demand_scale(old.demand_scale());
+            self.share_models[t][sid.index()] = model;
+        }
+        let hosts: std::collections::BTreeSet<usize> =
+            moved.iter().map(|s| s.task().index()).collect();
+        for t in hosts {
+            self.tasks[t] = self.tasks[t].remapped(TaskId::new(t), &map)?;
+        }
+        self.rebuild_subtasks_on();
+        Ok(moved.len())
+    }
+
     /// An initial feasible-leaning allocation: every subtask gets an equal
     /// slice of its task's critical time along the longest path through it.
     ///
@@ -338,6 +556,112 @@ mod tests {
             Problem::new(resources, vec![t]),
             Err(ModelError::NonDenseTaskIds { .. })
         ));
+    }
+
+    fn third_task() -> TaskBuilder {
+        let mut b = TaskBuilder::new("c");
+        b.subtask("w", ResourceId::new(0), 1.5);
+        b.critical_time(25.0);
+        b
+    }
+
+    #[test]
+    fn add_task_assigns_next_dense_id() {
+        let mut p = two_cpu_problem();
+        let report = p.add_task(&third_task()).unwrap();
+        assert_eq!(report.added_task, Some(TaskId::new(2)));
+        assert_eq!(report.task_map, vec![Some(0), Some(1)]);
+        assert_eq!(p.tasks().len(), 3);
+        assert_eq!(p.tasks()[2].id(), TaskId::new(2));
+        assert_eq!(p.subtasks_on(ResourceId::new(0)).len(), 2);
+        // Equivalent to building the expanded problem from scratch.
+        let rebuilt = Problem::new(p.resources().to_vec(), p.tasks().to_vec()).unwrap();
+        assert_eq!(p, rebuilt);
+    }
+
+    #[test]
+    fn add_task_rejects_unknown_resource_without_mutating() {
+        let mut p = two_cpu_problem();
+        let before = p.clone();
+        let mut b = TaskBuilder::new("bad");
+        b.subtask("x", ResourceId::new(9), 1.0);
+        b.critical_time(10.0);
+        assert!(matches!(p.add_task(&b), Err(ModelError::UnknownResource { .. })));
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn remove_task_redensifies_ids() {
+        let mut p = two_cpu_problem();
+        p.add_task(&third_task()).unwrap();
+        let report = p.remove_task(TaskId::new(0)).unwrap();
+        assert_eq!(report.task_map, vec![None, Some(0), Some(1)]);
+        assert_eq!(p.tasks().len(), 2);
+        for (i, t) in p.tasks().iter().enumerate() {
+            assert_eq!(t.id().index(), i);
+            for (j, s) in t.subtasks().iter().enumerate() {
+                assert_eq!(s.id(), SubtaskId::new(t.id(), j));
+            }
+        }
+        assert!(matches!(
+            p.remove_task(TaskId::new(7)),
+            Err(ModelError::UnknownTask { len: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn add_remove_round_trips_to_equivalent_problem() {
+        let mut p = two_cpu_problem();
+        let before = p.clone();
+        let report = p.add_task(&third_task()).unwrap();
+        p.remove_task(report.added_task.unwrap()).unwrap();
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn retire_requires_drained_resource() {
+        let mut p = two_cpu_problem();
+        assert!(matches!(
+            p.retire_resource(ResourceId::new(1)),
+            Err(ModelError::ResourceInUse { subtasks: 2, .. })
+        ));
+        let moved = p.reassign_resource(ResourceId::new(1), ResourceId::new(0)).unwrap();
+        assert_eq!(moved, 2);
+        assert!(p.subtasks_on(ResourceId::new(1)).is_empty());
+        // Moved subtasks pick up the destination lag (1.0, not 2.0).
+        let sid = p.tasks()[0].subtask_id(1);
+        assert_eq!(p.share_model(sid).demand(), 3.0 + 1.0);
+        let report = p.retire_resource(ResourceId::new(1)).unwrap();
+        assert_eq!(report.resource_map, vec![Some(0), None]);
+        assert_eq!(p.resources().len(), 1);
+        assert!(p
+            .tasks()
+            .iter()
+            .all(|t| t.subtasks().iter().all(|s| s.resource() == ResourceId::new(0))));
+        // The shrunken problem still validates from scratch.
+        Problem::new(p.resources().to_vec(), p.tasks().to_vec()).unwrap();
+    }
+
+    #[test]
+    fn add_resource_must_be_dense() {
+        let mut p = two_cpu_problem();
+        let r = Resource::new(ResourceId::new(5), ResourceKind::Cpu);
+        assert!(matches!(p.add_resource(r), Err(ModelError::NonDenseResourceIds { .. })));
+        let r = Resource::new(ResourceId::new(2), ResourceKind::Cpu).with_lag(0.5);
+        let report = p.add_resource(r).unwrap();
+        assert_eq!(report.added_resource, Some(ResourceId::new(2)));
+        assert!(p.subtasks_on(ResourceId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn reassign_preserves_corrections() {
+        let mut p = two_cpu_problem();
+        let sid = p.tasks()[1].subtask_id(0); // on resource 1
+        p.set_correction(sid, -0.75);
+        p.set_demand_scale(sid, 1.25);
+        p.reassign_resource(ResourceId::new(1), ResourceId::new(0)).unwrap();
+        assert_eq!(p.share_model(sid).correction(), -0.75);
+        assert_eq!(p.share_model(sid).demand_scale(), 1.25);
     }
 
     #[test]

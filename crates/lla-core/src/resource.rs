@@ -84,6 +84,12 @@ impl Resource {
         self
     }
 
+    /// Rebuilds this resource under a new dense id (membership changes
+    /// re-densify indices when an earlier resource retires).
+    pub(crate) fn reindexed(&self, id: ResourceId) -> Resource {
+        Resource { id, ..self.clone() }
+    }
+
     /// The resource identifier.
     pub fn id(&self) -> ResourceId {
         self.id

@@ -85,6 +85,12 @@ impl Subtask {
         &self.name
     }
 
+    /// Rebuilds this subtask under a new id and resource binding; membership
+    /// changes re-densify ids and may move a subtask to another resource.
+    pub(crate) fn rebound(&self, id: SubtaskId, resource: ResourceId) -> Subtask {
+        Subtask { id, resource, ..self.clone() }
+    }
+
     /// Validates the numeric parameters.
     ///
     /// # Errors

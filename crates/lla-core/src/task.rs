@@ -216,6 +216,30 @@ impl Task {
         assert!(idx < self.subtasks.len());
         SubtaskId::new(self.id, idx)
     }
+
+    /// Rebuilds this task under a new dense id with remapped resource
+    /// indices: `resource_map[old] == Some(new)` moves a binding,
+    /// `None` means the resource left the problem.
+    ///
+    /// The precedence graph carries no ids, so only the task id and each
+    /// subtask's `(id, resource)` need rewriting.
+    pub(crate) fn remapped(
+        &self,
+        id: TaskId,
+        resource_map: &[Option<usize>],
+    ) -> Result<Task, ModelError> {
+        let mut subtasks = Vec::with_capacity(self.subtasks.len());
+        for (i, s) in self.subtasks.iter().enumerate() {
+            let old = s.resource().index();
+            let new = resource_map
+                .get(old)
+                .copied()
+                .flatten()
+                .ok_or(ModelError::UnknownResource { subtask: s.id(), resource: s.resource() })?;
+            subtasks.push(s.rebound(SubtaskId::new(id, i), ResourceId::new(new)));
+        }
+        Ok(Task { id, subtasks, ..self.clone() })
+    }
 }
 
 /// Incremental builder for [`Task`] ([C-BUILDER]).

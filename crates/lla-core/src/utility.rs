@@ -106,6 +106,13 @@ impl UtilityFn {
         UtilityFn::ExponentialPenalty { offset: u_max, a, b }
     }
 
+    /// Whether this utility encodes an inelastic (hard-deadline) task —
+    /// the smooth inelastic approximation of §3.2. Load shedding never
+    /// evicts inelastic tasks; they are admission-controlled instead.
+    pub fn is_inelastic(&self) -> bool {
+        matches!(self, UtilityFn::ExponentialPenalty { .. })
+    }
+
     /// Evaluates the utility at the given aggregated latency.
     pub fn value(&self, lat: f64) -> f64 {
         match *self {

@@ -5,7 +5,8 @@
 use crate::protocol::{Address, Message};
 use crate::runtime::{Actor, Outbox};
 use lla_core::{
-    allocate_task, AllocationSettings, OptimizerState, PriceState, Problem, StepSizePolicy,
+    allocate_task, AllocationSettings, MembershipReport, OptimizerState, PriceState, Problem,
+    StepSizePolicy,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -100,6 +101,138 @@ impl CheckpointStore {
     }
 }
 
+/// Why a topology epoch was created.
+///
+/// Agents use the cause to decide whether their warm duals survive the
+/// transition. An [`Evict`](MembershipCause::Evict) epoch exists *because*
+/// sustained overload was detected — which means every agent's prices
+/// integrated an unsatisfiable gradient for the whole detection window and
+/// are arbitrarily inflated. Once the shed capacity lets the constraints
+/// re-bind, those prices decay at `γ·slack` with `slack ≈ 0` and the
+/// allocation stalls far from the optimum indefinitely. Eviction epochs
+/// therefore restart prices from the initial point (bounded cold-start
+/// re-convergence); every other cause warm-starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipCause {
+    /// The initial deployment (epoch 0).
+    Genesis,
+    /// A task joined voluntarily.
+    TaskJoin,
+    /// A task left voluntarily.
+    TaskLeave,
+    /// The overload governor shed a task.
+    Evict,
+    /// A resource joined.
+    ResourceJoin,
+    /// A resource retired (drain-and-handoff).
+    ResourceRetire,
+}
+
+/// One version of the deployment's topology: the problem at a given
+/// membership epoch plus the slot assignment of its dense indices.
+///
+/// Protocol-level indices are *slots* — stable, never-reused identifiers
+/// (see the [`protocol`](crate::protocol) docs) — while the
+/// [`Problem`] keeps dense ids. Each epoch records the bijection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyEpoch {
+    /// Monotone epoch counter (0 is the initial deployment).
+    pub epoch: u64,
+    /// What created this epoch.
+    pub cause: MembershipCause,
+    /// The problem as of this epoch (dense ids).
+    pub problem: Problem,
+    /// `task_slots[dense task index] = slot`.
+    pub task_slots: Vec<usize>,
+    /// `resource_slots[dense resource index] = slot`.
+    pub resource_slots: Vec<usize>,
+}
+
+/// The durable, shared log of topology epochs — the membership analogue of
+/// the local config store the agents reload their [`Problem`] from. The
+/// facade appends an epoch *before* announcing it through the control
+/// plane, so by the time any agent hears about epoch `e` the store can
+/// serve it. Agents that miss intermediate epochs (loss, crashes) jump
+/// straight to the newest one they hear about — every epoch is a complete
+/// snapshot, not a delta.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyStore {
+    inner: Arc<Mutex<Vec<TopologyEpoch>>>,
+}
+
+impl TopologyStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TopologyStore::default()
+    }
+
+    /// Appends an epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` does not extend the log monotonically.
+    pub fn push(&self, epoch: TopologyEpoch) {
+        let mut log = self.inner.lock();
+        if let Some(last) = log.last() {
+            assert!(epoch.epoch > last.epoch, "epochs must be monotone");
+        }
+        log.push(epoch);
+    }
+
+    /// The epoch numbered `epoch`, if recorded.
+    pub fn at(&self, epoch: u64) -> Option<TopologyEpoch> {
+        self.inner.lock().iter().find(|e| e.epoch == epoch).cloned()
+    }
+
+    /// The newest recorded epoch.
+    pub fn latest(&self) -> Option<TopologyEpoch> {
+        self.inner.lock().last().cloned()
+    }
+
+    /// Whether any epoch in `(after, upto]` was created by an eviction.
+    /// Agents jumping several epochs at once use this to decide whether
+    /// the warm duals survive the jump (see [`MembershipCause`]).
+    pub fn evicted_between(&self, after: u64, upto: u64) -> bool {
+        self.inner
+            .lock()
+            .iter()
+            .any(|e| e.epoch > after && e.epoch <= upto && e.cause == MembershipCause::Evict)
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no epoch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// The dense-index remap between two topology views, keyed by slots: old
+/// dense index `i` maps to the position its slot occupies in the new view
+/// (or `None` if the slot is gone). This is exactly the shape
+/// [`PriceState::remap`] consumes to warm-start duals across an epoch.
+fn epoch_report(
+    old_task_slots: &[usize],
+    old_resource_slots: &[usize],
+    te: &TopologyEpoch,
+) -> MembershipReport {
+    MembershipReport {
+        task_map: old_task_slots
+            .iter()
+            .map(|s| te.task_slots.iter().position(|x| x == s))
+            .collect(),
+        resource_map: old_resource_slots
+            .iter()
+            .map(|s| te.resource_slots.iter().position(|x| x == s))
+            .collect(),
+        added_task: None,
+        added_resource: None,
+    }
+}
+
 /// The price agent of one resource (§4.3, "Resource Price Computation").
 ///
 /// Receives the latencies controllers assigned to the subtasks hosted
@@ -109,14 +242,28 @@ impl CheckpointStore {
 #[derive(Debug)]
 pub struct ResourceAgent {
     r: usize,
+    /// Protocol slot of this resource (== `r` until churn reorders dense
+    /// indices).
+    slot: usize,
     problem: Problem,
     policy: StepSizePolicy,
     prices: PriceState,
-    /// Last received latency per hosted subtask, aligned with
-    /// `problem.subtasks_on(r)`.
+    /// Last received latency per hosted subtask, aligned with `hosted`.
     latencies: Vec<f64>,
+    /// `(task slot, subtask index)` key of each hosted subtask, aligned
+    /// with `latencies` — the epoch-stable identity warm state is carried
+    /// under across membership changes.
+    hosted: Vec<(usize, usize)>,
+    /// Controller *slots* to broadcast the price to.
     subscribers: Vec<usize>,
+    /// `task_slots[dense task index] = slot` in the applied epoch.
+    task_slots: Vec<usize>,
     robustness: RobustnessConfig,
+    topology: Option<TopologyStore>,
+    /// Applied topology epoch.
+    epoch: u64,
+    /// Retired: acknowledge control traffic, do nothing else.
+    dormant: bool,
     /// Virtual time of the newest latency message heard.
     last_heard: f64,
     /// Congestion bit of the last non-degraded tick (rebroadcast while
@@ -129,39 +276,70 @@ pub struct ResourceAgent {
 
 impl ResourceAgent {
     /// Creates the agent for resource `r`, seeding stored latencies from
-    /// the problem's initial allocation.
+    /// the problem's initial allocation. Slot and dense index coincide at
+    /// creation; [`with_membership`](Self::with_membership) overrides the
+    /// slot for agents joining a churned deployment.
     pub fn new(r: usize, problem: Problem, policy: StepSizePolicy) -> Self {
-        let init = problem.initial_allocation();
-        let rid = problem.resources()[r].id();
-        let latencies: Vec<f64> = problem
-            .subtasks_on(rid)
-            .iter()
-            .map(|sid| init[sid.task().index()][sid.index()])
-            .collect();
-        let mut subscribers: Vec<usize> =
-            problem.subtasks_on(rid).iter().map(|sid| sid.task().index()).collect();
-        subscribers.sort_unstable();
-        subscribers.dedup();
         let prices = PriceState::new(&problem, policy);
-        ResourceAgent {
+        let task_slots: Vec<usize> = (0..problem.tasks().len()).collect();
+        let mut agent = ResourceAgent {
             r,
+            slot: r,
             problem,
             policy,
             prices,
-            latencies,
-            subscribers,
+            latencies: Vec::new(),
+            hosted: Vec::new(),
+            subscribers: Vec::new(),
+            task_slots,
             robustness: RobustnessConfig::default(),
+            topology: None,
+            epoch: 0,
+            dormant: false,
             last_heard: 0.0,
             congested: false,
             degraded: false,
             last_avail_seq: 0,
-        }
+        };
+        agent.resync_from_problem();
+        agent
     }
 
     /// Sets the fault-tolerance configuration.
     pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
         self.robustness = robustness;
         self
+    }
+
+    /// Attaches the shared topology store and fixes the agent's protocol
+    /// slot. The agent adopts the slot assignment of `epoch` (which the
+    /// caller has already pushed to the store); membership messages for
+    /// later epochs update it from there.
+    pub fn with_membership(mut self, store: TopologyStore, slot: usize, epoch: u64) -> Self {
+        self.slot = slot;
+        self.epoch = epoch;
+        if let Some(te) = store.at(epoch) {
+            self.task_slots = te.task_slots.clone();
+        }
+        self.topology = Some(store);
+        self.resync_from_problem();
+        self
+    }
+
+    /// Protocol slot of this agent.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Applied topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the resource has retired and the agent only acknowledges
+    /// control traffic.
+    pub fn is_dormant(&self) -> bool {
+        self.dormant
     }
 
     /// The current price `μ_r`.
@@ -186,14 +364,105 @@ impl ResourceAgent {
             .sum()
     }
 
-    fn apply_availability(&mut self, resource: usize, availability: f64) {
-        self.problem
-            .set_resource_availability(self.problem.resources()[resource].id(), availability);
+    /// Rebuilds `hosted`/`latencies`/`subscribers` from the current
+    /// problem view, preserving warm latencies for subtasks that survive
+    /// (keyed by task slot + subtask index) and seeding newcomers from the
+    /// initial allocation.
+    fn resync_from_problem(&mut self) {
+        let warm: HashMap<(usize, usize), f64> =
+            self.hosted.iter().copied().zip(self.latencies.iter().copied()).collect();
+        let init = self.problem.initial_allocation();
+        let rid = self.problem.resources()[self.r].id();
+        let mut hosted = Vec::new();
+        let mut latencies = Vec::new();
+        let mut subscribers = Vec::new();
+        for sid in self.problem.subtasks_on(rid) {
+            let key = (self.task_slots[sid.task().index()], sid.index());
+            hosted.push(key);
+            latencies
+                .push(warm.get(&key).copied().unwrap_or(init[sid.task().index()][sid.index()]));
+            subscribers.push(key.0);
+        }
+        subscribers.sort_unstable();
+        subscribers.dedup();
+        self.hosted = hosted;
+        self.latencies = latencies;
+        self.subscribers = subscribers;
+    }
+
+    /// Adopts a newer topology epoch: rebind the dense index behind this
+    /// agent's slot, warm-carry the price, and re-derive the hosted set.
+    /// A retired slot sends the agent dormant.
+    fn apply_epoch(&mut self, te: &TopologyEpoch) {
+        let report = epoch_report(&self.task_slots, &[self.slot], te);
+        self.epoch = te.epoch;
+        let Some(new_r) = te.resource_slots.iter().position(|&s| s == self.slot) else {
+            // Drain-and-handoff already moved the hosted subtasks in the
+            // epoch's problem; nothing is left to serve.
+            self.dormant = true;
+            self.hosted.clear();
+            self.latencies.clear();
+            self.subscribers.clear();
+            return;
+        };
+        // `epoch_report` built the resource map for this agent's slot
+        // alone; widen it to the full old problem so the price remap stays
+        // shaped correctly.
+        let full_report = MembershipReport {
+            resource_map: self
+                .problem
+                .resources()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| if i == self.r { Some(new_r) } else { None })
+                .collect(),
+            ..report
+        };
+        self.prices = self.prices.remap(&te.problem, &full_report);
+        self.problem = te.problem.clone();
+        self.r = new_r;
+        self.task_slots = te.task_slots.clone();
+        self.resync_from_problem();
+    }
+
+    /// Handles a membership message; returns `true` if it was one.
+    fn on_membership(&mut self, msg: &Message, outbox: &mut Outbox) -> bool {
+        let Some((_, epoch, seq)) = msg.membership_parts() else {
+            return false;
+        };
+        if epoch > self.epoch {
+            if let Some(te) = self.topology.as_ref().and_then(|s| s.at(epoch)) {
+                let rehab =
+                    self.topology.as_ref().is_some_and(|s| s.evicted_between(self.epoch, epoch));
+                self.apply_epoch(&te);
+                if rehab && !self.dormant {
+                    // An eviction epoch means sustained overload poisoned
+                    // the duals — restart the price (see MembershipCause).
+                    self.prices = PriceState::new(&self.problem, self.policy);
+                }
+            }
+        }
+        // Always ack, even duplicates or already-superseded epochs — the
+        // ack may have been the lost message.
+        if seq > 0 {
+            outbox.send(
+                Address::ControlPlane,
+                Message::MembershipAck { epoch, seq, from: Address::Resource(self.slot) },
+            );
+        }
+        true
+    }
+
+    fn apply_availability(&mut self, availability: f64) {
+        self.problem.set_resource_availability(self.problem.resources()[self.r].id(), availability);
     }
 }
 
 impl Actor for ResourceAgent {
     fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
+        if self.dormant {
+            return;
+        }
         self.degraded = now - self.last_heard > self.robustness.staleness_ttl;
         let mu = if self.degraded {
             // Latency inputs are stale (partition, crashed controllers):
@@ -210,21 +479,23 @@ impl Actor for ResourceAgent {
         for &t in &self.subscribers {
             outbox.send(
                 Address::Controller(t),
-                Message::Price { resource: self.r, mu, congested: self.congested },
+                Message::Price { resource: self.slot, mu, congested: self.congested },
             );
         }
     }
 
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
+        if self.on_membership(&msg, outbox) {
+            return;
+        }
         match msg {
             Message::Latency { task, subtask, latency } => {
-                let rid = self.problem.resources()[self.r].id();
-                let pos = self
-                    .problem
-                    .subtasks_on(rid)
-                    .iter()
-                    .position(|sid| sid.task().index() == task && sid.index() == subtask);
-                if let Some(pos) = pos {
+                // `task` is a slot; `hosted` is keyed by slot, so stale
+                // messages from departed tasks simply miss.
+                if self.dormant {
+                    return;
+                }
+                if let Some(pos) = self.hosted.iter().position(|&k| k == (task, subtask)) {
                     self.latencies[pos] = latency;
                     self.last_heard = now;
                 }
@@ -232,19 +503,23 @@ impl Actor for ResourceAgent {
             Message::AvailabilityUpdate { resource, availability, seq } => {
                 if seq == 0 {
                     // Out-of-band management command (bypass path).
-                    if resource == self.r {
-                        self.apply_availability(resource, availability);
+                    if resource == self.slot && !self.dormant {
+                        self.apply_availability(availability);
                     }
                 } else {
-                    if resource == self.r && seq > self.last_avail_seq {
-                        self.apply_availability(resource, availability);
+                    if resource == self.slot && seq > self.last_avail_seq && !self.dormant {
+                        self.apply_availability(availability);
                         self.last_avail_seq = seq;
                     }
                     // Always ack, even duplicates — the ack may have been
                     // the lost message.
                     outbox.send(
                         Address::ControlPlane,
-                        Message::AvailabilityAck { resource, seq, from: Address::Resource(self.r) },
+                        Message::AvailabilityAck {
+                            resource,
+                            seq,
+                            from: Address::Resource(self.slot),
+                        },
                     );
                 }
             }
@@ -256,14 +531,9 @@ impl Actor for ResourceAgent {
         // All algorithm state is volatile: the restarted agent re-learns
         // latencies from controller traffic and restarts its price from
         // the initial point.
-        let init = self.problem.initial_allocation();
-        let rid = self.problem.resources()[self.r].id();
-        self.latencies = self
-            .problem
-            .subtasks_on(rid)
-            .iter()
-            .map(|sid| init[sid.task().index()][sid.index()])
-            .collect();
+        self.hosted.clear();
+        self.latencies.clear();
+        self.resync_from_problem();
         self.prices = PriceState::new(&self.problem, self.policy);
         self.last_heard = 0.0;
         self.congested = false;
@@ -272,6 +542,13 @@ impl Actor for ResourceAgent {
     }
 
     fn on_restart(&mut self, now: f64, _outbox: &mut Outbox) {
+        // The topology store is durable configuration: a restarted agent
+        // rejoins at the newest epoch, whatever it missed while down.
+        if let Some(te) = self.topology.as_ref().and_then(|s| s.latest()) {
+            if te.epoch > self.epoch {
+                self.apply_epoch(&te);
+            }
+        }
         // Give the staleness TTL a fresh grace period.
         self.last_heard = now;
     }
@@ -295,6 +572,9 @@ impl Actor for ResourceAgent {
 #[derive(Debug)]
 pub struct TaskController {
     t: usize,
+    /// Protocol slot of this task (== `t` until churn reorders dense
+    /// indices).
+    slot: usize,
     problem: Problem,
     policy: StepSizePolicy,
     prices: PriceState,
@@ -304,20 +584,33 @@ pub struct TaskController {
     telemetry: SharedLats,
     robustness: RobustnessConfig,
     checkpoints: Option<CheckpointStore>,
+    topology: Option<TopologyStore>,
+    /// Applied topology epoch.
+    epoch: u64,
+    /// Departed (left or evicted): acknowledge control traffic, do
+    /// nothing else.
+    dormant: bool,
+    /// `task_slots[dense task index] = slot` in the applied epoch.
+    task_slots: Vec<usize>,
+    /// `resource_slots[dense resource index] = slot` in the applied epoch.
+    resource_slots: Vec<usize>,
     last_checkpoint: f64,
-    /// Virtual time of the newest price heard, per resource.
+    /// Virtual time of the newest price heard, per (dense) resource.
     last_heard: Vec<f64>,
-    /// Resource indices this task's subtasks actually use.
+    /// Dense resource indices this task's subtasks actually use.
     used_resources: Vec<usize>,
     ticks: usize,
     degraded: bool,
     degraded_ticks: u64,
-    /// Highest applied control-plane sequence, per resource (volatile).
+    /// Highest applied control-plane sequence, per resource slot
+    /// (volatile).
     last_avail_seq: HashMap<usize, u64>,
 }
 
 impl TaskController {
-    /// Creates the controller for task `t`.
+    /// Creates the controller for task `t`. Slot and dense index coincide
+    /// at creation; [`with_membership`](Self::with_membership) overrides
+    /// the slot for controllers joining a churned deployment.
     pub fn new(
         t: usize,
         problem: Problem,
@@ -333,8 +626,11 @@ impl TaskController {
         used_resources.sort_unstable();
         used_resources.dedup();
         let prices = PriceState::new(&problem, policy);
+        let task_slots = (0..problem.tasks().len()).collect();
+        let resource_slots = (0..problem.resources().len()).collect();
         TaskController {
             t,
+            slot: t,
             problem,
             policy,
             prices,
@@ -344,6 +640,11 @@ impl TaskController {
             telemetry,
             robustness: RobustnessConfig::default(),
             checkpoints: None,
+            topology: None,
+            epoch: 0,
+            dormant: false,
+            task_slots,
+            resource_slots,
             last_checkpoint: 0.0,
             last_heard,
             used_resources,
@@ -358,6 +659,37 @@ impl TaskController {
     pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
         self.robustness = robustness;
         self
+    }
+
+    /// Attaches the shared topology store and fixes the controller's
+    /// protocol slot. The controller adopts the slot assignment of
+    /// `epoch` (already pushed to the store by the caller); membership
+    /// messages for later epochs update it from there.
+    pub fn with_membership(mut self, store: TopologyStore, slot: usize, epoch: u64) -> Self {
+        self.slot = slot;
+        self.epoch = epoch;
+        if let Some(te) = store.at(epoch) {
+            self.task_slots = te.task_slots.clone();
+            self.resource_slots = te.resource_slots.clone();
+        }
+        self.topology = Some(store);
+        self
+    }
+
+    /// Protocol slot of this controller.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Applied topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the task has departed and the controller only acknowledges
+    /// control traffic.
+    pub fn is_dormant(&self) -> bool {
+        self.dormant
     }
 
     /// Attaches the stable store this controller checkpoints into (and
@@ -404,10 +736,81 @@ impl TaskController {
     fn staleness(&self, now: f64) -> f64 {
         self.used_resources.iter().map(|&r| now - self.last_heard[r]).fold(0.0, f64::max)
     }
+
+    /// Dense index of the resource in `slot` under the applied epoch.
+    fn resource_dense(&self, slot: usize) -> Option<usize> {
+        self.resource_slots.iter().position(|&s| s == slot)
+    }
+
+    /// Adopts a newer topology epoch: rebind this controller's dense
+    /// index, warm-carry surviving duals, and remap the per-resource
+    /// congestion/staleness books. A departed slot sends the controller
+    /// dormant.
+    fn apply_epoch(&mut self, now: f64, te: &TopologyEpoch) {
+        let report = epoch_report(&self.task_slots, &self.resource_slots, te);
+        self.epoch = te.epoch;
+        let Some(new_t) = te.task_slots.iter().position(|&s| s == self.slot) else {
+            self.dormant = true;
+            return;
+        };
+        self.prices = self.prices.remap(&te.problem, &report);
+        let n_res = te.problem.resources().len();
+        let mut congested = vec![false; n_res];
+        // Newcomer resources start with a fresh staleness grace period.
+        let mut last_heard = vec![now; n_res];
+        for (old, m) in report.resource_map.iter().enumerate() {
+            if let Some(new) = m {
+                congested[*new] = self.congested[old];
+                last_heard[*new] = self.last_heard[old];
+            }
+        }
+        self.congested = congested;
+        self.last_heard = last_heard;
+        self.problem = te.problem.clone();
+        self.t = new_t;
+        self.task_slots = te.task_slots.clone();
+        self.resource_slots = te.resource_slots.clone();
+        // The task's own subtask row never changes shape across epochs
+        // (drain only rebinds resources), so the warm `lats` stay valid.
+        let mut used: Vec<usize> =
+            self.problem.tasks()[self.t].subtasks().iter().map(|s| s.resource().index()).collect();
+        used.sort_unstable();
+        used.dedup();
+        self.used_resources = used;
+    }
+
+    /// Handles a membership message; returns `true` if it was one.
+    fn on_membership(&mut self, now: f64, msg: &Message, outbox: &mut Outbox) -> bool {
+        let Some((_, epoch, seq)) = msg.membership_parts() else {
+            return false;
+        };
+        if epoch > self.epoch {
+            if let Some(te) = self.topology.as_ref().and_then(|s| s.at(epoch)) {
+                let rehab =
+                    self.topology.as_ref().is_some_and(|s| s.evicted_between(self.epoch, epoch));
+                self.apply_epoch(now, &te);
+                if rehab && !self.dormant {
+                    // An eviction epoch means sustained overload poisoned
+                    // the duals — restart the prices (see MembershipCause).
+                    self.prices = PriceState::new(&self.problem, self.policy);
+                }
+            }
+        }
+        if seq > 0 {
+            outbox.send(
+                Address::ControlPlane,
+                Message::MembershipAck { epoch, seq, from: Address::Controller(self.slot) },
+            );
+        }
+        true
+    }
 }
 
 impl Actor for TaskController {
     fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
+        if self.dormant {
+            return;
+        }
         self.ticks += 1;
         self.degraded = self.staleness(now) > self.robustness.staleness_ttl;
         if self.degraded {
@@ -436,12 +839,12 @@ impl Actor for TaskController {
             // Latency allocation at the stored resource prices.
             self.lats =
                 allocate_task(&self.problem, task, &self.prices, &self.settings, &self.lats);
-            self.telemetry.lock()[self.t] = self.lats.clone();
+            self.telemetry.lock()[self.slot] = self.lats.clone();
 
             for (s, sub) in task.subtasks().iter().enumerate() {
                 outbox.send(
-                    Address::Resource(sub.resource().index()),
-                    Message::Latency { task: self.t, subtask: s, latency: self.lats[s] },
+                    Address::Resource(self.resource_slots[sub.resource().index()]),
+                    Message::Latency { task: self.slot, subtask: s, latency: self.lats[s] },
                 );
             }
         }
@@ -449,7 +852,7 @@ impl Actor for TaskController {
         if let Some(store) = &self.checkpoints {
             if now - self.last_checkpoint >= self.robustness.checkpoint_interval {
                 store.save(
-                    Address::Controller(self.t),
+                    Address::Controller(self.slot),
                     ControllerCheckpoint {
                         state: self.export_state(),
                         congested: self.congested.clone(),
@@ -462,11 +865,21 @@ impl Actor for TaskController {
     }
 
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
+        if self.on_membership(now, &msg, outbox) {
+            return;
+        }
         match msg {
             Message::Price { resource, mu, congested } => {
-                self.prices.set_mu(resource, mu);
-                self.congested[resource] = congested;
-                self.last_heard[resource] = now;
+                // `resource` is a slot; a price from a resource this
+                // epoch no longer knows (e.g. just retired) misses.
+                if self.dormant {
+                    return;
+                }
+                if let Some(r) = self.resource_dense(resource) {
+                    self.prices.set_mu(r, mu);
+                    self.congested[r] = congested;
+                    self.last_heard[r] = now;
+                }
             }
             Message::AvailabilityUpdate { resource, availability, seq } => {
                 // Controllers use B_r in their clamping bounds.
@@ -483,16 +896,18 @@ impl Actor for TaskController {
                         Message::AvailabilityAck {
                             resource,
                             seq,
-                            from: Address::Controller(self.t),
+                            from: Address::Controller(self.slot),
                         },
                     );
                     fresh
                 };
-                if apply {
-                    self.problem.set_resource_availability(
-                        self.problem.resources()[resource].id(),
-                        availability,
-                    );
+                if apply && !self.dormant {
+                    if let Some(r) = self.resource_dense(resource) {
+                        self.problem.set_resource_availability(
+                            self.problem.resources()[r].id(),
+                            availability,
+                        );
+                    }
                 }
             }
             _ => {}
@@ -513,12 +928,37 @@ impl Actor for TaskController {
     }
 
     fn on_restart(&mut self, now: f64, _outbox: &mut Outbox) {
+        // The topology store is durable configuration: rejoin at the
+        // newest epoch before considering a checkpoint.
+        let mut rehab = false;
+        if let Some(te) = self.topology.as_ref().and_then(|s| s.latest()) {
+            if te.epoch > self.epoch {
+                rehab =
+                    self.topology.as_ref().is_some_and(|s| s.evicted_between(self.epoch, te.epoch));
+                self.apply_epoch(now, &te);
+            }
+        }
+        // A checkpoint written before an eviction epoch holds poisoned
+        // duals (see MembershipCause) — skip it; the crash already reset
+        // the prices to the initial point.
+        if rehab {
+            self.last_heard = vec![now; self.problem.resources().len()];
+            return;
+        }
         if let Some(ckpt) =
-            self.checkpoints.as_ref().and_then(|s| s.load(Address::Controller(self.t)))
+            self.checkpoints.as_ref().and_then(|s| s.load(Address::Controller(self.slot)))
         {
-            self.import_state(&ckpt.state);
-            self.congested = ckpt.congested;
-            self.last_checkpoint = now;
+            // A checkpoint taken under an older topology has stale
+            // shapes; restoring it would corrupt the dual state. Only
+            // restore when it matches the current problem.
+            let fits = ckpt.state.lats().len() == self.problem.tasks().len()
+                && ckpt.congested.len() == self.problem.resources().len()
+                && ckpt.state.lats()[self.t].len() == self.lats.len();
+            if fits {
+                self.import_state(&ckpt.state);
+                self.congested = ckpt.congested;
+                self.last_checkpoint = now;
+            }
         }
         // Fresh staleness grace period either way.
         self.last_heard = vec![now; self.problem.resources().len()];
@@ -542,9 +982,13 @@ impl Actor for TaskController {
 /// [`AvailabilityUpdate`]: Message::AvailabilityUpdate
 #[derive(Debug)]
 pub struct ControlPlaneAgent {
-    n_tasks: usize,
+    /// Live controller slots (dormant ones are pruned as they depart).
+    controller_slots: Vec<usize>,
+    /// Live resource slots.
+    resource_slots: Vec<usize>,
     next_seq: u64,
     pending: Vec<PendingUpdate>,
+    pending_membership: Vec<PendingMembership>,
 }
 
 #[derive(Debug)]
@@ -555,11 +999,25 @@ struct PendingUpdate {
     awaiting: Vec<Address>,
 }
 
+#[derive(Debug)]
+struct PendingMembership {
+    /// The sequenced membership message being disseminated.
+    msg: Message,
+    awaiting: Vec<Address>,
+}
+
 impl ControlPlaneAgent {
     /// Creates the control plane for a deployment with `n_tasks` task
-    /// controllers.
-    pub fn new(n_tasks: usize) -> Self {
-        ControlPlaneAgent { n_tasks, next_seq: 0, pending: Vec::new() }
+    /// controllers in slots `0..n_tasks` and `n_resources` resource agents
+    /// in slots `0..n_resources`.
+    pub fn new(n_tasks: usize, n_resources: usize) -> Self {
+        ControlPlaneAgent {
+            controller_slots: (0..n_tasks).collect(),
+            resource_slots: (0..n_resources).collect(),
+            next_seq: 0,
+            pending: Vec::new(),
+            pending_membership: Vec::new(),
+        }
     }
 
     /// Updates not yet acknowledged by every recipient.
@@ -567,16 +1025,69 @@ impl ControlPlaneAgent {
         self.pending.len()
     }
 
+    /// Membership changes not yet acknowledged by every recipient.
+    pub fn pending_membership(&self) -> usize {
+        self.pending_membership.len()
+    }
+
     /// Sequence numbers assigned so far.
     pub fn sequences_assigned(&self) -> u64 {
         self.next_seq
     }
 
+    /// Controller slots the control plane currently fans out to.
+    pub fn controller_slots(&self) -> &[usize] {
+        &self.controller_slots
+    }
+
+    /// Resource slots the control plane currently fans out to.
+    pub fn resource_slots(&self) -> &[usize] {
+        &self.resource_slots
+    }
+
     fn recipients(&self, resource: usize) -> Vec<Address> {
-        let mut v = Vec::with_capacity(self.n_tasks + 1);
+        let mut v = Vec::with_capacity(self.controller_slots.len() + 1);
         v.push(Address::Resource(resource));
-        v.extend((0..self.n_tasks).map(Address::Controller));
+        v.extend(self.controller_slots.iter().copied().map(Address::Controller));
         v
+    }
+
+    /// Everyone who must learn about a membership change: all live
+    /// resource agents and controllers, *including* the departing agent
+    /// (which needs the message to go dormant) and the joining one (which
+    /// was created at the new epoch already and simply re-acks).
+    fn membership_recipients(&self) -> Vec<Address> {
+        let mut v: Vec<Address> =
+            self.resource_slots.iter().copied().map(Address::Resource).collect();
+        v.extend(self.controller_slots.iter().copied().map(Address::Controller));
+        v
+    }
+
+    /// Folds an operator membership command into the live-slot books,
+    /// *before* computing recipients (joins) or *after* (departures, so
+    /// the departing agent still hears the news).
+    fn note_membership_pre(&mut self, msg: &Message) {
+        match *msg {
+            Message::TaskJoin { slot, .. } if !self.controller_slots.contains(&slot) => {
+                self.controller_slots.push(slot);
+            }
+            Message::ResourceJoin { slot, .. } if !self.resource_slots.contains(&slot) => {
+                self.resource_slots.push(slot);
+            }
+            _ => {}
+        }
+    }
+
+    fn note_membership_post(&mut self, msg: &Message) {
+        match *msg {
+            Message::TaskLeave { slot, .. } | Message::Evict { slot, .. } => {
+                self.controller_slots.retain(|&s| s != slot);
+            }
+            Message::ResourceRetire { slot, .. } => {
+                self.resource_slots.retain(|&s| s != slot);
+            }
+            _ => {}
+        }
     }
 }
 
@@ -596,9 +1107,29 @@ impl Actor for ControlPlaneAgent {
                 );
             }
         }
+        for p in &self.pending_membership {
+            for &addr in &p.awaiting {
+                outbox.send(addr, p.msg.clone());
+            }
+        }
     }
 
     fn on_message(&mut self, _now: f64, msg: Message, outbox: &mut Outbox) {
+        if let Some((_, _, 0)) = msg.membership_parts() {
+            // Operator-submitted membership command: assign the next
+            // sequence and disseminate reliably, exactly like
+            // availability updates.
+            self.next_seq += 1;
+            let sequenced = msg.with_membership_seq(self.next_seq);
+            self.note_membership_pre(&sequenced);
+            let awaiting = self.membership_recipients();
+            for &addr in &awaiting {
+                outbox.send(addr, sequenced.clone());
+            }
+            self.note_membership_post(&sequenced);
+            self.pending_membership.push(PendingMembership { msg: sequenced, awaiting });
+            return;
+        }
         match msg {
             Message::AvailabilityUpdate { resource, availability, seq: 0 } => {
                 self.next_seq += 1;
@@ -617,6 +1148,14 @@ impl Actor for ControlPlaneAgent {
                 }
                 self.pending.retain(|p| !p.awaiting.is_empty());
             }
+            Message::MembershipAck { seq, from, .. } => {
+                for p in &mut self.pending_membership {
+                    if p.msg.membership_parts().map(|(_, _, s)| s) == Some(seq) {
+                        p.awaiting.retain(|&a| a != from);
+                    }
+                }
+                self.pending_membership.retain(|p| !p.awaiting.is_empty());
+            }
             _ => {}
         }
     }
@@ -626,6 +1165,7 @@ impl Actor for ControlPlaneAgent {
         // monotone across restarts; a real control plane would persist the
         // counter, which the round-up on restart emulates.
         self.pending.clear();
+        self.pending_membership.clear();
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {
@@ -797,7 +1337,7 @@ mod tests {
 
     #[test]
     fn control_plane_retransmits_until_acked() {
-        let mut cp = ControlPlaneAgent::new(2);
+        let mut cp = ControlPlaneAgent::new(2, 2);
         let mut outbox = Outbox::default();
         cp.on_message(
             0.0,

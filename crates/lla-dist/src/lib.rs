@@ -40,10 +40,13 @@ pub mod runtime;
 pub mod system;
 pub mod threaded;
 
-pub use agents::{CheckpointStore, ControlPlaneAgent, ControllerCheckpoint, RobustnessConfig};
+pub use agents::{
+    CheckpointStore, ControlPlaneAgent, ControllerCheckpoint, MembershipCause, RobustnessConfig,
+    TopologyEpoch, TopologyStore,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use network::{NetworkModel, NetworkSampler};
 pub use protocol::{Address, Message};
 pub use runtime::{Actor, Outbox, VirtualRuntime};
 pub use system::{DistConfig, DistributedLla};
-pub use threaded::ThreadedLla;
+pub use threaded::{ShutdownError, ThreadedLla};

@@ -5,18 +5,27 @@
 //! it; each *task controller* computes path prices locally and sends newly
 //! allocated latencies to the resources where its subtasks run.
 //!
-//! Control-plane traffic (availability changes) travels over the same
-//! lossy network as data-plane traffic, made reliable by sequence numbers
-//! and retransmit-until-ack (see
+//! Control-plane traffic (availability changes, membership changes)
+//! travels over the same lossy network as data-plane traffic, made
+//! reliable by sequence numbers and retransmit-until-ack (see
 //! [`ControlPlaneAgent`](crate::agents::ControlPlaneAgent)).
+//!
+//! ## Slots
+//!
+//! Protocol-level task and resource indices are **slots**: stable
+//! identifiers assigned at join time and never reused, so in-flight
+//! messages stay unambiguous across membership changes. In a problem that
+//! has seen no churn, slot and dense index coincide; after churn the
+//! per-epoch topology (see [`TopologyStore`](crate::agents::TopologyStore))
+//! maps slots to the current dense indices.
 
 /// Address of an actor in the distributed runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Address {
-    /// The price agent of resource `r` (one endpoint of a link computes
-    /// prices for link resources, per the paper's footnote).
+    /// The price agent of the resource in slot `r` (one endpoint of a link
+    /// computes prices for link resources, per the paper's footnote).
     Resource(usize),
-    /// The controller of task `t`.
+    /// The controller of the task in slot `t`.
     Controller(usize),
     /// The management-plane agent that disseminates availability changes
     /// reliably (sequence numbers + retransmission) over the lossy
@@ -86,6 +95,111 @@ pub enum Message {
         /// The acknowledging agent.
         from: Address,
     },
+    /// Control plane → agents: the task in `slot` joined at topology
+    /// `epoch`. Recipients load the epoch's problem view from the shared
+    /// topology store and splice the newcomer in without restarting.
+    ///
+    /// Like [`Message::AvailabilityUpdate`], membership messages are
+    /// reliable: retransmitted until acked, deduplicated by epoch (an
+    /// agent already at `epoch` or later re-acks and ignores the body).
+    TaskJoin {
+        /// Slot of the joining task.
+        slot: usize,
+        /// Topology epoch that includes the newcomer.
+        epoch: u64,
+        /// Control-plane sequence (0 on operator commands).
+        seq: u64,
+    },
+    /// Control plane → agents: the task in `slot` left voluntarily at
+    /// `epoch`. Resource agents drop its subtasks; its controller goes
+    /// dormant.
+    TaskLeave {
+        /// Slot of the leaving task.
+        slot: usize,
+        /// Topology epoch without the leaver.
+        epoch: u64,
+        /// Control-plane sequence (0 on operator commands).
+        seq: u64,
+    },
+    /// Control plane → agents: the resource in `slot` joined at `epoch`
+    /// (it starts empty and unpriced).
+    ResourceJoin {
+        /// Slot of the joining resource.
+        slot: usize,
+        /// Topology epoch that includes the newcomer.
+        epoch: u64,
+        /// Control-plane sequence (0 on operator commands).
+        seq: u64,
+    },
+    /// Control plane → agents: the resource in `slot` retires at `epoch`.
+    /// The epoch's problem has already drained its subtasks onto other
+    /// resources (drain-and-handoff); the retiring agent goes dormant
+    /// after processing this.
+    ResourceRetire {
+        /// Slot of the retiring resource.
+        slot: usize,
+        /// Topology epoch without the retiree.
+        epoch: u64,
+        /// Control-plane sequence (0 on operator commands).
+        seq: u64,
+    },
+    /// Control plane → agents: the task in `slot` was *evicted* by
+    /// overload shedding at `epoch`. Wire-identical to
+    /// [`Message::TaskLeave`] but kept distinct so telemetry can tell
+    /// voluntary departure from shedding.
+    Evict {
+        /// Slot of the evicted task.
+        slot: usize,
+        /// Topology epoch without the evictee.
+        epoch: u64,
+        /// Control-plane sequence (0 on operator commands).
+        seq: u64,
+    },
+    /// Agent → control plane: acknowledges the membership change at
+    /// `epoch` carrying `seq`.
+    MembershipAck {
+        /// The acknowledged topology epoch.
+        epoch: u64,
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// The acknowledging agent.
+        from: Address,
+    },
+}
+
+impl Message {
+    /// For membership messages, the `(slot, epoch, seq)` triple; `None`
+    /// for data-plane and availability messages.
+    pub fn membership_parts(&self) -> Option<(usize, u64, u64)> {
+        match *self {
+            Message::TaskJoin { slot, epoch, seq }
+            | Message::TaskLeave { slot, epoch, seq }
+            | Message::ResourceJoin { slot, epoch, seq }
+            | Message::ResourceRetire { slot, epoch, seq }
+            | Message::Evict { slot, epoch, seq } => Some((slot, epoch, seq)),
+            _ => None,
+        }
+    }
+
+    /// A copy of a membership message with the control-plane sequence
+    /// replaced (used when the control plane assigns the real sequence to
+    /// an operator-submitted `seq == 0` command).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-membership message.
+    pub fn with_membership_seq(&self, new_seq: u64) -> Message {
+        let mut m = self.clone();
+        match &mut m {
+            Message::TaskJoin { seq, .. }
+            | Message::TaskLeave { seq, .. }
+            | Message::ResourceJoin { seq, .. }
+            | Message::ResourceRetire { seq, .. }
+            | Message::Evict { seq, .. } => *seq = new_seq,
+            other => panic!("not a membership message: {other:?}"),
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +211,20 @@ mod tests {
         assert_eq!(Address::Resource(2).to_string(), "resource[2]");
         assert_eq!(Address::Controller(0).to_string(), "controller[0]");
         assert_eq!(Address::ControlPlane.to_string(), "control-plane");
+    }
+
+    #[test]
+    fn membership_parts_round_trip() {
+        let m = Message::TaskJoin { slot: 3, epoch: 7, seq: 0 };
+        assert_eq!(m.membership_parts(), Some((3, 7, 0)));
+        let reseq = m.with_membership_seq(42);
+        assert_eq!(reseq.membership_parts(), Some((3, 7, 42)));
+        assert_eq!(
+            Message::Evict { slot: 1, epoch: 2, seq: 9 }.membership_parts(),
+            Some((1, 2, 9))
+        );
+        let data = Message::Price { resource: 0, mu: 1.0, congested: false };
+        assert_eq!(data.membership_parts(), None);
     }
 
     #[test]

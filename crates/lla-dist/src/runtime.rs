@@ -182,6 +182,21 @@ impl VirtualRuntime {
         self.push(phase, EventKind::Tick(addr));
     }
 
+    /// Removes an actor and its tick schedule (a task left or a resource
+    /// retired). Any still-queued events addressed to it are discarded
+    /// when popped. Returns the actor, or `None` if the address was not
+    /// registered.
+    pub fn deregister(&mut self, addr: Address) -> Option<Box<dyn Actor>> {
+        self.schedules.remove(&addr);
+        self.crashed.remove(&addr);
+        self.actors.remove(&addr)
+    }
+
+    /// Whether an actor is registered at `addr`.
+    pub fn is_registered(&self, addr: Address) -> bool {
+        self.actors.contains_key(&addr)
+    }
+
     /// Schedules every event of `plan` on the virtual clock. May be
     /// called repeatedly; plans accumulate.
     pub fn schedule_faults(&mut self, plan: &FaultPlan) {
@@ -336,11 +351,13 @@ impl VirtualRuntime {
                         }
                     }
                     // Reschedule even while crashed, so ticking resumes
-                    // seamlessly after a restart.
-                    let sched = self.schedules.get_mut(&addr).expect("scheduled");
-                    sched.next += sched.interval;
-                    let next = sched.next;
-                    self.push(next, EventKind::Tick(addr));
+                    // seamlessly after a restart. A deregistered actor has
+                    // no schedule anymore: its tick chain ends here.
+                    if let Some(sched) = self.schedules.get_mut(&addr) {
+                        sched.next += sched.interval;
+                        let next = sched.next;
+                        self.push(next, EventKind::Tick(addr));
+                    }
                     self.dispatch(addr, outbox);
                 }
                 EventKind::Deliver(addr, msg) => {
@@ -607,6 +624,24 @@ mod tests {
         let times: Vec<f64> = rec.received.iter().map(|(t, _)| *t).collect();
         assert_eq!(times, vec![10.0, 110.0], "t=0 send arrives; t=100 (partitioned) dropped");
         assert_eq!(rt.dropped_by_partition(), 0, "t=100 send is after heal at t=55");
+    }
+
+    #[test]
+    fn deregister_ends_tick_chain_and_discards_deliveries() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 10.0, 5.0);
+        rt.run_until(30.0);
+        assert!(rt.is_registered(Address::Controller(0)));
+        let gone = rt.deregister(Address::Controller(0));
+        assert!(gone.is_some());
+        assert!(!rt.is_registered(Address::Controller(0)));
+        assert!(rt.deregister(Address::Controller(0)).is_none(), "second deregister is a no-op");
+        // The resource keeps ticking and sending into the void; nothing
+        // panics and the departed controller receives nothing.
+        rt.run_until(100.0);
+        let rec = rt.actor_as::<Recorder>(Address::Resource(0)).expect("still registered");
+        assert_eq!(rec.ticks.len(), 10);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! The distributed-LLA facade over the virtual-time runtime.
 
 use crate::agents::{
-    CheckpointStore, ControlPlaneAgent, ResourceAgent, RobustnessConfig, SharedLats, TaskController,
+    CheckpointStore, ControlPlaneAgent, MembershipCause, ResourceAgent, RobustnessConfig,
+    SharedLats, TaskController, TopologyEpoch, TopologyStore,
 };
 use crate::fault::{FaultKind, FaultPlan};
 use crate::network::NetworkModel;
 use crate::protocol::{Address, Message};
 use crate::runtime::VirtualRuntime;
-use lla_core::{Allocation, AllocationSettings, Problem, ResourceId, StepSizePolicy};
+use lla_core::{
+    Allocation, AllocationSettings, ModelError, Problem, Resource, ResourceId, StepSizePolicy,
+    TaskBuilder, TaskId,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -79,11 +83,20 @@ pub struct DistributedLla {
     runtime: VirtualRuntime,
     telemetry: SharedLats,
     checkpoints: CheckpointStore,
+    topology: TopologyStore,
+    /// Current topology epoch (0 = initial deployment).
+    epoch: u64,
+    /// `task_slots[dense task index] = slot`; slots are never reused.
+    task_slots: Vec<usize>,
+    /// `resource_slots[dense resource index] = slot`.
+    resource_slots: Vec<usize>,
+    next_task_slot: usize,
+    next_resource_slot: usize,
     config: DistConfig,
     rounds: usize,
     utilities: Vec<f64>,
-    /// `(at, resource, availability)` of scheduled availability faults not
-    /// yet reflected in the facade's own problem copy.
+    /// `(at, resource slot, availability)` of scheduled availability
+    /// faults not yet reflected in the facade's own problem copy.
     pending_availability: Vec<(f64, usize, f64)>,
 }
 
@@ -94,6 +107,16 @@ impl DistributedLla {
         let problem = Arc::new(problem);
         let telemetry: SharedLats = Arc::new(Mutex::new(problem.initial_allocation()));
         let checkpoints = CheckpointStore::new();
+        let topology = TopologyStore::new();
+        let task_slots: Vec<usize> = (0..problem.tasks().len()).collect();
+        let resource_slots: Vec<usize> = (0..problem.resources().len()).collect();
+        topology.push(TopologyEpoch {
+            epoch: 0,
+            cause: MembershipCause::Genesis,
+            problem: (*problem).clone(),
+            task_slots: task_slots.clone(),
+            resource_slots: resource_slots.clone(),
+        });
         let mut runtime = VirtualRuntime::new(config.network, config.seed);
 
         use rand::{Rng, SeedableRng};
@@ -125,7 +148,8 @@ impl DistributedLla {
                         Arc::clone(&telemetry),
                     )
                     .with_robustness(config.robustness)
-                    .with_checkpoints(checkpoints.clone()),
+                    .with_checkpoints(checkpoints.clone())
+                    .with_membership(topology.clone(), t, 0),
                 ),
                 interval,
                 phase,
@@ -137,7 +161,8 @@ impl DistributedLla {
                 Address::Resource(r),
                 Box::new(
                     ResourceAgent::new(r, (*problem).clone(), config.step_policy)
-                        .with_robustness(config.robustness),
+                        .with_robustness(config.robustness)
+                        .with_membership(topology.clone(), r, 0),
                 ),
                 interval,
                 phase,
@@ -147,16 +172,24 @@ impl DistributedLla {
         // sends nothing, so fault-free runs are unaffected.
         runtime.register(
             Address::ControlPlane,
-            Box::new(ControlPlaneAgent::new(problem.tasks().len())),
+            Box::new(ControlPlaneAgent::new(problem.tasks().len(), problem.resources().len())),
             config.robustness.retransmit_interval,
             0.5 * config.round_length,
         );
 
+        let next_task_slot = task_slots.len();
+        let next_resource_slot = resource_slots.len();
         DistributedLla {
             problem,
             runtime,
             telemetry,
             checkpoints,
+            topology,
+            epoch: 0,
+            task_slots,
+            resource_slots,
+            next_task_slot,
+            next_resource_slot,
             config,
             rounds: 0,
             utilities: Vec::new(),
@@ -203,20 +236,25 @@ impl DistributedLla {
             let t_end = self.rounds as f64 * self.config.round_length;
             self.runtime.run_until(t_end);
             // Mirror fired availability faults into the facade's problem
-            // copy, so feasibility/usage reporting sees them.
+            // copy, so feasibility/usage reporting sees them. Fault plans
+            // address resources by slot.
             let problem = Arc::make_mut(&mut self.problem);
-            self.pending_availability.retain(|&(at, resource, availability)| {
+            let resource_slots = &self.resource_slots;
+            self.pending_availability.retain(|&(at, slot, availability)| {
                 if at < t_end {
-                    problem.set_resource_availability(
-                        problem.resources()[resource].id(),
-                        availability,
-                    );
+                    if let Some(dense) = resource_slots.iter().position(|&s| s == slot) {
+                        problem.set_resource_availability(
+                            problem.resources()[dense].id(),
+                            availability,
+                        );
+                    }
                     false
                 } else {
                     true
                 }
             });
-            self.utilities.push(self.problem.total_utility(&self.telemetry.lock()));
+            let lats = self.dense_lats();
+            self.utilities.push(self.problem.total_utility(&lats));
         }
     }
 
@@ -225,14 +263,22 @@ impl DistributedLla {
         self.rounds
     }
 
+    /// The telemetry rows of the *live* tasks, in dense order. Telemetry
+    /// is indexed by slot (rows only ever grow); departed tasks keep
+    /// their last row but drop out of the dense view.
+    fn dense_lats(&self) -> Vec<Vec<f64>> {
+        let tel = self.telemetry.lock();
+        self.task_slots.iter().map(|&s| tel[s].clone()).collect()
+    }
+
     /// The current allocation as reported by the controllers.
     pub fn allocation(&self) -> Allocation {
-        Allocation::from_lats(self.telemetry.lock().clone())
+        Allocation::from_lats(self.dense_lats())
     }
 
     /// The current total utility.
     pub fn utility(&self) -> f64 {
-        self.problem.total_utility(&self.telemetry.lock())
+        self.problem.total_utility(&self.dense_lats())
     }
 
     /// Utility after each completed round.
@@ -256,10 +302,11 @@ impl DistributedLla {
     /// retransmit-until-ack, so it reaches every agent even under heavy
     /// loss. LLA re-converges from the current prices.
     pub fn set_resource_availability(&mut self, r: ResourceId, availability: f64) {
+        let slot = self.resource_slots[r.index()];
         Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
         self.runtime.inject(
             Address::ControlPlane,
-            Message::AvailabilityUpdate { resource: r.index(), availability, seq: 0 },
+            Message::AvailabilityUpdate { resource: slot, availability, seq: 0 },
         );
     }
 
@@ -268,12 +315,232 @@ impl DistributedLla {
     /// model and the control plane. This is the idealized baseline the
     /// reliable path is tested against.
     pub fn set_resource_availability_bypass(&mut self, r: ResourceId, availability: f64) {
+        let slot = self.resource_slots[r.index()];
         Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
-        let msg = Message::AvailabilityUpdate { resource: r.index(), availability, seq: 0 };
-        self.runtime.inject(Address::Resource(r.index()), msg.clone());
-        for t in 0..self.problem.tasks().len() {
+        let msg = Message::AvailabilityUpdate { resource: slot, availability, seq: 0 };
+        self.runtime.inject(Address::Resource(slot), msg.clone());
+        for &t in &self.task_slots {
             self.runtime.inject(Address::Controller(t), msg.clone());
         }
+    }
+
+    /// Current topology epoch (0 until the first membership change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Slot of each live task, in dense order.
+    pub fn task_slots(&self) -> &[usize] {
+        &self.task_slots
+    }
+
+    /// Slot of each live resource, in dense order.
+    pub fn resource_slots(&self) -> &[usize] {
+        &self.resource_slots
+    }
+
+    /// The shared epoch log agents reload topology from.
+    pub fn topology(&self) -> &TopologyStore {
+        &self.topology
+    }
+
+    /// Records the post-change topology as a new epoch in the shared
+    /// store, *before* the change is announced — so any agent that hears
+    /// about the epoch can immediately load it.
+    fn push_epoch(&mut self, cause: MembershipCause) {
+        self.epoch += 1;
+        self.topology.push(TopologyEpoch {
+            epoch: self.epoch,
+            cause,
+            problem: (*self.problem).clone(),
+            task_slots: self.task_slots.clone(),
+            resource_slots: self.resource_slots.clone(),
+        });
+    }
+
+    /// First tick time strictly after `now` for an agent phased at
+    /// `frac` of a round (0.25 for controllers, 0.75 for resources).
+    fn next_phase(&self, frac: f64) -> f64 {
+        let round = self.config.round_length;
+        let offset = frac * round;
+        let now = self.runtime.now();
+        (((now - offset) / round).floor() + 1.0) * round + offset
+    }
+
+    /// Splices a new task into the running deployment: expands the
+    /// problem, records a new topology epoch, registers a controller for
+    /// the newcomer (first tick at the next controller phase), and
+    /// announces the join through the control plane's reliable path. The
+    /// incumbents keep their dual state; only the newcomer starts cold.
+    ///
+    /// Returns the newcomer's protocol *slot* (stable across later
+    /// churn, unlike its dense [`TaskId`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`]s from building the candidate task.
+    pub fn join_task(&mut self, builder: &TaskBuilder) -> Result<usize, ModelError> {
+        let report = Arc::make_mut(&mut self.problem).add_task(builder)?;
+        let dense = report.added_task.expect("add_task reports the new id").index();
+        let slot = self.next_task_slot;
+        self.next_task_slot += 1;
+        self.task_slots.push(slot);
+        self.push_epoch(MembershipCause::TaskJoin);
+        {
+            let mut tel = self.telemetry.lock();
+            while tel.len() <= slot {
+                tel.push(Vec::new());
+            }
+            tel[slot] = self.problem.initial_allocation()[dense].clone();
+        }
+        self.runtime.register(
+            Address::Controller(slot),
+            Box::new(
+                TaskController::new(
+                    dense,
+                    (*self.problem).clone(),
+                    self.config.step_policy,
+                    self.config.allocation,
+                    Arc::clone(&self.telemetry),
+                )
+                .with_robustness(self.config.robustness)
+                .with_checkpoints(self.checkpoints.clone())
+                .with_membership(self.topology.clone(), slot, self.epoch),
+            ),
+            self.config.round_length,
+            self.next_phase(0.25),
+        );
+        self.runtime
+            .inject(Address::ControlPlane, Message::TaskJoin { slot, epoch: self.epoch, seq: 0 });
+        Ok(slot)
+    }
+
+    /// Dense index of the task in `slot`, or an `UnknownTask` error
+    /// (reported with the slot as the id, since departed slots have no
+    /// dense id).
+    fn task_dense(&self, slot: usize) -> Result<usize, ModelError> {
+        self.task_slots
+            .iter()
+            .position(|&s| s == slot)
+            .ok_or(ModelError::UnknownTask { task: TaskId::new(slot), len: self.task_slots.len() })
+    }
+
+    /// Dense index of the resource in `slot`.
+    fn resource_dense(&self, slot: usize) -> Result<usize, ModelError> {
+        self.resource_slots.iter().position(|&s| s == slot).ok_or(ModelError::UnknownResourceId {
+            resource: ResourceId::new(slot),
+            len: self.resource_slots.len(),
+        })
+    }
+
+    fn depart_task(&mut self, slot: usize, evict: bool) -> Result<(), ModelError> {
+        let dense = self.task_dense(slot)?;
+        Arc::make_mut(&mut self.problem).remove_task(TaskId::new(dense))?;
+        self.task_slots.remove(dense);
+        self.push_epoch(if evict { MembershipCause::Evict } else { MembershipCause::TaskLeave });
+        let msg = if evict {
+            Message::Evict { slot, epoch: self.epoch, seq: 0 }
+        } else {
+            Message::TaskLeave { slot, epoch: self.epoch, seq: 0 }
+        };
+        self.runtime.inject(Address::ControlPlane, msg);
+        Ok(())
+    }
+
+    /// Removes the task in `slot` from the running deployment
+    /// (voluntary departure). Its controller stays registered but goes
+    /// dormant once the announcement reaches it; survivors keep their
+    /// dual state and re-converge to the freed capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownTask`] if no live task occupies `slot`.
+    pub fn leave_task(&mut self, slot: usize) -> Result<(), ModelError> {
+        self.depart_task(slot, false)
+    }
+
+    /// Removes the task in `slot` because overload shedding chose it.
+    /// Announced as an [`Message::Evict`] and recorded as an
+    /// [`MembershipCause::Evict`] epoch, which makes every surviving
+    /// agent restart its duals from the initial point: eviction only
+    /// happens after *sustained* overload, which is exactly when the
+    /// warm duals are poisoned (they integrated an unsatisfiable
+    /// gradient and would stall the survivors' re-convergence — see
+    /// [`MembershipCause`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownTask`] if no live task occupies `slot`.
+    pub fn evict_task(&mut self, slot: usize) -> Result<(), ModelError> {
+        self.depart_task(slot, true)
+    }
+
+    /// Splices a new resource into the running deployment. The resource's
+    /// id must be dense-next (`problem.resources().len()`); it starts
+    /// empty — tasks joining later may place subtasks on it.
+    ///
+    /// Returns the newcomer's protocol slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`]s from [`Problem::add_resource`].
+    pub fn join_resource(&mut self, resource: Resource) -> Result<usize, ModelError> {
+        let report = Arc::make_mut(&mut self.problem).add_resource(resource)?;
+        let dense = report.added_resource.expect("add_resource reports the new id").index();
+        let slot = self.next_resource_slot;
+        self.next_resource_slot += 1;
+        self.resource_slots.push(slot);
+        self.push_epoch(MembershipCause::ResourceJoin);
+        self.runtime.register(
+            Address::Resource(slot),
+            Box::new(
+                ResourceAgent::new(dense, (*self.problem).clone(), self.config.step_policy)
+                    .with_robustness(self.config.robustness)
+                    .with_membership(self.topology.clone(), slot, self.epoch),
+            ),
+            self.config.round_length,
+            self.next_phase(0.75),
+        );
+        self.runtime.inject(
+            Address::ControlPlane,
+            Message::ResourceJoin { slot, epoch: self.epoch, seq: 0 },
+        );
+        Ok(slot)
+    }
+
+    /// Retires the resource in `slot` with drain-and-handoff: every
+    /// subtask it hosts is rebound onto the resource in `handoff_slot`
+    /// (share models rebuilt for the destination), then the retiree
+    /// leaves the topology. Its agent goes dormant once the announcement
+    /// reaches it; the handoff target picks the drained subtasks up from
+    /// the new epoch and re-learns their latencies from controller
+    /// traffic within a round.
+    ///
+    /// Returns the number of subtasks drained.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] if either slot is not live, or
+    /// any error from the underlying reassign/retire.
+    pub fn retire_resource(
+        &mut self,
+        slot: usize,
+        handoff_slot: usize,
+    ) -> Result<usize, ModelError> {
+        let dense_from = self.resource_dense(slot)?;
+        let dense_to = self.resource_dense(handoff_slot)?;
+        let problem = Arc::make_mut(&mut self.problem);
+        let from_id = problem.resources()[dense_from].id();
+        let to_id = problem.resources()[dense_to].id();
+        let moved = problem.reassign_resource(from_id, to_id)?;
+        problem.retire_resource(from_id)?;
+        self.resource_slots.remove(dense_from);
+        self.push_epoch(MembershipCause::ResourceRetire);
+        self.runtime.inject(
+            Address::ControlPlane,
+            Message::ResourceRetire { slot, epoch: self.epoch, seq: 0 },
+        );
+        Ok(moved)
     }
 }
 
@@ -452,6 +719,174 @@ mod tests {
         // hosted) price msgs = 4 + 4. The idle control plane sends nothing.
         assert_eq!(dist.messages_sent(), 80);
         assert_eq!(dist.messages_dropped(), 0);
+    }
+
+    #[test]
+    fn task_join_splices_in_and_matches_fresh_oracle() {
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(500);
+
+        let mut b = TaskBuilder::new("newcomer");
+        let a = b.subtask("a", ResourceId::new(0), 2.0);
+        let d = b.subtask("b", ResourceId::new(1), 3.0);
+        b.edge(a, d).unwrap();
+        b.critical_time(50.0);
+        let slot = dist.join_task(&b).unwrap();
+        assert_eq!(slot, 2);
+        assert_eq!(dist.epoch(), 1);
+        assert_eq!(dist.problem().tasks().len(), 3);
+
+        dist.run_rounds(2_000);
+        assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
+        // Every agent adopted the epoch.
+        for t in dist.task_slots().to_vec() {
+            let ctl = dist.runtime_mut().actor_as::<TaskController>(Address::Controller(t));
+            assert_eq!(ctl.expect("registered").epoch(), 1, "controller {t} missed the epoch");
+        }
+
+        // Within a few percent of a cold centralized solve of the same
+        // expanded problem.
+        let mut oracle = Optimizer::new(
+            dist.problem().clone(),
+            OptimizerConfig {
+                allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+                ..OptimizerConfig::default()
+            },
+        );
+        oracle.run_to_convergence(10_000);
+        let gap = (dist.utility() - oracle.utility()).abs() / oracle.utility().abs().max(1.0);
+        assert!(gap < 0.05, "join gap {gap}: {} vs oracle {}", dist.utility(), oracle.utility());
+    }
+
+    #[test]
+    fn task_leave_frees_capacity_and_survivors_reconverge() {
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(500);
+        dist.leave_task(0).unwrap();
+        assert_eq!(dist.epoch(), 1);
+        assert_eq!(dist.problem().tasks().len(), 1);
+        assert_eq!(dist.task_slots(), &[1], "slot 1 survives, densely reindexed to 0");
+        dist.run_rounds(1_500);
+
+        // The departed controller is dormant, not gone.
+        let ctl = dist.runtime_mut().actor_as::<TaskController>(Address::Controller(0));
+        assert!(ctl.expect("still registered").is_dormant());
+
+        assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
+        let mut oracle = Optimizer::new(
+            dist.problem().clone(),
+            OptimizerConfig {
+                allocation: AllocationSettings { throughput_floor: false, ..Default::default() },
+                ..OptimizerConfig::default()
+            },
+        );
+        oracle.run_to_convergence(10_000);
+        let gap = (dist.utility() - oracle.utility()).abs() / oracle.utility().abs().max(1.0);
+        assert!(gap < 0.05, "leave gap {gap}");
+    }
+
+    #[test]
+    fn resource_retire_drains_onto_handoff_target() {
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(500);
+        let moved = dist.retire_resource(1, 0).unwrap();
+        assert_eq!(moved, 2, "each task had one subtask on resource 1");
+        assert_eq!(dist.problem().resources().len(), 1);
+        dist.run_rounds(2_500);
+
+        use crate::agents::ResourceAgent;
+        let retired = dist.runtime_mut().actor_as::<ResourceAgent>(Address::Resource(1));
+        assert!(retired.expect("still registered").is_dormant());
+
+        assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
+        let usage = dist.problem().resource_usage(ResourceId::new(0), dist.allocation().lats());
+        assert!(usage <= 1.0 + 1e-3, "handoff target overloaded: {usage}");
+    }
+
+    #[test]
+    fn membership_announcements_survive_a_lossy_network() {
+        let mut dist = DistributedLla::new(
+            problem(),
+            DistConfig { network: NetworkModel::lossy(0.5, 1.0, 0.25), seed: 7, ..config() },
+        );
+        dist.run_rounds(300);
+        let mut b = TaskBuilder::new("newcomer");
+        let a = b.subtask("a", ResourceId::new(0), 2.0);
+        let d = b.subtask("b", ResourceId::new(1), 3.0);
+        b.edge(a, d).unwrap();
+        b.critical_time(50.0);
+        dist.join_task(&b).unwrap();
+        dist.leave_task(0).unwrap();
+        dist.run_rounds(2_000);
+        assert!(dist.messages_dropped() > 0);
+
+        // Retransmit-until-ack got both epochs to every live agent.
+        for t in dist.task_slots().to_vec() {
+            let ctl = dist.runtime_mut().actor_as::<TaskController>(Address::Controller(t));
+            assert_eq!(ctl.expect("registered").epoch(), 2, "controller {t} missed an epoch");
+        }
+        use crate::agents::ControlPlaneAgent;
+        let cp = dist
+            .runtime_mut()
+            .actor_as::<ControlPlaneAgent>(Address::ControlPlane)
+            .expect("control plane");
+        assert_eq!(cp.pending_membership(), 0, "all membership changes acked");
+        assert!(dist.problem().is_feasible(dist.allocation().lats(), 1e-2));
+    }
+
+    #[test]
+    fn evict_rehabilitates_duals_while_leave_keeps_them_warm() {
+        // Leave warm-starts the survivors' duals; evict — which only
+        // happens after detected sustained overload — restarts them (the
+        // epoch's MembershipCause carries the distinction). Both must
+        // land on the same per-epoch optimum.
+        let mut leave = DistributedLla::new(problem(), config());
+        let mut evict = DistributedLla::new(problem(), config());
+        leave.run_rounds(400);
+        evict.run_rounds(400);
+        leave.leave_task(0).unwrap();
+        evict.evict_task(0).unwrap();
+        leave.run_rounds(30);
+        evict.run_rounds(30);
+        let transient_gap: f64 = leave
+            .utilities()
+            .iter()
+            .skip(401)
+            .zip(evict.utilities().iter().skip(401))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            transient_gap > 1e-9,
+            "the dual restart must be observable in the re-convergence transient"
+        );
+        leave.run_rounds(1_600);
+        evict.run_rounds(1_600);
+        let mut opt = Optimizer::new(
+            leave.problem().clone(),
+            OptimizerConfig {
+                step_policy: StepSizePolicy::adaptive(1.0),
+                ..OptimizerConfig::default()
+            },
+        );
+        opt.run_to_convergence(20_000);
+        let scale = opt.utility().abs().max(1.0);
+        for (label, u) in [("leave", leave.utility()), ("evict", evict.utility())] {
+            let gap = (u - opt.utility()).abs() / scale;
+            assert!(gap < 0.05, "{label} must re-converge: gap {gap}");
+        }
+    }
+
+    #[test]
+    fn departed_slot_errors_and_slots_are_never_reused() {
+        let mut dist = DistributedLla::new(problem(), config());
+        dist.run_rounds(100);
+        dist.leave_task(1).unwrap();
+        assert!(dist.leave_task(1).is_err(), "slot 1 is gone");
+        let mut b = TaskBuilder::new("late");
+        b.subtask("a", ResourceId::new(0), 2.0);
+        b.critical_time(50.0);
+        let slot = dist.join_task(&b).unwrap();
+        assert_eq!(slot, 2, "departed slot 1 must not be recycled");
     }
 
     #[test]

@@ -41,10 +41,30 @@ enum RouterCtl {
 }
 
 struct AgentHandle {
+    /// Human-readable agent name (its protocol address), reported when
+    /// the thread is found panicked at shutdown.
+    name: String,
     ctl: Sender<Ctl>,
     done: Receiver<()>,
     join: JoinHandle<()>,
 }
+
+/// Shutdown found one or more agent threads dead of a panic. The
+/// remaining threads were still stopped and joined — the deployment is
+/// fully torn down when this error is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownError {
+    /// Names (protocol addresses) of the agents whose threads panicked.
+    pub panicked: Vec<String>,
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "agent thread(s) panicked: {}", self.panicked.join(", "))
+    }
+}
+
+impl std::error::Error for ShutdownError {}
 
 /// A running threaded deployment.
 #[derive(Debug)]
@@ -67,6 +87,7 @@ impl std::fmt::Debug for AgentHandleOpaque {
 }
 
 fn spawn_agent(
+    name: String,
     mut actor: Box<dyn Actor>,
     inbox: Receiver<Message>,
     router: Sender<RouterCtl>,
@@ -107,7 +128,7 @@ fn spawn_agent(
             }
         }
     });
-    AgentHandle { ctl: ctl_tx, done: done_rx, join }
+    AgentHandle { name, ctl: ctl_tx, done: done_rx, join }
 }
 
 impl ThreadedLla {
@@ -159,7 +180,12 @@ impl ThreadedLla {
                     settings,
                     Arc::clone(&telemetry),
                 ));
-                AgentHandleOpaque(spawn_agent(actor, inbox, router_tx.clone()))
+                AgentHandleOpaque(spawn_agent(
+                    Address::Controller(t).to_string(),
+                    actor,
+                    inbox,
+                    router_tx.clone(),
+                ))
             })
             .collect();
         let resources: Vec<AgentHandleOpaque> = resource_inboxes
@@ -168,7 +194,12 @@ impl ThreadedLla {
             .map(|(r, inbox)| {
                 let actor: Box<dyn Actor> =
                     Box::new(ResourceAgent::new(r, (*problem).clone(), policy));
-                AgentHandleOpaque(spawn_agent(actor, inbox, router_tx.clone()))
+                AgentHandleOpaque(spawn_agent(
+                    Address::Resource(r).to_string(),
+                    actor,
+                    inbox,
+                    router_tx.clone(),
+                ))
             })
             .collect();
 
@@ -243,19 +274,60 @@ impl ThreadedLla {
     }
 
     /// Stops all threads and waits for them.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
+    ///
+    /// # Errors
+    ///
+    /// [`ShutdownError`] naming every agent whose thread had died of a
+    /// panic — a panic on an agent thread must surface, not vanish into
+    /// a swallowed [`JoinHandle`]. The deployment is fully torn down
+    /// either way.
+    pub fn shutdown(mut self) -> Result<(), ShutdownError> {
+        let panicked = self.shutdown_inner();
+        if panicked.is_empty() {
+            Ok(())
+        } else {
+            Err(ShutdownError { panicked })
+        }
     }
 
-    fn shutdown_inner(&mut self) {
+    fn shutdown_inner(&mut self) -> Vec<String> {
+        let mut panicked = Vec::new();
         for h in self.controllers.drain(..).chain(self.resources.drain(..)) {
             let _ = h.0.ctl.send(Ctl::Stop);
-            let _ = h.0.join.join();
+            if h.0.join.join().is_err() {
+                panicked.push(h.0.name);
+            }
         }
         let _ = self.router_ctl.send(RouterCtl::Stop);
         if let Some(j) = self.router_join.take() {
             let _ = j.join();
         }
+        panicked
+    }
+
+    /// Spawns an extra agent whose thread panics on its first tick —
+    /// test scaffolding for the panic-propagation contract.
+    #[cfg(test)]
+    fn spawn_panicker_for_test(&mut self, name: &str) {
+        #[derive(Debug)]
+        struct Panicker(String);
+        impl Actor for Panicker {
+            fn on_tick(&mut self, _now: f64, _outbox: &mut Outbox) {
+                panic!("{} exploded (test)", self.0);
+            }
+            fn on_message(&mut self, _now: f64, _msg: Message, _outbox: &mut Outbox) {}
+            fn as_any(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let (_tx, rx) = unbounded::<Message>();
+        let handle = spawn_agent(
+            name.to_string(),
+            Box::new(Panicker(name.to_string())),
+            rx,
+            self.router_ctl.clone(),
+        );
+        self.controllers.push(AgentHandleOpaque(handle));
     }
 }
 
@@ -298,7 +370,7 @@ mod tests {
         let mut dist = ThreadedLla::new(problem(), StepSizePolicy::default(), settings());
         dist.run_rounds(300);
         let threaded_u = dist.utility();
-        dist.shutdown();
+        dist.shutdown().expect("no agent panicked");
 
         let mut opt = Optimizer::new(
             problem(),
@@ -319,8 +391,20 @@ mod tests {
         dist.run_free(Duration::from_micros(200), Duration::from_millis(700));
         let achieved = dist.utility();
         let feasible = dist.problem().is_feasible(dist.allocation().lats(), 5e-2);
-        dist.shutdown();
+        dist.shutdown().expect("no agent panicked");
         assert!(achieved > initial, "free run should improve utility: {achieved} <= {initial}");
         assert!(feasible, "free run should approach feasibility");
+    }
+
+    #[test]
+    fn shutdown_reports_panicked_agents_by_name() {
+        let mut dist = ThreadedLla::new(problem(), StepSizePolicy::default(), settings());
+        dist.spawn_panicker_for_test("controller[99]");
+        // The panicker dies on its first tick; the healthy agents keep
+        // working and the round still completes.
+        dist.run_rounds(3);
+        let err = dist.shutdown().expect_err("panic must surface at shutdown");
+        assert_eq!(err.panicked, vec!["controller[99]".to_string()]);
+        assert!(err.to_string().contains("controller[99]"), "display names the agent: {err}");
     }
 }

@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 incumbent_utility_before,
                 incumbent_utility_after,
                 total_utility,
+                ..
             } => {
                 println!(
                     "monitor{i}: ADMIT   (incumbents {incumbent_utility_before:.1} -> \

@@ -1,0 +1,61 @@
+//! Chaos-soak acceptance tests: simultaneous task churn, a controller
+//! crash/restart, a partition, and 10% message loss must leave the
+//! running deployment re-converging after every membership event, within
+//! tolerance of a per-epoch centralized oracle, with utility-aware
+//! shedding that never flaps. The emitted CSV must be byte-deterministic.
+//!
+//! The full soak (≥ 20 churn events) is `#[ignore]`d — CI's nightly job
+//! runs it with `cargo test --release -- --ignored`; the default run
+//! covers a trimmed configuration of the same driver.
+
+use lla_bench::churn::{run_churn_soak, ChurnConfig, SoakEventKind};
+
+#[test]
+fn trimmed_soak_reconverges_within_tolerance() {
+    let config = ChurnConfig { churn_events: 6, mean_gap_rounds: 40.0, ..ChurnConfig::default() };
+    let report = run_churn_soak(&config);
+    assert!(report.all_reconverged(), "events: {:#?}", report.events);
+    assert!(report.max_settled_gap < config.gap_tolerance);
+    assert!(!report.flapped, "shed slots: {:?}", report.shed_slots);
+    assert!(!report.shed_slots.is_empty(), "the overload stage must shed");
+}
+
+#[test]
+fn soak_csv_is_byte_deterministic() {
+    let config = ChurnConfig { churn_events: 3, ..ChurnConfig::default() };
+    let a = run_churn_soak(&config).series.to_csv();
+    let b = run_churn_soak(&config).series.to_csv();
+    assert_eq!(a, b, "churn_sweep.csv must be byte-identical across runs");
+    assert!(a.starts_with("event,kind,slot,round,epoch,n_tasks,rounds_to_reconverge,"));
+}
+
+/// The full acceptance soak: ≥ 20 join/leave events composed with a
+/// crash/restart, a partition, and 10% loss. Nightly-only (`--ignored`).
+#[test]
+#[ignore = "long soak; run with --ignored (CI nightly job)"]
+fn full_soak_twenty_churn_events_with_faults() {
+    let config = ChurnConfig::default();
+    assert!(config.churn_events >= 20);
+    assert!((config.loss - 0.10).abs() < 1e-12);
+    let report = run_churn_soak(&config);
+    assert!(report.all_reconverged(), "events: {:#?}", report.events);
+    assert!(
+        report.max_settled_gap < config.gap_tolerance,
+        "settled gap {} exceeds {}",
+        report.max_settled_gap,
+        config.gap_tolerance
+    );
+    assert!(!report.flapped, "hysteresis must prevent flapping: {:?}", report.shed_slots);
+    assert!(!report.shed_slots.is_empty());
+    // Every churn event is a join or a leave; every shed event came from
+    // the overload stage, after the churn stage finished.
+    let churn_end = report
+        .events
+        .iter()
+        .position(|e| matches!(e.kind, SoakEventKind::Shed(_)))
+        .unwrap_or(report.events.len());
+    assert!(churn_end >= 20, "at least 20 churn events before shedding");
+    // Determinism of the full soak, byte for byte.
+    let again = run_churn_soak(&config);
+    assert_eq!(report.series.to_csv(), again.series.to_csv());
+}

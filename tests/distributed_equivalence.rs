@@ -50,7 +50,7 @@ fn threaded_runtime_matches_centralized_on_base_workload() {
     let mut dist = ThreadedLla::new(base_workload(), StepSizePolicy::adaptive(1.0), settings());
     dist.run_rounds(rounds);
     let threaded = dist.utility();
-    dist.shutdown();
+    dist.shutdown().expect("no agent panicked");
     let reference = centralized_reference(rounds);
     assert!(
         (threaded - reference[rounds - 1]).abs() < 1e-9,
@@ -163,7 +163,7 @@ fn threaded_free_run_is_safe() {
     dist.run_free(std::time::Duration::from_micros(200), std::time::Duration::from_millis(700));
     let after_alloc = dist.allocation();
     let after = dist.utility();
-    dist.shutdown();
+    dist.shutdown().expect("no agent panicked");
     assert_ne!(
         initial_alloc.lats(),
         after_alloc.lats(),

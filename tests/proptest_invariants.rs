@@ -12,7 +12,8 @@
 
 use lla::core::{
     compose_path_percentile, dual_value, lagrangian_value, AllocationSettings, Optimizer,
-    OptimizerConfig, PriceState, ShareModel, StepSizePolicy, SubtaskGraph, TaskId,
+    OptimizerConfig, PriceState, ResourceId, ShareModel, StepSizePolicy, SubtaskGraph, TaskBuilder,
+    TaskId, UtilityFn,
 };
 use lla::workloads::{RandomWorkloadConfig, TaskShape};
 use rand::rngs::StdRng;
@@ -333,5 +334,131 @@ fn prices_stay_nonnegative() {
                 assert!(opt.prices().lambda(t, p) >= 0.0);
             }
         }
+    }
+}
+
+/// A light two-subtask chain for churn tests: small demand relative to the
+/// generated workload's execution times, so joining it keeps the instance
+/// schedulable, and a linear utility so the objective stays concave.
+fn random_churn_task(tag: usize, n_resources: usize, rng: &mut StdRng) -> TaskBuilder {
+    let r1 = rng.gen_range(0..n_resources);
+    let r2 = rng.gen_range(0..n_resources);
+    let mut b = TaskBuilder::new(format!("churn-{tag}"));
+    b.subtask("a", ResourceId::new(r1), rng.gen_range(0.2f64..0.6));
+    b.subtask("b", ResourceId::new(r2), rng.gen_range(0.2f64..0.6));
+    b.edge(0, 1).expect("two-subtask chain");
+    let ct = rng.gen_range(80.0f64..200.0);
+    b.critical_time(ct)
+        .utility(UtilityFn::Linear { offset: 2.0 * ct, slope: -rng.gen_range(0.2f64..1.0) });
+    b
+}
+
+/// Membership churn keeps ids dense: after any random interleaving of
+/// `add_task` / `remove_task`, live task ids are exactly `0..n`, every
+/// removal's remap report is a dense bijection onto the survivors, and the
+/// price state stays aligned with the topology (stepping never indexes out
+/// of bounds).
+#[test]
+fn membership_churn_keeps_ids_dense() {
+    for mut rng in cases(11) {
+        let cfg = random_workload(&mut rng);
+        let problem = cfg.generate().expect("valid config");
+        let n_resources = problem.resources().len();
+        let mut expected = problem.tasks().len();
+        let mut opt = Optimizer::new(problem, OptimizerConfig::default());
+        let ops = rng.gen_range(3usize..10);
+        for k in 0..ops {
+            let n = opt.problem().tasks().len();
+            if n == 0 || rng.gen_bool(0.6) {
+                let id = opt
+                    .add_task(&random_churn_task(k, n_resources, &mut rng))
+                    .expect("churn task is valid");
+                assert_eq!(id.index(), n, "a join takes the next dense id");
+                expected += 1;
+            } else {
+                let victim = TaskId::new(rng.gen_range(0..n));
+                let report = opt.remove_task(victim).expect("victim is live");
+                assert!(report.task_map[victim.index()].is_none(), "victim leaves the map");
+                let mut survivors: Vec<usize> = report.task_map.iter().flatten().copied().collect();
+                survivors.sort_unstable();
+                assert_eq!(
+                    survivors,
+                    (0..n - 1).collect::<Vec<_>>(),
+                    "remap is a dense bijection onto 0..{}",
+                    n - 1
+                );
+                expected -= 1;
+            }
+            assert_eq!(opt.problem().tasks().len(), expected, "live count tracks churn");
+            opt.step();
+            for t in 0..expected {
+                for p in 0..opt.problem().tasks()[t].graph().paths().len() {
+                    assert!(opt.prices().lambda(t, p).is_finite(), "prices track topology");
+                }
+            }
+        }
+    }
+}
+
+/// Warm-started convergence matches a cold solve: after converging, joining
+/// a task and continuing from the warm duals must land within tolerance of
+/// a fresh optimizer solving the mutated problem from scratch (the problem
+/// is concave, so both must find the same optimum).
+#[test]
+fn warm_started_convergence_matches_cold_solve() {
+    for mut rng in cases(12) {
+        let cfg = RandomWorkloadConfig {
+            target_load: rng.gen_range(0.4f64..0.7),
+            ..random_workload(&mut rng)
+        };
+        let problem = cfg.generate().expect("valid config");
+        let n_resources = problem.resources().len();
+        let config = OptimizerConfig {
+            step_policy: StepSizePolicy::sign_adaptive(1.0),
+            ..OptimizerConfig::default()
+        };
+        let mut warm = Optimizer::new(problem, config);
+        assert!(warm.run_to_convergence(15_000).converged, "pre-churn solve converges");
+        warm.add_task(&random_churn_task(0, n_resources, &mut rng)).expect("valid join");
+        let warm_out = warm.run_to_convergence(20_000);
+        assert!(warm_out.converged, "warm restart converges on {cfg:?}");
+
+        let mut cold = Optimizer::new(warm.problem().clone(), config);
+        assert!(cold.run_to_convergence(20_000).converged, "cold solve converges");
+
+        let scale = cold.utility().abs().max(1.0);
+        assert!(
+            (warm.utility() - cold.utility()).abs() <= 0.05 * scale,
+            "warm {} vs cold {} diverge beyond 5% on {cfg:?}",
+            warm.utility(),
+            cold.utility()
+        );
+        assert!(
+            warm.problem().is_feasible(warm.allocation().lats(), 1e-2),
+            "warm-started allocation is feasible"
+        );
+    }
+}
+
+/// `remove_task(add_task(p, t))` round-trips: joining a task and
+/// immediately removing it restores a problem equal to the original, and
+/// the removal report is the identity on the survivors.
+#[test]
+fn add_then_remove_round_trips_the_problem() {
+    for mut rng in cases(13) {
+        let cfg = random_workload(&mut rng);
+        let problem = cfg.generate().expect("valid config");
+        let n_resources = problem.resources().len();
+        let before = problem.clone();
+        let mut opt = Optimizer::new(problem, OptimizerConfig::default());
+        let id = opt
+            .add_task(&random_churn_task(99, n_resources, &mut rng))
+            .expect("churn task is valid");
+        let report = opt.remove_task(id).expect("just added");
+        assert_eq!(*opt.problem(), before, "round-trip restores the problem");
+        for (old, new) in report.task_map.iter().enumerate().take(before.tasks().len()) {
+            assert_eq!(*new, Some(old), "survivors keep their ids");
+        }
+        assert_eq!(report.task_map[id.index()], None, "the round-tripped task is gone");
     }
 }
