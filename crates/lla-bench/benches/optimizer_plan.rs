@@ -1,0 +1,45 @@
+//! Criterion benchmark of the compiled-plan hot path against the naive
+//! nested-`Vec` round, on the large-scale random workload.
+//!
+//! The 10 000-task point lives in the `bench_optimizer` binary (criterion's
+//! sampling would make it take minutes); this bench covers 100 and 1 000
+//! tasks, which is what CI's smoke job runs in `--test` mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lla_bench::naive_round;
+use lla_core::{Optimizer, OptimizerConfig, PriceState, StepSizePolicy};
+use lla_workloads::large_scale_workload;
+use std::hint::black_box;
+
+fn config() -> OptimizerConfig {
+    OptimizerConfig {
+        step_policy: StepSizePolicy::sign_adaptive(1.0),
+        ..OptimizerConfig::default()
+    }
+}
+
+fn bench_optimizer_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_plan");
+    group.sample_size(20);
+
+    for tasks in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("naive", tasks), &tasks, |b, &tasks| {
+            let problem = large_scale_workload(tasks, 42).expect("valid config");
+            let cfg = config();
+            let mut prices = PriceState::new(&problem, cfg.step_policy);
+            let mut lats = problem.initial_allocation();
+            b.iter(|| black_box(naive_round(&problem, &mut prices, &cfg.allocation, &mut lats)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("plan", tasks), &tasks, |b, &tasks| {
+            let problem = large_scale_workload(tasks, 42).expect("valid config");
+            let mut opt = Optimizer::new(problem, config());
+            b.iter(|| black_box(opt.step()));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer_plan);
+criterion_main!(benches);

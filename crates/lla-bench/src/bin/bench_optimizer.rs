@@ -1,0 +1,72 @@
+//! Optimizer scaling benchmark: per-iteration cost of the compiled-plan
+//! hot path vs the naive nested-`Vec` round, on `large_scale_workload` at
+//! 100, 1 000 and 10 000 tasks.
+//!
+//! Writes `BENCH_optimizer.json` in the working directory (run from the
+//! repository root). Build with `--release`; with
+//! `--features parallel` the plan side additionally fans the per-task
+//! allocation out across worker threads (bit-identical results).
+//!
+//! ```text
+//! cargo run --release -p lla-bench --bin bench_optimizer
+//! cargo run --release -p lla-bench --features parallel --bin bench_optimizer
+//! ```
+
+use lla_bench::{bench_optimizer_point, OptimizerBenchPoint};
+use std::fmt::Write as _;
+
+/// `(tasks, warmup iterations, timed iterations)` — iteration counts taper
+/// with scale so the whole sweep stays under a minute in release mode.
+const POINTS: [(usize, usize, usize); 3] = [(100, 50, 400), (1_000, 10, 100), (10_000, 2, 12)];
+
+const SEED: u64 = 42;
+
+fn main() {
+    let parallel = cfg!(feature = "parallel");
+    println!("=== Optimizer iteration cost: naive vs compiled plan ===");
+    println!("parallel feature: {parallel}\n");
+    println!(
+        "{:>8} {:>10} {:>16} {:>16} {:>10}",
+        "tasks", "subtasks", "naive ns/iter", "plan ns/iter", "speedup"
+    );
+
+    let mut results: Vec<OptimizerBenchPoint> = Vec::new();
+    for (tasks, warmup, iters) in POINTS {
+        let p = bench_optimizer_point(tasks, SEED, warmup, iters);
+        println!(
+            "{:>8} {:>10} {:>16.0} {:>16.0} {:>9.2}x",
+            p.tasks,
+            p.subtasks,
+            p.naive_ns_per_iter,
+            p.plan_ns_per_iter,
+            p.speedup()
+        );
+        results.push(p);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"optimizer_plan\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"parallel_feature\": {parallel},");
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"tasks\": {}, \"subtasks\": {}, \"naive_ns_per_iter\": {:.1}, \
+             \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            p.tasks,
+            p.subtasks,
+            p.naive_ns_per_iter,
+            p.plan_ns_per_iter,
+            p.speedup()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    match std::fs::write("BENCH_optimizer.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_optimizer.json"),
+        Err(e) => eprintln!("\nBENCH_optimizer.json not written: {e}"),
+    }
+}

@@ -1,32 +1,46 @@
 //! Regenerates **Figure 6**: convergence as the number of tasks scales
 //! (§5.3).
 //!
-//! The base workload is replicated ×1, ×2, ×4 (3, 6, 12 tasks), with
-//! critical times scaled to keep the workload schedulable. The paper's
-//! claims: convergence speed does not depend on the number of tasks, and
-//! the converged utility grows linearly with the task count.
+//! The base workload is replicated ×1, ×2, ×4 (3, 6, 12 tasks) as in the
+//! paper, then pushed to ×16 and ×64 (48, 192 tasks) to exercise the
+//! compiled-plan hot path, with critical times scaled to keep every point
+//! schedulable. The paper's claims: convergence speed does not depend on
+//! the number of tasks, and the converged utility grows linearly with the
+//! task count. The extra wall-clock columns report the per-iteration cost
+//! at each scale.
 
 use lla_bench::{run_fig6_point, Series};
 
 fn main() {
     const BUDGET: usize = 8_000;
+    const REPLICATIONS: [usize; 5] = [1, 2, 4, 16, 64];
     println!("=== Figure 6: convergence as tasks scale ===\n");
     println!(
-        "{:>7} {:>10} {:>12} {:>14} {:>14}",
-        "tasks", "converged", "iterations", "settle (1%)", "utility"
+        "{:>7} {:>10} {:>12} {:>14} {:>14} {:>12} {:>12}",
+        "tasks", "converged", "iterations", "settle (1%)", "utility", "wall (ms)", "us/iter"
     );
 
-    let mut csv = Series::new(&["tasks", "converged", "iterations", "settling", "utility"]);
+    let mut csv = Series::new(&[
+        "tasks",
+        "converged",
+        "iterations",
+        "settling",
+        "utility",
+        "wall_ms",
+        "us_per_iteration",
+    ]);
     let mut points = Vec::new();
-    for replication in [1usize, 2, 4] {
+    for replication in REPLICATIONS {
         let p = run_fig6_point(replication, BUDGET);
         println!(
-            "{:>7} {:>10} {:>12} {:>14} {:>14.2}",
+            "{:>7} {:>10} {:>12} {:>14} {:>14.2} {:>12.2} {:>12.2}",
             p.tasks,
             p.converged,
             p.iterations,
             p.settling.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
-            p.utility
+            p.utility,
+            p.wall_ms,
+            p.us_per_iteration
         );
         csv.push(vec![
             p.tasks as f64,
@@ -34,6 +48,8 @@ fn main() {
             p.iterations as f64,
             p.settling.map(|s| s as f64).unwrap_or(-1.0),
             p.utility,
+            p.wall_ms,
+            p.us_per_iteration,
         ]);
         points.push(p);
     }
@@ -43,15 +59,19 @@ fn main() {
         Err(e) => eprintln!("csv not written: {e}"),
     }
 
-    println!("\npaper claims:");
-    let all_converged = points.iter().all(|p| p.converged);
+    // The paper's §5.3 claims only cover its own scales (×1, ×2, ×4); the
+    // ×16/×64 points are our hot-path scaling extension and are judged on
+    // wall-clock cost, not on the paper's convergence claims.
+    let paper_points = &points[..3];
+    println!("\npaper claims (over the paper's scales, 3/6/12 tasks):");
+    let all_converged = paper_points.iter().all(|p| p.converged);
     println!("  all scales converge: {}", if all_converged { "YES" } else { "NO" });
     // Linear utility growth: utility per task roughly constant. Critical
     // times scale with replication, so compare utility / (tasks × scale).
-    let normalized: Vec<f64> = points
+    let normalized: Vec<f64> = paper_points
         .iter()
-        .zip([1.0, 2.0, 4.0])
-        .map(|(p, scale)| p.utility / (p.tasks as f64 * scale))
+        .zip(REPLICATIONS)
+        .map(|(p, scale)| p.utility / (p.tasks as f64 * scale as f64))
         .collect();
     let spread = normalized.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - normalized.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -65,6 +85,15 @@ fn main() {
         "  convergence speed vs task count: settling iterations {:?} — grows with the\n\
          \x20   contention level in our reproduction (see EXPERIMENTS.md for the deviation\n\
          \x20   discussion; the paper reports scale-independent convergence)",
-        points.iter().map(|p| p.settling).collect::<Vec<_>>()
+        paper_points.iter().map(|p| p.settling).collect::<Vec<_>>()
+    );
+    println!(
+        "\nhot-path extension (48/192 tasks): per-iteration cost {:?} us — contention at\n\
+         \x20 these scales exceeds what the base resource pool can settle within the budget;\n\
+         \x20 the columns measure the compiled plan's iteration cost, not convergence",
+        points[3..]
+            .iter()
+            .map(|p| (p.us_per_iteration * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 }

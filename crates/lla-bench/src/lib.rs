@@ -22,12 +22,16 @@ pub mod churn;
 pub mod render;
 
 use lla_core::{
-    Aggregation, Allocation, AllocationSettings, Optimizer, OptimizerConfig, StepSizePolicy,
+    allocate_latencies, Aggregation, Allocation, AllocationSettings, Optimizer, OptimizerConfig,
+    PriceState, Problem, StepSizePolicy,
 };
 use lla_sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
-use lla_workloads::{base_workload_with, prototype_workload, scaled_workload, PrototypeParams};
+use lla_workloads::{
+    base_workload_with, large_scale_workload, prototype_workload, scaled_workload, PrototypeParams,
+};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Instant;
 
 /// The optimizer configuration used across the simulation experiments
 /// (§5): the paper's defaults — adaptive step size starting at γ = 1,
@@ -179,6 +183,10 @@ pub struct ScalePoint {
     pub settling: Option<usize>,
     /// Final utility.
     pub utility: f64,
+    /// Wall-clock time of the whole run, in milliseconds.
+    pub wall_ms: f64,
+    /// Mean wall-clock cost of one iteration, in microseconds.
+    pub us_per_iteration: f64,
 }
 
 /// Runs the Figure 6 experiment: replicate the base workload (scaling
@@ -192,14 +200,159 @@ pub fn run_fig6_point(replication: usize, max_iters: usize) -> ScalePoint {
     let tasks = problem.tasks().len();
     let mut opt =
         Optimizer::new(problem, paper_optimizer_config(StepSizePolicy::sign_adaptive(1.0)));
+    let start = Instant::now();
     let outcome = opt.run_to_convergence(max_iters);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     ScalePoint {
         tasks,
         converged: outcome.converged,
         iterations: outcome.iterations,
         settling: opt.trace().settling_iteration(0.01),
         utility: outcome.final_utility,
+        wall_ms,
+        us_per_iteration: wall_ms * 1e3 / outcome.iterations.max(1) as f64,
     }
+}
+
+/// One LLA round over the naive (nested-`Vec`) code path, exactly as the
+/// pre-plan optimizer stepped under its default configuration: allocate at
+/// the stored prices, update the prices from the new allocation, recompute
+/// the diagnostics the step reports (utility and both violation families),
+/// and rebuild the trace record's columns (per-resource usage and per-task
+/// critical-path ratios — each another full pass, which is precisely the
+/// recomputation the compiled plan eliminates).
+///
+/// This is the baseline the compiled [`lla_core::Plan`] is benchmarked
+/// against; `lla-bench`'s `bench_optimizer` binary and the
+/// `optimizer_plan` criterion bench both call it. The returned sink value
+/// folds every computed quantity so none of the passes can be optimized
+/// out.
+pub fn naive_round(
+    problem: &Problem,
+    prices: &mut PriceState,
+    settings: &AllocationSettings,
+    lats: &mut Vec<Vec<f64>>,
+) -> f64 {
+    *lats = allocate_latencies(problem, prices, settings, lats);
+    // The seed's price update: gradients for every resource and path
+    // collected into freshly allocated vectors, then applied in a second
+    // walk that re-enumerates each path's subtasks. (`PriceState::update`
+    // has since folded this into one walk, so the baseline preserves the
+    // original shape through the public per-entity appliers, which are
+    // unchanged.)
+    let grad_r: Vec<f64> = problem
+        .resources()
+        .iter()
+        .map(|r| r.availability() - problem.resource_usage(r.id(), lats))
+        .collect();
+    let grad_p: Vec<Vec<f64>> = problem
+        .tasks()
+        .iter()
+        .map(|task| {
+            let tl = &lats[task.id().index()];
+            task.graph()
+                .paths()
+                .iter()
+                .map(|path| 1.0 - path.latency(tl) / task.critical_time())
+                .collect()
+        })
+        .collect();
+    let congested: Vec<bool> = grad_r.iter().map(|&g| g < 0.0).collect();
+    prices.reset_step_tracking();
+    for (r, &g) in grad_r.iter().enumerate() {
+        prices.apply_resource_step(r, g);
+    }
+    for (t, task) in problem.tasks().iter().enumerate() {
+        for (p, path) in task.graph().paths().iter().enumerate() {
+            let traverses_congested =
+                path.subtasks().iter().any(|&s| congested[task.subtasks()[s].resource().index()]);
+            prices.apply_path_step(t, p, grad_p[t][p], traverses_congested);
+        }
+    }
+    let utility = problem.total_utility(lats);
+    let res = problem.max_resource_violation(lats).max(0.0);
+    let path = problem.max_path_violation(lats).max(0.0);
+    // The seed step's trace record: usage per resource and critical-path
+    // ratio per task, recomputed from scratch as `Trace` stored them.
+    let usage: Vec<f64> =
+        problem.resources().iter().map(|r| problem.resource_usage(r.id(), lats)).collect();
+    let ratios: Vec<f64> = problem
+        .tasks()
+        .iter()
+        .map(|t| {
+            let (_, cp) = t.graph().critical_path(&lats[t.id().index()]);
+            cp / t.critical_time()
+        })
+        .collect();
+    utility + res + path + usage.iter().sum::<f64>() + ratios.iter().sum::<f64>()
+}
+
+/// One scaling point of the optimizer benchmark: per-iteration wall-clock
+/// cost of the naive round vs the compiled-plan [`Optimizer::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerBenchPoint {
+    /// Number of tasks in the workload.
+    pub tasks: usize,
+    /// Total subtasks (the hot loop's true size).
+    pub subtasks: usize,
+    /// Mean nanoseconds per naive iteration.
+    pub naive_ns_per_iter: f64,
+    /// Mean nanoseconds per compiled-plan iteration.
+    pub plan_ns_per_iter: f64,
+}
+
+impl OptimizerBenchPoint {
+    /// Naive-over-plan speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ns_per_iter / self.plan_ns_per_iter
+    }
+}
+
+/// Measures one optimizer scaling point on [`large_scale_workload`]:
+/// `warmup` untimed iterations followed by `iters` timed ones, for the
+/// naive round and the compiled-plan step on identical fresh copies of the
+/// problem. Both sides run the default configuration's full step,
+/// including the trace columns (the plan reads them off its scratch
+/// buffers; the naive path recomputes them, as the seed optimizer did).
+pub fn bench_optimizer_point(
+    num_tasks: usize,
+    seed: u64,
+    warmup: usize,
+    iters: usize,
+) -> OptimizerBenchPoint {
+    let problem = large_scale_workload(num_tasks, seed).expect("generator config is valid");
+    let subtasks = problem.tasks().iter().map(|t| t.len()).sum();
+    let config = OptimizerConfig {
+        step_policy: StepSizePolicy::sign_adaptive(1.0),
+        ..OptimizerConfig::default()
+    };
+
+    // Naive side: the seed optimizer's step, hand-inlined over nested Vecs.
+    let mut prices = PriceState::new(&problem, config.step_policy);
+    let mut lats = problem.initial_allocation();
+    let mut sink = 0.0;
+    for _ in 0..warmup {
+        sink += naive_round(&problem, &mut prices, &config.allocation, &mut lats);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink += naive_round(&problem, &mut prices, &config.allocation, &mut lats);
+    }
+    let naive_ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64;
+    std::hint::black_box(sink);
+
+    // Plan side: the real optimizer, which lowers the problem once.
+    let mut opt = Optimizer::new(problem, config);
+    for _ in 0..warmup {
+        std::hint::black_box(opt.step());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(opt.step());
+    }
+    let plan_ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64;
+
+    OptimizerBenchPoint { tasks: num_tasks, subtasks, naive_ns_per_iter, plan_ns_per_iter }
 }
 
 /// Result of the Figure 7 schedulability experiment.

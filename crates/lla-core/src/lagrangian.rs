@@ -98,7 +98,11 @@ pub fn kkt_report(
     settings: &AllocationSettings,
     boundary_tol: f64,
 ) -> KktReport {
+    // One pass per task covers both the Σλ accumulation and the per-path
+    // complementary slackness (`max` accumulation is order-independent, so
+    // folding paths here matches a separate walk).
     let mut stat = 0.0f64;
+    let mut comp = 0.0f64;
     for task in problem.tasks() {
         let t = task.id().index();
         let tl = &lats[t];
@@ -112,6 +116,8 @@ pub fn kkt_report(
             for &s in path.subtasks() {
                 lambda_sum[s] += lp;
             }
+            let slack = 1.0 - path.latency(tl) / task.critical_time();
+            comp = comp.max((lp * slack).abs());
         }
 
         for s in 0..task.len() {
@@ -126,17 +132,9 @@ pub fn kkt_report(
         }
     }
 
-    let mut comp = 0.0f64;
     for r in problem.resources() {
         let slack = r.availability() - problem.resource_usage(r.id(), lats);
         comp = comp.max((prices.mu(r.id().index()) * slack).abs());
-    }
-    for task in problem.tasks() {
-        let t = task.id().index();
-        for (p, path) in task.graph().paths().iter().enumerate() {
-            let slack = 1.0 - path.latency(&lats[t]) / task.critical_time();
-            comp = comp.max((prices.lambda(t, p) * slack).abs());
-        }
     }
 
     KktReport {

@@ -75,6 +75,7 @@ pub mod lagrangian;
 pub mod optimizer;
 pub mod overload;
 pub mod percentile;
+pub mod plan;
 pub mod prices;
 pub mod problem;
 pub mod resource;
@@ -96,6 +97,7 @@ pub use optimizer::{
 };
 pub use overload::{governed_step, select_victim, shed_ranking, OverloadConfig, OverloadMonitor};
 pub use percentile::{compose_path_percentile, PercentileSpec};
+pub use plan::{Plan, PlanScratch, TaskPlan};
 pub use prices::{PriceState, StepSizePolicy};
 pub use problem::{MembershipReport, Problem};
 pub use resource::{Resource, ResourceKind};

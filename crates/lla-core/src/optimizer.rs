@@ -10,10 +10,11 @@
 //! address space; the `lla-dist` crate runs the same steps as
 //! message-passing actors.
 
-use crate::allocation::{allocate_latencies, AllocationSettings};
+use crate::allocation::AllocationSettings;
 use crate::error::ModelError;
 use crate::ids::{ResourceId, TaskId};
 use crate::lagrangian::{kkt_report, KktReport};
+use crate::plan::{Plan, PlanScratch};
 use crate::prices::{PriceState, StepSizePolicy};
 use crate::problem::{MembershipReport, Problem};
 use crate::resource::Resource;
@@ -98,6 +99,26 @@ impl Allocation {
             .map(|s| problem.share_model(task.subtask_id(s)).share_for_latency(self.lats[t][s]))
             .collect()
     }
+
+    /// Overwrites the held latencies in place, reusing the existing row
+    /// buffers when shapes match instead of cloning a fresh matrix (hot in
+    /// checkpoint/mirroring paths).
+    pub fn set_lats(&mut self, lats: &[Vec<f64>]) {
+        copy_nested(&mut self.lats, lats);
+    }
+}
+
+/// Copies a nested latency matrix into `dst`, reusing every existing row
+/// buffer whose capacity suffices (no allocation when shapes match).
+pub(crate) fn copy_nested(dst: &mut Vec<Vec<f64>>, src: &[Vec<f64>]) {
+    dst.truncate(src.len());
+    let filled = dst.len();
+    for (d, s) in dst.iter_mut().zip(src) {
+        d.clone_from(s);
+    }
+    for s in &src[filled..] {
+        dst.push(s.clone());
+    }
 }
 
 /// Summary of one optimizer iteration.
@@ -145,6 +166,21 @@ pub struct Optimizer {
     iteration: usize,
     below_tol: usize,
     last_utility: f64,
+    /// Compiled iteration plan + scratch, lowered lazily and re-lowered
+    /// whenever [`Problem::epoch`] moves past the plan's snapshot.
+    plan: Option<Box<PlanCtx>>,
+    /// `(max_resource_violation, max_path_violation)` of the latencies
+    /// produced by the most recent [`step`](Optimizer::step); cleared by
+    /// anything that changes latencies or the problem out-of-band so
+    /// [`has_converged`](Optimizer::has_converged) can skip recomputing
+    /// feasibility on the hot path.
+    last_violations: Option<(f64, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct PlanCtx {
+    plan: Plan,
+    scratch: PlanScratch,
 }
 
 impl Optimizer {
@@ -163,6 +199,8 @@ impl Optimizer {
             iteration: 0,
             below_tol: 0,
             last_utility,
+            plan: None,
+            last_violations: None,
         }
     }
 
@@ -219,6 +257,7 @@ impl Optimizer {
     /// the problem).
     pub fn rearm(&mut self) {
         self.below_tol = 0;
+        self.last_violations = None;
     }
 
     /// Admits a task mid-run with warm-started duals: incumbents keep
@@ -233,7 +272,7 @@ impl Optimizer {
         let report = self.problem.add_task(builder)?;
         let id = report.added_task.expect("add_task reports the new id");
         self.prices = self.prices.remap(&self.problem, &report);
-        self.lats.push(self.problem.initial_allocation()[id.index()].clone());
+        self.lats.push(self.problem.initial_task_allocation(id));
         self.finish_membership_change();
         Ok(id)
     }
@@ -325,39 +364,55 @@ impl Optimizer {
         self.rearm();
     }
 
+    /// Lowers (or re-lowers) the iteration plan when absent or stale.
+    fn ensure_plan(&mut self) {
+        let stale = match &self.plan {
+            Some(ctx) => ctx.plan.epoch() != self.problem.epoch(),
+            None => true,
+        };
+        if stale {
+            let plan = Plan::lower(&self.problem, &self.config.allocation);
+            let scratch = plan.scratch();
+            self.plan = Some(Box::new(PlanCtx { plan, scratch }));
+        }
+    }
+
     /// Executes one LLA iteration: latency allocation at current prices,
     /// then price computation at the new latencies.
+    ///
+    /// Runs over the compiled [`Plan`] (lowered lazily, re-lowered when the
+    /// problem's mutation epoch moves), so the hot loop touches only flat
+    /// arrays and reusable scratch — zero per-iteration heap allocation —
+    /// while remaining bit-identical to the naive nested evaluation.
     pub fn step(&mut self) -> IterationReport {
-        self.lats =
-            allocate_latencies(&self.problem, &self.prices, &self.config.allocation, &self.lats);
-        self.prices.update(&self.problem, &self.lats);
+        self.ensure_plan();
+        let mut ctx = self.plan.take().expect("ensure_plan always installs a plan");
+        let PlanCtx { plan, scratch } = &mut *ctx;
+        plan.flatten_into(&self.lats, scratch.prev_mut());
+        plan.allocate_into(&self.prices, scratch);
+        plan.unflatten_into(scratch.lats(), &mut self.lats);
+        plan.price_update(&mut self.prices, scratch);
 
-        let utility = self.problem.total_utility(&self.lats);
+        let utility = plan.total_utility(scratch.lats());
+        let max_resource_violation = plan.max_resource_violation(scratch.usage());
+        let max_path_violation = plan.max_path_violation(scratch.path_lat());
         let report = IterationReport {
             iteration: self.iteration,
             utility,
-            max_resource_violation: self.problem.max_resource_violation(&self.lats),
-            max_path_violation: self.problem.max_path_violation(&self.lats),
+            max_resource_violation,
+            max_path_violation,
         };
 
         if self.config.record_trace {
             self.trace.push(TraceRecord {
                 iteration: self.iteration,
                 utility,
-                resource_usage: self
-                    .problem
-                    .resources()
-                    .iter()
-                    .map(|r| self.problem.resource_usage(r.id(), &self.lats))
-                    .collect(),
-                critical_path_ratio: self
-                    .problem
-                    .tasks()
-                    .iter()
-                    .map(|t| t.critical_path(&self.lats[t.id().index()]).1 / t.critical_time())
-                    .collect(),
+                resource_usage: scratch.usage().to_vec(),
+                critical_path_ratio: plan.critical_path_ratios(scratch.path_lat()),
             });
         }
+        self.plan = Some(ctx);
+        self.last_violations = Some((max_resource_violation, max_path_violation));
 
         let delta = (utility - self.last_utility).abs();
         if delta <= self.config.convergence_tol * utility.abs().max(1.0) {
@@ -373,9 +428,19 @@ impl Optimizer {
     /// Whether the convergence criterion currently holds: utility stable
     /// for `convergence_window` iterations *and* the allocation feasible.
     pub fn has_converged(&self) -> bool {
-        self.below_tol >= self.config.convergence_window
-            && self.prices.last_max_rel_step() <= self.config.price_tol
-            && self.problem.is_feasible(&self.lats, self.config.feasibility_tol)
+        if self.below_tol < self.config.convergence_window
+            || self.prices.last_max_rel_step() > self.config.price_tol
+        {
+            return false;
+        }
+        match self.last_violations {
+            // Violations cached by the last step: skip the full feasibility
+            // walk (the values are identical by construction).
+            Some((res, path)) => {
+                res <= self.config.feasibility_tol && path <= self.config.feasibility_tol
+            }
+            None => self.problem.is_feasible(&self.lats, self.config.feasibility_tol),
+        }
     }
 
     /// Runs exactly `iters` iterations (batch mode).
@@ -423,6 +488,25 @@ impl Optimizer {
             assert_eq!(lats[t].len(), task.len());
         }
         self.lats = lats;
+        self.last_violations = None;
+    }
+
+    /// Overwrites the current latencies in place from a borrowed matrix,
+    /// reusing the existing row buffers — the allocation-free counterpart
+    /// of [`set_lats`](Self::set_lats) for per-round mirroring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from the problem's.
+    pub fn copy_lats_from(&mut self, lats: &[Vec<f64>]) {
+        assert_eq!(lats.len(), self.problem.tasks().len());
+        for (t, task) in self.problem.tasks().iter().enumerate() {
+            assert_eq!(lats[t].len(), task.len());
+        }
+        for (dst, src) in self.lats.iter_mut().zip(lats) {
+            dst.clone_from(src);
+        }
+        self.last_violations = None;
     }
 
     /// Exports the optimizer's mutable state (prices, latencies, iteration
@@ -435,6 +519,13 @@ impl Optimizer {
             lats: self.lats.clone(),
             iteration: self.iteration,
         }
+    }
+
+    /// Overwrites `state` with the optimizer's current mutable state,
+    /// reusing its existing buffers — the allocation-free counterpart of
+    /// [`export_state`](Self::export_state) for hot checkpoint loops.
+    pub fn export_state_into(&self, state: &mut OptimizerState) {
+        state.assign_parts(&self.prices, &self.lats, self.iteration);
     }
 
     /// Restores state captured with [`export_state`](Self::export_state).
@@ -455,6 +546,7 @@ impl Optimizer {
         self.lats = state.lats;
         self.iteration = state.iteration;
         self.below_tol = 0;
+        self.last_violations = None;
     }
 }
 
@@ -475,6 +567,17 @@ impl OptimizerState {
     /// [`Optimizer`] exports, so one restore path serves both.
     pub fn from_parts(prices: PriceState, lats: Vec<Vec<f64>>, iteration: usize) -> Self {
         OptimizerState { prices, lats, iteration }
+    }
+
+    /// Overwrites this state in place from borrowed parts, reusing the
+    /// existing price and latency buffers. Checkpoint paths that export
+    /// every round (e.g. the distributed task controllers) keep one state
+    /// buffer alive and refresh it through this instead of rebuilding a
+    /// matrix per export.
+    pub fn assign_parts(&mut self, prices: &PriceState, lats: &[Vec<f64>], iteration: usize) {
+        self.prices.clone_from(prices);
+        copy_nested(&mut self.lats, lats);
+        self.iteration = iteration;
     }
 
     /// The captured price state.

@@ -115,7 +115,7 @@ impl Default for StepSizePolicy {
 
 /// The dual variables of LLA: one `μ_r` per resource and one `λ_p` per
 /// root-to-leaf path, plus their per-entity adaptive step sizes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct PriceState {
     mu: Vec<f64>,
     /// `lambda[t][p]` for path `p` of task `t`.
@@ -127,6 +127,37 @@ pub struct PriceState {
     last_max_rel_step: f64,
     rejected_samples: u64,
     policy: StepSizePolicy,
+}
+
+/// Hand-written so `clone_from` reuses the destination's price and
+/// gradient buffers (`Vec::clone_from` keeps inner allocations when shapes
+/// match) — checkpoint exports clone a `PriceState` every round.
+impl Clone for PriceState {
+    fn clone(&self) -> Self {
+        PriceState {
+            mu: self.mu.clone(),
+            lambda: self.lambda.clone(),
+            gamma_r: self.gamma_r.clone(),
+            gamma_p: self.gamma_p.clone(),
+            last_grad_r: self.last_grad_r.clone(),
+            last_grad_p: self.last_grad_p.clone(),
+            last_max_rel_step: self.last_max_rel_step,
+            rejected_samples: self.rejected_samples,
+            policy: self.policy,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.mu.clone_from(&source.mu);
+        self.lambda.clone_from(&source.lambda);
+        self.gamma_r.clone_from(&source.gamma_r);
+        self.gamma_p.clone_from(&source.gamma_p);
+        self.last_grad_r.clone_from(&source.last_grad_r);
+        self.last_grad_p.clone_from(&source.last_grad_p);
+        self.last_max_rel_step = source.last_max_rel_step;
+        self.rejected_samples = source.rejected_samples;
+        self.policy = source.policy;
+    }
 }
 
 impl PriceState {
@@ -256,37 +287,25 @@ impl PriceState {
     /// `lats[t][s]` is the latency allocated to subtask `s` of task `t`.
     pub fn update(&mut self, problem: &Problem, lats: &[Vec<f64>]) {
         // Dual gradients: resource slack (Eq. 8) and relative path slack
-        // (Eq. 9).
-        let grad_r: Vec<f64> = problem
-            .resources()
-            .iter()
-            .map(|r| r.availability() - problem.resource_usage(r.id(), lats))
-            .collect();
-        let grad_p: Vec<Vec<f64>> = problem
-            .tasks()
-            .iter()
-            .map(|task| {
-                let tl = &lats[task.id().index()];
-                task.graph()
-                    .paths()
-                    .iter()
-                    .map(|path| 1.0 - path.latency(tl) / task.critical_time())
-                    .collect()
-            })
-            .collect();
-
-        let congested: Vec<bool> = grad_r.iter().map(|&g| g < 0.0).collect();
+        // (Eq. 9). Gradients are price-independent, so the resource pass
+        // computes-and-applies in one walk and the path pass enumerates
+        // each task's paths exactly once per round.
+        let mut congested = vec![false; problem.resources().len()];
         self.reset_step_tracking();
-        for (r, &g) in grad_r.iter().enumerate() {
+        for (r, res) in problem.resources().iter().enumerate() {
+            let g = res.availability() - problem.resource_usage(res.id(), lats);
+            congested[r] = g < 0.0;
             self.apply_resource_step(r, g);
         }
         for (t, task) in problem.tasks().iter().enumerate() {
+            let tl = &lats[task.id().index()];
             for (p, path) in task.graph().paths().iter().enumerate() {
+                let grad = 1.0 - path.latency(tl) / task.critical_time();
                 let traverses_congested = path
                     .subtasks()
                     .iter()
                     .any(|&s| congested[task.subtasks()[s].resource().index()]);
-                self.apply_path_step(t, p, grad_p[t][p], traverses_congested);
+                self.apply_path_step(t, p, grad, traverses_congested);
             }
         }
     }

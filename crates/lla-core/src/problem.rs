@@ -54,7 +54,7 @@ impl MembershipReport {
 /// resource it runs on) and exposes it mutably so the online
 /// error-correction loop (§6.3) can update the additive correction while
 /// the optimizer runs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Problem {
     resources: Vec<Resource>,
     tasks: Vec<Task>,
@@ -62,6 +62,20 @@ pub struct Problem {
     subtasks_on: Vec<Vec<SubtaskId>>,
     /// `share_models[t][s]` for subtask `s` of task `t`.
     share_models: Vec<Vec<ShareModel>>,
+    /// Mutation epoch: bumped by every `&mut self` mutator so compiled
+    /// iteration plans ([`crate::plan::Plan`]) know when to rebuild.
+    /// Excluded from equality — two problems that describe the same
+    /// system compare equal regardless of their edit histories.
+    epoch: u64,
+}
+
+impl PartialEq for Problem {
+    fn eq(&self, other: &Self) -> bool {
+        self.resources == other.resources
+            && self.tasks == other.tasks
+            && self.subtasks_on == other.subtasks_on
+            && self.share_models == other.share_models
+    }
 }
 
 impl Problem {
@@ -105,7 +119,15 @@ impl Problem {
             share_models.push(models);
         }
 
-        Ok(Problem { resources, tasks, subtasks_on, share_models })
+        Ok(Problem { resources, tasks, subtasks_on, share_models, epoch: 0 })
+    }
+
+    /// The mutation epoch: a counter bumped by every mutating method so
+    /// callers holding a compiled [`crate::plan::Plan`] can detect
+    /// staleness cheaply. Epochs only move forward within one `Problem`
+    /// value; clones inherit the current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The resources, indexed by [`ResourceId::index`].
@@ -135,6 +157,7 @@ impl Problem {
     /// Panics if the id is out of range.
     pub fn set_resource_availability(&mut self, id: ResourceId, availability: f64) {
         self.resources[id.index()].set_availability(availability);
+        self.epoch += 1;
     }
 
     /// A single task.
@@ -167,6 +190,7 @@ impl Problem {
     /// Panics if the id is out of range.
     pub fn set_correction(&mut self, s: SubtaskId, correction: f64) {
         self.share_models[s.task().index()][s.index()].set_correction(correction);
+        self.epoch += 1;
     }
 
     /// Sets the multiplicative demand correction for a subtask (the
@@ -177,6 +201,7 @@ impl Problem {
     /// Panics if the id is out of range.
     pub fn set_demand_scale(&mut self, s: SubtaskId, scale: f64) {
         self.share_models[s.task().index()][s.index()].set_demand_scale(scale);
+        self.epoch += 1;
     }
 
     /// Total number of subtasks across all tasks.
@@ -280,6 +305,7 @@ impl Problem {
         }
         self.tasks.push(task);
         self.share_models.push(models);
+        self.epoch += 1;
         let mut report = MembershipReport::identity(self.tasks.len() - 1, self.resources.len());
         report.added_task = Some(id);
         Ok(report)
@@ -312,6 +338,7 @@ impl Problem {
                 .expect("identity resource map cannot fail");
         }
         self.rebuild_subtasks_on();
+        self.epoch += 1;
         Ok(report)
     }
 
@@ -332,6 +359,7 @@ impl Problem {
         let id = resource.id();
         self.resources.push(resource);
         self.subtasks_on.push(Vec::new());
+        self.epoch += 1;
         let mut report = MembershipReport::identity(self.tasks.len(), self.resources.len() - 1);
         report.added_resource = Some(id);
         Ok(report)
@@ -373,6 +401,7 @@ impl Problem {
                 .expect("retired resource hosts no subtasks");
         }
         self.rebuild_subtasks_on();
+        self.epoch += 1;
         Ok(report)
     }
 
@@ -418,6 +447,7 @@ impl Problem {
             self.tasks[t] = self.tasks[t].remapped(TaskId::new(t), &map)?;
         }
         self.rebuild_subtasks_on();
+        self.epoch += 1;
         Ok(moved.len())
     }
 
@@ -427,15 +457,26 @@ impl Problem {
     /// This is only a starting point — LLA converges from any positive
     /// allocation; a reasonable start merely saves iterations.
     pub fn initial_allocation(&self) -> Vec<Vec<f64>> {
-        self.tasks
-            .iter()
-            .map(|t| {
-                // Longest path length (in hops) determines the even split.
-                let max_len = t.graph().paths().iter().map(|p| p.len()).max().unwrap_or(1);
-                let slice = t.critical_time() / max_len as f64;
-                (0..t.len()).map(|_| slice).collect()
-            })
-            .collect()
+        self.tasks.iter().map(|t| self.initial_task_row(t)).collect()
+    }
+
+    /// The [`initial_allocation`](Self::initial_allocation) row for a
+    /// single task, without materialising the whole matrix. Checkpoint
+    /// exporters and online admission use this to avoid an O(subtasks)
+    /// allocation per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn initial_task_allocation(&self, id: TaskId) -> Vec<f64> {
+        self.initial_task_row(&self.tasks[id.index()])
+    }
+
+    fn initial_task_row(&self, t: &Task) -> Vec<f64> {
+        // Longest path length (in hops) determines the even split.
+        let max_len = t.graph().paths().iter().map(|p| p.len()).max().unwrap_or(1);
+        let slice = t.critical_time() / max_len as f64;
+        vec![slice; t.len()]
     }
 }
 
@@ -662,6 +703,42 @@ mod tests {
         p.reassign_resource(ResourceId::new(1), ResourceId::new(0)).unwrap();
         assert_eq!(p.share_model(sid).correction(), -0.75);
         assert_eq!(p.share_model(sid).demand_scale(), 1.25);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation_but_not_equality() {
+        let mut p = two_cpu_problem();
+        let before = p.clone();
+        assert_eq!(p.epoch(), 0);
+        p.set_resource_availability(ResourceId::new(0), 0.9);
+        assert_eq!(p.epoch(), 1);
+        p.set_correction(p.tasks()[0].subtask_id(0), -0.5);
+        assert_eq!(p.epoch(), 2);
+        p.set_demand_scale(p.tasks()[0].subtask_id(0), 1.1);
+        assert_eq!(p.epoch(), 3);
+        let report = p.add_task(&third_task()).unwrap();
+        assert_eq!(p.epoch(), 4);
+        p.remove_task(report.added_task.unwrap()).unwrap();
+        assert_eq!(p.epoch(), 5);
+        // Equality ignores the epoch: undo the scalar edits and the
+        // problem compares equal to its pristine clone again.
+        p.set_resource_availability(
+            ResourceId::new(0),
+            before.resource(ResourceId::new(0)).availability(),
+        );
+        p.set_correction(p.tasks()[0].subtask_id(0), 0.0);
+        p.set_demand_scale(p.tasks()[0].subtask_id(0), 1.0);
+        assert_eq!(p, before);
+        assert_ne!(p.epoch(), before.epoch());
+    }
+
+    #[test]
+    fn initial_task_allocation_matches_matrix_row() {
+        let p = two_cpu_problem();
+        let full = p.initial_allocation();
+        for t in p.tasks() {
+            assert_eq!(p.initial_task_allocation(t.id()), full[t.id().index()]);
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use crate::protocol::{Address, Message};
 use crate::runtime::{Actor, Outbox};
 use lla_core::{
-    allocate_task, AllocationSettings, MembershipReport, OptimizerState, PriceState, Problem,
-    StepSizePolicy,
+    AllocationSettings, MembershipReport, OptimizerState, PriceState, Problem, StepSizePolicy,
+    TaskPlan,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -605,6 +605,17 @@ pub struct TaskController {
     /// Highest applied control-plane sequence, per resource slot
     /// (volatile).
     last_avail_seq: HashMap<usize, u64>,
+    /// Compiled single-task allocation kernel (lla-core's plan lowering),
+    /// re-lowered whenever the problem or this controller's task changes.
+    plan: TaskPlan,
+    /// Σλ accumulator reused by the plan kernel every tick.
+    lambda_scratch: Vec<f64>,
+    /// Output double-buffer the kernel writes into, then swapped with
+    /// `lats` — no per-tick matrix allocation.
+    next_lats: Vec<f64>,
+    /// Cached initial allocation in the centralized export shape; only
+    /// this controller's row is overwritten per checkpoint.
+    checkpoint_template: Vec<Vec<f64>>,
 }
 
 impl TaskController {
@@ -618,7 +629,8 @@ impl TaskController {
         settings: AllocationSettings,
         telemetry: SharedLats,
     ) -> Self {
-        let lats = problem.initial_allocation()[t].clone();
+        let checkpoint_template = problem.initial_allocation();
+        let lats = checkpoint_template[t].clone();
         let congested = vec![false; problem.resources().len()];
         let last_heard = vec![0.0; problem.resources().len()];
         let mut used_resources: Vec<usize> =
@@ -628,6 +640,9 @@ impl TaskController {
         let prices = PriceState::new(&problem, policy);
         let task_slots = (0..problem.tasks().len()).collect();
         let resource_slots = (0..problem.resources().len()).collect();
+        let plan = TaskPlan::lower(&problem, problem.tasks()[t].id(), &settings);
+        let lambda_scratch = vec![0.0; plan.len()];
+        let next_lats = vec![0.0; plan.len()];
         TaskController {
             t,
             slot: t,
@@ -652,6 +667,10 @@ impl TaskController {
             degraded: false,
             degraded_ticks: 0,
             last_avail_seq: HashMap::new(),
+            plan,
+            lambda_scratch,
+            next_lats,
+            checkpoint_template,
         }
     }
 
@@ -719,8 +738,8 @@ impl TaskController {
     /// optimizer's export format (rows of other tasks hold the initial
     /// allocation — this controller only owns its own row).
     pub fn export_state(&self) -> OptimizerState {
-        let mut lats = self.problem.initial_allocation();
-        lats[self.t] = self.lats.clone();
+        let mut lats = self.checkpoint_template.clone();
+        lats[self.t].copy_from_slice(&self.lats);
         OptimizerState::from_parts(self.prices.clone(), lats, self.ticks)
     }
 
@@ -730,6 +749,19 @@ impl TaskController {
         self.prices = state.prices().clone();
         self.lats = state.lats()[self.t].clone();
         self.ticks = state.iteration();
+    }
+
+    /// Re-lowers the compiled task plan after anything that feeds it
+    /// changed: the problem (availability updates move the clamping
+    /// boxes), this controller's dense task index, or the task set shape
+    /// (epochs replace the problem wholesale, so epoch counters cannot be
+    /// compared across it).
+    fn rebuild_plan(&mut self) {
+        let id = self.problem.tasks()[self.t].id();
+        self.plan = TaskPlan::lower(&self.problem, id, &self.settings);
+        self.lambda_scratch.resize(self.plan.len(), 0.0);
+        self.next_lats.resize(self.plan.len(), 0.0);
+        self.checkpoint_template = self.problem.initial_allocation();
     }
 
     /// Staleness of the oldest relevant price at virtual time `now`.
@@ -777,6 +809,7 @@ impl TaskController {
         used.sort_unstable();
         used.dedup();
         self.used_resources = used;
+        self.rebuild_plan();
     }
 
     /// Handles a membership message; returns `true` if it was one.
@@ -821,26 +854,31 @@ impl Actor for TaskController {
             // staleness clock.
             self.degraded_ticks += 1;
         } else {
-            let task = &self.problem.tasks()[self.t];
-
             // Path price computation from the *previous* allocation —
             // matching the centralized iteration order, where prices
             // computed at the end of step k−1 feed the allocation of step
-            // k.
-            for (p, path) in task.graph().paths().iter().enumerate() {
-                let grad = 1.0 - path.latency(&self.lats) / task.critical_time();
-                let traverses_congested = path
-                    .subtasks()
-                    .iter()
-                    .any(|&s| self.congested[task.subtasks()[s].resource().index()]);
+            // k. The compiled plan replays the same expressions over flat
+            // arrays.
+            let ct = self.plan.critical_time();
+            for p in 0..self.plan.num_paths() {
+                let grad = 1.0 - self.plan.path_latency(p, &self.lats) / ct;
+                let traverses_congested = self.plan.path_traverses(p, &self.congested);
                 self.prices.apply_path_step(self.t, p, grad, traverses_congested);
             }
 
-            // Latency allocation at the stored resource prices.
-            self.lats =
-                allocate_task(&self.problem, task, &self.prices, &self.settings, &self.lats);
-            self.telemetry.lock()[self.slot] = self.lats.clone();
+            // Latency allocation at the stored resource prices, into the
+            // reusable double buffer.
+            self.plan.allocate_into(
+                self.t,
+                &self.prices,
+                &self.lats,
+                &mut self.lambda_scratch,
+                &mut self.next_lats,
+            );
+            std::mem::swap(&mut self.lats, &mut self.next_lats);
+            self.telemetry.lock()[self.slot].clone_from(&self.lats);
 
+            let task = &self.problem.tasks()[self.t];
             for (s, sub) in task.subtasks().iter().enumerate() {
                 outbox.send(
                     Address::Resource(self.resource_slots[sub.resource().index()]),
@@ -907,6 +945,8 @@ impl Actor for TaskController {
                             self.problem.resources()[r].id(),
                             availability,
                         );
+                        // B_r feeds the plan's clamping boxes.
+                        self.rebuild_plan();
                     }
                 }
             }
@@ -919,7 +959,7 @@ impl Actor for TaskController {
         // survives. Start from the initial point — on_restart may replace
         // this with a checkpoint.
         self.prices = PriceState::new(&self.problem, self.policy);
-        self.lats = self.problem.initial_allocation()[self.t].clone();
+        self.lats = self.problem.initial_task_allocation(self.problem.tasks()[self.t].id());
         self.congested = vec![false; self.problem.resources().len()];
         self.last_heard = vec![0.0; self.problem.resources().len()];
         self.ticks = 0;

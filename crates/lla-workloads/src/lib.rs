@@ -23,4 +23,4 @@ pub mod random;
 pub use paper::{
     base_workload, base_workload_with, prototype_workload, scaled_workload, PrototypeParams,
 };
-pub use random::{RandomWorkloadConfig, TaskShape};
+pub use random::{large_scale_workload, RandomWorkloadConfig, TaskShape};

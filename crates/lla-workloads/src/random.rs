@@ -77,6 +77,31 @@ impl Default for RandomWorkloadConfig {
     }
 }
 
+/// A large-scale benchmark workload with `num_tasks` tasks over a resource
+/// pool that grows proportionally (one resource per two tasks, minimum 8,
+/// rounded up to an even count so the CPU/link split stays balanced).
+///
+/// This is the scaling-sweep entry point used by `lla-bench`: per-resource
+/// contention stays roughly constant as the task count grows, so iteration
+/// cost — not congestion collapse — dominates the measurement at 100, 1 000
+/// and 10 000 tasks. Generation is deterministic given `(num_tasks, seed)`.
+pub fn large_scale_workload(num_tasks: usize, seed: u64) -> Result<Problem, ModelError> {
+    let num_resources = (num_tasks / 2).max(8).next_multiple_of(2);
+    RandomWorkloadConfig {
+        num_resources,
+        num_tasks,
+        min_subtasks: 3,
+        max_subtasks: 6,
+        shape: TaskShape::Mixed,
+        exec_time_range: (1.0, 8.0),
+        lag: 1.0,
+        target_load: 0.85,
+        deadline_headroom: 1.5,
+        seed,
+    }
+    .generate()
+}
+
 struct TaskDraft {
     resources: Vec<ResourceId>,
     exec_times: Vec<f64>,
@@ -360,6 +385,18 @@ mod tests {
             .generate()
             .is_err());
         assert!(RandomWorkloadConfig { exec_time_range: (0.0, 1.0), ..base }.generate().is_err());
+    }
+
+    #[test]
+    fn large_scale_workload_scales_resources_and_stays_feasible() {
+        let p = large_scale_workload(100, 7).unwrap();
+        assert_eq!(p.tasks().len(), 100);
+        assert_eq!(p.resources().len(), 50);
+        // Same constructive guarantee as the underlying generator.
+        let init = p.initial_allocation();
+        assert!(init.iter().all(|row| !row.is_empty()));
+        let small = large_scale_workload(4, 7).unwrap();
+        assert_eq!(small.resources().len(), 8, "resource pool is floored at 8");
     }
 
     #[test]

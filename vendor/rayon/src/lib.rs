@@ -1,0 +1,94 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace only needs scoped fork-join parallelism (`rayon::scope`
+//! with `Scope::spawn`) and `current_num_threads` for sizing the fan-out.
+//! `std::thread::scope` provides the same structured-concurrency guarantee
+//! (every spawned closure joins before `scope` returns), so this stand-in
+//! maps the rayon API onto plain scoped OS threads. Unlike real rayon there
+//! is no work-stealing pool: each `spawn` starts a fresh thread, which is
+//! fine for the coarse per-worker task ranges the LLA plan kernels use.
+
+use std::num::NonZeroUsize;
+
+/// Returns the number of worker threads a fork-join region should target.
+///
+/// Real rayon reports its global pool size, which honors the
+/// `RAYON_NUM_THREADS` environment variable; this stand-in does the same
+/// (any positive integer wins) and otherwise reports the machine's
+/// available parallelism (minimum 1). The override lets tests exercise
+/// multi-worker fan-out even on single-core runners.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A scope handle for spawning borrowed closures, mirroring `rayon::Scope`.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` to run concurrently with the rest of the scope. The
+    /// closure may borrow from outside the scope; `scope` joins every
+    /// spawned closure before it returns.
+    ///
+    /// Rayon's `Scope::spawn` passes the scope handle back into the
+    /// closure; the workspace never uses it for nested spawns, so this
+    /// stand-in takes a plain `FnOnce()`.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.inner.spawn(f);
+    }
+}
+
+/// Creates a fork-join scope, mirroring `rayon::scope`. All closures
+/// spawned on the scope complete before this function returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{current_num_threads, scope};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn spawns_may_borrow_disjoint_chunks() {
+        let mut data = vec![0u64; 16];
+        let (lo, hi) = data.split_at_mut(8);
+        scope(|s| {
+            s.spawn(|| lo.iter_mut().for_each(|x| *x += 1));
+            s.spawn(|| hi.iter_mut().for_each(|x| *x += 2));
+        });
+        assert_eq!(data[0], 1);
+        assert_eq!(data[15], 2);
+    }
+
+    #[test]
+    fn reports_at_least_one_thread() {
+        assert!(current_num_threads() >= 1);
+    }
+}
