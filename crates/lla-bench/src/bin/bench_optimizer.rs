@@ -1,11 +1,14 @@
 //! Optimizer scaling benchmark: per-iteration cost of the compiled-plan
 //! hot path vs the naive nested-`Vec` round, on `large_scale_workload` at
-//! 100, 1 000 and 10 000 tasks.
+//! 100, 1 000 and 10 000 tasks — plus the cost of the telemetry layer
+//! (disabled registry vs live counters/gauges/histograms) at each point.
 //!
-//! Writes `BENCH_optimizer.json` in the working directory (run from the
-//! repository root). Build with `--release`; with
-//! `--features parallel` the plan side additionally fans the per-task
-//! allocation out across worker threads (bit-identical results).
+//! Progress goes to **stderr** through the telemetry event layer; stdout
+//! carries only the machine-readable JSON document, which is also written
+//! to `BENCH_optimizer.json` in the working directory (run from the
+//! repository root). Build with `--release`; with `--features parallel`
+//! the plan side additionally fans the per-task allocation out across
+//! worker threads (bit-identical results).
 //!
 //! ```text
 //! cargo run --release -p lla-bench --bin bench_optimizer
@@ -13,33 +16,38 @@
 //! ```
 
 use lla_bench::{bench_optimizer_point, OptimizerBenchPoint};
+use lla_telemetry::{Event, EventLog};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// `(tasks, warmup iterations, timed iterations)` — iteration counts taper
 /// with scale so the whole sweep stays under a minute in release mode.
-const POINTS: [(usize, usize, usize); 3] = [(100, 50, 400), (1_000, 10, 100), (10_000, 2, 12)];
+const POINTS: [(usize, usize, usize); 3] = [(100, 50, 2_000), (1_000, 20, 200), (10_000, 3, 30)];
 
 const SEED: u64 = 42;
 
 fn main() {
     let parallel = cfg!(feature = "parallel");
-    println!("=== Optimizer iteration cost: naive vs compiled plan ===");
-    println!("parallel feature: {parallel}\n");
-    println!(
-        "{:>8} {:>10} {:>16} {:>16} {:>10}",
-        "tasks", "subtasks", "naive ns/iter", "plan ns/iter", "speedup"
+    let progress = EventLog::recording().with_stderr_echo();
+    let start = Instant::now();
+    progress.emit(
+        Event::new(0.0, "note")
+            .with("msg", "optimizer iteration cost: naive vs compiled plan vs telemetry")
+            .with("parallel", parallel),
     );
 
     let mut results: Vec<OptimizerBenchPoint> = Vec::new();
     for (tasks, warmup, iters) in POINTS {
         let p = bench_optimizer_point(tasks, SEED, warmup, iters);
-        println!(
-            "{:>8} {:>10} {:>16.0} {:>16.0} {:>9.2}x",
-            p.tasks,
-            p.subtasks,
-            p.naive_ns_per_iter,
-            p.plan_ns_per_iter,
-            p.speedup()
+        progress.emit(
+            Event::new(start.elapsed().as_secs_f64(), "bench_point")
+                .with("tasks", p.tasks)
+                .with("subtasks", p.subtasks)
+                .with("naive_ns_per_iter", p.naive_ns_per_iter)
+                .with("plan_ns_per_iter", p.plan_ns_per_iter)
+                .with("speedup", p.speedup())
+                .with("telemetry_disabled_overhead", p.telemetry_disabled_overhead())
+                .with("telemetry_enabled_overhead", p.telemetry_enabled_overhead()),
         );
         results.push(p);
     }
@@ -54,19 +62,35 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"tasks\": {}, \"subtasks\": {}, \"naive_ns_per_iter\": {:.1}, \
-             \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}}}{comma}",
+             \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}, \
+             \"telemetry_disabled_ns_per_iter\": {:.1}, \
+             \"telemetry_enabled_ns_per_iter\": {:.1}, \
+             \"telemetry_disabled_overhead\": {:.4}, \
+             \"telemetry_enabled_overhead\": {:.4}}}{comma}",
             p.tasks,
             p.subtasks,
             p.naive_ns_per_iter,
             p.plan_ns_per_iter,
-            p.speedup()
+            p.speedup(),
+            p.telemetry_disabled_ns_per_iter,
+            p.telemetry_enabled_ns_per_iter,
+            p.telemetry_disabled_overhead(),
+            p.telemetry_enabled_overhead()
         );
     }
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");
 
+    // Machine output: stdout carries exactly the JSON document.
+    print!("{json}");
     match std::fs::write("BENCH_optimizer.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_optimizer.json"),
-        Err(e) => eprintln!("\nBENCH_optimizer.json not written: {e}"),
+        Ok(()) => progress.emit(
+            Event::new(start.elapsed().as_secs_f64(), "note")
+                .with("msg", "wrote BENCH_optimizer.json"),
+        ),
+        Err(e) => progress.emit(
+            Event::new(start.elapsed().as_secs_f64(), "note")
+                .with("msg", format!("BENCH_optimizer.json not written: {e}")),
+        ),
     }
 }

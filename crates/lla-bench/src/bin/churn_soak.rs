@@ -2,60 +2,99 @@
 //! message loss on the virtual clock, followed by a deliberate overload
 //! phase that exercises utility-aware load shedding with hysteresis.
 //!
-//! Prints a per-event summary and writes the byte-deterministic
-//! `results/churn_sweep.csv` (all inputs are seeded; re-running produces
-//! identical bytes).
+//! The run is fully instrumented: a recording [`TelemetryHub`] captures
+//! counters and the structured, virtual-clock-stamped event stream, which
+//! is echoed live to **stderr** (human progress) and written to
+//! `results/churn_events.jsonl` (byte-deterministic across same-seed
+//! runs). stdout carries only machine output: the soak CSV followed by a
+//! one-line JSON summary. Also writes `results/churn_sweep.csv`.
 
-use lla_bench::churn::{run_churn_soak, ChurnConfig, SoakEventKind};
+use lla_bench::churn::{run_churn_soak_instrumented, ChurnConfig, SoakEventKind};
+use lla_telemetry::{Event, EventLog, TelemetryHub};
 
 fn main() {
     let config = ChurnConfig::default();
-    println!("=== chaos soak: churn x crash x partition x {:.0}% loss ===\n", config.loss * 100.0);
-    println!(
-        "{:>5} {:>6} {:>5} {:>7} {:>6} {:>7} {:>10} {:>12} {:>12} {:>8}",
-        "event",
-        "kind",
-        "slot",
-        "round",
-        "epoch",
-        "tasks",
-        "reconverge",
-        "u_dist",
-        "u_oracle",
-        "gap"
+    let progress = EventLog::recording().with_stderr_echo();
+    progress.emit(
+        Event::new(0.0, "note")
+            .with("msg", "chaos soak: churn x crash x partition x loss")
+            .with("loss", config.loss),
     );
-    let report = run_churn_soak(&config);
+
+    // Echo the runtime's own structured events (crash, restart, partition,
+    // membership, shed, degraded transitions…) live as they are recorded.
+    let mut hub = TelemetryHub::recording();
+    hub.events = hub.events.with_stderr_echo();
+    let report = run_churn_soak_instrumented(&config, &hub);
+
     for (i, e) in report.events.iter().enumerate() {
         let kind = match e.kind {
             SoakEventKind::Join(_) => "join",
             SoakEventKind::Leave(_) => "leave",
             SoakEventKind::Shed(_) => "shed",
         };
-        let reconverge =
-            e.rounds_to_reconverge.map_or("never".to_string(), |r| format!("{r} rounds"));
-        println!(
-            "{i:>5} {kind:>6} {:>5} {:>7} {:>6} {:>7} {reconverge:>10} {:>12.3} {:>12.3} {:>7.2}%",
-            e.kind.slot(),
-            e.round,
-            e.epoch,
-            e.n_tasks,
-            e.u_dist,
-            e.u_oracle,
-            e.gap * 100.0
-        );
+        let mut ev = Event::new(e.round as f64, "soak_event")
+            .with("event", i)
+            .with("kind", kind)
+            .with("slot", e.kind.slot())
+            .with("epoch", e.epoch)
+            .with("tasks", e.n_tasks)
+            .with("u_dist", e.u_dist)
+            .with("u_oracle", e.u_oracle)
+            .with("gap", e.gap);
+        if let Some(r) = e.rounds_to_reconverge {
+            ev = ev.with("reconverge_rounds", r);
+        } else {
+            ev = ev.with("reconverged", false);
+        }
+        progress.emit(ev);
     }
+    progress.emit(
+        Event::new(report.rounds as f64, "note")
+            .with("events", report.events.len())
+            .with("rounds", report.rounds)
+            .with("max_settled_gap", report.max_settled_gap)
+            .with("shed_slots", format!("{:?}", report.shed_slots))
+            .with("flapping", report.flapped),
+    );
+
+    // Machine output: the soak CSV plus a one-line JSON summary on stdout.
+    print!("{}", report.series.to_csv());
     println!(
-        "\n{} events over {} rounds; max settled gap {:.2}%; shed {:?}; flapping: {}",
+        "{{\"events\": {}, \"rounds\": {}, \"max_settled_gap\": {}, \"flapped\": {}, \
+         \"dist_events\": {}, \"messages_sent\": {}}}",
         report.events.len(),
         report.rounds,
-        report.max_settled_gap * 100.0,
-        report.shed_slots,
-        report.flapped
+        report.max_settled_gap,
+        report.flapped,
+        hub.events.len(),
+        hub.metrics
+            .prometheus_text()
+            .lines()
+            .find_map(|l| l.strip_prefix("lla_dist_messages_sent_total "))
+            .unwrap_or("0")
+            .trim()
     );
+
     match report.series.write_csv("churn_sweep") {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+        Ok(path) => progress.emit(
+            Event::new(report.rounds as f64, "note").with("wrote", path.display().to_string()),
+        ),
+        Err(e) => progress.emit(
+            Event::new(report.rounds as f64, "note").with("msg", format!("csv not written: {e}")),
+        ),
     }
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/churn_events.jsonl", hub.events.to_jsonl()))
+    {
+        Ok(()) => progress.emit(
+            Event::new(report.rounds as f64, "note").with("wrote", "results/churn_events.jsonl"),
+        ),
+        Err(e) => progress.emit(
+            Event::new(report.rounds as f64, "note").with("msg", format!("jsonl not written: {e}")),
+        ),
+    }
+
     if !report.all_reconverged() || report.flapped {
         std::process::exit(1);
     }

@@ -9,17 +9,21 @@
 //! every generated workload carries a constructive feasibility witness, so
 //! a non-convergence would be a genuine algorithm failure, and iterations
 //! to convergence should grow as the witness load approaches capacity.
-
 //!
 //! A second sweep exercises the *fault-tolerance* layer of the
 //! distributed runtime: controller crash count × partition duration ×
 //! message loss, measuring utility degradation during the fault window
 //! and recovery time after it. Both sweeps are fully seeded (virtual
 //! time, seeded RNGs), so the emitted CSVs are byte-deterministic.
+//!
+//! Progress is routed through the telemetry event layer onto **stderr**;
+//! stdout carries only the two machine-readable CSV documents (which are
+//! also written under `results/`).
 
 use lla_bench::{paper_optimizer_config, render::sparkline, Series};
 use lla_core::{Optimizer, StepSizePolicy};
 use lla_dist::{Address, DistConfig, DistributedLla, FaultPlan, NetworkModel, RobustnessConfig};
+use lla_telemetry::{Event, EventLog};
 use lla_workloads::RandomWorkloadConfig;
 
 /// One protocol round of virtual time (ms), matching `DistConfig`.
@@ -29,7 +33,7 @@ const ROUND: f64 = 10.0;
 /// the moment the faults strike, and we measure how far utility
 /// undershoots the new steady state and how many rounds the system needs
 /// to re-converge to it.
-fn fault_sweep() {
+fn fault_sweep(progress: &EventLog) {
     const WARMUP_ROUNDS: usize = 600;
     const RECOVERY_CAP: usize = 2_000;
     const DEGRADED_AVAILABILITY: f64 = 0.4;
@@ -54,10 +58,10 @@ fn fault_sweep() {
         opt.utility()
     };
 
-    println!("\n=== fault sweep: crashes x partition x loss (capacity drop at fault onset) ===\n");
-    println!(
-        "{:>6} {:>10} {:>8} {:>12} {:>10} {:>10}",
-        "loss", "partition", "crashes", "undershoot", "recovery", "final gap"
+    progress.emit(
+        Event::new(0.0, "note")
+            .with("msg", "fault sweep: crashes x partition x loss (capacity drop at fault onset)")
+            .with("u_ref", u_ref),
     );
 
     let mut csv = Series::new(&[
@@ -133,10 +137,14 @@ fn fault_sweep() {
                 let u_final = dist.utility();
                 let max_rel_undershoot = (u_ref - u_min) / u_ref.abs().max(1.0);
                 let final_gap = (u_final - u_ref).abs() / u_ref.abs().max(1.0);
-                println!(
-                    "{loss:>6.2} {partition_rounds:>9}r {crashes:>8} {max_rel_undershoot:>11.1}% {recovery_rounds:>9}r {final_gap:>9.3}%",
-                    max_rel_undershoot = max_rel_undershoot * 100.0,
-                    final_gap = final_gap * 100.0,
+                progress.emit(
+                    Event::new(dist.runtime().now(), "fault_point")
+                        .with("loss", loss)
+                        .with("partition_rounds", partition_rounds)
+                        .with("crashes", crashes)
+                        .with("max_rel_undershoot", max_rel_undershoot)
+                        .with("recovery_rounds", recovery_rounds)
+                        .with("final_gap", final_gap),
                 );
                 csv.push(vec![
                     loss,
@@ -152,24 +160,32 @@ fn fault_sweep() {
         }
     }
 
+    // Machine output on stdout; the same bytes land in results/.
+    print!("{}", csv.to_csv());
     match csv.write_csv("fault_recovery_sweep") {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("csv not written: {e}"),
+        Ok(path) => {
+            progress.emit(Event::new(0.0, "note").with("wrote", path.display().to_string()))
+        }
+        Err(e) => {
+            progress.emit(Event::new(0.0, "note").with("msg", format!("csv not written: {e}")))
+        }
     }
-    println!("\nclaim checked: with checkpoints, staleness freezing, and reliable control-plane");
-    println!("dissemination, LLA re-converges to the degraded optimum after a capacity loss");
-    println!("despite crashes, partitions, and message loss — partitions delay recovery by");
-    println!("exactly their duration (frozen controllers), and never cause an undershoot.");
+    progress.emit(Event::new(0.0, "note").with(
+        "claim",
+        "with checkpoints, staleness freezing, and reliable control-plane dissemination, \
+         LLA re-converges to the degraded optimum after a capacity loss despite crashes, \
+         partitions, and message loss; partitions delay recovery by exactly their duration",
+    ));
 }
 
 fn main() {
     const SEEDS: u64 = 20;
     const BUDGET: usize = 20_000;
 
-    println!("=== robustness sweep: random schedulable workloads vs load ===\n");
-    println!(
-        "{:>6} {:>11} {:>14} {:>14} {:>14}   iteration spread",
-        "load", "converged", "median iters", "p90 iters", "max iters"
+    let progress = EventLog::recording().with_stderr_echo();
+    progress.emit(
+        Event::new(0.0, "note")
+            .with("msg", "robustness sweep: random schedulable workloads vs load"),
     );
 
     let mut csv = Series::new(&["target_load", "seed", "converged", "iterations", "utility"]);
@@ -204,20 +220,34 @@ fn main() {
         let median = iters[iters.len() / 2];
         let p90 = iters[(iters.len() * 9) / 10];
         let max = *iters.last().expect("non-empty");
-        println!(
-            "{load:>6.2} {:>8}/{SEEDS} {median:>14.0} {p90:>14.0} {max:>14.0}   {}",
-            converged,
-            sparkline(&iters, 20)
+        progress.emit(
+            Event::new(0.0, "sweep_point")
+                .with("load", load)
+                .with("converged", converged)
+                .with("seeds", SEEDS)
+                .with("median_iters", median)
+                .with("p90_iters", p90)
+                .with("max_iters", max)
+                .with("spread", sparkline(&iters, 20)),
         );
     }
 
+    // Machine output on stdout; the same bytes land in results/.
+    print!("{}", csv.to_csv());
     match csv.write_csv("robustness_sweep") {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("csv not written: {e}"),
+        Ok(path) => {
+            progress.emit(Event::new(0.0, "note").with("wrote", path.display().to_string()))
+        }
+        Err(e) => {
+            progress.emit(Event::new(0.0, "note").with("msg", format!("csv not written: {e}")))
+        }
     }
-    println!("\nclaim checked: LLA converges on every constructively schedulable workload,");
-    println!("with iteration counts growing as the load approaches congestion — the paper's");
-    println!("\"close to congestion is the lower bound\" observation, measured.");
+    progress.emit(Event::new(0.0, "note").with(
+        "claim",
+        "LLA converges on every constructively schedulable workload, with iteration counts \
+         growing as the load approaches congestion — the paper's \"close to congestion is \
+         the lower bound\" observation, measured",
+    ));
 
-    fault_sweep();
+    fault_sweep(&progress);
 }

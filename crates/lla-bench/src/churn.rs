@@ -22,10 +22,13 @@
 
 use crate::Series;
 use lla_core::{
-    select_victim, AllocationSettings, Optimizer, OptimizerConfig, OverloadConfig, OverloadMonitor,
-    ResourceId, StepSizePolicy, TaskBuilder, UtilityFn,
+    select_victim, shed_ranking, AllocationSettings, Optimizer, OptimizerConfig, OverloadConfig,
+    OverloadMonitor, ResourceId, StepSizePolicy, TaskBuilder, UtilityFn,
 };
-use lla_dist::{Address, DistConfig, DistributedLla, FaultPlan, NetworkModel, RobustnessConfig};
+use lla_dist::{
+    Address, DistConfig, DistTelemetry, DistributedLla, FaultPlan, NetworkModel, RobustnessConfig,
+};
+use lla_telemetry::{Event as TelemetryEvent, TelemetryHub};
 use lla_workloads::base_workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -243,8 +246,19 @@ fn settle(
 /// the harness can also be used to *chart* degradation beyond the
 /// asserted envelope.
 pub fn run_churn_soak(config: &ChurnConfig) -> SoakReport {
+    run_churn_soak_instrumented(config, &TelemetryHub::disabled())
+}
+
+/// [`run_churn_soak`] with telemetry: the deployment shares the hub's
+/// metrics registry and event log, and the soak driver itself emits a
+/// `shed` event (victim slot + marginal utility from the shed ranking)
+/// per eviction. Because every event is stamped with the *virtual*
+/// clock, two soaks with the same config produce byte-identical JSONL
+/// event logs — the determinism the golden-file CI test pins down.
+pub fn run_churn_soak_instrumented(config: &ChurnConfig, hub: &TelemetryHub) -> SoakReport {
+    let tel = DistTelemetry::from_hub(hub);
     let policy = StepSizePolicy::sign_adaptive(1.0);
-    let mut dist = DistributedLla::new(
+    let mut dist = DistributedLla::with_telemetry(
         base_workload(),
         DistConfig {
             step_policy: policy,
@@ -257,6 +271,7 @@ pub fn run_churn_soak(config: &ChurnConfig) -> SoakReport {
             },
             ..DistConfig::default()
         },
+        tel.clone(),
     );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5bd1_e995);
 
@@ -361,10 +376,20 @@ pub fn run_churn_soak(config: &ChurnConfig) -> SoakReport {
                 let Some(victim) = select_victim(dist.problem(), lats.lats()) else {
                     break;
                 };
+                let marginal = shed_ranking(dist.problem(), lats.lats())
+                    .iter()
+                    .find(|&&(id, _)| id == victim)
+                    .map_or(f64::NAN, |&(_, m)| m);
                 let slot = dist.task_slots()[victim.index()];
                 if shed_slots.contains(&slot) {
                     flapped = true; // a shed slot can never still be live
                 }
+                tel.sheds.inc();
+                tel.events.emit(
+                    TelemetryEvent::new(dist.runtime().now(), "shed")
+                        .with("slot", slot)
+                        .with("marginal_utility", marginal),
+                );
                 dist.evict_task(slot).expect("victim is live");
                 monitor.note_eviction();
                 shed_slots.push(slot);

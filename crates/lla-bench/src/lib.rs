@@ -26,6 +26,7 @@ use lla_core::{
     PriceState, Problem, StepSizePolicy,
 };
 use lla_sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
+use lla_telemetry::{HealthSnapshot, MetricsRegistry};
 use lla_workloads::{
     base_workload_with, large_scale_workload, prototype_workload, scaled_workload, PrototypeParams,
 };
@@ -121,9 +122,20 @@ pub struct Table1Result {
 
 /// Runs the Table 1 experiment: LLA with adaptive γ on the base workload.
 pub fn run_table1(aggregation: Aggregation, max_iters: usize) -> Table1Result {
+    run_table1_health(aggregation, max_iters).0
+}
+
+/// [`run_table1`] plus the converged optimizer's [`HealthSnapshot`] — the
+/// telemetry-driven readout of the same run: convergence and feasibility
+/// flags, KKT residual norms, and per-resource price/usage/utilization.
+pub fn run_table1_health(
+    aggregation: Aggregation,
+    max_iters: usize,
+) -> (Table1Result, HealthSnapshot) {
     let problem = base_workload_with(aggregation, 2.0);
     let mut opt = Optimizer::new(problem, paper_optimizer_config(StepSizePolicy::adaptive(1.0)));
     let outcome = opt.run_to_convergence(max_iters);
+    let health = opt.health_snapshot();
     let allocation = opt.allocation();
     let critical: Vec<(f64, f64)> = opt
         .problem()
@@ -137,14 +149,15 @@ pub fn run_table1(aggregation: Aggregation, max_iters: usize) -> Table1Result {
         .iter()
         .map(|r| opt.problem().resource_usage(r.id(), allocation.lats()))
         .collect();
-    Table1Result {
+    let result = Table1Result {
         utility: opt.utility(),
         iterations: opt.iterations(),
         converged: outcome.converged,
         allocation,
         critical,
         usage,
-    }
+    };
+    (result, health)
 }
 
 /// One Figure 5 series.
@@ -299,12 +312,31 @@ pub struct OptimizerBenchPoint {
     pub naive_ns_per_iter: f64,
     /// Mean nanoseconds per compiled-plan iteration.
     pub plan_ns_per_iter: f64,
+    /// Mean nanoseconds per compiled-plan iteration with telemetry
+    /// attached to a *disabled* registry (all handles branch-no-op).
+    pub telemetry_disabled_ns_per_iter: f64,
+    /// Mean nanoseconds per compiled-plan iteration with telemetry
+    /// attached to an *enabled* registry (counters, gauges, and phase
+    /// histograms live).
+    pub telemetry_enabled_ns_per_iter: f64,
 }
 
 impl OptimizerBenchPoint {
     /// Naive-over-plan speedup factor.
     pub fn speedup(&self) -> f64 {
         self.naive_ns_per_iter / self.plan_ns_per_iter
+    }
+
+    /// Relative per-iteration overhead of disabled telemetry vs the
+    /// un-instrumented step (should be noise, ≤ ~1%).
+    pub fn telemetry_disabled_overhead(&self) -> f64 {
+        self.telemetry_disabled_ns_per_iter / self.plan_ns_per_iter - 1.0
+    }
+
+    /// Relative per-iteration overhead of enabled telemetry vs the
+    /// un-instrumented step (clock reads + atomic bumps, ≤ ~5%).
+    pub fn telemetry_enabled_overhead(&self) -> f64 {
+        self.telemetry_enabled_ns_per_iter / self.plan_ns_per_iter - 1.0
     }
 }
 
@@ -327,32 +359,61 @@ pub fn bench_optimizer_point(
         ..OptimizerConfig::default()
     };
 
+    // Every measurement below is best-of-3: each repetition rebuilds its
+    // state from scratch, runs `warmup` untimed iterations, then times
+    // `iters`. The min filters out scheduler preemption and first-touch
+    // page faults, which otherwise dwarf single-digit-percent deltas.
+    let best_of = |one_rep: &mut dyn FnMut() -> f64| -> f64 {
+        (0..3).map(|_| one_rep()).fold(f64::INFINITY, f64::min)
+    };
+
     // Naive side: the seed optimizer's step, hand-inlined over nested Vecs.
-    let mut prices = PriceState::new(&problem, config.step_policy);
-    let mut lats = problem.initial_allocation();
-    let mut sink = 0.0;
-    for _ in 0..warmup {
-        sink += naive_round(&problem, &mut prices, &config.allocation, &mut lats);
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        sink += naive_round(&problem, &mut prices, &config.allocation, &mut lats);
-    }
-    let naive_ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64;
-    std::hint::black_box(sink);
+    let naive_ns_per_iter = best_of(&mut || {
+        let mut prices = PriceState::new(&problem, config.step_policy);
+        let mut lats = problem.initial_allocation();
+        let mut sink = 0.0;
+        for _ in 0..warmup {
+            sink += naive_round(&problem, &mut prices, &config.allocation, &mut lats);
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink += naive_round(&problem, &mut prices, &config.allocation, &mut lats);
+        }
+        std::hint::black_box(sink);
+        start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
+    });
 
-    // Plan side: the real optimizer, which lowers the problem once.
-    let mut opt = Optimizer::new(problem, config);
-    for _ in 0..warmup {
-        std::hint::black_box(opt.step());
-    }
-    let start = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(opt.step());
-    }
-    let plan_ns_per_iter = start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64;
+    // Plan side and telemetry cost: the real optimizer (which lowers the
+    // problem once), bare, with a disabled registry attached (every
+    // publish is a branch no-op), and with a live one (atomic bumps plus
+    // three phase-timing clock reads).
+    let timed_run = |registry: Option<MetricsRegistry>| -> f64 {
+        let mut opt = Optimizer::new(problem.clone(), config);
+        if let Some(registry) = &registry {
+            opt.attach_telemetry(registry);
+        }
+        for _ in 0..warmup {
+            std::hint::black_box(opt.step());
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(opt.step());
+        }
+        start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
+    };
+    let plan_ns_per_iter = best_of(&mut || timed_run(None));
+    let telemetry_disabled_ns_per_iter =
+        best_of(&mut || timed_run(Some(MetricsRegistry::disabled())));
+    let telemetry_enabled_ns_per_iter = best_of(&mut || timed_run(Some(MetricsRegistry::new())));
 
-    OptimizerBenchPoint { tasks: num_tasks, subtasks, naive_ns_per_iter, plan_ns_per_iter }
+    OptimizerBenchPoint {
+        tasks: num_tasks,
+        subtasks,
+        naive_ns_per_iter,
+        plan_ns_per_iter,
+        telemetry_disabled_ns_per_iter,
+        telemetry_enabled_ns_per_iter,
+    }
 }
 
 /// Result of the Figure 7 schedulability experiment.
@@ -492,6 +553,18 @@ mod tests {
             assert!(cp <= c * 1.001, "critical path {cp} vs critical time {c}");
             // The paper: critical path within 1% below the critical time.
             assert!(cp >= c * 0.97, "critical path {cp} should be near {c}");
+        }
+    }
+
+    #[test]
+    fn table1_health_snapshot_is_healthy() {
+        let (result, health) = run_table1_health(Aggregation::PathWeighted, 3_000);
+        assert!(health.converged && health.feasible, "{health}");
+        assert!(health.healthy());
+        assert_eq!(health.utility, result.utility);
+        assert_eq!(health.resources.len(), result.usage.len());
+        for (r, &usage) in health.resources.iter().zip(&result.usage) {
+            assert_eq!(r.usage, usage, "snapshot usage must match the Table 1 readout");
         }
     }
 

@@ -2,6 +2,8 @@
 //! multi-series ASCII charts, so the figure binaries can *show* the curves
 //! they regenerate.
 
+use lla_telemetry::HealthSnapshot;
+
 /// Unicode block characters from low to high.
 const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
@@ -62,6 +64,36 @@ pub fn spark_table(series: &[(&str, &[f64])], width: usize) -> String {
     out
 }
 
+/// Renders a one-screen health dashboard: the [`HealthSnapshot`]'s
+/// human-readable block, a per-resource utilization bar chart, and a
+/// utility sparkline when a history is available.
+pub fn dashboard(health: &HealthSnapshot, utilities: &[f64], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&health.to_string());
+    if !health.resources.is_empty() {
+        out.push_str("\nutilization\n");
+        let label_width =
+            health.resources.iter().map(|r| r.name.chars().count()).max().unwrap_or(0);
+        let bar_width = width.saturating_sub(label_width + 12).max(8);
+        for r in &health.resources {
+            let f = r.utilization_factor();
+            let filled = if f.is_finite() {
+                ((f.min(1.0)) * bar_width as f64).round() as usize
+            } else {
+                bar_width
+            };
+            let filled = filled.min(bar_width);
+            let bar = format!("{}{}", "█".repeat(filled), "·".repeat(bar_width - filled));
+            out.push_str(&format!("{:>label_width$}  {bar} {:6.1}%\n", r.name, f * 100.0));
+        }
+    }
+    if !utilities.is_empty() {
+        out.push_str("\nutility\n");
+        out.push_str(&spark_table(&[("U", utilities)], width.saturating_sub(30).max(10)));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +126,33 @@ mod tests {
     fn sparkline_width_caps_output() {
         let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
         assert_eq!(sparkline(&data, 40).chars().count(), 40);
+    }
+
+    #[test]
+    fn dashboard_renders_health_bars_and_utility() {
+        use lla_telemetry::ResourceHealth;
+        let health = HealthSnapshot {
+            converged: true,
+            feasible: true,
+            iteration: 42,
+            utility: 123.4,
+            max_stationarity_residual: 1e-7,
+            max_resource_violation: 0.0,
+            max_path_violation: 0.0,
+            max_complementary_slackness: 1e-8,
+            worst_violation_factor: 0.9,
+            resources: vec![
+                ResourceHealth { name: "cpu0".into(), price: 2.0, usage: 0.45, availability: 0.9 },
+                ResourceHealth { name: "cpu1".into(), price: 0.0, usage: 0.1, availability: 1.0 },
+            ],
+            shed_count: 0,
+            membership_changes: 0,
+            failovers: 0,
+        };
+        let out = dashboard(&health, &[1.0, 2.0, 3.0, 4.0], 60);
+        assert!(out.contains("cpu0"), "missing resource bar:\n{out}");
+        assert!(out.contains("50.0%"), "cpu0 runs at 50% utilization:\n{out}");
+        assert!(out.contains("utility"), "missing utility section:\n{out}");
     }
 
     #[test]

@@ -20,7 +20,9 @@ use crate::problem::{MembershipReport, Problem};
 use crate::resource::Resource;
 use crate::task::{Task, TaskBuilder};
 use crate::trace::{Trace, TraceRecord};
+use lla_telemetry::{Counter, Gauge, HealthSnapshot, Histogram, MetricsRegistry, ResourceHealth};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Configuration of the [`Optimizer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +46,11 @@ pub struct OptimizerConfig {
     pub price_tol: f64,
     /// Whether to record a full [`Trace`] (cheap; on by default).
     pub record_trace: bool,
+    /// Maximum trace records to retain (`None` = unbounded). When set,
+    /// the trace downsamples by stride doubling so long soaks keep a
+    /// uniform, bounded history (see [`Trace::bounded`]).
+    #[serde(default)]
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for OptimizerConfig {
@@ -56,6 +63,7 @@ impl Default for OptimizerConfig {
             feasibility_tol: 1e-3,
             price_tol: 1e-4,
             record_trace: true,
+            trace_capacity: None,
         }
     }
 }
@@ -175,12 +183,91 @@ pub struct Optimizer {
     /// [`has_converged`](Optimizer::has_converged) can skip recomputing
     /// feasibility on the hot path.
     last_violations: Option<(f64, f64)>,
+    /// Pre-registered metric handles (`None` until
+    /// [`attach_telemetry`](Optimizer::attach_telemetry)); boxed so the
+    /// common un-instrumented optimizer stays one pointer wider, not
+    /// eleven handles wider.
+    telemetry: Option<Box<OptimizerTelemetry>>,
 }
 
 #[derive(Debug, Clone)]
 struct PlanCtx {
     plan: Plan,
     scratch: PlanScratch,
+}
+
+/// Wall-clock bucket bounds for the per-phase step timings (seconds):
+/// 1 µs … 1 s, one decade per bucket.
+const PHASE_SECONDS_BOUNDS: [f64; 7] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+/// Metric handles for the optimizer hot path, registered once by
+/// [`Optimizer::attach_telemetry`]. Updates are atomic-only; when the
+/// backing registry is disabled the handles no-op and the per-phase
+/// `Instant` reads are skipped entirely.
+#[derive(Debug, Clone)]
+pub struct OptimizerTelemetry {
+    enabled: bool,
+    iterations: Counter,
+    plan_lowerings: Counter,
+    gamma_doublings: Counter,
+    phase_allocate: Histogram,
+    phase_price: Histogram,
+    phase_diagnostics: Histogram,
+    utility: Gauge,
+    resource_violation: Gauge,
+    path_violation: Gauge,
+    price_step: Gauge,
+    /// `PriceState::gamma_doublings` value already mirrored into the
+    /// counter; the next step adds only the delta.
+    doublings_seen: u64,
+}
+
+impl OptimizerTelemetry {
+    /// Registers the optimizer metric family on `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        OptimizerTelemetry {
+            enabled: registry.is_enabled(),
+            iterations: registry
+                .counter("lla_opt_iterations_total", "optimizer iterations executed"),
+            plan_lowerings: registry.counter(
+                "lla_opt_plan_lowerings_total",
+                "compiled-plan (re-)lowering epochs (membership/problem mutations)",
+            ),
+            gamma_doublings: registry.counter(
+                "lla_opt_gamma_doublings_total",
+                "adaptive step-size growth events across all duals",
+            ),
+            phase_allocate: registry.histogram(
+                "lla_opt_phase_allocate_seconds",
+                "wall-clock cost of the latency-allocation phase per iteration",
+                &PHASE_SECONDS_BOUNDS,
+            ),
+            phase_price: registry.histogram(
+                "lla_opt_phase_price_seconds",
+                "wall-clock cost of the price-computation phase per iteration",
+                &PHASE_SECONDS_BOUNDS,
+            ),
+            phase_diagnostics: registry.histogram(
+                "lla_opt_phase_diagnostics_seconds",
+                "wall-clock cost of utility/violation/trace bookkeeping per iteration",
+                &PHASE_SECONDS_BOUNDS,
+            ),
+            utility: registry.gauge("lla_opt_utility", "total utility after the last iteration"),
+            resource_violation: registry.gauge(
+                "lla_opt_max_resource_violation",
+                "max_r (usage_r - B_r) after the last iteration",
+            ),
+            path_violation: registry.gauge(
+                "lla_opt_max_path_violation",
+                "max_p (path_latency/C - 1) after the last iteration",
+            ),
+            price_step: registry.gauge(
+                "lla_opt_last_max_rel_price_step",
+                "largest relative price movement of the last update",
+            ),
+            doublings_seen: 0,
+        }
+    }
 }
 
 impl Optimizer {
@@ -195,13 +282,31 @@ impl Optimizer {
             prices,
             lats,
             config,
-            trace: Trace::new(),
+            trace: Trace::bounded(config.trace_capacity),
             iteration: 0,
             below_tol: 0,
             last_utility,
             plan: None,
             last_violations: None,
+            telemetry: None,
         }
+    }
+
+    /// Registers the optimizer metric family on `registry` and starts
+    /// publishing from every subsequent [`step`](Optimizer::step). With a
+    /// disabled registry the handles no-op and phase timing is skipped,
+    /// so the residual overhead is a few branches per iteration.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        let mut tel = OptimizerTelemetry::new(registry);
+        // Mirror only doublings that happen from now on.
+        tel.doublings_seen = self.prices.gamma_doublings();
+        self.telemetry = Some(Box::new(tel));
+    }
+
+    /// Stops publishing metrics (the registered family stays in the
+    /// registry at its last values).
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// The problem being optimized.
@@ -374,6 +479,9 @@ impl Optimizer {
             let plan = Plan::lower(&self.problem, &self.config.allocation);
             let scratch = plan.scratch();
             self.plan = Some(Box::new(PlanCtx { plan, scratch }));
+            if let Some(tel) = &self.telemetry {
+                tel.plan_lowerings.inc();
+            }
         }
     }
 
@@ -386,12 +494,18 @@ impl Optimizer {
     /// while remaining bit-identical to the naive nested evaluation.
     pub fn step(&mut self) -> IterationReport {
         self.ensure_plan();
+        // Phase timing only when telemetry is attached to a *live*
+        // registry; the plain path performs no clock reads at all.
+        let timed = self.telemetry.as_ref().is_some_and(|t| t.enabled);
         let mut ctx = self.plan.take().expect("ensure_plan always installs a plan");
         let PlanCtx { plan, scratch } = &mut *ctx;
+        let t0 = timed.then(Instant::now);
         plan.flatten_into(&self.lats, scratch.prev_mut());
         plan.allocate_into(&self.prices, scratch);
         plan.unflatten_into(scratch.lats(), &mut self.lats);
+        let t1 = timed.then(Instant::now);
         plan.price_update(&mut self.prices, scratch);
+        let t2 = timed.then(Instant::now);
 
         let utility = plan.total_utility(scratch.lats());
         let max_resource_violation = plan.max_resource_violation(scratch.usage());
@@ -422,6 +536,24 @@ impl Optimizer {
         }
         self.last_utility = utility;
         self.iteration += 1;
+
+        let doublings_total = self.prices.gamma_doublings();
+        let price_step = self.prices.last_max_rel_step();
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.iterations.inc();
+            tel.gamma_doublings.add(doublings_total - tel.doublings_seen);
+            tel.doublings_seen = doublings_total;
+            tel.utility.set(utility);
+            tel.resource_violation.set(max_resource_violation);
+            tel.path_violation.set(max_path_violation);
+            tel.price_step.set(price_step);
+            if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+                let t3 = Instant::now();
+                tel.phase_allocate.observe((t1 - t0).as_secs_f64());
+                tel.phase_price.observe((t2 - t1).as_secs_f64());
+                tel.phase_diagnostics.observe((t3 - t2).as_secs_f64());
+            }
+        }
         report
     }
 
@@ -474,6 +606,64 @@ impl Optimizer {
     /// KKT optimality diagnostics at the current point.
     pub fn kkt(&self) -> KktReport {
         kkt_report(&self.problem, &self.lats, &self.prices, &self.config.allocation, 1e-9)
+    }
+
+    /// A point-in-time [`HealthSnapshot`]: convergence + feasibility
+    /// state, the KKT residuals of [`kkt`](Optimizer::kkt), the worst
+    /// constraint-violation factor over resources (`usage/B_r`) and paths
+    /// (`latency/C_i`), and per-resource price + usage.
+    ///
+    /// The shed/membership/failover counts are zero here — a centralized
+    /// optimizer has no such events; deployment layers (`lla-dist`,
+    /// `lla-bench`) overwrite those fields from their own counters.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let kkt = self.kkt();
+        let feasible = match self.last_violations {
+            Some((res, path)) => {
+                res <= self.config.feasibility_tol && path <= self.config.feasibility_tol
+            }
+            None => self.problem.is_feasible(&self.lats, self.config.feasibility_tol),
+        };
+        let mut worst = 0.0f64;
+        let resources = self
+            .problem
+            .resources()
+            .iter()
+            .map(|res| {
+                let usage = self.problem.resource_usage(res.id(), &self.lats);
+                let availability = res.availability();
+                worst = worst.max(if availability > 0.0 {
+                    usage / availability
+                } else {
+                    f64::INFINITY
+                });
+                ResourceHealth {
+                    name: res.name().to_owned(),
+                    price: self.prices.mu(res.id().index()),
+                    usage,
+                    availability,
+                }
+            })
+            .collect();
+        for task in self.problem.tasks() {
+            let lat = task.aggregate_latency(&self.lats[task.id().index()]);
+            worst = worst.max(lat / task.critical_time());
+        }
+        HealthSnapshot {
+            converged: self.has_converged(),
+            feasible,
+            iteration: self.iteration as u64,
+            utility: self.problem.total_utility(&self.lats),
+            max_stationarity_residual: kkt.max_stationarity_residual,
+            max_resource_violation: kkt.max_resource_violation,
+            max_path_violation: kkt.max_path_violation,
+            max_complementary_slackness: kkt.max_complementary_slackness,
+            worst_violation_factor: worst,
+            resources,
+            shed_count: 0,
+            membership_changes: 0,
+            failovers: 0,
+        }
     }
 
     /// Replaces the current latencies (used by the distributed runtime to
@@ -635,6 +825,84 @@ mod tests {
         let outcome = opt.run_to_convergence(5_000);
         assert!(outcome.converged, "LLA must converge on a schedulable workload");
         assert!(outcome.feasible);
+    }
+
+    #[test]
+    fn telemetry_publishes_iterations_and_health_gauges() {
+        let registry = MetricsRegistry::new();
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.attach_telemetry(&registry);
+        opt.run(50);
+        let text = registry.prometheus_text();
+        assert!(text.contains("lla_opt_iterations_total 50"), "missing iteration count:\n{text}");
+        // The plan lowered exactly once (no membership churn).
+        assert!(text.contains("lla_opt_plan_lowerings_total 1"));
+        // Gauges mirror the optimizer's own view.
+        let g = registry.gauge("lla_opt_utility", "");
+        assert!((g.get() - opt.utility()).abs() < 1e-12);
+        // Phase histograms saw one observation per iteration.
+        let h = registry.histogram("lla_opt_phase_allocate_seconds", "", &PHASE_SECONDS_BOUNDS);
+        assert_eq!(h.count(), 50);
+    }
+
+    #[test]
+    fn telemetry_counts_plan_relowering_on_membership_change() {
+        let registry = MetricsRegistry::new();
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.attach_telemetry(&registry);
+        opt.run(5);
+        let mut b = TaskBuilder::new("late");
+        b.subtask("s", ResourceId::new(0), 1.0);
+        b.critical_time(50.0).utility(UtilityFn::linear_for_deadline(1.0, 50.0));
+        opt.add_task(&b).unwrap();
+        opt.run(5);
+        let c = registry.counter("lla_opt_plan_lowerings_total", "");
+        assert_eq!(c.get(), 2, "initial lowering + one re-lowering after the join");
+    }
+
+    #[test]
+    fn telemetry_attached_to_disabled_registry_records_nothing() {
+        let registry = MetricsRegistry::disabled();
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.attach_telemetry(&registry);
+        let mut plain = Optimizer::new(small_problem(), config());
+        opt.run(100);
+        plain.run(100);
+        // Bit-identical to the un-instrumented run.
+        assert_eq!(opt.utility(), plain.utility());
+        assert_eq!(registry.prometheus_text(), "");
+    }
+
+    #[test]
+    fn trace_capacity_bounds_the_trace() {
+        let cfg = OptimizerConfig { trace_capacity: Some(32), ..config() };
+        let mut opt = Optimizer::new(small_problem(), cfg);
+        opt.run(500);
+        assert!(opt.trace().len() <= 32, "trace grew to {}", opt.trace().len());
+        assert_eq!(opt.trace().seen(), 500);
+        // The retained records still span the whole run.
+        assert_eq!(opt.trace().records()[0].iteration, 0);
+        assert!(opt.trace().records().last().unwrap().iteration >= 400);
+    }
+
+    #[test]
+    fn health_snapshot_matches_kkt_and_convergence_state() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let outcome = opt.run_to_convergence(5_000);
+        assert!(outcome.converged);
+        let h = opt.health_snapshot();
+        let kkt = opt.kkt();
+        assert!(h.converged && h.feasible && h.healthy());
+        assert_eq!(h.max_stationarity_residual, kkt.max_stationarity_residual);
+        assert_eq!(h.max_resource_violation, kkt.max_resource_violation);
+        assert_eq!(h.max_path_violation, kkt.max_path_violation);
+        assert_eq!(h.max_complementary_slackness, kkt.max_complementary_slackness);
+        assert_eq!(h.resources.len(), 2);
+        assert!(h.worst_violation_factor <= 1.0 + 1e-6);
+        for (r, res) in h.resources.iter().zip(opt.problem().resources()) {
+            assert_eq!(r.availability, res.availability());
+            assert!(r.usage <= r.availability + 1e-6);
+        }
     }
 
     #[test]

@@ -126,6 +126,7 @@ pub struct PriceState {
     last_grad_p: Vec<Vec<f64>>,
     last_max_rel_step: f64,
     rejected_samples: u64,
+    gamma_doublings: u64,
     policy: StepSizePolicy,
 }
 
@@ -143,6 +144,7 @@ impl Clone for PriceState {
             last_grad_p: self.last_grad_p.clone(),
             last_max_rel_step: self.last_max_rel_step,
             rejected_samples: self.rejected_samples,
+            gamma_doublings: self.gamma_doublings,
             policy: self.policy,
         }
     }
@@ -156,6 +158,7 @@ impl Clone for PriceState {
         self.last_grad_p.clone_from(&source.last_grad_p);
         self.last_max_rel_step = source.last_max_rel_step;
         self.rejected_samples = source.rejected_samples;
+        self.gamma_doublings = source.gamma_doublings;
         self.policy = source.policy;
     }
 }
@@ -177,6 +180,7 @@ impl PriceState {
                 .collect(),
             last_max_rel_step: f64::INFINITY,
             rejected_samples: 0,
+            gamma_doublings: 0,
             policy,
         }
     }
@@ -209,6 +213,7 @@ impl PriceState {
         }
         next.last_max_rel_step = self.last_max_rel_step;
         next.rejected_samples = self.rejected_samples;
+        next.gamma_doublings = self.gamma_doublings;
         next
     }
 
@@ -217,6 +222,14 @@ impl PriceState {
     /// under faults means the guards saved the duals from NaN/∞ poisoning.
     pub fn rejected_samples(&self) -> u64 {
         self.rejected_samples
+    }
+
+    /// How many step-size growth events the adaptive policies have taken
+    /// (the `γ ← min(γ·factor, max)` arm actually increasing `γ`). Always
+    /// zero under [`StepSizePolicy::Fixed`]. Telemetry reads deltas of
+    /// this to expose a doubling rate.
+    pub fn gamma_doublings(&self) -> u64 {
+        self.gamma_doublings
     }
 
     /// The largest relative price movement `|Δprice|/(1 + price)` of the
@@ -330,6 +343,7 @@ impl PriceState {
             return self.mu[r];
         }
         let congested = grad < 0.0;
+        let prev_gamma = self.gamma_r[r];
         self.gamma_r[r] = match self.policy {
             StepSizePolicy::Fixed { gamma } => gamma,
             StepSizePolicy::Adaptive { initial, factor, max } => {
@@ -352,6 +366,11 @@ impl PriceState {
                 }
             }
         };
+        // Only the multiply arm can raise γ (the other arms hold or reset
+        // to `initial`), so a strict increase is exactly a doubling event.
+        if self.gamma_r[r] > prev_gamma {
+            self.gamma_doublings += 1;
+        }
         let new = (self.mu[r] - self.gamma_r[r] * grad).max(0.0);
         self.last_max_rel_step = self.last_max_rel_step.max((new - self.mu[r]).abs() / (1.0 + new));
         self.mu[r] = new;
@@ -376,6 +395,7 @@ impl PriceState {
             self.rejected_samples += 1;
             return self.lambda[t][p];
         }
+        let prev_gamma = self.gamma_p[t][p];
         self.gamma_p[t][p] = match self.policy {
             StepSizePolicy::Fixed { gamma } => gamma,
             StepSizePolicy::Adaptive { initial, factor, max } => {
@@ -395,6 +415,9 @@ impl PriceState {
                 }
             }
         };
+        if self.gamma_p[t][p] > prev_gamma {
+            self.gamma_doublings += 1;
+        }
         let new = (self.lambda[t][p] - self.gamma_p[t][p] * grad).max(0.0);
         self.last_max_rel_step =
             self.last_max_rel_step.max((new - self.lambda[t][p]).abs() / (1.0 + new));
@@ -422,6 +445,46 @@ mod tests {
         b.edge(a, c).unwrap();
         b.critical_time(20.0);
         Problem::new(resources, vec![b.build(TaskId::new(0)).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn gamma_doublings_count_growth_events() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::adaptive(1.0));
+        assert_eq!(s.gamma_doublings(), 0);
+        s.apply_resource_step(0, -1.0); // congested: γ 1 → 2
+        s.apply_resource_step(0, -1.0); // γ 2 → 4
+        assert_eq!(s.gamma_doublings(), 2);
+        s.apply_resource_step(0, 1.0); // decongested: reset, not a doubling
+        assert_eq!(s.gamma_doublings(), 2);
+        s.apply_path_step(0, 0, -0.5, true); // congested path: γ 1 → 2
+        assert_eq!(s.gamma_doublings(), 3);
+        // The counter travels through Clone and remap.
+        assert_eq!(s.clone().gamma_doublings(), 3);
+        let id = MembershipReport::identity(1, 2);
+        assert_eq!(s.remap(&p, &id).gamma_doublings(), 3);
+    }
+
+    #[test]
+    fn fixed_policy_never_doubles() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(0.5));
+        for _ in 0..10 {
+            s.apply_resource_step(0, -1.0);
+        }
+        assert_eq!(s.gamma_doublings(), 0);
+    }
+
+    #[test]
+    fn doublings_stop_at_the_gamma_cap() {
+        let p = problem();
+        // adaptive(1.0): factor 2, max 64 → exactly 6 doublings reach it.
+        let mut s = PriceState::new(&p, StepSizePolicy::adaptive(1.0));
+        for _ in 0..20 {
+            s.apply_resource_step(0, -1.0);
+        }
+        assert_eq!(s.gamma_doublings(), 6);
+        assert_eq!(s.gamma_r(0), 64.0);
     }
 
     #[test]

@@ -21,20 +21,85 @@ pub struct TraceRecord {
 /// plots `utility` against `iteration` for different step-size policies,
 /// Figure 7 plots `utility` and `resource_usage` for an unschedulable
 /// workload, and the critical-path ratios back the §5.4 verdicts.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// A trace can be *bounded* ([`Trace::bounded`]): instead of growing
+/// without limit during a long soak, it keeps at most `capacity` records
+/// by stride-doubling downsampling — whenever the buffer fills, every
+/// other record is dropped and the sampling stride doubles, so the kept
+/// records always span the whole run at uniform (power-of-two) spacing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     records: Vec<TraceRecord>,
+    /// Maximum retained records (`None` = unbounded append).
+    #[serde(default)]
+    capacity: Option<usize>,
+    /// Accept one record in every `stride` pushes.
+    #[serde(default)]
+    stride: usize,
+    /// Total records offered via [`push`](Self::push) (kept or not).
+    #[serde(default)]
+    seen: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace { records: Vec::new(), capacity: None, stride: 1, seen: 0 }
+    }
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty, unbounded trace.
     pub fn new() -> Self {
         Trace::default()
     }
 
-    /// Appends a record.
+    /// Creates an empty trace keeping at most `capacity` records (when
+    /// `Some`; clamped to ≥ 2 so downsampling can always halve). `None`
+    /// behaves exactly like [`Trace::new`].
+    pub fn bounded(capacity: Option<usize>) -> Self {
+        Trace { capacity: capacity.map(|c| c.max(2)), ..Trace::default() }
+    }
+
+    /// The capacity this trace was created with.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The current downsampling stride: one in every `stride` offered
+    /// records is retained (1 for an unbounded trace).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Total records offered to [`push`](Self::push), including ones the
+    /// downsampler dropped.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Offers a record. Unbounded traces append; bounded traces keep it
+    /// only on the current stride, and compact (drop every other record,
+    /// double the stride) when full.
     pub fn push(&mut self, record: TraceRecord) {
+        let keep = self.seen.is_multiple_of(self.stride as u64);
+        self.seen += 1;
+        if !keep {
+            return;
+        }
         self.records.push(record);
+        if let Some(cap) = self.capacity {
+            if self.records.len() >= cap {
+                // Keep indices 0, 2, 4, … — the survivors are exactly the
+                // records aligned to the doubled stride.
+                let mut i = 0;
+                self.records.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
     }
 
     /// All records in iteration order.
@@ -221,5 +286,79 @@ mod tests {
         assert_eq!(t.settling_iteration(0.01), None);
         assert_eq!(t.to_csv(), "");
         assert_eq!(t.utility_oscillation(5), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_series_are_empty() {
+        let t = Trace::new();
+        assert!(t.utilities().is_empty());
+        assert_eq!(t.mean_utility(10), 0.0);
+        assert_eq!(t.seen(), 0);
+        assert_eq!(t.stride(), 1);
+    }
+
+    #[test]
+    fn series_align_across_accessors() {
+        // Each accessor must slice the same records in the same order.
+        let mut t = Trace::new();
+        for i in 0..4 {
+            t.push(TraceRecord {
+                iteration: i,
+                utility: i as f64,
+                resource_usage: vec![i as f64 * 0.1, i as f64 * 0.2],
+                critical_path_ratio: vec![i as f64 * 0.3],
+            });
+        }
+        assert_eq!(t.utilities(), vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.resource_usage_series(0), vec![0.0, 0.1, 0.2, 0.30000000000000004]);
+        assert_eq!(t.resource_usage_series(1), vec![0.0, 0.2, 0.4, 0.6000000000000001]);
+        assert_eq!(t.critical_path_ratio_series(0), vec![0.0, 0.3, 0.6, 0.8999999999999999]);
+    }
+
+    #[test]
+    fn unbounded_trace_keeps_everything() {
+        let t = trace_of(&(0..1000).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.capacity(), None);
+        assert_eq!(t.stride(), 1);
+    }
+
+    #[test]
+    fn bounded_trace_never_exceeds_capacity_and_spans_the_run() {
+        let mut t = Trace::bounded(Some(16));
+        for i in 0..1000 {
+            t.push(record(i, i as f64));
+            assert!(t.len() <= 16, "len {} exceeded capacity at push {i}", t.len());
+        }
+        assert_eq!(t.seen(), 1000);
+        // Stride doubled past 1000/16; retained records are uniformly
+        // spaced from iteration 0 up to near the end.
+        assert!(t.stride() >= 64, "stride {} too small", t.stride());
+        let kept: Vec<usize> = t.records().iter().map(|r| r.iteration).collect();
+        assert_eq!(kept[0], 0);
+        assert!(*kept.last().unwrap() >= 1000 - 2 * t.stride());
+        for w in kept.windows(2) {
+            assert_eq!(w[1] - w[0], t.stride(), "non-uniform spacing: {kept:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_is_clamped_to_two() {
+        let mut t = Trace::bounded(Some(0));
+        assert_eq!(t.capacity(), Some(2));
+        for i in 0..10 {
+            t.push(record(i, i as f64));
+        }
+        assert!(t.len() <= 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn bounded_none_is_unbounded() {
+        let mut t = Trace::bounded(None);
+        for i in 0..100 {
+            t.push(record(i, 0.0));
+        }
+        assert_eq!(t.len(), 100);
     }
 }

@@ -4,10 +4,12 @@
 
 use crate::protocol::{Address, Message};
 use crate::runtime::{Actor, Outbox};
+use crate::telemetry::DistTelemetry;
 use lla_core::{
     AllocationSettings, MembershipReport, OptimizerState, PriceState, Problem, StepSizePolicy,
     TaskPlan,
 };
+use lla_telemetry::Event as TelemetryEvent;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -272,6 +274,7 @@ pub struct ResourceAgent {
     degraded: bool,
     /// Highest control-plane sequence applied (volatile; reset on crash).
     last_avail_seq: u64,
+    tel: DistTelemetry,
 }
 
 impl ResourceAgent {
@@ -300,6 +303,7 @@ impl ResourceAgent {
             congested: false,
             degraded: false,
             last_avail_seq: 0,
+            tel: DistTelemetry::disabled(),
         };
         agent.resync_from_problem();
         agent
@@ -308,6 +312,12 @@ impl ResourceAgent {
     /// Sets the fault-tolerance configuration.
     pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
         self.robustness = robustness;
+        self
+    }
+
+    /// Attaches shared telemetry handles (counters + event log).
+    pub fn with_telemetry(mut self, tel: DistTelemetry) -> Self {
+        self.tel = tel;
         self
     }
 
@@ -418,6 +428,7 @@ impl ResourceAgent {
                 .collect(),
             ..report
         };
+        self.tel.warm_start_hits.inc();
         self.prices = self.prices.remap(&te.problem, &full_report);
         self.problem = te.problem.clone();
         self.r = new_r;
@@ -463,7 +474,27 @@ impl Actor for ResourceAgent {
         if self.dormant {
             return;
         }
+        let was_degraded = self.degraded;
         self.degraded = now - self.last_heard > self.robustness.staleness_ttl;
+        if self.degraded != was_degraded {
+            if self.degraded {
+                self.tel.staleness_freezes.inc();
+                self.tel.events.emit(
+                    TelemetryEvent::new(now, "degraded_enter")
+                        .with("agent", "resource")
+                        .with("slot", self.slot),
+                );
+            } else {
+                self.tel.events.emit(
+                    TelemetryEvent::new(now, "degraded_exit")
+                        .with("agent", "resource")
+                        .with("slot", self.slot),
+                );
+            }
+        }
+        if self.degraded {
+            self.tel.degraded_ticks.inc();
+        }
         let mu = if self.degraded {
             // Latency inputs are stale (partition, crashed controllers):
             // integrating the frozen gradient would drift the price away
@@ -616,6 +647,7 @@ pub struct TaskController {
     /// Cached initial allocation in the centralized export shape; only
     /// this controller's row is overwritten per checkpoint.
     checkpoint_template: Vec<Vec<f64>>,
+    tel: DistTelemetry,
 }
 
 impl TaskController {
@@ -671,12 +703,19 @@ impl TaskController {
             lambda_scratch,
             next_lats,
             checkpoint_template,
+            tel: DistTelemetry::disabled(),
         }
     }
 
     /// Sets the fault-tolerance configuration.
     pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
         self.robustness = robustness;
+        self
+    }
+
+    /// Attaches shared telemetry handles (counters + event log).
+    pub fn with_telemetry(mut self, tel: DistTelemetry) -> Self {
+        self.tel = tel;
         self
     }
 
@@ -785,6 +824,7 @@ impl TaskController {
             self.dormant = true;
             return;
         };
+        self.tel.warm_start_hits.inc();
         self.prices = self.prices.remap(&te.problem, &report);
         let n_res = te.problem.resources().len();
         let mut congested = vec![false; n_res];
@@ -845,7 +885,24 @@ impl Actor for TaskController {
             return;
         }
         self.ticks += 1;
+        let was_degraded = self.degraded;
         self.degraded = self.staleness(now) > self.robustness.staleness_ttl;
+        if self.degraded != was_degraded {
+            if self.degraded {
+                self.tel.staleness_freezes.inc();
+                self.tel.events.emit(
+                    TelemetryEvent::new(now, "degraded_enter")
+                        .with("agent", "controller")
+                        .with("slot", self.slot),
+                );
+            } else {
+                self.tel.events.emit(
+                    TelemetryEvent::new(now, "degraded_exit")
+                        .with("agent", "controller")
+                        .with("slot", self.slot),
+                );
+            }
+        }
         if self.degraded {
             // Graceful degradation: stale prices would make the gradient
             // steps integrate noise, so freeze both price layers and hold
@@ -853,6 +910,7 @@ impl Actor for TaskController {
             // with them). Recovery is automatic: fresh prices reset the
             // staleness clock.
             self.degraded_ticks += 1;
+            self.tel.degraded_ticks.inc();
         } else {
             // Path price computation from the *previous* allocation —
             // matching the centralized iteration order, where prices
@@ -898,6 +956,7 @@ impl Actor for TaskController {
                     },
                 );
                 self.last_checkpoint = now;
+                self.tel.checkpoint_saves.inc();
             }
         }
     }
@@ -998,6 +1057,12 @@ impl Actor for TaskController {
                 self.import_state(&ckpt.state);
                 self.congested = ckpt.congested;
                 self.last_checkpoint = now;
+                self.tel.checkpoint_restores.inc();
+                self.tel.events.emit(
+                    TelemetryEvent::new(now, "checkpoint_restore")
+                        .with("slot", self.slot)
+                        .with("checkpoint_at", ckpt.at),
+                );
             }
         }
         // Fresh staleness grace period either way.
@@ -1029,6 +1094,7 @@ pub struct ControlPlaneAgent {
     next_seq: u64,
     pending: Vec<PendingUpdate>,
     pending_membership: Vec<PendingMembership>,
+    tel: DistTelemetry,
 }
 
 #[derive(Debug)]
@@ -1057,7 +1123,14 @@ impl ControlPlaneAgent {
             next_seq: 0,
             pending: Vec::new(),
             pending_membership: Vec::new(),
+            tel: DistTelemetry::disabled(),
         }
+    }
+
+    /// Attaches shared telemetry handles (counters + event log).
+    pub fn with_telemetry(mut self, tel: DistTelemetry) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Updates not yet acknowledged by every recipient.
@@ -1137,6 +1210,7 @@ impl Actor for ControlPlaneAgent {
         // missing.
         for p in &self.pending {
             for &addr in &p.awaiting {
+                self.tel.retransmits.inc();
                 outbox.send(
                     addr,
                     Message::AvailabilityUpdate {
@@ -1149,6 +1223,7 @@ impl Actor for ControlPlaneAgent {
         }
         for p in &self.pending_membership {
             for &addr in &p.awaiting {
+                self.tel.retransmits.inc();
                 outbox.send(addr, p.msg.clone());
             }
         }

@@ -38,6 +38,7 @@ pub mod network;
 pub mod protocol;
 pub mod runtime;
 pub mod system;
+pub mod telemetry;
 pub mod threaded;
 
 pub use agents::{
@@ -49,4 +50,5 @@ pub use network::{NetworkModel, NetworkSampler};
 pub use protocol::{Address, Message};
 pub use runtime::{Actor, Outbox, VirtualRuntime};
 pub use system::{DistConfig, DistributedLla};
+pub use telemetry::DistTelemetry;
 pub use threaded::{ShutdownError, ThreadedLla};

@@ -16,8 +16,15 @@
 use crate::fault::{FaultKind, FaultPlan};
 use crate::network::{NetworkModel, NetworkSampler};
 use crate::protocol::{Address, Message};
+use crate::telemetry::DistTelemetry;
+use lla_telemetry::Event as TelemetryEvent;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Renders a partition side as a stable `+`-joined address list.
+fn render_addrs(addrs: &[Address]) -> String {
+    addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join("+")
+}
 
 /// Messages an actor emits during a callback, with their destinations.
 #[derive(Debug, Default)]
@@ -146,6 +153,14 @@ pub struct VirtualRuntime {
     dropped_at_crashed: u64,
     crashes: u64,
     restarts: u64,
+    messages_reordered: u64,
+    /// Latest scheduled arrival time per destination, for reorder
+    /// detection: a new delivery landing before it means out-of-order.
+    latest_arrival: HashMap<Address, f64>,
+    /// Passive instrumentation (counters + virtual-clock events);
+    /// disabled by default. Never affects scheduling, sampling, or
+    /// message flow.
+    tel: DistTelemetry,
 }
 
 impl VirtualRuntime {
@@ -166,7 +181,16 @@ impl VirtualRuntime {
             dropped_at_crashed: 0,
             crashes: 0,
             restarts: 0,
+            messages_reordered: 0,
+            latest_arrival: HashMap::new(),
+            tel: DistTelemetry::disabled(),
         }
+    }
+
+    /// Attaches telemetry handles; subsequent runtime activity mirrors
+    /// into the counters and emits virtual-clock fault events.
+    pub fn attach_telemetry(&mut self, tel: DistTelemetry) {
+        self.tel = tel;
     }
 
     /// Registers an actor ticking every `interval` virtual ms starting at
@@ -251,6 +275,12 @@ impl VirtualRuntime {
         self.restarts
     }
 
+    /// Deliveries scheduled to arrive before an earlier send to the same
+    /// destination (out-of-order arrivals caused by delay jitter).
+    pub fn messages_reordered(&self) -> u64 {
+        self.messages_reordered
+    }
+
     /// Whether `addr` is currently crashed.
     pub fn is_crashed(&self, addr: Address) -> bool {
         self.crashed.contains(&addr)
@@ -268,12 +298,29 @@ impl VirtualRuntime {
     fn dispatch(&mut self, from: Address, outbox: Outbox) {
         for (to, msg) in outbox.msgs {
             self.messages_sent += 1;
+            self.tel.messages_sent.inc();
             if self.is_partitioned(from, to) {
                 self.dropped_by_partition += 1;
+                self.tel.dropped_by_partition.inc();
                 continue;
             }
-            for delay in self.network.sample_deliveries() {
+            let deliveries = self.network.sample_deliveries();
+            if deliveries.is_empty() {
+                self.tel.messages_dropped.inc();
+            } else if deliveries.len() > 1 {
+                self.tel.messages_duplicated.add(deliveries.len() as u64 - 1);
+            }
+            for delay in deliveries {
                 let at = self.now + delay;
+                // A delivery landing before one already scheduled for the
+                // same destination will arrive out of send order.
+                let latest = self.latest_arrival.entry(to).or_insert(at);
+                if at < *latest {
+                    self.messages_reordered += 1;
+                    self.tel.messages_reordered.inc();
+                } else {
+                    *latest = at;
+                }
                 self.push(at, EventKind::Deliver(to, msg.clone()));
             }
         }
@@ -282,6 +329,11 @@ impl VirtualRuntime {
     fn apply_fault(&mut self, kind: FaultKind) {
         match kind {
             FaultKind::Partition { a, b, duration } => {
+                self.tel.events.emit(
+                    TelemetryEvent::new(self.now, "partition")
+                        .with("sides", format!("{}|{}", render_addrs(&a), render_addrs(&b)))
+                        .with("until", self.now + duration),
+                );
                 self.partitions.push(ActivePartition {
                     a: a.into_iter().collect(),
                     b: b.into_iter().collect(),
@@ -295,6 +347,10 @@ impl VirtualRuntime {
             FaultKind::Crash { addr } => {
                 if self.crashed.insert(addr) {
                     self.crashes += 1;
+                    self.tel.crashes.inc();
+                    self.tel.events.emit(
+                        TelemetryEvent::new(self.now, "crash").with("addr", addr.to_string()),
+                    );
                     if let Some(actor) = self.actors.get_mut(&addr) {
                         actor.on_crash(self.now);
                     }
@@ -303,6 +359,10 @@ impl VirtualRuntime {
             FaultKind::Restart { addr } => {
                 if self.crashed.remove(&addr) {
                     self.restarts += 1;
+                    self.tel.restarts.inc();
+                    self.tel.events.emit(
+                        TelemetryEvent::new(self.now, "restart").with("addr", addr.to_string()),
+                    );
                     let mut outbox = Outbox::default();
                     if let Some(actor) = self.actors.get_mut(&addr) {
                         actor.on_restart(self.now, &mut outbox);
@@ -311,6 +371,11 @@ impl VirtualRuntime {
                 }
             }
             FaultKind::SetAvailability { resource, availability } => {
+                self.tel.events.emit(
+                    TelemetryEvent::new(self.now, "availability")
+                        .with("resource", resource)
+                        .with("value", availability),
+                );
                 let msg = Message::AvailabilityUpdate { resource, availability, seq: 0 };
                 if self.actors.contains_key(&Address::ControlPlane) {
                     // Hand the command to the control plane, which
@@ -363,6 +428,7 @@ impl VirtualRuntime {
                 EventKind::Deliver(addr, msg) => {
                     if self.crashed.contains(&addr) {
                         self.dropped_at_crashed += 1;
+                        self.tel.dropped_at_crashed.inc();
                     } else if let Some(actor) = self.actors.get_mut(&addr) {
                         actor.on_message(self.now, msg, &mut outbox);
                         self.dispatch(addr, outbox);

@@ -8,10 +8,12 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::network::NetworkModel;
 use crate::protocol::{Address, Message};
 use crate::runtime::VirtualRuntime;
+use crate::telemetry::DistTelemetry;
 use lla_core::{
     Allocation, AllocationSettings, ModelError, Problem, Resource, ResourceId, StepSizePolicy,
     TaskBuilder, TaskId,
 };
+use lla_telemetry::Event as TelemetryEvent;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -98,12 +100,24 @@ pub struct DistributedLla {
     /// `(at, resource slot, availability)` of scheduled availability
     /// faults not yet reflected in the facade's own problem copy.
     pending_availability: Vec<(f64, usize, f64)>,
+    tel: DistTelemetry,
 }
 
 impl DistributedLla {
     /// Deploys agents for every resource and task of `problem`, plus the
-    /// control-plane agent.
+    /// control-plane agent. Telemetry is disabled; use
+    /// [`with_telemetry`](Self::with_telemetry) to instrument the
+    /// deployment.
     pub fn new(problem: Problem, config: DistConfig) -> Self {
+        DistributedLla::with_telemetry(problem, config, DistTelemetry::disabled())
+    }
+
+    /// Like [`new`](Self::new), but every layer — the runtime, all
+    /// agents, and the facade's membership operations — shares the given
+    /// telemetry handles. Instrumentation is passive (counters and
+    /// virtual-clock events only), so an instrumented run is
+    /// bit-identical to an un-instrumented one.
+    pub fn with_telemetry(problem: Problem, config: DistConfig, tel: DistTelemetry) -> Self {
         let problem = Arc::new(problem);
         let telemetry: SharedLats = Arc::new(Mutex::new(problem.initial_allocation()));
         let checkpoints = CheckpointStore::new();
@@ -118,6 +132,7 @@ impl DistributedLla {
             resource_slots: resource_slots.clone(),
         });
         let mut runtime = VirtualRuntime::new(config.network, config.seed);
+        runtime.attach_telemetry(tel.clone());
 
         use rand::{Rng, SeedableRng};
         let mut jitter_rng = rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0xa5));
@@ -149,7 +164,8 @@ impl DistributedLla {
                     )
                     .with_robustness(config.robustness)
                     .with_checkpoints(checkpoints.clone())
-                    .with_membership(topology.clone(), t, 0),
+                    .with_membership(topology.clone(), t, 0)
+                    .with_telemetry(tel.clone()),
                 ),
                 interval,
                 phase,
@@ -162,7 +178,8 @@ impl DistributedLla {
                 Box::new(
                     ResourceAgent::new(r, (*problem).clone(), config.step_policy)
                         .with_robustness(config.robustness)
-                        .with_membership(topology.clone(), r, 0),
+                        .with_membership(topology.clone(), r, 0)
+                        .with_telemetry(tel.clone()),
                 ),
                 interval,
                 phase,
@@ -172,7 +189,10 @@ impl DistributedLla {
         // sends nothing, so fault-free runs are unaffected.
         runtime.register(
             Address::ControlPlane,
-            Box::new(ControlPlaneAgent::new(problem.tasks().len(), problem.resources().len())),
+            Box::new(
+                ControlPlaneAgent::new(problem.tasks().len(), problem.resources().len())
+                    .with_telemetry(tel.clone()),
+            ),
             config.robustness.retransmit_interval,
             0.5 * config.round_length,
         );
@@ -194,7 +214,13 @@ impl DistributedLla {
             rounds: 0,
             utilities: Vec::new(),
             pending_availability: Vec::new(),
+            tel,
         }
+    }
+
+    /// The telemetry handles shared across the deployment.
+    pub fn dist_telemetry(&self) -> &DistTelemetry {
+        &self.tel
     }
 
     /// The deployed problem.
@@ -405,10 +431,17 @@ impl DistributedLla {
                 )
                 .with_robustness(self.config.robustness)
                 .with_checkpoints(self.checkpoints.clone())
-                .with_membership(self.topology.clone(), slot, self.epoch),
+                .with_membership(self.topology.clone(), slot, self.epoch)
+                .with_telemetry(self.tel.clone()),
             ),
             self.config.round_length,
             self.next_phase(0.25),
+        );
+        self.tel.membership_changes.inc();
+        self.tel.events.emit(
+            TelemetryEvent::new(self.runtime.now(), "task_join")
+                .with("slot", slot)
+                .with("epoch", self.epoch),
         );
         self.runtime
             .inject(Address::ControlPlane, Message::TaskJoin { slot, epoch: self.epoch, seq: 0 });
@@ -443,6 +476,15 @@ impl DistributedLla {
         } else {
             Message::TaskLeave { slot, epoch: self.epoch, seq: 0 }
         };
+        self.tel.membership_changes.inc();
+        self.tel.events.emit(
+            TelemetryEvent::new(
+                self.runtime.now(),
+                if evict { "task_evict" } else { "task_leave" },
+            )
+            .with("slot", slot)
+            .with("epoch", self.epoch),
+        );
         self.runtime.inject(Address::ControlPlane, msg);
         Ok(())
     }
@@ -496,10 +538,17 @@ impl DistributedLla {
             Box::new(
                 ResourceAgent::new(dense, (*self.problem).clone(), self.config.step_policy)
                     .with_robustness(self.config.robustness)
-                    .with_membership(self.topology.clone(), slot, self.epoch),
+                    .with_membership(self.topology.clone(), slot, self.epoch)
+                    .with_telemetry(self.tel.clone()),
             ),
             self.config.round_length,
             self.next_phase(0.75),
+        );
+        self.tel.membership_changes.inc();
+        self.tel.events.emit(
+            TelemetryEvent::new(self.runtime.now(), "resource_join")
+                .with("slot", slot)
+                .with("epoch", self.epoch),
         );
         self.runtime.inject(
             Address::ControlPlane,
@@ -536,6 +585,14 @@ impl DistributedLla {
         problem.retire_resource(from_id)?;
         self.resource_slots.remove(dense_from);
         self.push_epoch(MembershipCause::ResourceRetire);
+        self.tel.membership_changes.inc();
+        self.tel.events.emit(
+            TelemetryEvent::new(self.runtime.now(), "resource_retire")
+                .with("slot", slot)
+                .with("handoff_slot", handoff_slot)
+                .with("epoch", self.epoch)
+                .with("moved", moved),
+        );
         self.runtime.inject(
             Address::ControlPlane,
             Message::ResourceRetire { slot, epoch: self.epoch, seq: 0 },
@@ -887,6 +944,55 @@ mod tests {
         b.critical_time(50.0);
         let slot = dist.join_task(&b).unwrap();
         assert_eq!(slot, 2, "departed slot 1 must not be recycled");
+    }
+
+    #[test]
+    fn instrumented_run_is_bit_identical_and_counts_messages() {
+        use lla_telemetry::TelemetryHub;
+        let hub = TelemetryHub::recording();
+        let mut plain = DistributedLla::new(problem(), config());
+        let mut wired =
+            DistributedLla::with_telemetry(problem(), config(), DistTelemetry::from_hub(&hub));
+        plain.run_rounds(200);
+        wired.run_rounds(200);
+        for (round, (a, b)) in plain.utilities().iter().zip(wired.utilities().iter()).enumerate() {
+            assert!((a - b).abs() == 0.0, "round {round}: instrumentation changed the run");
+        }
+        // Counter mirrors the runtime's own books exactly.
+        let tel = wired.dist_telemetry();
+        assert_eq!(tel.messages_sent.get(), wired.messages_sent());
+        assert_eq!(tel.messages_dropped.get(), 0);
+        let text = hub.metrics.prometheus_text();
+        assert!(
+            text.contains("lla_dist_messages_sent_total 1600"),
+            "missing sent counter:\n{text}"
+        );
+    }
+
+    #[test]
+    fn membership_ops_emit_events_and_count() {
+        use lla_telemetry::TelemetryHub;
+        let hub = TelemetryHub::recording();
+        let mut dist =
+            DistributedLla::with_telemetry(problem(), config(), DistTelemetry::from_hub(&hub));
+        dist.run_rounds(300);
+        let mut b = TaskBuilder::new("newcomer");
+        let a = b.subtask("a", ResourceId::new(0), 2.0);
+        let d = b.subtask("b", ResourceId::new(1), 3.0);
+        b.edge(a, d).unwrap();
+        b.critical_time(50.0);
+        let slot = dist.join_task(&b).unwrap();
+        dist.run_rounds(100);
+        dist.evict_task(slot).unwrap();
+        dist.run_rounds(100);
+        let tel = dist.dist_telemetry();
+        assert_eq!(tel.membership_changes.get(), 2);
+        assert_eq!(hub.events.count_kind("task_join"), 1);
+        assert_eq!(hub.events.count_kind("task_evict"), 1);
+        // Incumbent agents warm-carried their duals across the join epoch
+        // (2 controllers + 2 resources, plus epoch re-application on the
+        // evict for the survivors).
+        assert!(tel.warm_start_hits.get() >= 4, "hits: {}", tel.warm_start_hits.get());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::correction::ErrorCorrector;
 use crate::simulator::{SimConfig, Simulator};
 use lla_core::{Optimizer, OptimizerConfig, Problem};
+use lla_telemetry::{Counter, Gauge, MetricsRegistry};
 
 /// How measured deviations are folded back into the share model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +89,36 @@ pub struct WindowRecord {
     pub enacted: bool,
 }
 
+/// Metric handles the loop publishes into at the end of each window.
+#[derive(Debug)]
+struct LoopTelemetry {
+    windows: Counter,
+    enactments: Counter,
+    utility: Gauge,
+    worst_miss_rate: Gauge,
+    dropped: Gauge,
+}
+
+impl LoopTelemetry {
+    fn new(registry: &MetricsRegistry) -> Self {
+        LoopTelemetry {
+            windows: registry
+                .counter("lla_sim_windows_total", "measure/correct/re-optimize windows completed"),
+            enactments: registry.counter(
+                "lla_sim_enactments_total",
+                "allocations actually pushed to the simulator",
+            ),
+            utility: registry.gauge("lla_sim_utility", "optimizer utility after the last window"),
+            worst_miss_rate: registry.gauge(
+                "lla_sim_worst_miss_rate",
+                "worst per-task deadline miss fraction in the last window",
+            ),
+            dropped: registry
+                .gauge("lla_sim_dropped_jobs", "job sets dropped by the simulator so far"),
+        }
+    }
+}
+
 /// The optimizer-in-the-loop driver.
 #[derive(Debug)]
 pub struct ClosedLoop {
@@ -100,6 +131,7 @@ pub struct ClosedLoop {
     /// optimizer's when the enactment threshold suppresses small changes).
     enacted: Vec<Vec<f64>>,
     enactments: usize,
+    tel: Option<LoopTelemetry>,
 }
 
 impl ClosedLoop {
@@ -128,7 +160,16 @@ impl ClosedLoop {
             history: Vec::new(),
             enacted: shares,
             enactments: 1,
+            tel: None,
         }
+    }
+
+    /// Registers the `lla_sim_*` metric family on `registry` and keeps it
+    /// updated at the end of every window. Also forwards the optimizer's
+    /// own `lla_opt_*` instrumentation to the same registry.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.tel = Some(LoopTelemetry::new(registry));
+        self.optimizer.attach_telemetry(registry);
     }
 
     fn shares_of(optimizer: &Optimizer, min_share: f64) -> Vec<Vec<f64>> {
@@ -278,6 +319,16 @@ impl ClosedLoop {
             .map(|row| row.iter().map(ErrorCorrector::estimate).collect())
             .collect();
 
+        if let Some(tel) = &self.tel {
+            tel.windows.inc();
+            if enact {
+                tel.enactments.inc();
+            }
+            tel.utility.set(self.optimizer.utility());
+            tel.worst_miss_rate.set(miss_rate.iter().copied().fold(0.0, f64::max));
+            tel.dropped.set(self.simulator.dropped() as f64);
+        }
+
         self.simulator.reset_stats();
         self.history.push(WindowRecord {
             time: self.simulator.now(),
@@ -353,6 +404,25 @@ mod tests {
         assert!(rec.time > 1_499.0);
         assert!(rec.utility.is_finite());
         assert_eq!(rec.shares.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_publishes_window_metrics() {
+        let registry = MetricsRegistry::new();
+        let mut cl = ClosedLoop::new(
+            problem(),
+            opt_config(),
+            SimConfig::default(),
+            ClosedLoopConfig { window: 500.0, ..Default::default() },
+        );
+        cl.attach_telemetry(&registry);
+        cl.run_windows(3);
+        let text = registry.prometheus_text();
+        assert!(text.contains("lla_sim_windows_total 3"), "missing window counter:\n{text}");
+        // The loop forwards the optimizer's own instrumentation too.
+        assert!(text.contains("lla_opt_iterations_total"), "missing optimizer metrics:\n{text}");
+        let last = cl.history().last().unwrap();
+        assert!(text.contains(&format!("lla_sim_utility {}", last.utility)));
     }
 
     #[test]

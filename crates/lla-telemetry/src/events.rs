@@ -1,0 +1,306 @@
+//! Structured runtime events and the JSONL event log.
+//!
+//! An [`Event`] is a timestamp, a static kind, and an ordered list of
+//! typed fields. Inside `lla-dist` the timestamp is the *virtual* clock,
+//! so a chaos soak with a fixed seed produces a byte-identical JSONL log
+//! on every run — the event stream doubles as a correctness oracle (see
+//! the golden-file test in `tests/telemetry.rs`).
+
+use crate::fmt_f64;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, slots, epochs).
+    U64(u64),
+    /// Float (times, utilities, prices).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free text (addresses, notes).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{}", fmt_f64(*v)),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::U64(v) => format!("{v}"),
+        Value::F64(v) if v.is_finite() => format!("{v}"),
+        Value::F64(_) => "null".to_owned(),
+        Value::Bool(v) => format!("{v}"),
+        Value::Str(v) => format!("\"{}\"", json_escape(v)),
+    }
+}
+
+/// One structured event: a timestamp (virtual or wall clock — the emitter
+/// decides, and `lla-dist` always uses virtual time), a static kind, and
+/// ordered fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Timestamp in the emitter's clock domain.
+    pub time: f64,
+    /// Event kind, e.g. `"crash"`, `"task_join"`, `"shed"`.
+    pub kind: &'static str,
+    /// Ordered key/value fields; order is preserved in exposition.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// A new event with no fields.
+    pub fn new(time: f64, kind: &'static str) -> Self {
+        Event { time, kind, fields: Vec::new() }
+    }
+
+    /// Append a field (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// One JSON object, e.g.
+    /// `{"t":125.5,"kind":"crash","addr":"controller:0"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"t\":");
+        out.push_str(&json_value(&Value::F64(self.time)));
+        out.push_str(",\"kind\":\"");
+        out.push_str(&json_escape(self.kind));
+        out.push('"');
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(&json_escape(k));
+            out.push_str("\":");
+            out.push_str(&json_value(v));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Human-oriented single line, e.g.
+    /// `[    125.500] crash addr=controller:0`.
+    pub fn render_line(&self) -> String {
+        let mut out = format!("[{:>11.3}] {}", self.time, self.kind);
+        for (k, v) in &self.fields {
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct EventLogCore {
+    events: Mutex<Vec<Event>>,
+}
+
+/// A shared, append-only event log. Cloning shares the buffer. A disabled
+/// log drops every event at a branch; an echoing log additionally renders
+/// each event to stderr as it arrives (used by the `lla-bench` bins to
+/// keep human progress off stdout).
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    enabled: bool,
+    echo_stderr: bool,
+    core: Arc<EventLogCore>,
+}
+
+impl EventLog {
+    /// A log that records events.
+    pub fn recording() -> Self {
+        EventLog {
+            enabled: true,
+            echo_stderr: false,
+            core: Arc::new(EventLogCore { events: Mutex::new(Vec::new()) }),
+        }
+    }
+
+    /// A log that drops everything.
+    pub fn disabled() -> Self {
+        EventLog {
+            enabled: false,
+            echo_stderr: false,
+            core: Arc::new(EventLogCore { events: Mutex::new(Vec::new()) }),
+        }
+    }
+
+    /// Also render each recorded event to stderr as it arrives.
+    #[must_use]
+    pub fn with_stderr_echo(mut self) -> Self {
+        self.echo_stderr = true;
+        self
+    }
+
+    /// Whether this log records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn emit(&self, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.echo_stderr {
+            eprintln!("{}", event.render_line());
+        }
+        self.core.events.lock().expect("event log poisoned").push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.core.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of recorded events of the given kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.core
+            .events
+            .lock()
+            .expect("event log poisoned")
+            .iter()
+            .filter(|e| e.kind == kind)
+            .count()
+    }
+
+    /// A clone of the recorded events, in emission order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.core.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// The whole log as JSONL: one `Event::to_json` object per line. For
+    /// virtual-clock events this rendering is byte-deterministic given
+    /// the same seed.
+    pub fn to_jsonl(&self) -> String {
+        let events = self.core.events.lock().expect("event log poisoned");
+        let mut out = String::new();
+        for e in events.iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_preserves_field_order_and_escapes() {
+        let e = Event::new(12.5, "note")
+            .with("slot", 3usize)
+            .with("text", "a \"quoted\"\nline")
+            .with("ok", true)
+            .with("gap", 0.125);
+        assert_eq!(
+            e.to_json(),
+            "{\"t\":12.5,\"kind\":\"note\",\"slot\":3,\
+             \"text\":\"a \\\"quoted\\\"\\nline\",\"ok\":true,\"gap\":0.125}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null_json() {
+        let e = Event::new(0.0, "x").with("v", f64::INFINITY);
+        assert!(e.to_json().contains("\"v\":null"));
+    }
+
+    #[test]
+    fn log_records_in_order_and_disabled_log_drops() {
+        let log = EventLog::recording();
+        log.emit(Event::new(1.0, "a"));
+        log.emit(Event::new(2.0, "b").with("n", 7u64));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.count_kind("a"), 1);
+        assert_eq!(log.to_jsonl(), "{\"t\":1,\"kind\":\"a\"}\n{\"t\":2,\"kind\":\"b\",\"n\":7}\n");
+
+        let off = EventLog::disabled();
+        off.emit(Event::new(1.0, "a"));
+        assert!(off.is_empty());
+        assert_eq!(off.to_jsonl(), "");
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let log = EventLog::recording();
+        let other = log.clone();
+        other.emit(Event::new(1.0, "shared"));
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! # `lla-telemetry` — observability primitives for the LLA stack
+//!
+//! LLA is a *continuously-running* online optimizer: in production there is
+//! no final answer, only a trajectory. The operational signals are the dual
+//! variables themselves — prices, violation factors, convergence state —
+//! plus the plumbing counters of the distributed runtime (drops,
+//! retransmits, checkpoint restores). This crate provides the three pieces
+//! every layer shares:
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket histograms
+//!   behind cheap cloneable handles. Handles are lock-free on the hot path
+//!   (plain atomics) and collapse to a branch-on-bool no-op when the
+//!   registry is disabled. Exposition is deterministic Prometheus text.
+//! * [`EventLog`] / [`Event`] — structured, timestamped events. The
+//!   distributed runtime stamps events with its *virtual* clock, so chaos
+//!   soaks produce byte-identical JSONL logs across runs with the same
+//!   seed; the optimizer hot path uses wall-clock histograms instead and
+//!   never writes events.
+//! * [`HealthSnapshot`] — the "is it converged and feasible right now?"
+//!   answer: KKT residual norms, worst violation factor, per-resource
+//!   price + usage, and shed/membership/failover counts.
+//!
+//! The crate is deliberately dependency-free (std only) so it can sit
+//! below `lla-core` in the workspace graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod events;
+pub mod health;
+pub mod registry;
+
+pub use events::{Event, EventLog, Value};
+pub use health::{HealthSnapshot, ResourceHealth};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// One bundle of the two telemetry channels — a metrics registry and an
+/// event log — so call sites thread a single handle through a stack.
+///
+/// Both halves are cheap to clone (`Arc`s inside) and both support a
+/// disabled mode in which every operation is a branch-on-bool no-op, so a
+/// `TelemetryHub::disabled()` can be threaded unconditionally.
+#[derive(Debug, Clone)]
+pub struct TelemetryHub {
+    /// Counter/gauge/histogram registry (Prometheus text exposition).
+    pub metrics: MetricsRegistry,
+    /// Structured event stream (JSONL exposition).
+    pub events: EventLog,
+}
+
+impl TelemetryHub {
+    /// A hub that records metrics and events.
+    pub fn recording() -> Self {
+        TelemetryHub { metrics: MetricsRegistry::new(), events: EventLog::recording() }
+    }
+
+    /// A hub whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        TelemetryHub { metrics: MetricsRegistry::disabled(), events: EventLog::disabled() }
+    }
+
+    /// Whether either channel is live.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.events.is_enabled()
+    }
+}
+
+/// Render a float the way every exporter in this crate does: Rust's
+/// shortest-roundtrip `Display`, which is deterministic across platforms
+/// for the same bit pattern. Non-finite values render as Prometheus
+/// spellings (`+Inf`, `-Inf`, `NaN`).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}

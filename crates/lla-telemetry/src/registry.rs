@@ -1,0 +1,417 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are registered once by
+//! name and then cloned freely; updates touch only atomics, never the
+//! registry lock, so agents and the optimizer hot path can increment
+//! without contention. A handle obtained from a disabled registry keeps
+//! the same API but every update is a branch-on-bool no-op.
+
+use crate::fmt_f64;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A free-standing no-op counter (not attached to any registry).
+    pub fn disabled() -> Self {
+        Counter { enabled: false, cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (always 0 for a disabled counter).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: bool,
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A free-standing no-op gauge.
+    pub fn disabled() -> Self {
+        Gauge { enabled: false, bits: Arc::new(AtomicU64::new(0f64.to_bits())) }
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        if self.enabled {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (always 0.0 for a disabled gauge).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Finite upper bounds, strictly increasing; an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket (non-cumulative).
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values, accumulated as bits via compare-exchange.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Bucket bounds are set at registration and
+/// never change; observation is two atomic ops plus a compare-exchange
+/// loop for the running sum.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: bool,
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn with_bounds(enabled: bool, bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            enabled,
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A free-standing no-op histogram with no finite buckets.
+    pub fn disabled() -> Self {
+        Histogram::with_bounds(false, &[])
+    }
+
+    /// Record one observation. Values equal to a bound land in that
+    /// bound's bucket (Prometheus `le` semantics); values above every
+    /// bound land in the implicit `+Inf` bucket.
+    pub fn observe(&self, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self.core.bounds.iter().position(|&b| v <= b).unwrap_or(self.core.bounds.len());
+        self.core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.core.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the implicit
+    /// `+Inf` overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MetricKind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    help: &'static str,
+    kind: MetricKind,
+}
+
+/// The registry: a name → metric table behind a mutex that is touched
+/// only at registration and exposition time, never on update.
+///
+/// Cloning shares the underlying table; `MetricsRegistry::disabled()`
+/// hands out no-op handles and renders an empty exposition.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    table: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        MetricsRegistry { enabled: true, table: Arc::new(Mutex::new(BTreeMap::new())) }
+    }
+
+    /// A registry whose handles are all no-ops.
+    pub fn disabled() -> Self {
+        MetricsRegistry { enabled: false, table: Arc::new(Mutex::new(BTreeMap::new())) }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or look up) a counter. Re-registering the same name
+    /// returns a handle to the same cell; re-registering under a
+    /// different metric kind panics.
+    pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        if !self.enabled {
+            return Counter::disabled();
+        }
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match &table
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric {
+                help,
+                kind: MetricKind::Counter(Counter {
+                    enabled: true,
+                    cell: Arc::new(AtomicU64::new(0)),
+                }),
+            })
+            .kind
+        {
+            MetricKind::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Gauge {
+        if !self.enabled {
+            return Gauge::disabled();
+        }
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match &table
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric {
+                help,
+                kind: MetricKind::Gauge(Gauge {
+                    enabled: true,
+                    bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+                }),
+            })
+            .kind
+        {
+            MetricKind::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Register (or look up) a histogram with the given finite, strictly
+    /// increasing bucket bounds. A later registration under the same name
+    /// returns the original handle (its bounds win).
+    pub fn histogram(&self, name: &str, help: &'static str, bounds: &[f64]) -> Histogram {
+        if !self.enabled {
+            return Histogram::disabled();
+        }
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        match &table
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric {
+                help,
+                kind: MetricKind::Histogram(Histogram::with_bounds(true, bounds)),
+            })
+            .kind
+        {
+            MetricKind::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4). Metric families are
+    /// sorted by name, so the output is deterministic for a given set of
+    /// values.
+    pub fn prometheus_text(&self) -> String {
+        let table = self.table.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, metric) in table.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", metric.help);
+            match &metric.kind {
+                MetricKind::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                MetricKind::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", fmt_f64(g.get()));
+                }
+                MetricKind::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (bound, c) in h.bounds().iter().zip(&counts) {
+                        cumulative += c;
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                            fmt_f64(*bound)
+                        );
+                    }
+                    cumulative += counts.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_disabled_counter_does_not() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("lla_test_total", "test counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // A second registration under the same name shares the cell.
+        let c2 = reg.counter("lla_test_total", "test counter");
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let off = MetricsRegistry::disabled().counter("lla_test_total", "x");
+        off.inc();
+        assert_eq!(off.get(), 0);
+    }
+
+    #[test]
+    fn gauge_stores_last_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("lla_test_gauge", "test gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+        let off = MetricsRegistry::disabled().gauge("x", "x");
+        off.set(9.0);
+        assert_eq!(off.get(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_follow_le_semantics() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lla_test_seconds", "test histogram", &[0.1, 1.0, 10.0]);
+        // Exactly on a bound → that bucket (le is inclusive).
+        h.observe(0.1);
+        // Strictly inside a bucket.
+        h.observe(0.5);
+        // Upper finite bound.
+        h.observe(10.0);
+        // Above every bound → overflow bucket.
+        h.observe(11.0);
+        // Below the first bound.
+        h.observe(0.0);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 21.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_exposes_zero_counts() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lla_empty_seconds", "empty histogram", &[1.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.bucket_counts(), vec![0, 0]);
+        let text = reg.prometheus_text();
+        assert!(text.contains("lla_empty_seconds_bucket{le=\"1\"} 0"));
+        assert!(text.contains("lla_empty_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("lla_empty_seconds_count 0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("lla_bad", "bad", &[1.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("lla_same_name", "a");
+        let _ = reg.gauge("lla_same_name", "b");
+    }
+
+    #[test]
+    fn prometheus_text_is_sorted_and_cumulative() {
+        let reg = MetricsRegistry::new();
+        reg.counter("lla_b_total", "second").add(2);
+        reg.gauge("lla_a_gauge", "first").set(0.5);
+        let h = reg.histogram("lla_c_seconds", "third", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(99.0);
+        let text = reg.prometheus_text();
+        let a = text.find("lla_a_gauge").unwrap();
+        let b = text.find("lla_b_total").unwrap();
+        let c = text.find("lla_c_seconds").unwrap();
+        assert!(a < b && b < c, "families must be name-sorted");
+        assert!(text.contains("lla_c_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lla_c_seconds_bucket{le=\"2\"} 2"));
+        assert!(text.contains("lla_c_seconds_bucket{le=\"+Inf\"} 3"));
+        // Deterministic: a second render is byte-identical.
+        assert_eq!(text, reg.prometheus_text());
+    }
+}

@@ -5,6 +5,7 @@
 //! lla-cli optimize <spec> [options]            run LLA to convergence
 //! lla-cli schedulability <spec> [options]      §5.4 schedulability verdict
 //! lla-cli simulate <spec> [options]            closed loop with error correction
+//! lla-cli telemetry <spec> [options]           run to convergence, expose health
 //!
 //! options:
 //!   --iters N          iteration budget (default 10000)
@@ -13,6 +14,7 @@
 //!   --windows N        closed-loop windows (simulate; default 10)
 //!   --window MS        window length in ms (simulate; default 2000)
 //!   --no-correction    disable online model error correction (simulate)
+//!   --format F         text | prometheus | json   (telemetry; default text)
 //! ```
 //!
 //! See `crates/lla-spec` for the specification format and
@@ -23,6 +25,7 @@ use lla::core::{
     StepSizePolicy,
 };
 use lla::sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
+use lla::telemetry::MetricsRegistry;
 use std::process::ExitCode;
 
 struct Options {
@@ -33,13 +36,21 @@ struct Options {
     windows: usize,
     window_ms: f64,
     correction: bool,
+    format: OutputFormat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Prometheus,
+    Json,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lla-cli <check|optimize|schedulability|simulate> <spec.lla> \
+        "usage: lla-cli <check|optimize|schedulability|simulate|telemetry> <spec.lla> \
          [--iters N] [--policy adaptive|sign|fixed=G] [--csv FILE] \
-         [--windows N] [--window MS] [--no-correction]"
+         [--windows N] [--window MS] [--no-correction] [--format text|prometheus|json]"
     );
     ExitCode::from(2)
 }
@@ -53,6 +64,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         windows: 10,
         window_ms: 2_000.0,
         correction: true,
+        format: OutputFormat::Text,
     };
     let mut it = args.iter();
     opts.spec_path = it.next().ok_or("missing spec path")?.clone();
@@ -94,6 +106,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--window must be a number (ms)")?;
             }
             "--no-correction" => opts.correction = false,
+            "--format" => {
+                opts.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "text" => OutputFormat::Text,
+                    "prometheus" => OutputFormat::Prometheus,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -171,6 +191,23 @@ fn cmd_optimize(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_telemetry(opts: &Options) -> Result<(), String> {
+    let problem = load(&opts.spec_path)?;
+    let registry = MetricsRegistry::new();
+    let mut opt = Optimizer::new(
+        problem,
+        OptimizerConfig { step_policy: opts.policy, ..OptimizerConfig::default() },
+    );
+    opt.attach_telemetry(&registry);
+    opt.run_to_convergence(opts.iters);
+    match opts.format {
+        OutputFormat::Text => println!("{}", opt.health_snapshot()),
+        OutputFormat::Prometheus => print!("{}", registry.prometheus_text()),
+        OutputFormat::Json => println!("{}", opt.health_snapshot().to_json()),
+    }
+    Ok(())
+}
+
 fn cmd_schedulability(opts: &Options) -> Result<(), String> {
     let problem = load(&opts.spec_path)?;
     let config = SchedulabilityConfig {
@@ -237,6 +274,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&opts),
         "schedulability" => cmd_schedulability(&opts),
         "simulate" => cmd_simulate(&opts),
+        "telemetry" => cmd_telemetry(&opts),
         _ => {
             return usage();
         }

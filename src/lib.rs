@@ -23,6 +23,8 @@
 //!   baselines the paper positions against (§7).
 //! * [`spec`] (`lla-spec`) — a declarative text format for workload
 //!   specifications, driving the `lla-cli` binary.
+//! * [`telemetry`] (`lla-telemetry`) — zero-dependency metrics registry,
+//!   structured event log, and health exposition shared by every layer.
 //!
 //! ## Quickstart
 //!
@@ -51,4 +53,5 @@ pub use lla_core as core;
 pub use lla_dist as dist;
 pub use lla_sim as sim;
 pub use lla_spec as spec;
+pub use lla_telemetry as telemetry;
 pub use lla_workloads as workloads;

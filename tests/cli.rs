@@ -60,6 +60,57 @@ fn simulate_runs_windows() {
 }
 
 #[test]
+fn telemetry_reports_health() {
+    let out = cli()
+        .args(["telemetry", "examples/workloads/trading.lla", "--iters", "20000"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("health: OK"), "unhealthy snapshot: {stdout}");
+    assert!(stdout.contains("converged=true"), "snapshot: {stdout}");
+    assert!(stdout.contains("kkt residuals:"), "snapshot: {stdout}");
+}
+
+#[test]
+fn telemetry_prometheus_format_exposes_metrics() {
+    let out = cli()
+        .args(["telemetry", "examples/workloads/trading.lla", "--format", "prometheus"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lla_opt_iterations_total"), "metrics: {stdout}");
+    assert!(stdout.contains("lla_opt_utility"), "metrics: {stdout}");
+}
+
+#[test]
+fn telemetry_json_format_is_one_object() {
+    let out = cli()
+        .args([
+            "telemetry",
+            "examples/workloads/trading.lla",
+            "--iters",
+            "20000",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim().starts_with('{') && stdout.trim().ends_with('}'), "json: {stdout}");
+    assert!(stdout.contains("\"converged\": true"), "json: {stdout}");
+    assert!(stdout.contains("\"resources\": ["), "json: {stdout}");
+
+    let out = cli()
+        .args(["telemetry", "examples/workloads/trading.lla", "--format", "bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = cli().args(["check", "no/such/file.lla"]).output().expect("spawn");
     assert!(!out.status.success());

@@ -1,0 +1,94 @@
+//! Integration tests for the telemetry layer: health exposition from a
+//! converged Table 1 run, and byte-determinism of the chaos-soak event
+//! stream (same seed → identical JSONL, also pinned against a committed
+//! golden file so any accidental nondeterminism or schema drift fails CI).
+
+use lla_bench::churn::{run_churn_soak_instrumented, ChurnConfig};
+use lla_bench::run_table1_health;
+use lla_core::Aggregation;
+use lla_telemetry::TelemetryHub;
+
+/// The small-but-eventful soak used for the golden event log: a couple of
+/// churn events close together, faults on, shedding on.
+fn golden_config() -> ChurnConfig {
+    ChurnConfig {
+        seed: 2008,
+        loss: 0.10,
+        churn_events: 2,
+        mean_gap_rounds: 25.0,
+        reconverge_cap_rounds: 2_000,
+        gap_tolerance: 0.05,
+        with_faults: true,
+        with_shedding: true,
+    }
+}
+
+#[test]
+fn table1_health_snapshot_reports_converged_and_feasible() {
+    let (result, health) = run_table1_health(Aggregation::PathWeighted, 3_000);
+    assert!(health.converged, "Table 1 run must converge");
+    assert!(health.feasible, "Table 1 run must be feasible");
+    assert!(health.healthy(), "snapshot must be healthy: {health}");
+    assert_eq!(health.utility, result.utility, "snapshot utility mirrors the run");
+    // The snapshot's KKT residuals are the optimizer's own diagnostics.
+    assert!(health.max_stationarity_residual.is_finite());
+    assert!(health.max_resource_violation <= 1e-4, "resources over capacity: {health}");
+    assert!(health.max_path_violation <= 1e-4, "deadlines violated: {health}");
+    // Every resource row carries a live price/usage pair.
+    assert!(!health.resources.is_empty());
+    for r in &health.resources {
+        assert!(r.usage >= 0.0 && r.usage <= r.availability + 1e-9, "resource {}: {r:?}", r.name);
+    }
+    let rendered = health.to_string();
+    assert!(rendered.contains("health: OK"), "render: {rendered}");
+}
+
+#[test]
+fn chaos_soak_event_stream_is_byte_deterministic() {
+    let config = golden_config();
+    let hub_a = TelemetryHub::recording();
+    let report_a = run_churn_soak_instrumented(&config, &hub_a);
+    let hub_b = TelemetryHub::recording();
+    let report_b = run_churn_soak_instrumented(&config, &hub_b);
+
+    let jsonl_a = hub_a.events.to_jsonl();
+    let jsonl_b = hub_b.events.to_jsonl();
+    assert!(!jsonl_a.is_empty(), "instrumented soak must record events");
+    assert_eq!(jsonl_a, jsonl_b, "same-seed soak runs must emit identical JSONL");
+    assert_eq!(report_a.series.to_csv(), report_b.series.to_csv());
+}
+
+#[test]
+fn chaos_soak_event_stream_matches_golden_file() {
+    let hub = TelemetryHub::recording();
+    let _report = run_churn_soak_instrumented(&golden_config(), &hub);
+    let jsonl = hub.events.to_jsonl();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/churn_soak_events.jsonl");
+    if std::env::var_os("LLA_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &jsonl).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden file present (LLA_REGEN_GOLDEN=1 cargo test --test telemetry regenerates it)",
+    );
+    assert_eq!(
+        jsonl, golden,
+        "event stream drifted from tests/golden/churn_soak_events.jsonl; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn chaos_soak_counters_match_event_stream() {
+    let hub = TelemetryHub::recording();
+    let report = run_churn_soak_instrumented(&golden_config(), &hub);
+    let text = hub.metrics.prometheus_text();
+    // Counter values surface through the Prometheus exposition.
+    assert!(text.contains("lla_dist_messages_sent_total"), "metrics: {text}");
+    let sheds = report.shed_slots.len() as u64;
+    assert_eq!(hub.events.count_kind("shed") as u64, sheds, "shed events mirror the report");
+    // Membership churn: every join/leave/evict is both counted and logged.
+    let membership_events = hub.events.count_kind("task_join")
+        + hub.events.count_kind("task_leave")
+        + hub.events.count_kind("task_evict");
+    assert!(membership_events > 0, "soak must exercise membership churn");
+}
