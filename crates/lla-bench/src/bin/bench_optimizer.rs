@@ -1,7 +1,8 @@
 //! Optimizer scaling benchmark: per-iteration cost of the compiled-plan
 //! hot path vs the naive nested-`Vec` round, on `large_scale_workload` at
 //! 100, 1 000 and 10 000 tasks — plus the cost of the telemetry layer
-//! (disabled registry vs live counters/gauges/histograms) at each point.
+//! (disabled registry vs live counters/gauges/histograms vs recording
+//! causal spans) at each point.
 //!
 //! Progress goes to **stderr** through the telemetry event layer; stdout
 //! carries only the machine-readable JSON document, which is also written
@@ -47,7 +48,8 @@ fn main() {
                 .with("plan_ns_per_iter", p.plan_ns_per_iter)
                 .with("speedup", p.speedup())
                 .with("telemetry_disabled_overhead", p.telemetry_disabled_overhead())
-                .with("telemetry_enabled_overhead", p.telemetry_enabled_overhead()),
+                .with("telemetry_enabled_overhead", p.telemetry_enabled_overhead())
+                .with("span_enabled_overhead", p.span_enabled_overhead()),
         );
         results.push(p);
     }
@@ -65,8 +67,10 @@ fn main() {
              \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}, \
              \"telemetry_disabled_ns_per_iter\": {:.1}, \
              \"telemetry_enabled_ns_per_iter\": {:.1}, \
+             \"span_enabled_ns_per_iter\": {:.1}, \
              \"telemetry_disabled_overhead\": {:.4}, \
-             \"telemetry_enabled_overhead\": {:.4}}}{comma}",
+             \"telemetry_enabled_overhead\": {:.4}, \
+             \"span_enabled_overhead\": {:.4}}}{comma}",
             p.tasks,
             p.subtasks,
             p.naive_ns_per_iter,
@@ -74,8 +78,10 @@ fn main() {
             p.speedup(),
             p.telemetry_disabled_ns_per_iter,
             p.telemetry_enabled_ns_per_iter,
+            p.span_enabled_ns_per_iter,
             p.telemetry_disabled_overhead(),
-            p.telemetry_enabled_overhead()
+            p.telemetry_enabled_overhead(),
+            p.span_enabled_overhead()
         );
     }
     let _ = writeln!(json, "  ]");

@@ -57,16 +57,25 @@ fn main() {
             .with("shed_slots", format!("{:?}", report.shed_slots))
             .with("flapping", report.flapped),
     );
+    progress.emit(
+        Event::new(report.rounds as f64, "diagnosis")
+            .with("verdict", report.diagnosis.verdict.as_str())
+            .with("confident", report.diagnosis.confident)
+            .with("utility_oscillation", report.diagnosis.utility_oscillation)
+            .with("violation_factor", report.diagnosis.violation_factor)
+            .with("frozen_fraction", report.diagnosis.frozen_fraction),
+    );
 
     // Machine output: the soak CSV plus a one-line JSON summary on stdout.
     print!("{}", report.series.to_csv());
     println!(
         "{{\"events\": {}, \"rounds\": {}, \"max_settled_gap\": {}, \"flapped\": {}, \
-         \"dist_events\": {}, \"messages_sent\": {}}}",
+         \"verdict\": \"{}\", \"dist_events\": {}, \"messages_sent\": {}}}",
         report.events.len(),
         report.rounds,
         report.max_settled_gap,
         report.flapped,
+        report.diagnosis.verdict,
         hub.events.len(),
         hub.metrics
             .prometheus_text()

@@ -28,7 +28,7 @@ use lla_core::{
 use lla_dist::{
     Address, DistConfig, DistTelemetry, DistributedLla, FaultPlan, NetworkModel, RobustnessConfig,
 };
-use lla_telemetry::{Event as TelemetryEvent, TelemetryHub};
+use lla_telemetry::{Diagnosis, DiagnosticsEngine, Event as TelemetryEvent, TelemetryHub};
 use lla_workloads::base_workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,6 +151,11 @@ pub struct SoakReport {
     pub max_settled_gap: f64,
     /// Total protocol rounds the soak ran.
     pub rounds: usize,
+    /// Convergence diagnosis over the soak's final sample window (one
+    /// [`DiagSample`](lla_telemetry::DiagSample) per [`PROBE_CHUNK`]
+    /// rounds): a healthy soak ends `converging` — the classifier sees
+    /// through the churn it just survived.
+    pub diagnosis: Diagnosis,
 }
 
 impl SoakReport {
@@ -220,6 +225,7 @@ fn oracle_utility(dist: &DistributedLla, policy: StepSizePolicy) -> f64 {
 /// when the cap elapsed without settling.
 fn settle(
     dist: &mut DistributedLla,
+    diag: &mut DiagnosticsEngine,
     u_oracle: f64,
     tol: f64,
     cap: usize,
@@ -227,6 +233,7 @@ fn settle(
     let mut run = 0;
     loop {
         dist.run_rounds(PROBE_CHUNK);
+        diag.push(dist.diag_sample());
         run += PROBE_CHUNK;
         let u = dist.utility();
         let gap = (u - u_oracle).abs() / u_oracle.abs().max(1.0);
@@ -290,9 +297,20 @@ pub fn run_churn_soak_instrumented(config: &ChurnConfig, hub: &TelemetryHub) -> 
         dist.schedule_faults(&plan);
     }
 
+    // Online convergence diagnostics, fed one sample per probe chunk so
+    // the classifier tracks the soak at the same cadence the oracle-gap
+    // probes do. Resource slots never churn here, so the per-resource
+    // price evidence stays aligned across epochs.
+    let names: Vec<String> =
+        dist.problem().resources().iter().map(|r| r.name().to_string()).collect();
+    let mut diag = DiagnosticsEngine::new().with_resource_names(names);
+
     // Stage 1: warmup under loss.
     let warmup = 600;
-    dist.run_rounds(warmup);
+    for _ in 0..warmup / PROBE_CHUNK {
+        dist.run_rounds(PROBE_CHUNK);
+        diag.push(dist.diag_sample());
+    }
     let mut round = warmup;
 
     let mut events: Vec<SoakEvent> = Vec::new();
@@ -322,8 +340,13 @@ pub fn run_churn_soak_instrumented(config: &ChurnConfig, hub: &TelemetryHub) -> 
             SoakEventKind::Leave(slot)
         };
         let u_oracle = oracle_utility(&dist, policy);
-        let (settled, u_dist, gap) =
-            settle(&mut dist, u_oracle, config.gap_tolerance, config.reconverge_cap_rounds);
+        let (settled, u_dist, gap) = settle(
+            &mut dist,
+            &mut diag,
+            u_oracle,
+            config.gap_tolerance,
+            config.reconverge_cap_rounds,
+        );
         round += settled.unwrap_or(config.reconverge_cap_rounds);
         events.push(SoakEvent {
             kind,
@@ -359,9 +382,12 @@ pub fn run_churn_soak_instrumented(config: &ChurnConfig, hub: &TelemetryHub) -> 
         }
         // Governed loop: one observation per round, eviction only on a
         // sustained violation outside the cool-down.
-        for _ in 0..1_500 {
+        for step in 0..1_500usize {
             dist.run_rounds(1);
             round += 1;
+            if (step + 1).is_multiple_of(PROBE_CHUNK) {
+                diag.push(dist.diag_sample());
+            }
             let lats = dist.allocation();
             let report = lla_core::IterationReport {
                 iteration: round,
@@ -395,8 +421,13 @@ pub fn run_churn_soak_instrumented(config: &ChurnConfig, hub: &TelemetryHub) -> 
                 shed_slots.push(slot);
                 live_extras.retain(|&s| s != slot);
                 let u_oracle = oracle_utility(&dist, policy);
-                let (settled, u_dist, gap) =
-                    settle(&mut dist, u_oracle, config.gap_tolerance, config.reconverge_cap_rounds);
+                let (settled, u_dist, gap) = settle(
+                    &mut dist,
+                    &mut diag,
+                    u_oracle,
+                    config.gap_tolerance,
+                    config.reconverge_cap_rounds,
+                );
                 round += settled.unwrap_or(config.reconverge_cap_rounds);
                 events.push(SoakEvent {
                     kind: SoakEventKind::Shed(slot),
@@ -448,7 +479,15 @@ pub fn run_churn_soak_instrumented(config: &ChurnConfig, hub: &TelemetryHub) -> 
         .filter(|e| e.rounds_to_reconverge.is_some())
         .map(|e| e.gap)
         .fold(0.0, f64::max);
-    SoakReport { events, series, shed_slots, flapped, max_settled_gap, rounds: round }
+    SoakReport {
+        events,
+        series,
+        shed_slots,
+        flapped,
+        max_settled_gap,
+        rounds: round,
+        diagnosis: diag.diagnose(),
+    }
 }
 
 #[cfg(test)]
@@ -470,6 +509,11 @@ mod tests {
         assert!(!report.flapped, "shed slots: {:?}", report.shed_slots);
         assert!(!report.shed_slots.is_empty(), "the overload stage must shed");
         assert_eq!(report.events.len(), 4 + report.shed_slots.len());
+        // After shedding restores schedulability the diagnostics window
+        // must read as a settled run again.
+        assert_eq!(report.diagnosis.verdict, lla_telemetry::Verdict::Converging);
+        assert!(report.diagnosis.confident);
+        assert_eq!(report.diagnosis.frozen_fraction, 0.0);
     }
 
     #[test]

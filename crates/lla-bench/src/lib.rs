@@ -26,7 +26,7 @@ use lla_core::{
     PriceState, Problem, StepSizePolicy,
 };
 use lla_sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
-use lla_telemetry::{HealthSnapshot, MetricsRegistry};
+use lla_telemetry::{HealthSnapshot, MetricsRegistry, SpanRecorder};
 use lla_workloads::{
     base_workload_with, large_scale_workload, prototype_workload, scaled_workload, PrototypeParams,
 };
@@ -319,6 +319,10 @@ pub struct OptimizerBenchPoint {
     /// attached to an *enabled* registry (counters, gauges, and phase
     /// histograms live).
     pub telemetry_enabled_ns_per_iter: f64,
+    /// Mean nanoseconds per compiled-plan iteration with a *recording*
+    /// span recorder attached (one causal span per iteration on top of
+    /// the bare step).
+    pub span_enabled_ns_per_iter: f64,
 }
 
 impl OptimizerBenchPoint {
@@ -337,6 +341,13 @@ impl OptimizerBenchPoint {
     /// un-instrumented step (clock reads + atomic bumps, ≤ ~5%).
     pub fn telemetry_enabled_overhead(&self) -> f64 {
         self.telemetry_enabled_ns_per_iter / self.plan_ns_per_iter - 1.0
+    }
+
+    /// Relative per-iteration overhead of recording causal spans vs the
+    /// un-instrumented step (one span append per iteration under a
+    /// mutex; stays small because the hot loop shares one recorder).
+    pub fn span_enabled_overhead(&self) -> f64 {
+        self.span_enabled_ns_per_iter / self.plan_ns_per_iter - 1.0
     }
 }
 
@@ -406,6 +417,22 @@ pub fn bench_optimizer_point(
         best_of(&mut || timed_run(Some(MetricsRegistry::disabled())));
     let telemetry_enabled_ns_per_iter = best_of(&mut || timed_run(Some(MetricsRegistry::new())));
 
+    // Span tracing cost: the same step with a recording span recorder
+    // attached — one "iteration" span appended per step, nothing else.
+    let span_enabled_ns_per_iter = best_of(&mut || {
+        let mut opt = Optimizer::new(problem.clone(), config);
+        let recorder = SpanRecorder::recording();
+        opt.attach_spans(&recorder);
+        for _ in 0..warmup {
+            std::hint::black_box(opt.step());
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(opt.step());
+        }
+        start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
+    });
+
     OptimizerBenchPoint {
         tasks: num_tasks,
         subtasks,
@@ -413,6 +440,7 @@ pub fn bench_optimizer_point(
         plan_ns_per_iter,
         telemetry_disabled_ns_per_iter,
         telemetry_enabled_ns_per_iter,
+        span_enabled_ns_per_iter,
     }
 }
 
@@ -560,7 +588,7 @@ mod tests {
     fn table1_health_snapshot_is_healthy() {
         let (result, health) = run_table1_health(Aggregation::PathWeighted, 3_000);
         assert!(health.converged && health.feasible, "{health}");
-        assert!(health.healthy());
+        assert!(health.healthy(), "{health}");
         assert_eq!(health.utility, result.utility);
         assert_eq!(health.resources.len(), result.usage.len());
         for (r, &usage) in health.resources.iter().zip(&result.usage) {

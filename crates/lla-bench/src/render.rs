@@ -2,7 +2,7 @@
 //! multi-series ASCII charts, so the figure binaries can *show* the curves
 //! they regenerate.
 
-use lla_telemetry::HealthSnapshot;
+use lla_telemetry::{Diagnosis, HealthSnapshot};
 
 /// Unicode block characters from low to high.
 const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -68,6 +68,18 @@ pub fn spark_table(series: &[(&str, &[f64])], width: usize) -> String {
 /// human-readable block, a per-resource utilization bar chart, and a
 /// utility sparkline when a history is available.
 pub fn dashboard(health: &HealthSnapshot, utilities: &[f64], width: usize) -> String {
+    dashboard_with_diagnosis(health, utilities, None, width)
+}
+
+/// [`dashboard`] plus an optional convergence [`Diagnosis`] block: the
+/// classifier verdict, its confidence, and the per-resource evidence the
+/// diagnostics engine collected over its sample window.
+pub fn dashboard_with_diagnosis(
+    health: &HealthSnapshot,
+    utilities: &[f64],
+    diagnosis: Option<&Diagnosis>,
+    width: usize,
+) -> String {
     let mut out = String::new();
     out.push_str(&health.to_string());
     if !health.resources.is_empty() {
@@ -90,6 +102,10 @@ pub fn dashboard(health: &HealthSnapshot, utilities: &[f64], width: usize) -> St
     if !utilities.is_empty() {
         out.push_str("\nutility\n");
         out.push_str(&spark_table(&[("U", utilities)], width.saturating_sub(30).max(10)));
+    }
+    if let Some(diagnosis) = diagnosis {
+        out.push('\n');
+        out.push_str(&diagnosis.render());
     }
     out
 }
@@ -153,6 +169,43 @@ mod tests {
         assert!(out.contains("cpu0"), "missing resource bar:\n{out}");
         assert!(out.contains("50.0%"), "cpu0 runs at 50% utilization:\n{out}");
         assert!(out.contains("utility"), "missing utility section:\n{out}");
+    }
+
+    #[test]
+    fn dashboard_with_diagnosis_appends_verdict_block() {
+        use lla_telemetry::{DiagSample, DiagnosticsEngine};
+        let health = HealthSnapshot {
+            converged: true,
+            feasible: true,
+            iteration: 7,
+            utility: 50.0,
+            max_stationarity_residual: 1e-7,
+            max_resource_violation: 0.0,
+            max_path_violation: 0.0,
+            max_complementary_slackness: 1e-8,
+            worst_violation_factor: 0.8,
+            resources: vec![],
+            shed_count: 0,
+            membership_changes: 0,
+            failovers: 0,
+        };
+        let mut eng = DiagnosticsEngine::new();
+        for i in 0..16 {
+            eng.push(DiagSample {
+                iteration: i,
+                utility: 50.0,
+                worst_violation_factor: 0.8,
+                gamma_doublings: 0,
+                max_rel_price_step: 1e-9,
+                frozen_agents: 0,
+                prices: vec![1.0],
+            });
+        }
+        let d = eng.diagnose();
+        let out = dashboard_with_diagnosis(&health, &[1.0, 2.0], Some(&d), 60);
+        assert!(out.contains("diagnosis: converging"), "missing diagnosis block:\n{out}");
+        // The plain dashboard is the prefix of the diagnosed one.
+        assert!(out.starts_with(&dashboard(&health, &[1.0, 2.0], 60)));
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::problem::{MembershipReport, Problem};
 use crate::resource::Resource;
 use crate::task::{Task, TaskBuilder};
 use crate::trace::{Trace, TraceRecord};
-use lla_telemetry::{Counter, Gauge, HealthSnapshot, Histogram, MetricsRegistry, ResourceHealth};
+use lla_telemetry::{
+    Counter, DiagSample, Gauge, HealthSnapshot, Histogram, MetricsRegistry, ResourceHealth,
+    SpanRecorder, TraceCtx,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -188,6 +191,10 @@ pub struct Optimizer {
     /// common un-instrumented optimizer stays one pointer wider, not
     /// eleven handles wider.
     telemetry: Option<Box<OptimizerTelemetry>>,
+    /// Causal span recorder (`None` until
+    /// [`attach_spans`](Optimizer::attach_spans)); one span per iteration
+    /// on the iteration-index clock.
+    spans: Option<SpanRecorder>,
 }
 
 #[derive(Debug, Clone)]
@@ -289,6 +296,7 @@ impl Optimizer {
             plan: None,
             last_violations: None,
             telemetry: None,
+            spans: None,
         }
     }
 
@@ -307,6 +315,21 @@ impl Optimizer {
     /// registry at its last values).
     pub fn detach_telemetry(&mut self) {
         self.telemetry = None;
+    }
+
+    /// Starts recording one causal span per [`step`](Optimizer::step) on
+    /// `recorder`, timed on the iteration-index clock (iteration `i`
+    /// spans `[i, i+1]`). Purely passive — the recorder observes the
+    /// iteration, it never influences it — and a disabled recorder costs
+    /// one branch per step.
+    pub fn attach_spans(&mut self, recorder: &SpanRecorder) {
+        self.spans = Some(recorder.clone());
+    }
+
+    /// Stops recording spans (already-recorded spans stay in the
+    /// recorder).
+    pub fn detach_spans(&mut self) {
+        self.spans = None;
     }
 
     /// The problem being optimized.
@@ -554,6 +577,18 @@ impl Optimizer {
                 tel.phase_diagnostics.observe((t3 - t2).as_secs_f64());
             }
         }
+        if let Some(spans) = &self.spans {
+            // Iteration i occupies [i, i+1] on the iteration-index clock;
+            // report.iteration is this step's index (pre-increment).
+            spans.span_with(
+                "iteration",
+                "optimizer",
+                report.iteration as f64,
+                report.iteration as f64 + 1.0,
+                TraceCtx::NONE,
+                vec![("utility", utility.into()), ("price_step", price_step.into())],
+            );
+        }
         report
     }
 
@@ -624,31 +659,18 @@ impl Optimizer {
             }
             None => self.problem.is_feasible(&self.lats, self.config.feasibility_tol),
         };
-        let mut worst = 0.0f64;
+        let worst = self.worst_violation_factor();
         let resources = self
             .problem
             .resources()
             .iter()
-            .map(|res| {
-                let usage = self.problem.resource_usage(res.id(), &self.lats);
-                let availability = res.availability();
-                worst = worst.max(if availability > 0.0 {
-                    usage / availability
-                } else {
-                    f64::INFINITY
-                });
-                ResourceHealth {
-                    name: res.name().to_owned(),
-                    price: self.prices.mu(res.id().index()),
-                    usage,
-                    availability,
-                }
+            .map(|res| ResourceHealth {
+                name: res.name().to_owned(),
+                price: self.prices.mu(res.id().index()),
+                usage: self.problem.resource_usage(res.id(), &self.lats),
+                availability: res.availability(),
             })
             .collect();
-        for task in self.problem.tasks() {
-            let lat = task.aggregate_latency(&self.lats[task.id().index()]);
-            worst = worst.max(lat / task.critical_time());
-        }
         HealthSnapshot {
             converged: self.has_converged(),
             feasible,
@@ -663,6 +685,45 @@ impl Optimizer {
             shed_count: 0,
             membership_changes: 0,
             failovers: 0,
+        }
+    }
+
+    /// The worst constraint-violation *factor* at the current point:
+    /// `max` over resources of `usage/B_r` and over tasks of
+    /// `critical_path/C_i` (the deadline constraint is per *path*, so the
+    /// longest path is the binding one). ≤ 1 means every constraint
+    /// holds; a zero-availability resource with nonzero usage reports
+    /// `∞`.
+    pub fn worst_violation_factor(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for res in self.problem.resources() {
+            let usage = self.problem.resource_usage(res.id(), &self.lats);
+            let availability = res.availability();
+            worst =
+                worst.max(if availability > 0.0 { usage / availability } else { f64::INFINITY });
+        }
+        for task in self.problem.tasks() {
+            let (_, cp) = task.graph().critical_path(&self.lats[task.id().index()]);
+            worst = worst.max(cp / task.critical_time());
+        }
+        worst
+    }
+
+    /// One [`DiagSample`] for the convergence-diagnostics engine
+    /// (`lla_telemetry::DiagnosticsEngine`): iteration counter, utility,
+    /// worst violation factor, cumulative gamma doublings, last relative
+    /// price step, and the per-resource prices. `frozen_agents` is zero
+    /// here — a centralized optimizer has no staleness freezes; the
+    /// distributed facade overwrites that field from its own counters.
+    pub fn diag_sample(&self) -> DiagSample {
+        DiagSample {
+            iteration: self.iteration as u64,
+            utility: self.problem.total_utility(&self.lats),
+            worst_violation_factor: self.worst_violation_factor(),
+            gamma_doublings: self.prices.gamma_doublings(),
+            max_rel_price_step: self.prices.last_max_rel_step(),
+            frozen_agents: 0,
+            prices: self.prices.mus().to_vec(),
         }
     }
 
@@ -871,6 +932,41 @@ mod tests {
         // Bit-identical to the un-instrumented run.
         assert_eq!(opt.utility(), plain.utility());
         assert_eq!(registry.prometheus_text(), "");
+    }
+
+    #[test]
+    fn span_recording_is_passive_and_one_span_per_step() {
+        let rec = SpanRecorder::recording();
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.attach_spans(&rec);
+        let mut plain = Optimizer::new(small_problem(), config());
+        opt.run(40);
+        plain.run(40);
+        assert_eq!(opt.utility(), plain.utility(), "spans must be bit-passive");
+        assert_eq!(rec.len(), 40);
+        let spans = rec.snapshot();
+        assert_eq!(spans[7].start, 7.0);
+        assert_eq!(spans[7].end, 8.0);
+        assert_eq!(spans[7].name, "iteration");
+        opt.detach_spans();
+        opt.run(5);
+        assert_eq!(rec.len(), 40, "detached optimizer records nothing");
+    }
+
+    #[test]
+    fn diag_sample_mirrors_optimizer_state() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        opt.run(50);
+        let s = opt.diag_sample();
+        assert_eq!(s.iteration, 50);
+        assert_eq!(s.utility, opt.utility());
+        assert_eq!(s.gamma_doublings, opt.prices().gamma_doublings());
+        assert_eq!(s.max_rel_price_step, opt.prices().last_max_rel_step());
+        assert_eq!(s.prices, opt.prices().mus());
+        assert_eq!(s.frozen_agents, 0);
+        assert_eq!(s.worst_violation_factor, opt.worst_violation_factor());
+        // The factor agrees with the health snapshot's.
+        assert_eq!(s.worst_violation_factor, opt.health_snapshot().worst_violation_factor);
     }
 
     #[test]

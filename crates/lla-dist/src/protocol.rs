@@ -168,6 +168,23 @@ pub enum Message {
 }
 
 impl Message {
+    /// Stable kebab-case variant name — the span name tracing uses for a
+    /// delivery of this message.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Price { .. } => "price",
+            Message::Latency { .. } => "latency",
+            Message::AvailabilityUpdate { .. } => "availability-update",
+            Message::AvailabilityAck { .. } => "availability-ack",
+            Message::TaskJoin { .. } => "task-join",
+            Message::TaskLeave { .. } => "task-leave",
+            Message::ResourceJoin { .. } => "resource-join",
+            Message::ResourceRetire { .. } => "resource-retire",
+            Message::Evict { .. } => "evict",
+            Message::MembershipAck { .. } => "membership-ack",
+        }
+    }
+
     /// For membership messages, the `(slot, epoch, seq)` triple; `None`
     /// for data-plane and availability messages.
     pub fn membership_parts(&self) -> Option<(usize, u64, u64)> {
@@ -211,6 +228,29 @@ mod tests {
         assert_eq!(Address::Resource(2).to_string(), "resource[2]");
         assert_eq!(Address::Controller(0).to_string(), "controller[0]");
         assert_eq!(Address::ControlPlane.to_string(), "control-plane");
+    }
+
+    #[test]
+    fn kind_names_every_variant() {
+        let from = Address::Controller(0);
+        let msgs = [
+            (Message::Price { resource: 0, mu: 1.0, congested: false }, "price"),
+            (Message::Latency { task: 0, subtask: 0, latency: 1.0 }, "latency"),
+            (
+                Message::AvailabilityUpdate { resource: 0, availability: 0.5, seq: 1 },
+                "availability-update",
+            ),
+            (Message::AvailabilityAck { resource: 0, seq: 1, from }, "availability-ack"),
+            (Message::TaskJoin { slot: 0, epoch: 1, seq: 1 }, "task-join"),
+            (Message::TaskLeave { slot: 0, epoch: 1, seq: 1 }, "task-leave"),
+            (Message::ResourceJoin { slot: 0, epoch: 1, seq: 1 }, "resource-join"),
+            (Message::ResourceRetire { slot: 0, epoch: 1, seq: 1 }, "resource-retire"),
+            (Message::Evict { slot: 0, epoch: 1, seq: 1 }, "evict"),
+            (Message::MembershipAck { epoch: 1, seq: 1, from }, "membership-ack"),
+        ];
+        for (msg, kind) in msgs {
+            assert_eq!(msg.kind(), kind);
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::network::{NetworkModel, NetworkSampler};
 use crate::protocol::{Address, Message};
 use crate::telemetry::DistTelemetry;
-use lla_telemetry::Event as TelemetryEvent;
+use lla_telemetry::{Event as TelemetryEvent, TraceCtx, Value};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -81,7 +81,11 @@ pub trait Actor: Send + std::fmt::Debug {
 #[derive(Debug)]
 enum EventKind {
     Tick(Address),
-    Deliver(Address, Message),
+    /// A message delivery, carrying its causal context at the envelope
+    /// level — the [`Message`] itself is untouched by tracing, so wire
+    /// equality and message counts are exactly those of an uninstrumented
+    /// run.
+    Deliver(Address, Message, TraceCtx),
     Fault(FaultKind),
 }
 
@@ -294,23 +298,46 @@ impl VirtualRuntime {
 
     /// Sends everything in `outbox` from `from` through the network:
     /// partition check at send time, then loss/delay/duplication
-    /// sampling per message.
-    fn dispatch(&mut self, from: Address, outbox: Outbox) {
+    /// sampling per message. `parent` is the causal context of whatever
+    /// produced the outbox (a tick root or a handled delivery); every
+    /// delivery span, drop, and duplicate links to it. Span recording is
+    /// passive — the network is sampled and events are queued exactly as
+    /// in an untraced run.
+    fn dispatch(&mut self, from: Address, outbox: Outbox, parent: TraceCtx) {
+        let tracing = self.tel.spans.is_enabled();
         for (to, msg) in outbox.msgs {
             self.messages_sent += 1;
             self.tel.messages_sent.inc();
             if self.is_partitioned(from, to) {
                 self.dropped_by_partition += 1;
                 self.tel.dropped_by_partition.inc();
+                if tracing {
+                    self.tel.spans.instant_with(
+                        "partition-drop",
+                        &from.to_string(),
+                        self.now,
+                        parent,
+                        vec![("to", Value::from(to.to_string()))],
+                    );
+                }
                 continue;
             }
             let deliveries = self.network.sample_deliveries();
             if deliveries.is_empty() {
                 self.tel.messages_dropped.inc();
+                if tracing {
+                    self.tel.spans.instant_with(
+                        "drop",
+                        &from.to_string(),
+                        self.now,
+                        parent,
+                        vec![("to", Value::from(to.to_string()))],
+                    );
+                }
             } else if deliveries.len() > 1 {
                 self.tel.messages_duplicated.add(deliveries.len() as u64 - 1);
             }
-            for delay in deliveries {
+            for (copy, delay) in deliveries.into_iter().enumerate() {
                 let at = self.now + delay;
                 // A delivery landing before one already scheduled for the
                 // same destination will arrive out of send order.
@@ -321,7 +348,26 @@ impl VirtualRuntime {
                 } else {
                     *latest = at;
                 }
-                self.push(at, EventKind::Deliver(to, msg.clone()));
+                // The delivery span covers [send, arrival] on the
+                // *receiver's* track, so its duration is the link delay;
+                // duplicated copies are marked and share the parent.
+                let ctx = if tracing {
+                    let mut fields = vec![("from", Value::from(from.to_string()))];
+                    if copy > 0 {
+                        fields.push(("dup", Value::from(true)));
+                    }
+                    self.tel.spans.span_with(
+                        msg.kind(),
+                        &to.to_string(),
+                        self.now,
+                        at,
+                        parent,
+                        fields,
+                    )
+                } else {
+                    TraceCtx::NONE
+                };
+                self.push(at, EventKind::Deliver(to, msg.clone(), ctx));
             }
         }
     }
@@ -367,7 +413,17 @@ impl VirtualRuntime {
                     if let Some(actor) = self.actors.get_mut(&addr) {
                         actor.on_restart(self.now, &mut outbox);
                     }
-                    self.dispatch(addr, outbox);
+                    let ctx = if self.tel.spans.is_enabled() && !outbox.is_empty() {
+                        self.tel.spans.instant(
+                            "restart",
+                            &addr.to_string(),
+                            self.now,
+                            TraceCtx::NONE,
+                        )
+                    } else {
+                        TraceCtx::NONE
+                    };
+                    self.dispatch(addr, outbox, ctx);
                 }
             }
             FaultKind::SetAvailability { resource, availability } => {
@@ -377,11 +433,25 @@ impl VirtualRuntime {
                         .with("value", availability),
                 );
                 let msg = Message::AvailabilityUpdate { resource, availability, seq: 0 };
+                // Root the whole dissemination chain in one fault span so
+                // the update, its acks, and any retransmits read as a
+                // single causal trace.
+                let ctx = if self.tel.spans.is_enabled() {
+                    self.tel.spans.instant_with(
+                        "availability-fault",
+                        "fault",
+                        self.now,
+                        TraceCtx::NONE,
+                        vec![("resource", Value::from(resource))],
+                    )
+                } else {
+                    TraceCtx::NONE
+                };
                 if self.actors.contains_key(&Address::ControlPlane) {
                     // Hand the command to the control plane, which
                     // disseminates it reliably over the network.
                     let now = self.now;
-                    self.push(now, EventKind::Deliver(Address::ControlPlane, msg));
+                    self.push(now, EventKind::Deliver(Address::ControlPlane, msg, ctx));
                 } else {
                     // No control plane deployed: management-plane
                     // broadcast directly to every live actor (the legacy
@@ -390,7 +460,7 @@ impl VirtualRuntime {
                     addrs.sort_unstable();
                     let now = self.now;
                     for addr in addrs {
-                        self.push(now, EventKind::Deliver(addr, msg.clone()));
+                        self.push(now, EventKind::Deliver(addr, msg.clone(), ctx));
                     }
                 }
             }
@@ -423,15 +493,33 @@ impl VirtualRuntime {
                         let next = sched.next;
                         self.push(next, EventKind::Tick(addr));
                     }
-                    self.dispatch(addr, outbox);
+                    // A tick that produced messages roots a new trace;
+                    // everything its messages cause links back here.
+                    // Silent ticks record nothing.
+                    let ctx = if self.tel.spans.is_enabled() && !outbox.is_empty() {
+                        self.tel.spans.instant("tick", &addr.to_string(), self.now, TraceCtx::NONE)
+                    } else {
+                        TraceCtx::NONE
+                    };
+                    self.dispatch(addr, outbox, ctx);
                 }
-                EventKind::Deliver(addr, msg) => {
+                EventKind::Deliver(addr, msg, ctx) => {
                     if self.crashed.contains(&addr) {
                         self.dropped_at_crashed += 1;
                         self.tel.dropped_at_crashed.inc();
+                        if self.tel.spans.is_enabled() {
+                            self.tel.spans.instant(
+                                "crashed-drop",
+                                &addr.to_string(),
+                                self.now,
+                                ctx,
+                            );
+                        }
                     } else if let Some(actor) = self.actors.get_mut(&addr) {
                         actor.on_message(self.now, msg, &mut outbox);
-                        self.dispatch(addr, outbox);
+                        // Replies (acks, forwarded updates) inherit the
+                        // delivery's context: the chain stays one trace.
+                        self.dispatch(addr, outbox, ctx);
                     }
                 }
                 EventKind::Fault(kind) => {
@@ -464,7 +552,12 @@ impl VirtualRuntime {
     /// [`run_until`]: VirtualRuntime::run_until
     pub fn inject(&mut self, to: Address, msg: Message) {
         let now = self.now;
-        self.push(now, EventKind::Deliver(to, msg));
+        let ctx = if self.tel.spans.is_enabled() {
+            self.tel.spans.instant("inject", &to.to_string(), now, TraceCtx::NONE)
+        } else {
+            TraceCtx::NONE
+        };
+        self.push(now, EventKind::Deliver(to, msg, ctx));
     }
 }
 
@@ -708,6 +801,76 @@ mod tests {
         rt.run_until(100.0);
         let rec = rt.actor_as::<Recorder>(Address::Resource(0)).expect("still registered");
         assert_eq!(rec.ticks.len(), 10);
+    }
+
+    #[test]
+    fn tracing_records_causal_chains_passively() {
+        use lla_telemetry::SpanRecorder;
+        // Delay-2 network: tick → price arrival is a 2 ms delivery span.
+        let run = |spans: Option<SpanRecorder>| {
+            let mut rt = VirtualRuntime::new(NetworkModel::lossy(2.0, 0.0, 0.0), 0);
+            if let Some(s) = spans {
+                rt.attach_telemetry(DistTelemetry::disabled().with_spans(s));
+            }
+            rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+            rt.register(Address::Controller(0), recorder(None), 10.0, 5.0);
+            rt.run_until(35.0);
+            rt.messages_sent()
+        };
+        let rec = SpanRecorder::recording();
+        assert_eq!(run(Some(rec.clone())), run(None), "tracing must not change message flow");
+        // Sender ticks at 0, 10, 20, 30 → 4 traces of tick → price; the
+        // receiver's silent ticks record nothing.
+        let spans = rec.snapshot();
+        assert_eq!(spans.len(), 8, "{spans:?}");
+        assert_eq!(rec.trace_ids().len(), 4);
+        assert_eq!(spans[0].name, "tick");
+        assert_eq!(spans[1].name, "price");
+        assert_eq!(spans[1].parent, spans[0].id);
+        assert_eq!(spans[1].trace, spans[0].trace);
+        assert_eq!(spans[1].duration(), 2.0, "delivery span duration is the link delay");
+        let tracks = rec.track_names();
+        assert_eq!(spans[0].track, tracks.iter().position(|t| t == "resource[0]").unwrap());
+        assert_eq!(spans[1].track, tracks.iter().position(|t| t == "controller[0]").unwrap());
+    }
+
+    #[test]
+    fn tracing_links_drops_to_their_parent() {
+        use lla_telemetry::SpanRecorder;
+        let rec = SpanRecorder::recording();
+        // Total loss: every send becomes a drop span under its tick root.
+        let mut rt = VirtualRuntime::new(NetworkModel::lossy(0.0, 0.0, 1.0), 0);
+        rt.attach_telemetry(DistTelemetry::disabled().with_spans(rec.clone()));
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        rt.run_until(25.0);
+        assert_eq!(rt.messages_dropped(), 3);
+        let spans = rec.snapshot();
+        let drops: Vec<_> = spans.iter().filter(|s| s.name == "drop").collect();
+        assert_eq!(drops.len(), 3);
+        for d in drops {
+            assert_ne!(d.parent, 0, "drop must link to its tick root");
+            assert_eq!(d.duration(), 0.0);
+        }
+    }
+
+    #[test]
+    fn tracing_marks_crashed_deliveries() {
+        use lla_telemetry::SpanRecorder;
+        let rec = SpanRecorder::recording();
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.attach_telemetry(DistTelemetry::disabled().with_spans(rec.clone()));
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 10.0, 5.0);
+        rt.schedule_faults(&FaultPlan::new().crash_for(21.0, 20.0, Address::Controller(0)));
+        rt.run_until(60.0);
+        assert_eq!(rt.dropped_at_crashed(), 2);
+        let spans = rec.snapshot();
+        let crashed: Vec<_> = spans.iter().filter(|s| s.name == "crashed-drop").collect();
+        assert_eq!(crashed.len(), 2);
+        for c in crashed {
+            assert_ne!(c.parent, 0, "crashed-drop links to the delivery span");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use lla_core::{
     Allocation, AllocationSettings, ModelError, Problem, Resource, ResourceId, StepSizePolicy,
     TaskBuilder, TaskId,
 };
-use lla_telemetry::Event as TelemetryEvent;
+use lla_telemetry::{DiagSample, Event as TelemetryEvent};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -100,6 +100,9 @@ pub struct DistributedLla {
     /// `(at, resource slot, availability)` of scheduled availability
     /// faults not yet reflected in the facade's own problem copy.
     pending_availability: Vec<(f64, usize, f64)>,
+    /// Prices observed at the previous [`diag_sample`](Self::diag_sample)
+    /// call, for the relative-step statistic.
+    last_diag_prices: Vec<f64>,
     tel: DistTelemetry,
 }
 
@@ -214,6 +217,7 @@ impl DistributedLla {
             rounds: 0,
             utilities: Vec::new(),
             pending_availability: Vec::new(),
+            last_diag_prices: Vec::new(),
             tel,
         }
     }
@@ -310,6 +314,77 @@ impl DistributedLla {
     /// Utility after each completed round.
     pub fn utilities(&self) -> &[f64] {
         &self.utilities
+    }
+
+    /// One [`DiagSample`] of the deployment's current state, for the
+    /// [`DiagnosticsEngine`](lla_telemetry::DiagnosticsEngine). Take one
+    /// per round (or every few rounds) and push it into the engine.
+    ///
+    /// Prices come from the live resource agents; `frozen_agents` counts
+    /// agents currently in staleness-TTL degraded mode; the relative
+    /// price step is measured between consecutive `diag_sample` calls.
+    /// `gamma_doublings` is reported as 0 — per-agent step adaptation is
+    /// not aggregated across the deployment (the gamma-thrash verdict is
+    /// a centralized-optimizer diagnostic).
+    pub fn diag_sample(&mut self) -> DiagSample {
+        let lats = self.dense_lats();
+        let mut worst = 0.0f64;
+        for r in self.problem.resources() {
+            let usage = self.problem.resource_usage(r.id(), &lats);
+            let factor = if r.availability() > 0.0 {
+                usage / r.availability()
+            } else if usage > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            worst = worst.max(factor);
+        }
+        for (t, task) in self.problem.tasks().iter().enumerate() {
+            if task.critical_time() > 0.0 {
+                let (_, cp) = task.graph().critical_path(&lats[t]);
+                worst = worst.max(cp / task.critical_time());
+            }
+        }
+        let mut frozen = 0u64;
+        let mut prices = Vec::with_capacity(self.resource_slots.len());
+        for &slot in &self.resource_slots {
+            match self.runtime.actor_as::<ResourceAgent>(Address::Resource(slot)) {
+                Some(agent) => {
+                    prices.push(agent.mu());
+                    if agent.is_degraded() {
+                        frozen += 1;
+                    }
+                }
+                None => prices.push(f64::NAN),
+            }
+        }
+        for &slot in &self.task_slots {
+            if let Some(ctl) = self.runtime.actor_as::<TaskController>(Address::Controller(slot)) {
+                if ctl.is_degraded() {
+                    frozen += 1;
+                }
+            }
+        }
+        let max_rel_price_step = if self.last_diag_prices.len() == prices.len() {
+            prices
+                .iter()
+                .zip(&self.last_diag_prices)
+                .map(|(new, old)| (new - old).abs() / (1.0 + new.abs()))
+                .fold(0.0f64, f64::max)
+        } else {
+            0.0
+        };
+        self.last_diag_prices = prices.clone();
+        DiagSample {
+            iteration: self.rounds as u64,
+            utility: self.utility(),
+            worst_violation_factor: worst,
+            gamma_doublings: 0,
+            max_rel_price_step,
+            frozen_agents: frozen,
+            prices,
+        }
     }
 
     /// Total messages handed to the network.
@@ -948,8 +1023,10 @@ mod tests {
 
     #[test]
     fn instrumented_run_is_bit_identical_and_counts_messages() {
-        use lla_telemetry::TelemetryHub;
-        let hub = TelemetryHub::recording();
+        use lla_telemetry::{SpanRecorder, TelemetryHub};
+        // Full instrumentation including causal span tracing: the run must
+        // stay bit-identical to an uninstrumented one.
+        let hub = TelemetryHub::recording().with_spans(SpanRecorder::recording());
         let mut plain = DistributedLla::new(problem(), config());
         let mut wired =
             DistributedLla::with_telemetry(problem(), config(), DistTelemetry::from_hub(&hub));
@@ -967,6 +1044,41 @@ mod tests {
             text.contains("lla_dist_messages_sent_total 1600"),
             "missing sent counter:\n{text}"
         );
+        // Per round: 4 tick roots (2 controllers + 2 resources) + 8
+        // delivery spans = 12 spans; over 200 rounds, 2400.
+        assert_eq!(hub.spans.len(), 2400);
+        // Every round's critical path names a real agent as its gate.
+        let rounds = hub.spans.round_critical_paths(10.0);
+        assert_eq!(rounds.len(), 200);
+        for r in &rounds {
+            assert!(
+                r.gating_track.starts_with("resource[")
+                    || r.gating_track.starts_with("controller["),
+                "round {}: gated by {:?}",
+                r.round,
+                r.gating_track
+            );
+            assert!(!r.chain.is_empty());
+        }
+    }
+
+    #[test]
+    fn diag_samples_feed_the_diagnostics_engine() {
+        use lla_telemetry::{DiagnosticsEngine, Verdict};
+        let mut dist = DistributedLla::new(problem(), config());
+        let mut engine =
+            DiagnosticsEngine::new().with_resource_names(vec!["cpu0".into(), "cpu1".into()]);
+        dist.run_rounds(600);
+        for _ in 0..32 {
+            dist.run_rounds(1);
+            engine.push(dist.diag_sample());
+        }
+        let d = engine.diagnose();
+        assert!(d.confident);
+        assert_eq!(d.verdict, Verdict::Converging, "{}", d.render());
+        assert_eq!(d.evidence.len(), 2);
+        assert!(d.evidence.iter().all(|e| e.mean_price.is_finite()));
+        assert!(d.frozen_fraction == 0.0);
     }
 
     #[test]

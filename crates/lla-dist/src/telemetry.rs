@@ -18,13 +18,17 @@
 //! clock — which is why a fixed-seed chaos soak yields a byte-identical
 //! JSONL event log on every run.
 
-use lla_telemetry::{Counter, EventLog, MetricsRegistry, TelemetryHub};
+use lla_telemetry::{Counter, EventLog, MetricsRegistry, SpanRecorder, TelemetryHub};
 
 /// Shared counter handles + event log for the `lla-dist` layer.
 #[derive(Debug, Clone)]
 pub struct DistTelemetry {
     /// Virtual-clock-stamped structured events.
     pub events: EventLog,
+    /// Causal spans: one trace per tick-initiated message chain, stamped
+    /// with the virtual clock (disabled by default; see
+    /// [`with_spans`](Self::with_spans)).
+    pub spans: SpanRecorder,
     /// Messages handed to the network.
     pub messages_sent: Counter,
     /// Messages dropped by random network loss.
@@ -67,6 +71,7 @@ impl DistTelemetry {
         let c = |name, help| registry.counter(name, help);
         DistTelemetry {
             events,
+            spans: SpanRecorder::disabled(),
             messages_sent: c("lla_dist_messages_sent_total", "messages handed to the network"),
             messages_dropped: c(
                 "lla_dist_messages_dropped_total",
@@ -122,9 +127,18 @@ impl DistTelemetry {
         }
     }
 
-    /// Handles built from a [`TelemetryHub`] (registry + event log).
+    /// Handles built from a [`TelemetryHub`] (registry + event log +
+    /// span recorder — spans stay off unless the hub opted in).
     pub fn from_hub(hub: &TelemetryHub) -> Self {
-        DistTelemetry::new(&hub.metrics, hub.events.clone())
+        DistTelemetry::new(&hub.metrics, hub.events.clone()).with_spans(hub.spans.clone())
+    }
+
+    /// Replace the span channel (builder style) — usually with
+    /// [`SpanRecorder::recording()`].
+    #[must_use]
+    pub fn with_spans(mut self, spans: SpanRecorder) -> Self {
+        self.spans = spans;
+        self
     }
 
     /// All-no-op handles (the default for an un-instrumented deployment).

@@ -70,7 +70,7 @@ impl fmt::Display for Value {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -86,7 +86,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_value(v: &Value) -> String {
+pub(crate) fn json_value(v: &Value) -> String {
     match v {
         Value::U64(v) => format!("{v}"),
         Value::F64(v) if v.is_finite() => format!("{v}"),
@@ -160,14 +160,31 @@ impl Event {
 }
 
 #[derive(Debug)]
+struct LogState {
+    events: Vec<Event>,
+    /// Maximum retained events (`None` = unbounded append).
+    capacity: Option<usize>,
+    /// Accept one event in every `stride` emissions.
+    stride: u64,
+    /// Total events offered via `emit` (kept or not).
+    seen: u64,
+}
+
+#[derive(Debug)]
 struct EventLogCore {
-    events: Mutex<Vec<Event>>,
+    state: Mutex<LogState>,
 }
 
 /// A shared, append-only event log. Cloning shares the buffer. A disabled
 /// log drops every event at a branch; an echoing log additionally renders
 /// each event to stderr as it arrives (used by the `lla-bench` bins to
 /// keep human progress off stdout).
+///
+/// A [`bounded`](Self::bounded) log keeps at most `capacity` events by
+/// the same stride-doubling downsampling as `lla-core`'s bounded
+/// `Trace`: when the buffer fills, every other event is dropped and the
+/// sampling stride doubles, so the kept events always span the whole run
+/// at uniform (power-of-two) spacing, oldest first.
 #[derive(Debug, Clone)]
 pub struct EventLog {
     enabled: bool,
@@ -176,22 +193,35 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    /// A log that records events.
-    pub fn recording() -> Self {
+    fn with_capacity(enabled: bool, capacity: Option<usize>) -> Self {
         EventLog {
-            enabled: true,
+            enabled,
             echo_stderr: false,
-            core: Arc::new(EventLogCore { events: Mutex::new(Vec::new()) }),
+            core: Arc::new(EventLogCore {
+                state: Mutex::new(LogState {
+                    events: Vec::new(),
+                    capacity: capacity.map(|c| c.max(2)),
+                    stride: 1,
+                    seen: 0,
+                }),
+            }),
         }
+    }
+
+    /// A log that records events without bound.
+    pub fn recording() -> Self {
+        EventLog::with_capacity(true, None)
+    }
+
+    /// A log keeping at most `capacity` events (clamped to ≥ 2) by
+    /// stride-doubling downsampling.
+    pub fn bounded(capacity: usize) -> Self {
+        EventLog::with_capacity(true, Some(capacity))
     }
 
     /// A log that drops everything.
     pub fn disabled() -> Self {
-        EventLog {
-            enabled: false,
-            echo_stderr: false,
-            core: Arc::new(EventLogCore { events: Mutex::new(Vec::new()) }),
-        }
+        EventLog::with_capacity(false, None)
     }
 
     /// Also render each recorded event to stderr as it arrives.
@@ -206,7 +236,26 @@ impl EventLog {
         self.enabled
     }
 
-    /// Record one event (no-op when disabled).
+    /// The capacity this log was created with (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.core.state.lock().expect("event log poisoned").capacity
+    }
+
+    /// The current downsampling stride: one in every `stride` emitted
+    /// events is retained (always 1 for an unbounded log).
+    pub fn stride(&self) -> u64 {
+        self.core.state.lock().expect("event log poisoned").stride
+    }
+
+    /// Total events offered to [`emit`](Self::emit), including ones the
+    /// downsampler dropped (0 for a disabled log).
+    pub fn seen(&self) -> u64 {
+        self.core.state.lock().expect("event log poisoned").seen
+    }
+
+    /// Record one event (no-op when disabled). Bounded logs keep it only
+    /// on the current stride, and compact (drop every other event,
+    /// double the stride) when full.
     pub fn emit(&self, event: Event) {
         if !self.enabled {
             return;
@@ -214,12 +263,31 @@ impl EventLog {
         if self.echo_stderr {
             eprintln!("{}", event.render_line());
         }
-        self.core.events.lock().expect("event log poisoned").push(event);
+        let mut state = self.core.state.lock().expect("event log poisoned");
+        let keep = state.seen.is_multiple_of(state.stride);
+        state.seen += 1;
+        if !keep {
+            return;
+        }
+        state.events.push(event);
+        if let Some(cap) = state.capacity {
+            if state.events.len() >= cap {
+                // Keep indices 0, 2, 4, … — the survivors are exactly
+                // the events aligned to the doubled stride.
+                let mut i = 0;
+                state.events.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                state.stride *= 2;
+            }
+        }
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.core.events.lock().expect("event log poisoned").len()
+        self.core.state.lock().expect("event log poisoned").events.len()
     }
 
     /// Whether the log is empty.
@@ -230,9 +298,10 @@ impl EventLog {
     /// Number of recorded events of the given kind.
     pub fn count_kind(&self, kind: &str) -> usize {
         self.core
-            .events
+            .state
             .lock()
             .expect("event log poisoned")
+            .events
             .iter()
             .filter(|e| e.kind == kind)
             .count()
@@ -240,16 +309,16 @@ impl EventLog {
 
     /// A clone of the recorded events, in emission order.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.core.events.lock().expect("event log poisoned").clone()
+        self.core.state.lock().expect("event log poisoned").events.clone()
     }
 
     /// The whole log as JSONL: one `Event::to_json` object per line. For
     /// virtual-clock events this rendering is byte-deterministic given
     /// the same seed.
     pub fn to_jsonl(&self) -> String {
-        let events = self.core.events.lock().expect("event log poisoned");
+        let state = self.core.state.lock().expect("event log poisoned");
         let mut out = String::new();
-        for e in events.iter() {
+        for e in state.events.iter() {
             out.push_str(&e.to_json());
             out.push('\n');
         }
@@ -302,5 +371,95 @@ mod tests {
         let other = log.clone();
         other.emit(Event::new(1.0, "shared"));
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn bounded_log_wraparound_boundary_compacts_and_doubles_stride() {
+        let log = EventLog::bounded(8);
+        assert_eq!(log.capacity(), Some(8));
+        // One below capacity: nothing compacted yet.
+        for i in 0..7u64 {
+            log.emit(Event::new(i as f64, "e").with("i", i));
+        }
+        assert_eq!(log.len(), 7);
+        assert_eq!(log.stride(), 1);
+        // The 8th emission is the wraparound boundary: the buffer fills,
+        // every other event is dropped, and the stride doubles.
+        log.emit(Event::new(7.0, "e").with("i", 7u64));
+        assert_eq!(log.len(), 4, "compaction halves the buffer");
+        assert_eq!(log.stride(), 2);
+        assert_eq!(log.seen(), 8);
+        let kept: Vec<u64> = log
+            .snapshot()
+            .iter()
+            .map(|e| match e.field("i") {
+                Some(Value::U64(v)) => *v,
+                other => panic!("unexpected field {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept, vec![0, 2, 4, 6], "survivors align to the doubled stride");
+    }
+
+    #[test]
+    fn bounded_log_keeps_oldest_first_order_across_many_wraps() {
+        let log = EventLog::bounded(16);
+        for i in 0..1000u64 {
+            log.emit(Event::new(i as f64, "e").with("i", i));
+            assert!(log.len() <= 16, "len {} exceeded capacity at emit {i}", log.len());
+        }
+        assert_eq!(log.seen(), 1000);
+        assert!(log.stride() >= 64, "stride {} too small", log.stride());
+        let kept: Vec<u64> = log
+            .snapshot()
+            .iter()
+            .map(|e| match e.field("i") {
+                Some(Value::U64(v)) => *v,
+                other => panic!("unexpected field {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept[0], 0, "the first event always survives");
+        assert!(*kept.last().unwrap() >= 1000 - 2 * log.stride());
+        for w in kept.windows(2) {
+            assert_eq!(w[1] - w[0], log.stride(), "non-uniform spacing: {kept:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_is_clamped_to_two() {
+        let log = EventLog::bounded(0);
+        assert_eq!(log.capacity(), Some(2));
+        for i in 0..10u64 {
+            log.emit(Event::new(i as f64, "e"));
+        }
+        assert!(log.len() <= 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn unbounded_log_never_strides() {
+        let log = EventLog::recording();
+        for i in 0..100u64 {
+            log.emit(Event::new(i as f64, "e"));
+        }
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.stride(), 1);
+        assert_eq!(log.seen(), 100);
+        assert_eq!(log.capacity(), None);
+    }
+
+    #[test]
+    fn render_line_covers_every_value_variant() {
+        let e = Event::new(125.5, "crash")
+            .with("count", 3u64)
+            .with("gap", 0.125)
+            .with("frozen", true)
+            .with("addr", "controller[0]");
+        assert_eq!(
+            e.render_line(),
+            "[    125.500] crash count=3 gap=0.125 frozen=true addr=controller[0]"
+        );
+        // Non-finite floats render with the Prometheus spellings.
+        let inf = Event::new(0.0, "x").with("v", f64::INFINITY).with("w", f64::NEG_INFINITY);
+        assert_eq!(inf.render_line(), "[      0.000] x v=+Inf w=-Inf");
     }
 }

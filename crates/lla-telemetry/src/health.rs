@@ -66,10 +66,24 @@ pub struct HealthSnapshot {
     pub failovers: u64,
 }
 
+/// Largest [`HealthSnapshot::worst_violation_factor`] a snapshot may
+/// report and still count as [`healthy`](HealthSnapshot::healthy).
+///
+/// A factor of 1 means a constraint is exactly tight; the extra 1e-3
+/// mirrors the optimizer's default feasibility tolerance
+/// (`OptimizerConfig::feasibility_tol`), so "healthy" and "feasible"
+/// agree at the boundary instead of flapping on float noise.
+pub const HEALTHY_MAX_VIOLATION_FACTOR: f64 = 1.001;
+
 impl HealthSnapshot {
-    /// Healthy means converged *and* feasible.
+    /// Healthy means converged, feasible, *and* the reported worst
+    /// violation factor within [`HEALTHY_MAX_VIOLATION_FACTOR`] — the
+    /// factor guard catches a snapshot whose feasibility bit was computed
+    /// against different (or stale) tolerances upstream.
     pub fn healthy(&self) -> bool {
-        self.converged && self.feasible
+        self.converged
+            && self.feasible
+            && self.worst_violation_factor <= HEALTHY_MAX_VIOLATION_FACTOR
     }
 
     /// One JSON object (stable field order).
@@ -191,6 +205,27 @@ mod tests {
         let mut s = snapshot();
         assert!(s.healthy());
         s.feasible = false;
+        assert!(!s.healthy());
+        s.feasible = true;
+        s.converged = false;
+        assert!(!s.healthy());
+    }
+
+    #[test]
+    fn healthy_violation_factor_boundary() {
+        let mut s = snapshot();
+        // Exactly at the documented threshold: still healthy (inclusive).
+        s.worst_violation_factor = HEALTHY_MAX_VIOLATION_FACTOR;
+        assert!(s.healthy());
+        // The smallest representable step above it: degraded, even with
+        // the converged/feasible bits set.
+        s.worst_violation_factor = HEALTHY_MAX_VIOLATION_FACTOR.next_up();
+        assert!(!s.healthy());
+        // Exactly tight constraints (factor 1.0) are healthy.
+        s.worst_violation_factor = 1.0;
+        assert!(s.healthy());
+        // NaN must never pass a health check.
+        s.worst_violation_factor = f64::NAN;
         assert!(!s.healthy());
     }
 

@@ -19,6 +19,12 @@
 //! * [`HealthSnapshot`] — the "is it converged and feasible right now?"
 //!   answer: KKT residual norms, worst violation factor, per-resource
 //!   price + usage, and shed/membership/failover counts.
+//! * [`SpanRecorder`] / [`TraceCtx`] — causal spans on the virtual clock
+//!   with Chrome `trace_event` export and per-round critical-path
+//!   extraction, same no-op-when-disabled handle discipline.
+//! * [`DiagnosticsEngine`] — an online classifier over per-round
+//!   [`DiagSample`]s: `Converging | Oscillating | GammaThrash |
+//!   Diverging | Stalled`, with per-resource price evidence.
 //!
 //! The crate is deliberately dependency-free (std only) so it can sit
 //! below `lla-core` in the workspace graph.
@@ -27,13 +33,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diagnostics;
 pub mod events;
 pub mod health;
 pub mod registry;
+pub mod spans;
 
+pub use diagnostics::{
+    DiagSample, Diagnosis, DiagnosticsEngine, Verdict, DIVERGENCE_FACTOR, GAMMA_THRASH_DENSITY,
+    OSCILLATION_BAND, STALL_FROZEN_FRACTION,
+};
 pub use events::{Event, EventLog, Value};
-pub use health::{HealthSnapshot, ResourceHealth};
+pub use health::{HealthSnapshot, ResourceHealth, HEALTHY_MAX_VIOLATION_FACTOR};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use spans::{PathStep, RoundCriticalPath, Span, SpanRecorder, TraceCtx};
 
 /// One bundle of the two telemetry channels — a metrics registry and an
 /// event log — so call sites thread a single handle through a stack.
@@ -47,22 +60,43 @@ pub struct TelemetryHub {
     pub metrics: MetricsRegistry,
     /// Structured event stream (JSONL exposition).
     pub events: EventLog,
+    /// Causal span recorder (Chrome trace exposition). Disabled by
+    /// default even in a recording hub — spans accumulate per message, so
+    /// long soaks opt in explicitly via [`with_spans`](Self::with_spans).
+    pub spans: SpanRecorder,
 }
 
 impl TelemetryHub {
-    /// A hub that records metrics and events.
+    /// A hub that records metrics and events (spans stay off; see
+    /// [`with_spans`](Self::with_spans)).
     pub fn recording() -> Self {
-        TelemetryHub { metrics: MetricsRegistry::new(), events: EventLog::recording() }
+        TelemetryHub {
+            metrics: MetricsRegistry::new(),
+            events: EventLog::recording(),
+            spans: SpanRecorder::disabled(),
+        }
     }
 
     /// A hub whose every operation is a no-op.
     pub fn disabled() -> Self {
-        TelemetryHub { metrics: MetricsRegistry::disabled(), events: EventLog::disabled() }
+        TelemetryHub {
+            metrics: MetricsRegistry::disabled(),
+            events: EventLog::disabled(),
+            spans: SpanRecorder::disabled(),
+        }
     }
 
-    /// Whether either channel is live.
+    /// Replace the span channel (builder style) — usually with
+    /// [`SpanRecorder::recording()`].
+    #[must_use]
+    pub fn with_spans(mut self, spans: SpanRecorder) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// Whether any channel is live.
     pub fn is_enabled(&self) -> bool {
-        self.metrics.is_enabled() || self.events.is_enabled()
+        self.metrics.is_enabled() || self.events.is_enabled() || self.spans.is_enabled()
     }
 }
 

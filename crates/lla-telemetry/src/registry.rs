@@ -276,12 +276,13 @@ impl MetricsRegistry {
 
     /// Prometheus text exposition (version 0.0.4). Metric families are
     /// sorted by name, so the output is deterministic for a given set of
-    /// values.
+    /// values. `# HELP` text and label values are escaped per the
+    /// text-format spec ([`escape_help`], [`escape_label_value`]).
     pub fn prometheus_text(&self) -> String {
         let table = self.table.lock().expect("metrics registry poisoned");
         let mut out = String::new();
         for (name, metric) in table.iter() {
-            let _ = writeln!(out, "# HELP {name} {}", metric.help);
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(metric.help));
             match &metric.kind {
                 MetricKind::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {name} counter");
@@ -300,7 +301,7 @@ impl MetricsRegistry {
                         let _ = writeln!(
                             out,
                             "{name}_bucket{{le=\"{}\"}} {cumulative}",
-                            fmt_f64(*bound)
+                            escape_label_value(&fmt_f64(*bound))
                         );
                     }
                     cumulative += counts.last().copied().unwrap_or(0);
@@ -312,6 +313,38 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Escape `# HELP` text per the Prometheus text-format spec (version
+/// 0.0.4): backslash → `\\`, line feed → `\n`. Help text lives to the
+/// end of its comment line, so these are the only two escapes defined.
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text-format spec: backslash →
+/// `\\`, double quote → `\"`, line feed → `\n`. The built-in `le` values
+/// never need escaping, but exposition applies this unconditionally so
+/// any future label stays spec-conformant.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -413,5 +446,28 @@ mod tests {
         assert!(text.contains("lla_c_seconds_bucket{le=\"+Inf\"} 3"));
         // Deterministic: a second render is byte-identical.
         assert_eq!(text, reg.prometheus_text());
+    }
+
+    #[test]
+    fn help_text_is_escaped_per_spec() {
+        let reg = MetricsRegistry::new();
+        reg.counter("lla_weird_total", "line one\nline two with a \\ backslash").inc();
+        let text = reg.prometheus_text();
+        assert!(
+            text.contains("# HELP lla_weird_total line one\\nline two with a \\\\ backslash"),
+            "{text}"
+        );
+        // The embedded newline must not have split the HELP comment.
+        assert_eq!(text.lines().count(), 3, "HELP, TYPE, and one sample: {text}");
+    }
+
+    #[test]
+    fn escape_functions_cover_the_spec_cases() {
+        assert_eq!(escape_help("plain"), "plain");
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        // HELP text does not escape quotes — label values do.
+        assert_eq!(escape_help("say \"hi\""), "say \"hi\"");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 }

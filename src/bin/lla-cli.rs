@@ -15,6 +15,8 @@
 //!   --window MS        window length in ms (simulate; default 2000)
 //!   --no-correction    disable online model error correction (simulate)
 //!   --format F         text | prometheus | json   (telemetry; default text)
+//!   --diagnose         classify the run's convergence behavior
+//!                      (telemetry; text and json formats)
 //! ```
 //!
 //! See `crates/lla-spec` for the specification format and
@@ -25,7 +27,7 @@ use lla::core::{
     StepSizePolicy,
 };
 use lla::sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
-use lla::telemetry::MetricsRegistry;
+use lla::telemetry::{DiagnosticsEngine, MetricsRegistry};
 use std::process::ExitCode;
 
 struct Options {
@@ -37,6 +39,7 @@ struct Options {
     window_ms: f64,
     correction: bool,
     format: OutputFormat,
+    diagnose: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -50,7 +53,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: lla-cli <check|optimize|schedulability|simulate|telemetry> <spec.lla> \
          [--iters N] [--policy adaptive|sign|fixed=G] [--csv FILE] \
-         [--windows N] [--window MS] [--no-correction] [--format text|prometheus|json]"
+         [--windows N] [--window MS] [--no-correction] [--format text|prometheus|json] \
+         [--diagnose]"
     );
     ExitCode::from(2)
 }
@@ -65,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         window_ms: 2_000.0,
         correction: true,
         format: OutputFormat::Text,
+        diagnose: false,
     };
     let mut it = args.iter();
     opts.spec_path = it.next().ok_or("missing spec path")?.clone();
@@ -106,6 +111,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--window must be a number (ms)")?;
             }
             "--no-correction" => opts.correction = false,
+            "--diagnose" => opts.diagnose = true,
             "--format" => {
                 opts.format = match it.next().ok_or("--format needs a value")?.as_str() {
                     "text" => OutputFormat::Text,
@@ -199,6 +205,29 @@ fn cmd_telemetry(opts: &Options) -> Result<(), String> {
         OptimizerConfig { step_policy: opts.policy, ..OptimizerConfig::default() },
     );
     opt.attach_telemetry(&registry);
+    if opts.diagnose {
+        // Step manually so every iteration feeds the diagnostics engine;
+        // stop early once the convergence detector fires.
+        let names: Vec<String> =
+            opt.problem().resources().iter().map(|r| r.name().to_string()).collect();
+        let mut engine = DiagnosticsEngine::new().with_resource_names(names);
+        for _ in 0..opts.iters {
+            opt.step();
+            engine.push(opt.diag_sample());
+            if opt.has_converged() {
+                break;
+            }
+        }
+        let diagnosis = engine.diagnose();
+        match opts.format {
+            OutputFormat::Text => print!("{}", diagnosis.render()),
+            OutputFormat::Json => println!("{}", diagnosis.to_json()),
+            OutputFormat::Prometheus => {
+                return Err("--diagnose supports --format text|json".to_owned())
+            }
+        }
+        return Ok(());
+    }
     opt.run_to_convergence(opts.iters);
     match opts.format {
         OutputFormat::Text => println!("{}", opt.health_snapshot()),

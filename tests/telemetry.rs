@@ -1,12 +1,18 @@
 //! Integration tests for the telemetry layer: health exposition from a
-//! converged Table 1 run, and byte-determinism of the chaos-soak event
-//! stream (same seed → identical JSONL, also pinned against a committed
-//! golden file so any accidental nondeterminism or schema drift fails CI).
+//! converged Table 1 run, byte-determinism of the chaos-soak event
+//! stream and of the causal-trace export (both pinned against committed
+//! golden files so any accidental nondeterminism or schema drift fails
+//! CI), and full-stack Prometheus text-format conformance over every
+//! metric the optimizer and the distributed runtime register.
 
 use lla_bench::churn::{run_churn_soak_instrumented, ChurnConfig};
 use lla_bench::run_table1_health;
-use lla_core::Aggregation;
-use lla_telemetry::TelemetryHub;
+use lla_core::{
+    Aggregation, Optimizer, OptimizerConfig, Problem, Resource, ResourceId, ResourceKind,
+    TaskBuilder, TaskId,
+};
+use lla_dist::{DistConfig, DistTelemetry, DistributedLla, NetworkModel};
+use lla_telemetry::{SpanRecorder, TelemetryHub};
 
 /// The small-but-eventful soak used for the golden event log: a couple of
 /// churn events close together, faults on, shedding on.
@@ -75,6 +81,214 @@ fn chaos_soak_event_stream_matches_golden_file() {
         "event stream drifted from tests/golden/churn_soak_events.jsonl; \
          if the change is intentional, regenerate the golden file"
     );
+}
+
+/// Two tasks over two CPUs — the compact deployment behind the golden
+/// causal trace.
+fn trace_problem() -> Problem {
+    let resources = vec![
+        Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_lag(1.0),
+        Resource::new(ResourceId::new(1), ResourceKind::Cpu).with_lag(1.0),
+    ];
+    let mut tasks = Vec::new();
+    for (i, c) in [(0usize, 40.0), (1usize, 60.0)] {
+        let mut b = TaskBuilder::new(format!("t{i}"));
+        let a = b.subtask("a", ResourceId::new(0), 2.0);
+        let d = b.subtask("b", ResourceId::new(1), 3.0);
+        b.edge(a, d).unwrap();
+        b.critical_time(c);
+        tasks.push(b.build(TaskId::new(i)).unwrap());
+    }
+    Problem::new(resources, tasks).unwrap()
+}
+
+/// One seeded, lossy, span-traced run of the compact deployment; returns
+/// the Chrome `trace_event` JSON export.
+fn traced_run_chrome_json() -> String {
+    let hub = TelemetryHub::recording().with_spans(SpanRecorder::recording());
+    let mut dist = DistributedLla::with_telemetry(
+        trace_problem(),
+        DistConfig {
+            network: NetworkModel::lossy(0.5, 1.0, 0.2),
+            seed: 7,
+            ..DistConfig::default()
+        },
+        DistTelemetry::from_hub(&hub),
+    );
+    dist.run_rounds(12);
+    hub.spans.to_chrome_json()
+}
+
+/// Same-seed runs on the virtual clock must export *byte-identical*
+/// Chrome traces — spans are stamped with virtual time and recorded in
+/// deterministic event order, so there is nothing wall-clock-dependent
+/// to drift.
+#[test]
+fn causal_trace_export_is_byte_deterministic() {
+    let a = traced_run_chrome_json();
+    let b = traced_run_chrome_json();
+    assert!(a.contains("\"traceEvents\""), "export is a Chrome trace: {a}");
+    assert!(a.contains("\"name\":\"price\""), "trace must contain price deliveries");
+    assert!(a.contains("\"name\":\"drop\""), "the 20% loss model must surface drop spans");
+    assert_eq!(a, b, "same-seed traced runs must export identical JSON");
+}
+
+/// The committed golden trace pins the export byte-for-byte: schema
+/// drift, span-order drift, or any nondeterminism fails here first.
+/// Regenerate deliberately with `LLA_REGEN_GOLDEN=1 cargo test --test
+/// telemetry`.
+#[test]
+fn causal_trace_export_matches_golden_file() {
+    let json = traced_run_chrome_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/dist_trace.json");
+    if std::env::var_os("LLA_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden file present (LLA_REGEN_GOLDEN=1 cargo test --test telemetry regenerates it)",
+    );
+    assert_eq!(
+        json, golden,
+        "causal trace drifted from tests/golden/dist_trace.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+/// Validates one Prometheus text-format (0.0.4) exposition: every family
+/// has exactly one `# HELP` immediately followed by one `# TYPE`, names
+/// are legal, every sample parses, histogram buckets are cumulative and
+/// end at `+Inf` with a matching `_count`.
+fn assert_prometheus_conformant(text: &str) {
+    fn legal_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || "_:".contains(c))
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || "_:".contains(c))
+    }
+
+    let mut families = 0usize;
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        // Family header: HELP first ...
+        let rest = line
+            .strip_prefix("# HELP ")
+            .unwrap_or_else(|| panic!("expected a # HELP line opening a family, got: {line:?}"));
+        let (name, help) = rest.split_once(' ').expect("HELP carries name and text");
+        assert!(legal_name(name), "illegal metric name {name:?}");
+        assert!(!help.is_empty(), "{name}: HELP text must not be empty");
+        // ... then TYPE ...
+        let type_line = lines.next().expect("TYPE follows HELP");
+        let rest = type_line
+            .strip_prefix("# TYPE ")
+            .unwrap_or_else(|| panic!("{name}: expected # TYPE, got {type_line:?}"));
+        let (type_name, kind) = rest.split_once(' ').expect("TYPE carries name and kind");
+        assert_eq!(type_name, name, "TYPE must name the same family as HELP");
+        assert!(["counter", "gauge", "histogram"].contains(&kind), "{name}: unknown TYPE {kind:?}");
+        // ... then the samples, until the next family starts.
+        let mut samples = Vec::new();
+        while let Some(&next) = lines.peek() {
+            if next.starts_with('#') {
+                break;
+            }
+            samples.push(lines.next().expect("peeked"));
+        }
+        assert!(!samples.is_empty(), "{name}: family exposes no samples");
+        match kind {
+            "counter" => {
+                assert_eq!(samples.len(), 1, "{name}: one sample per counter");
+                let (n, v) = samples[0].split_once(' ').expect("name value");
+                assert_eq!(n, name);
+                v.parse::<u64>().unwrap_or_else(|_| {
+                    panic!("{name}: counter value must be a non-negative integer, got {v:?}")
+                });
+            }
+            "gauge" => {
+                assert_eq!(samples.len(), 1, "{name}: one sample per gauge");
+                let (n, v) = samples[0].split_once(' ').expect("name value");
+                assert_eq!(n, name);
+                assert!(
+                    v.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&v),
+                    "{name}: unparseable gauge value {v:?}"
+                );
+            }
+            "histogram" => {
+                let mut cumulative = None;
+                let mut last_le = f64::NEG_INFINITY;
+                let mut saw_inf = false;
+                let (mut sum, mut count) = (None, None);
+                for s in &samples {
+                    let (n, v) = s.split_once(' ').expect("name value");
+                    if let Some(le) = n
+                        .strip_prefix(name)
+                        .and_then(|r| r.strip_prefix("_bucket{le=\""))
+                        .and_then(|r| r.strip_suffix("\"}"))
+                    {
+                        assert!(!saw_inf, "{name}: no bucket may follow +Inf");
+                        let c: u64 = v.parse().expect("bucket count");
+                        assert!(
+                            cumulative.is_none_or(|prev| c >= prev),
+                            "{name}: bucket counts must be cumulative"
+                        );
+                        cumulative = Some(c);
+                        if le == "+Inf" {
+                            saw_inf = true;
+                        } else {
+                            let le: f64 = le.parse().expect("finite le bound");
+                            assert!(le > last_le, "{name}: le bounds must increase");
+                            last_le = le;
+                        }
+                    } else if n == format!("{name}_sum") {
+                        sum = Some(v.parse::<f64>().expect("sum"));
+                    } else if n == format!("{name}_count") {
+                        count = Some(v.parse::<u64>().expect("count"));
+                    } else {
+                        panic!("{name}: unexpected histogram sample {s:?}");
+                    }
+                }
+                assert!(saw_inf, "{name}: histogram must end with a +Inf bucket");
+                assert!(sum.is_some(), "{name}: missing _sum");
+                assert_eq!(
+                    count.expect("missing _count"),
+                    cumulative.expect("buckets present"),
+                    "{name}: _count must equal the +Inf bucket"
+                );
+            }
+            _ => unreachable!(),
+        }
+        families += 1;
+    }
+    assert!(families > 0, "exposition must not be empty");
+}
+
+/// Full-stack conformance: run the centralized optimizer *and* a lossy
+/// distributed deployment against one shared registry, then validate the
+/// entire exposition — every counter, gauge, and histogram either layer
+/// registers.
+#[test]
+fn prometheus_exposition_is_conformant_for_every_registered_metric() {
+    let hub = TelemetryHub::recording();
+    let mut opt = Optimizer::new(trace_problem(), OptimizerConfig::default());
+    opt.attach_telemetry(&hub.metrics);
+    for _ in 0..50 {
+        opt.step();
+    }
+    let mut dist = DistributedLla::with_telemetry(
+        trace_problem(),
+        DistConfig {
+            network: NetworkModel::lossy(0.5, 1.0, 0.2),
+            seed: 7,
+            ..DistConfig::default()
+        },
+        DistTelemetry::from_hub(&hub),
+    );
+    dist.run_rounds(50);
+
+    let text = hub.metrics.prometheus_text();
+    assert!(text.contains("lla_dist_messages_sent_total"), "dist family present:\n{text}");
+    assert!(text.contains("# TYPE"), "typed exposition:\n{text}");
+    assert_prometheus_conformant(&text);
+    // The disabled registry exposes nothing at all — and trivially
+    // conforms.
+    assert_eq!(lla_telemetry::MetricsRegistry::disabled().prometheus_text(), "");
 }
 
 #[test]
