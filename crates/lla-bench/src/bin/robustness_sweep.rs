@@ -90,6 +90,7 @@ fn fault_sweep(progress: &EventLog) {
                             checkpoint_interval: 50.0,
                             staleness_ttl: 30.0,
                             retransmit_interval: ROUND,
+                            ..RobustnessConfig::default()
                         },
                         ..DistConfig::default()
                     },

@@ -1,0 +1,75 @@
+//! Supervised chaos soak: closed-loop self-healing vs shedding-only,
+//! A/B over two unrecoverable-for-the-status-quo scenarios (gamma
+//! thrash, inelastic overload).
+//!
+//! Progress goes to **stderr** via the telemetry event layer; stdout
+//! carries the machine-readable CSV (also written to
+//! `results/supervised_soak.csv`, byte-deterministic) followed by a
+//! one-line JSON summary. Exits nonzero if the supervised arm fails to
+//! win either scenario.
+
+use lla_bench::supervised::run_supervised_soak;
+use lla_telemetry::{Event, EventLog};
+
+fn main() {
+    let progress = EventLog::recording().with_stderr_echo();
+    progress.emit(
+        Event::new(0.0, "note")
+            .with("msg", "supervised soak: self-healing vs shedding-only, two scenarios"),
+    );
+
+    let report = run_supervised_soak();
+    let mut all_won = true;
+    for cmp in &report.comparisons {
+        all_won &= cmp.supervised_wins();
+        progress.emit(
+            Event::new(0.0, "comparison")
+                .with("scenario", cmp.scenario)
+                .with("supervised_verdict", cmp.supervised.verdict.as_str())
+                .with("supervised_tail_utility", cmp.supervised.tail_utility)
+                .with("shedding_only_verdict", cmp.shedding_only.verdict.as_str())
+                .with("shedding_only_tail_utility", cmp.shedding_only.tail_utility)
+                .with("remediations", cmp.supervised.remediations.len())
+                .with("replicas", u64::from(cmp.supervised.total_replicas))
+                .with("supervised_wins", cmp.supervised_wins()),
+        );
+        for r in &cmp.supervised.remediations {
+            let mut ev = Event::new(0.0, "remediation")
+                .with("scenario", cmp.scenario)
+                .with("round", r.round)
+                .with("action", r.kind.as_str())
+                .with("value", r.value);
+            if let Some(slot) = r.slot {
+                ev = ev.with("slot", slot);
+            }
+            progress.emit(ev);
+        }
+    }
+
+    // Machine output on stdout; the same bytes land in results/.
+    print!("{}", report.series.to_csv());
+    println!(
+        "{{\"scenarios\": {}, \"all_supervised_wins\": {}}}",
+        report.comparisons.len(),
+        all_won
+    );
+    match report.series.write_csv("supervised_soak") {
+        Ok(path) => {
+            progress.emit(Event::new(0.0, "note").with("wrote", path.display().to_string()))
+        }
+        Err(e) => {
+            progress.emit(Event::new(0.0, "note").with("msg", format!("csv not written: {e}")))
+        }
+    }
+    progress.emit(Event::new(0.0, "note").with(
+        "claim",
+        "closed-loop supervision (gamma calm, dual re-sync, checkpoint rollback, elastic \
+         replicas, escalating shedding) recovers deployments that the shedding-only governor \
+         cannot: step-size thrash has no overload to shed, and inelastic overload has nothing \
+         sheddable — both end converging under supervision, at no utility cost",
+    ));
+
+    if !all_won {
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod churn;
 pub mod render;
+pub mod supervised;
 
 use lla_core::{
     allocate_latencies, Aggregation, Allocation, AllocationSettings, Optimizer, OptimizerConfig,

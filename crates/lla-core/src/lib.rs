@@ -94,7 +94,7 @@ pub use ids::{PathId, ResourceId, SubtaskId, TaskId};
 pub use lagrangian::{dual_value, kkt_report, lagrangian_value, DualReport, KktReport};
 pub use optimizer::{
     Allocation, IterationReport, Optimizer, OptimizerConfig, OptimizerState, OptimizerTelemetry,
-    RunOutcome,
+    RunOutcome, StateImportError,
 };
 pub use overload::{governed_step, select_victim, shed_ranking, OverloadConfig, OverloadMonitor};
 pub use percentile::{compose_path_percentile, PercentileSpec};

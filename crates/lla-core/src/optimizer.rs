@@ -769,6 +769,7 @@ impl Optimizer {
             prices: self.prices.clone(),
             lats: self.lats.clone(),
             iteration: self.iteration,
+            epoch: None,
         }
     }
 
@@ -788,9 +789,54 @@ impl Optimizer {
     ///
     /// Panics if the state's latency shape does not match the problem.
     pub fn import_state(&mut self, state: OptimizerState) {
-        assert_eq!(state.lats.len(), self.problem.tasks().len(), "state shape mismatch");
+        if let Err(e) = self.try_import_state(state, None) {
+            panic!("state shape mismatch: {e}");
+        }
+    }
+
+    /// Fallible counterpart of [`import_state`](Self::import_state):
+    /// validates the state's latency shape against the problem and — when
+    /// `expected_epoch` is given — the topology epoch the state was
+    /// captured under against the importer's. A stale checkpoint (taken
+    /// before a membership change) carries duals indexed for a different
+    /// task/resource layout; silently restoring them poisons the price
+    /// iteration, so callers get a typed error and the optimizer is left
+    /// untouched.
+    ///
+    /// A state with no epoch tag ([`OptimizerState::epoch`] is `None`)
+    /// skips the epoch check — pre-epoch checkpoints validate by shape
+    /// alone.
+    ///
+    /// # Errors
+    ///
+    /// [`StateImportError::EpochMismatch`] when both epochs are known and
+    /// differ; [`StateImportError::TaskCountMismatch`] /
+    /// [`StateImportError::RowShapeMismatch`] when the latency matrix does
+    /// not match the problem.
+    pub fn try_import_state(
+        &mut self,
+        state: OptimizerState,
+        expected_epoch: Option<u64>,
+    ) -> Result<(), StateImportError> {
+        if let (Some(expected), Some(found)) = (expected_epoch, state.epoch) {
+            if expected != found {
+                return Err(StateImportError::EpochMismatch { expected, found });
+            }
+        }
+        if state.lats.len() != self.problem.tasks().len() {
+            return Err(StateImportError::TaskCountMismatch {
+                expected: self.problem.tasks().len(),
+                found: state.lats.len(),
+            });
+        }
         for (t, task) in self.problem.tasks().iter().enumerate() {
-            assert_eq!(state.lats[t].len(), task.len(), "state shape mismatch");
+            if state.lats[t].len() != task.len() {
+                return Err(StateImportError::RowShapeMismatch {
+                    task: t,
+                    expected: task.len(),
+                    found: state.lats[t].len(),
+                });
+            }
         }
         self.last_utility = self.problem.total_utility(&state.lats);
         self.prices = state.prices;
@@ -798,8 +844,70 @@ impl Optimizer {
         self.iteration = state.iteration;
         self.below_tol = 0;
         self.last_violations = None;
+        Ok(())
     }
 }
+
+/// Why a checkpointed [`OptimizerState`] was rejected on import: the
+/// typed alternative to the legacy `import_state` panic, so failover
+/// paths can fall back to a fresh start instead of restoring bad duals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateImportError {
+    /// The checkpoint was captured under a different topology epoch than
+    /// the importer runs at — its duals index a different membership.
+    EpochMismatch {
+        /// The importer's current topology epoch.
+        expected: u64,
+        /// The epoch the checkpoint was captured under.
+        found: u64,
+    },
+    /// The state's latency matrix has a different task count than the
+    /// problem.
+    TaskCountMismatch {
+        /// Tasks in the importing problem.
+        expected: usize,
+        /// Task rows in the checkpoint.
+        found: usize,
+    },
+    /// One task's latency row has the wrong subtask count.
+    RowShapeMismatch {
+        /// The offending task index.
+        task: usize,
+        /// Subtasks in the importing problem's task.
+        expected: usize,
+        /// Entries in the checkpoint row.
+        found: usize,
+    },
+    /// Per-resource state in the checkpoint covers a different resource
+    /// count than the problem.
+    ResourceCountMismatch {
+        /// Resources in the importing problem.
+        expected: usize,
+        /// Resources covered by the checkpoint.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for StateImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StateImportError::EpochMismatch { expected, found } => {
+                write!(f, "checkpoint epoch {found} does not match topology epoch {expected}")
+            }
+            StateImportError::TaskCountMismatch { expected, found } => {
+                write!(f, "checkpoint has {found} task rows, problem has {expected}")
+            }
+            StateImportError::RowShapeMismatch { task, expected, found } => {
+                write!(f, "task {task} row has {found} entries, problem expects {expected}")
+            }
+            StateImportError::ResourceCountMismatch { expected, found } => {
+                write!(f, "checkpoint covers {found} resources, problem has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateImportError {}
 
 /// The mutable state of an [`Optimizer`], as captured by
 /// [`Optimizer::export_state`]. The problem specification itself travels
@@ -809,6 +917,9 @@ pub struct OptimizerState {
     prices: PriceState,
     lats: Vec<Vec<f64>>,
     iteration: usize,
+    /// Topology epoch the state was captured under, when the capturing
+    /// driver tracks one (`None` for plain centralized exports).
+    epoch: Option<u64>,
 }
 
 impl OptimizerState {
@@ -817,7 +928,24 @@ impl OptimizerState {
     /// checkpoint — capture their state in the same format the
     /// [`Optimizer`] exports, so one restore path serves both.
     pub fn from_parts(prices: PriceState, lats: Vec<Vec<f64>>, iteration: usize) -> Self {
-        OptimizerState { prices, lats, iteration }
+        OptimizerState { prices, lats, iteration, epoch: None }
+    }
+
+    /// Tags the state with the topology epoch it was captured under, so
+    /// [`Optimizer::try_import_state`] can reject stale checkpoints.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Updates (or clears) the topology-epoch tag in place.
+    pub fn set_epoch(&mut self, epoch: Option<u64>) {
+        self.epoch = epoch;
+    }
+
+    /// The topology-epoch tag, if the capturing driver set one.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
     }
 
     /// Overwrites this state in place from borrowed parts, reusing the
@@ -1199,5 +1327,46 @@ mod tests {
         let mut state = other.export_state();
         state.lats.pop();
         opt.import_state(state);
+    }
+
+    #[test]
+    fn try_import_state_returns_typed_shape_errors() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let pristine = opt.export_state();
+
+        let mut missing_row = pristine.clone();
+        missing_row.lats.pop();
+        assert_eq!(
+            opt.try_import_state(missing_row, None),
+            Err(StateImportError::TaskCountMismatch { expected: 2, found: 1 })
+        );
+
+        let mut short_row = pristine.clone();
+        short_row.lats[1].pop();
+        assert_eq!(
+            opt.try_import_state(short_row, None),
+            Err(StateImportError::RowShapeMismatch { task: 1, expected: 2, found: 1 })
+        );
+        // Failed imports leave the optimizer untouched.
+        assert_eq!(opt.export_state(), pristine);
+    }
+
+    #[test]
+    fn try_import_state_validates_topology_epoch() {
+        let mut opt = Optimizer::new(small_problem(), config());
+        let tagged = opt.export_state().with_epoch(3);
+        assert_eq!(tagged.epoch(), Some(3));
+
+        // A stale epoch is rejected even though the shape fits.
+        assert_eq!(
+            opt.try_import_state(tagged.clone(), Some(7)),
+            Err(StateImportError::EpochMismatch { expected: 7, found: 3 })
+        );
+        // Matching epochs and untagged legacy states import fine.
+        assert!(opt.try_import_state(tagged, Some(3)).is_ok());
+        assert!(opt.try_import_state(opt.export_state(), Some(9)).is_ok());
+        // Errors render human-readably for event payloads.
+        let msg = StateImportError::EpochMismatch { expected: 7, found: 3 }.to_string();
+        assert!(msg.contains('7') && msg.contains('3'), "{msg}");
     }
 }

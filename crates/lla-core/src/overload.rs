@@ -78,6 +78,13 @@ impl OverloadMonitor {
         self.streak >= self.config.sustain_iters
     }
 
+    /// The current run of consecutive violating observations. Supervisors
+    /// read this to escalate remediation: the longer the streak survives
+    /// past `sustain_iters`, the more victims a shedding round takes.
+    pub fn overload_streak(&self) -> usize {
+        self.streak
+    }
+
     /// Whether the hysteresis cool-down is active.
     pub fn in_cooldown(&self) -> bool {
         self.cooldown > 0

@@ -283,6 +283,45 @@ impl PriceState {
         self.lambda[t][p] = value.max(0.0);
     }
 
+    /// The step-size policy these duals evolve under.
+    pub fn policy(&self) -> StepSizePolicy {
+        self.policy
+    }
+
+    /// Remediation hook for gamma-thrash (supervisor §12): resets every
+    /// per-entity step size back to the policy's initial value and clamps
+    /// the adaptive growth cap to `initial × max_multiple`. A multiple of
+    /// `1.0` degrades the policy to effectively fixed; repeated calls can
+    /// only tighten the cap. Prices and gradients are untouched — only
+    /// the step-size machinery is calmed. No-op cap for
+    /// [`StepSizePolicy::Fixed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_multiple < 1` or non-finite.
+    pub fn calm_gammas(&mut self, max_multiple: f64) {
+        assert!(
+            max_multiple.is_finite() && max_multiple >= 1.0,
+            "gamma clamp multiple must be ≥ 1"
+        );
+        let g0 = self.policy.initial_gamma();
+        match &mut self.policy {
+            StepSizePolicy::Fixed { .. } => {}
+            StepSizePolicy::Adaptive { initial, max, .. }
+            | StepSizePolicy::SignAdaptive { initial, max, .. } => {
+                *max = max.min(*initial * max_multiple);
+            }
+        }
+        for g in &mut self.gamma_r {
+            *g = g0;
+        }
+        for row in &mut self.gamma_p {
+            for g in row {
+                *g = g0;
+            }
+        }
+    }
+
     /// The current step size of resource `r` (for introspection/tests).
     pub fn gamma_r(&self, r: usize) -> f64 {
         self.gamma_r[r]
@@ -650,6 +689,46 @@ mod tests {
         let warm2 = warm.remap(&p, &report);
         assert_eq!(warm2.mu(0), mu0);
         assert_eq!(warm2.lambda(0, 0), 0.0);
+    }
+
+    #[test]
+    fn calm_gammas_resets_steps_and_clamps_growth() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::adaptive(1.0));
+        let congested = vec![vec![1.0, 1.0]];
+        for _ in 0..4 {
+            s.update(&p, &congested);
+        }
+        assert!(s.gamma_r(0) > 1.0);
+        let mu_before = s.mu(0);
+        s.calm_gammas(2.0);
+        assert_eq!(s.gamma_r(0), 1.0, "steps revert to initial");
+        assert_eq!(s.gamma_p(0, 0), 1.0);
+        assert_eq!(s.mu(0), mu_before, "prices are untouched");
+        match s.policy() {
+            StepSizePolicy::Adaptive { max, .. } => assert_eq!(max, 2.0),
+            other => panic!("policy variant changed: {other:?}"),
+        }
+        // Future growth respects the tightened cap.
+        for _ in 0..6 {
+            s.update(&p, &congested);
+        }
+        assert!(s.gamma_r(0) <= 2.0);
+        // Calming again can only tighten, never widen.
+        s.calm_gammas(64.0);
+        match s.policy() {
+            StepSizePolicy::Adaptive { max, .. } => assert_eq!(max, 2.0),
+            other => panic!("policy variant changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn calm_gammas_is_a_cap_noop_for_fixed() {
+        let p = problem();
+        let mut s = PriceState::new(&p, StepSizePolicy::fixed(0.5));
+        s.calm_gammas(1.0);
+        assert_eq!(s.policy(), StepSizePolicy::fixed(0.5));
+        assert_eq!(s.gamma_r(0), 0.5);
     }
 
     #[test]

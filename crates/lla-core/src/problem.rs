@@ -160,6 +160,18 @@ impl Problem {
         self.epoch += 1;
     }
 
+    /// Updates a resource's replica count at runtime (elastic capacity:
+    /// effective `B_r` becomes `replicas × base availability`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or `replicas == 0`.
+    pub fn set_resource_replicas(&mut self, id: ResourceId, replicas: u32) {
+        assert!(replicas >= 1, "a resource needs at least one replica");
+        self.resources[id.index()].set_replicas(replicas);
+        self.epoch += 1;
+    }
+
     /// A single task.
     ///
     /// # Panics
@@ -730,6 +742,20 @@ mod tests {
         p.set_demand_scale(p.tasks()[0].subtask_id(0), 1.0);
         assert_eq!(p, before);
         assert_ne!(p.epoch(), before.epoch());
+    }
+
+    #[test]
+    fn replica_count_scales_capacity_and_bumps_epoch() {
+        let mut p = two_cpu_problem();
+        let before = p.epoch();
+        p.set_resource_replicas(ResourceId::new(1), 3);
+        assert_eq!(p.epoch(), before + 1);
+        assert!((p.resource(ResourceId::new(1)).availability() - 2.4).abs() < 1e-12);
+        // The violation margin widens with the extra replicas.
+        let lats = vec![vec![3.0, 3.0], vec![3.0]];
+        let scaled = p.max_resource_violation(&lats);
+        p.set_resource_replicas(ResourceId::new(1), 1);
+        assert!(scaled < p.max_resource_violation(&lats));
     }
 
     #[test]

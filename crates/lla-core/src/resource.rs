@@ -54,12 +54,18 @@ pub struct Resource {
     availability: f64,
     lag: f64,
     name: String,
+    /// Number of interchangeable replicas backing this resource. The
+    /// effective capacity offered to the optimizer is
+    /// `replicas × availability`; elastic provisioning grows or shrinks
+    /// this count while the per-replica fraction stays fixed.
+    #[serde(default)]
+    replicas: u32,
 }
 
 impl Resource {
     /// Creates a resource with full availability (`B_r = 1`) and zero lag.
     pub fn new(id: ResourceId, kind: ResourceKind) -> Self {
-        Resource { id, kind, availability: 1.0, lag: 0.0, name: format!("{id}") }
+        Resource { id, kind, availability: 1.0, lag: 0.0, name: format!("{id}"), replicas: 1 }
     }
 
     /// Sets the availability fraction `B_r`.
@@ -84,6 +90,12 @@ impl Resource {
         self
     }
 
+    /// Sets the replica count (effective capacity multiplier, `≥ 1`).
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
     /// Rebuilds this resource under a new dense id (membership changes
     /// re-densify indices when an earlier resource retires).
     pub(crate) fn reindexed(&self, id: ResourceId) -> Resource {
@@ -100,9 +112,21 @@ impl Resource {
         self.kind
     }
 
-    /// The availability fraction `B_r`.
+    /// The effective capacity `B_r` offered to the optimizer:
+    /// `replicas × base availability`. With the default single replica
+    /// this is exactly the paper's availability fraction.
     pub fn availability(&self) -> f64 {
+        self.availability * f64::from(self.replicas)
+    }
+
+    /// The per-replica availability fraction, before replica scaling.
+    pub fn base_availability(&self) -> f64 {
         self.availability
+    }
+
+    /// The number of interchangeable replicas backing this resource.
+    pub fn replicas(&self) -> u32 {
+        self.replicas
     }
 
     /// Updates the availability fraction `B_r`.
@@ -111,6 +135,11 @@ impl Resource {
     /// failure or a competing reservation) and the optimizer re-converges.
     pub fn set_availability(&mut self, availability: f64) {
         self.availability = availability;
+    }
+
+    /// Updates the replica count (elastic capacity; `≥ 1`).
+    pub fn set_replicas(&mut self, replicas: u32) {
+        self.replicas = replicas;
     }
 
     /// The scheduling lag `l_r` in milliseconds.
@@ -141,6 +170,9 @@ impl Resource {
                 what: "resource lag (l_r)",
                 value: self.lag,
             });
+        }
+        if self.replicas == 0 {
+            return Err(ModelError::InvalidParameter { what: "resource replicas", value: 0.0 });
         }
         Ok(())
     }
@@ -192,6 +224,24 @@ mod tests {
         let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu);
         r.set_availability(0.5);
         assert_eq!(r.availability(), 0.5);
+    }
+
+    #[test]
+    fn replicas_scale_effective_availability() {
+        let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_availability(0.8);
+        assert_eq!(r.replicas(), 1);
+        assert_eq!(r.availability(), 0.8);
+        r.set_replicas(3);
+        assert_eq!(r.replicas(), 3);
+        assert_eq!(r.base_availability(), 0.8);
+        assert!((r.availability() - 2.4).abs() < 1e-12);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_replicas() {
+        let r = Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_replicas(0);
+        assert!(r.validate().is_err());
     }
 
     #[test]

@@ -6,8 +6,8 @@ use crate::protocol::{Address, Message};
 use crate::runtime::{Actor, Outbox};
 use crate::telemetry::DistTelemetry;
 use lla_core::{
-    AllocationSettings, MembershipReport, OptimizerState, PriceState, Problem, StepSizePolicy,
-    TaskPlan,
+    AllocationSettings, MembershipReport, OptimizerState, PriceState, Problem, StateImportError,
+    StepSizePolicy, TaskPlan,
 };
 use lla_telemetry::Event as TelemetryEvent;
 use parking_lot::Mutex;
@@ -41,6 +41,17 @@ pub struct RobustnessConfig {
     /// Virtual ms between control-plane retransmissions of unacknowledged
     /// availability updates.
     pub retransmit_interval: f64,
+    /// Cap (in retransmit ticks) on the control plane's exponential
+    /// backoff between retransmissions of one pending update. The wait
+    /// after the `n`-th retransmission is `min(2ⁿ, cap) − 1` skipped
+    /// ticks; the default of `1` retransmits on every tick, which is the
+    /// legacy behavior.
+    pub retransmit_backoff_cap: u32,
+    /// Retransmissions of one pending update before the control plane
+    /// gives up on the still-silent recipients (emitting a
+    /// `retransmit_give_up` event instead of resending forever). The
+    /// default never gives up.
+    pub max_retransmits: u64,
 }
 
 impl Default for RobustnessConfig {
@@ -49,6 +60,8 @@ impl Default for RobustnessConfig {
             checkpoint_interval: f64::INFINITY,
             staleness_ttl: f64::INFINITY,
             retransmit_interval: 10.0,
+            retransmit_backoff_cap: 1,
+            max_retransmits: u64::MAX,
         }
     }
 }
@@ -66,6 +79,11 @@ pub struct ControllerCheckpoint {
     pub congested: Vec<bool>,
     /// Virtual time the checkpoint was taken.
     pub at: f64,
+    /// Topology epoch the controller had applied when it checkpointed.
+    /// Restore validates this against the restarting controller's epoch —
+    /// a checkpoint from an older topology holds duals shaped for a
+    /// different problem.
+    pub epoch: u64,
 }
 
 /// Stable storage for controller checkpoints, shared between the agents
@@ -128,6 +146,10 @@ pub enum MembershipCause {
     ResourceJoin,
     /// A resource retired (drain-and-handoff).
     ResourceRetire,
+    /// The supervisor provisioned an elastic replica of a resource.
+    ReplicaProvision,
+    /// The supervisor retired an elastic replica of a resource.
+    ReplicaRetire,
 }
 
 /// One version of the deployment's topology: the problem at a given
@@ -274,6 +296,8 @@ pub struct ResourceAgent {
     degraded: bool,
     /// Highest control-plane sequence applied (volatile; reset on crash).
     last_avail_seq: u64,
+    /// Highest supervisor-command sequence applied (volatile).
+    last_cmd_seq: u64,
     tel: DistTelemetry,
 }
 
@@ -303,6 +327,7 @@ impl ResourceAgent {
             congested: false,
             degraded: false,
             last_avail_seq: 0,
+            last_cmd_seq: 0,
             tel: DistTelemetry::disabled(),
         };
         agent.resync_from_problem();
@@ -361,6 +386,12 @@ impl ResourceAgent {
     /// latency inputs went stale.
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Adaptive step-size growth events recorded by this agent's price
+    /// state (the supervisor's gamma-thrash evidence).
+    pub fn gamma_doublings(&self) -> u64 {
+        self.prices.gamma_doublings()
     }
 
     /// The share sum currently demanded by the stored latencies.
@@ -467,6 +498,45 @@ impl ResourceAgent {
     fn apply_availability(&mut self, availability: f64) {
         self.problem.set_resource_availability(self.problem.resources()[self.r].id(), availability);
     }
+
+    /// Handles a supervisor command; returns `true` if it was one.
+    /// Sequenced commands (`seq > 0`) are deduplicated and always acked
+    /// — the ack may have been the lost message; `seq == 0` is the
+    /// out-of-band bypass path.
+    fn on_command(&mut self, msg: &Message, outbox: &mut Outbox) -> bool {
+        let Some(seq) = msg.command_seq() else {
+            return false;
+        };
+        let fresh = seq == 0 || seq > self.last_cmd_seq;
+        if seq > 0 {
+            if fresh {
+                self.last_cmd_seq = seq;
+            }
+            outbox.send(
+                Address::ControlPlane,
+                Message::CommandAck { seq, from: Address::Resource(self.slot) },
+            );
+        }
+        if fresh && !self.dormant {
+            match *msg {
+                Message::GammaCalm { max_multiple, .. } => self.prices.calm_gammas(max_multiple),
+                Message::DualResync { .. } => {
+                    // Re-announce the current price immediately so stalled
+                    // controllers' staleness clocks refresh without
+                    // waiting for the next tick phase.
+                    let mu = self.prices.mu(self.r);
+                    for &t in &self.subscribers {
+                        outbox.send(
+                            Address::Controller(t),
+                            Message::Price { resource: self.slot, mu, congested: self.congested },
+                        );
+                    }
+                }
+                _ => unreachable!("command_seq() only matches supervisor commands"),
+            }
+        }
+        true
+    }
 }
 
 impl Actor for ResourceAgent {
@@ -517,6 +587,9 @@ impl Actor for ResourceAgent {
 
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
         if self.on_membership(&msg, outbox) {
+            return;
+        }
+        if self.on_command(&msg, outbox) {
             return;
         }
         match msg {
@@ -570,6 +643,7 @@ impl Actor for ResourceAgent {
         self.congested = false;
         self.degraded = false;
         self.last_avail_seq = 0;
+        self.last_cmd_seq = 0;
     }
 
     fn on_restart(&mut self, now: f64, _outbox: &mut Outbox) {
@@ -636,6 +710,8 @@ pub struct TaskController {
     /// Highest applied control-plane sequence, per resource slot
     /// (volatile).
     last_avail_seq: HashMap<usize, u64>,
+    /// Highest supervisor-command sequence applied (volatile).
+    last_cmd_seq: u64,
     /// Compiled single-task allocation kernel (lla-core's plan lowering),
     /// re-lowered whenever the problem or this controller's task changes.
     plan: TaskPlan,
@@ -699,6 +775,7 @@ impl TaskController {
             degraded: false,
             degraded_ticks: 0,
             last_avail_seq: HashMap::new(),
+            last_cmd_seq: 0,
             plan,
             lambda_scratch,
             next_lats,
@@ -773,6 +850,12 @@ impl TaskController {
         self.degraded_ticks
     }
 
+    /// Adaptive step-size growth events recorded by this controller's
+    /// price state (the supervisor's gamma-thrash evidence).
+    pub fn gamma_doublings(&self) -> u64 {
+        self.prices.gamma_doublings()
+    }
+
     /// Captures the controller's algorithm state in the centralized
     /// optimizer's export format (rows of other tasks hold the initial
     /// allocation — this controller only owns its own row).
@@ -788,6 +871,55 @@ impl TaskController {
         self.prices = state.prices().clone();
         self.lats = state.lats()[self.t].clone();
         self.ticks = state.iteration();
+    }
+
+    /// Validates `ckpt` against the controller's applied topology epoch
+    /// and the current problem shapes, then restores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`StateImportError`] — and leaves the controller
+    /// untouched — when the checkpoint was captured under a different
+    /// epoch or its matrices no longer fit the problem.
+    pub fn try_restore(&mut self, ckpt: &ControllerCheckpoint) -> Result<(), StateImportError> {
+        if ckpt.epoch != self.epoch {
+            return Err(StateImportError::EpochMismatch {
+                expected: self.epoch,
+                found: ckpt.epoch,
+            });
+        }
+        if let Some(tagged) = ckpt.state.epoch() {
+            if tagged != self.epoch {
+                return Err(StateImportError::EpochMismatch {
+                    expected: self.epoch,
+                    found: tagged,
+                });
+            }
+        }
+        let n_tasks = self.problem.tasks().len();
+        if ckpt.state.lats().len() != n_tasks {
+            return Err(StateImportError::TaskCountMismatch {
+                expected: n_tasks,
+                found: ckpt.state.lats().len(),
+            });
+        }
+        if ckpt.state.lats()[self.t].len() != self.lats.len() {
+            return Err(StateImportError::RowShapeMismatch {
+                task: self.t,
+                expected: self.lats.len(),
+                found: ckpt.state.lats()[self.t].len(),
+            });
+        }
+        let n_res = self.problem.resources().len();
+        if ckpt.congested.len() != n_res {
+            return Err(StateImportError::ResourceCountMismatch {
+                expected: n_res,
+                found: ckpt.congested.len(),
+            });
+        }
+        self.import_state(&ckpt.state);
+        self.congested = ckpt.congested.clone();
+        Ok(())
     }
 
     /// Re-lowers the compiled task plan after anything that feeds it
@@ -877,6 +1009,44 @@ impl TaskController {
         }
         true
     }
+
+    /// Handles a supervisor command; returns `true` if it was one.
+    /// Sequenced commands (`seq > 0`) are deduplicated and always acked;
+    /// `seq == 0` is the out-of-band bypass path.
+    fn on_command(&mut self, msg: &Message, outbox: &mut Outbox) -> bool {
+        let Some(seq) = msg.command_seq() else {
+            return false;
+        };
+        let fresh = seq == 0 || seq > self.last_cmd_seq;
+        if seq > 0 {
+            if fresh {
+                self.last_cmd_seq = seq;
+            }
+            outbox.send(
+                Address::ControlPlane,
+                Message::CommandAck { seq, from: Address::Controller(self.slot) },
+            );
+        }
+        if fresh && !self.dormant {
+            match *msg {
+                Message::GammaCalm { max_multiple, .. } => self.prices.calm_gammas(max_multiple),
+                Message::DualResync { .. } => {
+                    // Re-send the current latencies so stalled resources'
+                    // staleness clocks refresh without waiting for the
+                    // next tick phase.
+                    let task = &self.problem.tasks()[self.t];
+                    for (s, sub) in task.subtasks().iter().enumerate() {
+                        outbox.send(
+                            Address::Resource(self.resource_slots[sub.resource().index()]),
+                            Message::Latency { task: self.slot, subtask: s, latency: self.lats[s] },
+                        );
+                    }
+                }
+                _ => unreachable!("command_seq() only matches supervisor commands"),
+            }
+        }
+        true
+    }
 }
 
 impl Actor for TaskController {
@@ -950,9 +1120,10 @@ impl Actor for TaskController {
                 store.save(
                     Address::Controller(self.slot),
                     ControllerCheckpoint {
-                        state: self.export_state(),
+                        state: self.export_state().with_epoch(self.epoch),
                         congested: self.congested.clone(),
                         at: now,
+                        epoch: self.epoch,
                     },
                 );
                 self.last_checkpoint = now;
@@ -963,6 +1134,9 @@ impl Actor for TaskController {
 
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
         if self.on_membership(now, &msg, outbox) {
+            return;
+        }
+        if self.on_command(&msg, outbox) {
             return;
         }
         match msg {
@@ -1024,6 +1198,7 @@ impl Actor for TaskController {
         self.ticks = 0;
         self.degraded = false;
         self.last_avail_seq.clear();
+        self.last_cmd_seq = 0;
     }
 
     fn on_restart(&mut self, now: f64, _outbox: &mut Outbox) {
@@ -1047,22 +1222,29 @@ impl Actor for TaskController {
         if let Some(ckpt) =
             self.checkpoints.as_ref().and_then(|s| s.load(Address::Controller(self.slot)))
         {
-            // A checkpoint taken under an older topology has stale
-            // shapes; restoring it would corrupt the dual state. Only
-            // restore when it matches the current problem.
-            let fits = ckpt.state.lats().len() == self.problem.tasks().len()
-                && ckpt.congested.len() == self.problem.resources().len()
-                && ckpt.state.lats()[self.t].len() == self.lats.len();
-            if fits {
-                self.import_state(&ckpt.state);
-                self.congested = ckpt.congested;
-                self.last_checkpoint = now;
-                self.tel.checkpoint_restores.inc();
-                self.tel.events.emit(
-                    TelemetryEvent::new(now, "checkpoint_restore")
-                        .with("slot", self.slot)
-                        .with("checkpoint_at", ckpt.at),
-                );
+            // A checkpoint taken under an older topology holds duals
+            // shaped for a different problem; restoring it would corrupt
+            // the dual state. `try_restore` validates the epoch tag and
+            // every matrix shape before touching anything.
+            match self.try_restore(&ckpt) {
+                Ok(()) => {
+                    self.last_checkpoint = now;
+                    self.tel.checkpoint_restores.inc();
+                    self.tel.events.emit(
+                        TelemetryEvent::new(now, "checkpoint_restore")
+                            .with("slot", self.slot)
+                            .with("checkpoint_at", ckpt.at),
+                    );
+                }
+                Err(e) => {
+                    self.tel.checkpoint_rejections.inc();
+                    self.tel.events.emit(
+                        TelemetryEvent::new(now, "checkpoint_rejected")
+                            .with("slot", self.slot)
+                            .with("checkpoint_at", ckpt.at)
+                            .with("reason", e.to_string()),
+                    );
+                }
             }
         }
         // Fresh staleness grace period either way.
@@ -1092,24 +1274,44 @@ pub struct ControlPlaneAgent {
     /// Live resource slots.
     resource_slots: Vec<usize>,
     next_seq: u64,
-    pending: Vec<PendingUpdate>,
-    pending_membership: Vec<PendingMembership>,
+    pending: Vec<Pending>,
+    pending_membership: Vec<Pending>,
+    pending_commands: Vec<Pending>,
+    robustness: RobustnessConfig,
     tel: DistTelemetry,
 }
 
+/// One reliably-disseminated message awaiting acknowledgements, with its
+/// retransmit-policy books (attempt count and backoff cooldown).
 #[derive(Debug)]
-struct PendingUpdate {
-    resource: usize,
-    availability: f64,
-    seq: u64,
-    awaiting: Vec<Address>,
-}
-
-#[derive(Debug)]
-struct PendingMembership {
-    /// The sequenced membership message being disseminated.
+struct Pending {
+    /// The sequenced message being disseminated.
     msg: Message,
     awaiting: Vec<Address>,
+    /// Retransmissions performed so far (the initial fan-out is free).
+    attempts: u64,
+    /// Retransmit ticks to skip before the next attempt (exponential
+    /// backoff, capped by [`RobustnessConfig::retransmit_backoff_cap`]).
+    cooldown: u64,
+}
+
+impl Pending {
+    fn new(msg: Message, awaiting: Vec<Address>) -> Self {
+        Pending { msg, awaiting, attempts: 0, cooldown: 0 }
+    }
+
+    /// The control-plane sequence this entry is waiting on acks for.
+    fn seq(&self) -> u64 {
+        match self.msg {
+            Message::AvailabilityUpdate { seq, .. } => seq,
+            _ => self
+                .msg
+                .membership_parts()
+                .map(|(_, _, s)| s)
+                .or_else(|| self.msg.command_seq())
+                .expect("pending entries carry sequenced messages"),
+        }
+    }
 }
 
 impl ControlPlaneAgent {
@@ -1123,6 +1325,8 @@ impl ControlPlaneAgent {
             next_seq: 0,
             pending: Vec::new(),
             pending_membership: Vec::new(),
+            pending_commands: Vec::new(),
+            robustness: RobustnessConfig::default(),
             tel: DistTelemetry::disabled(),
         }
     }
@@ -1130,6 +1334,13 @@ impl ControlPlaneAgent {
     /// Attaches shared telemetry handles (counters + event log).
     pub fn with_telemetry(mut self, tel: DistTelemetry) -> Self {
         self.tel = tel;
+        self
+    }
+
+    /// Sets the fault-tolerance configuration (retransmit backoff cap
+    /// and give-up budget).
+    pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = robustness;
         self
     }
 
@@ -1141,6 +1352,11 @@ impl ControlPlaneAgent {
     /// Membership changes not yet acknowledged by every recipient.
     pub fn pending_membership(&self) -> usize {
         self.pending_membership.len()
+    }
+
+    /// Supervisor commands not yet acknowledged by every recipient.
+    pub fn pending_commands(&self) -> usize {
+        self.pending_commands.len()
     }
 
     /// Sequence numbers assigned so far.
@@ -1204,29 +1420,58 @@ impl ControlPlaneAgent {
     }
 }
 
-impl Actor for ControlPlaneAgent {
-    fn on_tick(&mut self, _now: f64, outbox: &mut Outbox) {
-        // Retransmit every unacknowledged update to every recipient still
-        // missing.
-        for p in &self.pending {
-            for &addr in &p.awaiting {
-                self.tel.retransmits.inc();
-                outbox.send(
-                    addr,
-                    Message::AvailabilityUpdate {
-                        resource: p.resource,
-                        availability: p.availability,
-                        seq: p.seq,
-                    },
+impl ControlPlaneAgent {
+    /// One retransmit tick over one pending queue: give up on entries
+    /// whose budget is spent (telemetry event instead of resending
+    /// forever), honor each survivor's backoff cooldown, and resend to
+    /// every still-silent recipient otherwise.
+    fn retransmit_queue(queue: &mut Vec<Pending>, policy: &RetransmitPolicy, outbox: &mut Outbox) {
+        queue.retain_mut(|p| {
+            if p.attempts >= policy.max_retransmits {
+                policy.tel.retransmit_give_ups.inc();
+                policy.tel.events.emit(
+                    TelemetryEvent::new(policy.now, "retransmit_give_up")
+                        .with("kind", p.msg.kind())
+                        .with("seq", p.seq())
+                        .with("unacked", p.awaiting.len()),
                 );
+                return false;
             }
-        }
-        for p in &self.pending_membership {
+            if p.cooldown > 0 {
+                p.cooldown -= 1;
+                return true;
+            }
             for &addr in &p.awaiting {
-                self.tel.retransmits.inc();
+                policy.tel.retransmits.inc();
                 outbox.send(addr, p.msg.clone());
             }
-        }
+            p.attempts += 1;
+            p.cooldown = (1u64 << p.attempts.min(63)).min(policy.cap).saturating_sub(1);
+            true
+        });
+    }
+}
+
+/// The per-tick retransmit parameters [`ControlPlaneAgent::on_tick`]
+/// threads through its queues.
+struct RetransmitPolicy<'a> {
+    now: f64,
+    cap: u64,
+    max_retransmits: u64,
+    tel: &'a DistTelemetry,
+}
+
+impl Actor for ControlPlaneAgent {
+    fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
+        let policy = RetransmitPolicy {
+            now,
+            cap: u64::from(self.robustness.retransmit_backoff_cap.max(1)),
+            max_retransmits: self.robustness.max_retransmits,
+            tel: &self.tel,
+        };
+        Self::retransmit_queue(&mut self.pending, &policy, outbox);
+        Self::retransmit_queue(&mut self.pending_membership, &policy, outbox);
+        Self::retransmit_queue(&mut self.pending_commands, &policy, outbox);
     }
 
     fn on_message(&mut self, _now: f64, msg: Message, outbox: &mut Outbox) {
@@ -1242,7 +1487,19 @@ impl Actor for ControlPlaneAgent {
                 outbox.send(addr, sequenced.clone());
             }
             self.note_membership_post(&sequenced);
-            self.pending_membership.push(PendingMembership { msg: sequenced, awaiting });
+            self.pending_membership.push(Pending::new(sequenced, awaiting));
+            return;
+        }
+        if let Some(0) = msg.command_seq() {
+            // Supervisor-submitted remediation command: same reliable
+            // dissemination, fanned out to every live agent.
+            self.next_seq += 1;
+            let sequenced = msg.with_command_seq(self.next_seq);
+            let awaiting = self.membership_recipients();
+            for &addr in &awaiting {
+                outbox.send(addr, sequenced.clone());
+            }
+            self.pending_commands.push(Pending::new(sequenced, awaiting));
             return;
         }
         match msg {
@@ -1250,14 +1507,15 @@ impl Actor for ControlPlaneAgent {
                 self.next_seq += 1;
                 let seq = self.next_seq;
                 let awaiting = self.recipients(resource);
+                let sequenced = Message::AvailabilityUpdate { resource, availability, seq };
                 for &addr in &awaiting {
-                    outbox.send(addr, Message::AvailabilityUpdate { resource, availability, seq });
+                    outbox.send(addr, sequenced.clone());
                 }
-                self.pending.push(PendingUpdate { resource, availability, seq, awaiting });
+                self.pending.push(Pending::new(sequenced, awaiting));
             }
             Message::AvailabilityAck { seq, from, .. } => {
                 for p in &mut self.pending {
-                    if p.seq == seq {
+                    if p.seq() == seq {
                         p.awaiting.retain(|&a| a != from);
                     }
                 }
@@ -1265,11 +1523,19 @@ impl Actor for ControlPlaneAgent {
             }
             Message::MembershipAck { seq, from, .. } => {
                 for p in &mut self.pending_membership {
-                    if p.msg.membership_parts().map(|(_, _, s)| s) == Some(seq) {
+                    if p.seq() == seq {
                         p.awaiting.retain(|&a| a != from);
                     }
                 }
                 self.pending_membership.retain(|p| !p.awaiting.is_empty());
+            }
+            Message::CommandAck { seq, from } => {
+                for p in &mut self.pending_commands {
+                    if p.seq() == seq {
+                        p.awaiting.retain(|&a| a != from);
+                    }
+                }
+                self.pending_commands.retain(|p| !p.awaiting.is_empty());
             }
             _ => {}
         }
@@ -1281,6 +1547,7 @@ impl Actor for ControlPlaneAgent {
         // counter, which the round-up on restart emulates.
         self.pending.clear();
         self.pending_membership.clear();
+        self.pending_commands.clear();
     }
 
     fn as_any(&mut self) -> &mut dyn std::any::Any {
@@ -1490,5 +1757,137 @@ mod tests {
         let mut ob = Outbox::default();
         cp.on_tick(4.0, &mut ob);
         assert!(ob.is_empty(), "an idle control plane is silent");
+    }
+
+    #[test]
+    fn control_plane_backs_off_exponentially_and_gives_up() {
+        use lla_telemetry::{EventLog, MetricsRegistry};
+        let registry = MetricsRegistry::new();
+        let tel = DistTelemetry::new(&registry, EventLog::recording());
+        let mut cp = ControlPlaneAgent::new(2, 2)
+            .with_robustness(RobustnessConfig {
+                retransmit_backoff_cap: 4,
+                max_retransmits: 3,
+                ..Default::default()
+            })
+            .with_telemetry(tel.clone());
+        let mut outbox = Outbox::default();
+        cp.on_message(
+            0.0,
+            Message::AvailabilityUpdate { resource: 0, availability: 0.5, seq: 0 },
+            &mut outbox,
+        );
+        assert_eq!(outbox.len(), 3, "initial fan-out is free");
+
+        // Nobody ever acks. The wait after attempt n is min(2^n, cap) - 1
+        // skipped ticks: attempt 1 then 1 skip, attempts 2 and 3 then 3
+        // skips each, then the budget (3) is spent and the entry drops.
+        let mut sends_per_tick = Vec::new();
+        for tick in 1..=11 {
+            let mut ob = Outbox::default();
+            cp.on_tick(f64::from(tick), &mut ob);
+            sends_per_tick.push(ob.len());
+        }
+        assert_eq!(sends_per_tick, vec![3, 0, 3, 0, 0, 0, 3, 0, 0, 0, 0]);
+        assert_eq!(cp.pending_updates(), 0, "give-up drops the entry");
+        assert_eq!(tel.retransmit_give_ups.get(), 1);
+        assert_eq!(tel.retransmits.get(), 9, "three attempts to three silent recipients");
+        let events = tel.events.snapshot();
+        let give_up = events
+            .iter()
+            .find(|e| e.kind == "retransmit_give_up")
+            .expect("give-up emits a telemetry event");
+        assert_eq!(give_up.field("unacked").map(ToString::to_string), Some("3".to_string()));
+
+        // The default config is the legacy behavior: every tick, forever.
+        let mut legacy = ControlPlaneAgent::new(2, 2);
+        let mut ob = Outbox::default();
+        legacy.on_message(
+            0.0,
+            Message::AvailabilityUpdate { resource: 0, availability: 0.5, seq: 0 },
+            &mut ob,
+        );
+        for tick in 1..=50 {
+            let mut ob = Outbox::default();
+            legacy.on_tick(f64::from(tick), &mut ob);
+            assert_eq!(ob.len(), 3, "defaults retransmit on every tick");
+        }
+        assert_eq!(legacy.pending_updates(), 1, "defaults never give up");
+    }
+
+    #[test]
+    fn resource_agent_dedupes_commands_and_acks_stale_ones() {
+        let p = problem();
+        let mut agent = ResourceAgent::new(0, p, StepSizePolicy::fixed(1.0));
+        let mut outbox = Outbox::default();
+        agent.on_message(0.0, Message::GammaCalm { max_multiple: 8.0, seq: 5 }, &mut outbox);
+        // A stale (lower-seq) command is acked — the original ack may have
+        // been lost — but must not be applied: no price re-announcement.
+        agent.on_message(1.0, Message::DualResync { seq: 4 }, &mut outbox);
+        let msgs = outbox.into_messages();
+        assert_eq!(msgs.len(), 2, "both commands acked, stale resync not applied");
+        assert!(msgs.iter().all(|(to, m)| *to == Address::ControlPlane
+            && matches!(m, Message::CommandAck { from: Address::Resource(0), .. })));
+
+        // A fresh resync is acked *and* re-announces the price to the
+        // subscribed controller immediately.
+        let mut outbox = Outbox::default();
+        agent.on_message(2.0, Message::DualResync { seq: 6 }, &mut outbox);
+        let msgs = outbox.into_messages();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs.iter().any(|(to, m)| *to == Address::ControlPlane
+            && matches!(m, Message::CommandAck { seq: 6, .. })));
+        assert!(msgs.iter().any(|(to, m)| *to == Address::Controller(0)
+            && matches!(m, Message::Price { resource: 0, .. })));
+    }
+
+    #[test]
+    fn controller_restore_rejects_mismatched_checkpoints_with_typed_errors() {
+        let p = problem();
+        let telemetry: SharedLats = Arc::new(Mutex::new(p.initial_allocation()));
+        let mut ctl = TaskController::new(
+            0,
+            p,
+            StepSizePolicy::fixed(1.0),
+            AllocationSettings { throughput_floor: false, ..Default::default() },
+            telemetry,
+        );
+        let mut outbox = Outbox::default();
+        ctl.on_message(0.0, Message::Price { resource: 0, mu: 9.0, congested: false }, &mut outbox);
+        ctl.on_message(
+            0.0,
+            Message::Price { resource: 1, mu: 16.0, congested: false },
+            &mut outbox,
+        );
+        ctl.on_tick(0.0, &mut outbox);
+        let good = ControllerCheckpoint {
+            state: ctl.export_state(),
+            congested: vec![false, false],
+            at: 0.0,
+            epoch: ctl.epoch(),
+        };
+
+        // Epoch mismatch: a checkpoint from an older topology must be
+        // rejected without touching the controller.
+        let before = ctl.lats().to_vec();
+        let stale = ControllerCheckpoint { epoch: good.epoch + 1, ..good.clone() };
+        match ctl.try_restore(&stale) {
+            Err(StateImportError::EpochMismatch { expected, found }) => {
+                assert_eq!(expected, good.epoch);
+                assert_eq!(found, good.epoch + 1);
+            }
+            other => panic!("expected EpochMismatch, got {other:?}"),
+        }
+        assert_eq!(ctl.lats(), before.as_slice(), "rejected restore leaves state untouched");
+
+        // Congestion vector shaped for a different resource set.
+        let misshapen = ControllerCheckpoint { congested: vec![false], ..good.clone() };
+        assert!(matches!(
+            ctl.try_restore(&misshapen),
+            Err(StateImportError::ResourceCountMismatch { expected: 2, found: 1 })
+        ));
+
+        // The matching checkpoint restores cleanly.
+        assert!(ctl.try_restore(&good).is_ok());
     }
 }

@@ -22,6 +22,10 @@
 //!   share one implementation. Controllers checkpoint into a
 //!   [`CheckpointStore`](agents::CheckpointStore) and degrade gracefully
 //!   when prices go stale (see [`RobustnessConfig`](agents::RobustnessConfig)).
+//! * [`supervisor`] — [`SupervisorEngine`]: closed-loop self-healing —
+//!   diagnostic verdicts drive graduated remediation (gamma calm,
+//!   checkpoint rollback, dual re-sync, escalating shedding) and
+//!   price-driven elastic replica capacity.
 //! * [`system`] — [`DistributedLla`]: a full deployment on the virtual
 //!   runtime. With a perfect network and round-based ticking it is
 //!   **bit-equivalent** to the centralized [`lla_core::Optimizer`] (tested);
@@ -37,6 +41,7 @@ pub mod fault;
 pub mod network;
 pub mod protocol;
 pub mod runtime;
+pub mod supervisor;
 pub mod system;
 pub mod telemetry;
 pub mod threaded;
@@ -49,6 +54,9 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use network::{NetworkModel, NetworkSampler};
 pub use protocol::{Address, Message};
 pub use runtime::{Actor, Outbox, VirtualRuntime};
+pub use supervisor::{
+    run_supervised, Remediation, RemediationKind, SupervisorConfig, SupervisorEngine,
+};
 pub use system::{DistConfig, DistributedLla};
 pub use telemetry::DistTelemetry;
 pub use threaded::{ShutdownError, ThreadedLla};

@@ -165,6 +165,50 @@ pub enum Message {
         /// The acknowledging agent.
         from: Address,
     },
+    /// Control plane → agents: the resource in `slot` now runs `replicas`
+    /// interchangeable replicas as of topology `epoch` (elastic capacity:
+    /// effective `B_r` scales with the count). Rides the reliable
+    /// membership machinery — the epoch's problem snapshot already
+    /// carries the new count, so recipients warm-start across it like any
+    /// other membership change.
+    ReplicaUpdate {
+        /// Slot of the scaled resource.
+        slot: usize,
+        /// The new replica count.
+        replicas: u32,
+        /// Topology epoch with the new capacity.
+        epoch: u64,
+        /// Control-plane sequence (0 on supervisor/operator commands).
+        seq: u64,
+    },
+    /// Supervisor → agents (via the control plane, reliable): gamma-thrash
+    /// remediation. Every recipient resets its adaptive step sizes to the
+    /// policy's initial value and clamps future growth to
+    /// `initial × max_multiple` (see
+    /// [`PriceState::calm_gammas`](lla_core::PriceState::calm_gammas)).
+    GammaCalm {
+        /// New growth cap as a multiple of the initial step size (`≥ 1`).
+        max_multiple: f64,
+        /// Control-plane sequence (0 on supervisor commands).
+        seq: u64,
+    },
+    /// Supervisor → agents (via the control plane, reliable): stall
+    /// remediation probe. Recipients immediately re-announce their current
+    /// state — resources rebroadcast prices, controllers re-send
+    /// latencies — refreshing peers' staleness clocks without waiting for
+    /// the next tick phase.
+    DualResync {
+        /// Control-plane sequence (0 on supervisor commands).
+        seq: u64,
+    },
+    /// Agent → control plane: acknowledges the supervisor command
+    /// carrying `seq`.
+    CommandAck {
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// The acknowledging agent.
+        from: Address,
+    },
 }
 
 impl Message {
@@ -182,6 +226,10 @@ impl Message {
             Message::ResourceRetire { .. } => "resource-retire",
             Message::Evict { .. } => "evict",
             Message::MembershipAck { .. } => "membership-ack",
+            Message::ReplicaUpdate { .. } => "replica-update",
+            Message::GammaCalm { .. } => "gamma-calm",
+            Message::DualResync { .. } => "dual-resync",
+            Message::CommandAck { .. } => "command-ack",
         }
     }
 
@@ -193,7 +241,8 @@ impl Message {
             | Message::TaskLeave { slot, epoch, seq }
             | Message::ResourceJoin { slot, epoch, seq }
             | Message::ResourceRetire { slot, epoch, seq }
-            | Message::Evict { slot, epoch, seq } => Some((slot, epoch, seq)),
+            | Message::Evict { slot, epoch, seq }
+            | Message::ReplicaUpdate { slot, epoch, seq, .. } => Some((slot, epoch, seq)),
             _ => None,
         }
     }
@@ -212,8 +261,34 @@ impl Message {
             | Message::TaskLeave { seq, .. }
             | Message::ResourceJoin { seq, .. }
             | Message::ResourceRetire { seq, .. }
-            | Message::Evict { seq, .. } => *seq = new_seq,
+            | Message::Evict { seq, .. }
+            | Message::ReplicaUpdate { seq, .. } => *seq = new_seq,
             other => panic!("not a membership message: {other:?}"),
+        }
+        m
+    }
+
+    /// For supervisor commands ([`GammaCalm`](Message::GammaCalm),
+    /// [`DualResync`](Message::DualResync)), the sequence number; `None`
+    /// otherwise.
+    pub fn command_seq(&self) -> Option<u64> {
+        match *self {
+            Message::GammaCalm { seq, .. } | Message::DualResync { seq } => Some(seq),
+            _ => None,
+        }
+    }
+
+    /// A copy of a supervisor command with the control-plane sequence
+    /// replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-command message.
+    pub fn with_command_seq(&self, new_seq: u64) -> Message {
+        let mut m = self.clone();
+        match &mut m {
+            Message::GammaCalm { seq, .. } | Message::DualResync { seq } => *seq = new_seq,
+            other => panic!("not a supervisor command: {other:?}"),
         }
         m
     }
@@ -247,10 +322,30 @@ mod tests {
             (Message::ResourceRetire { slot: 0, epoch: 1, seq: 1 }, "resource-retire"),
             (Message::Evict { slot: 0, epoch: 1, seq: 1 }, "evict"),
             (Message::MembershipAck { epoch: 1, seq: 1, from }, "membership-ack"),
+            (Message::ReplicaUpdate { slot: 0, replicas: 2, epoch: 1, seq: 1 }, "replica-update"),
+            (Message::GammaCalm { max_multiple: 4.0, seq: 1 }, "gamma-calm"),
+            (Message::DualResync { seq: 1 }, "dual-resync"),
+            (Message::CommandAck { seq: 1, from }, "command-ack"),
         ];
         for (msg, kind) in msgs {
             assert_eq!(msg.kind(), kind);
         }
+    }
+
+    #[test]
+    fn replica_update_is_a_membership_message() {
+        let m = Message::ReplicaUpdate { slot: 2, replicas: 3, epoch: 5, seq: 0 };
+        assert_eq!(m.membership_parts(), Some((2, 5, 0)));
+        assert_eq!(m.with_membership_seq(8).membership_parts(), Some((2, 5, 8)));
+    }
+
+    #[test]
+    fn command_seq_round_trip() {
+        let calm = Message::GammaCalm { max_multiple: 2.0, seq: 0 };
+        assert_eq!(calm.command_seq(), Some(0));
+        assert_eq!(calm.with_command_seq(4).command_seq(), Some(4));
+        assert_eq!(Message::DualResync { seq: 7 }.command_seq(), Some(7));
+        assert_eq!(Message::Price { resource: 0, mu: 0.0, congested: false }.command_seq(), None);
     }
 
     #[test]

@@ -1,0 +1,514 @@
+//! Closed-loop self-healing: a supervisor that watches the deployment's
+//! convergence diagnostics and applies graduated remediation.
+//!
+//! The [`SupervisorEngine`] closes the loop that PR 5 left open: the
+//! [`DiagnosticsEngine`](lla_telemetry::DiagnosticsEngine) can already
+//! *classify* a run (converging / oscillating / gamma-thrash / diverging
+//! / stalled), and PR 4's overload governor can already *shed*; this
+//! module turns those read-only verdicts into deterministic actions on
+//! the live deployment:
+//!
+//! | condition (sustained)        | remediation                                     |
+//! |------------------------------|-------------------------------------------------|
+//! | gamma thrash                 | [`GammaCalm`](crate::protocol::Message::GammaCalm) broadcast — reset adaptive steps, clamp growth; escalates by tightening the clamp |
+//! | divergence                   | checkpoint rollback — brief scripted crash of every live controller, restoring epoch-validated checkpoints on restart |
+//! | stall (frozen / pinned)      | [`DualResync`](crate::protocol::Message::DualResync) probe — every agent re-announces its duals, refreshing staleness clocks |
+//! | sustained overload           | provision an elastic replica on the priciest saturated resource; if capacity is exhausted, escalating utility-aware shedding |
+//! | high price + saturation      | provision an elastic replica (price-driven capacity) |
+//! | idle replica + zero price    | retire an elastic replica (wide hysteresis band)    |
+//!
+//! Every action flows through the same facade paths ordinary membership
+//! uses (topology epochs + reliable control-plane dissemination), every
+//! decision input is derived from the virtual clock and seeded state, and
+//! the engine itself draws no randomness — two seeded supervised runs are
+//! bit-identical, and a disabled supervisor touches nothing at all (the
+//! deployment's event log stays byte-identical to an unsupervised run).
+//!
+//! All policy thresholds are documented `pub const`s (mirroring the
+//! diagnostics module); [`SupervisorConfig`] carries them so individual
+//! deployments can tune without recompiling.
+
+use lla_core::{select_victim, IterationReport, OverloadConfig, OverloadMonitor};
+use lla_telemetry::{DiagnosticsEngine, Event as TelemetryEvent, Verdict};
+
+use crate::fault::FaultPlan;
+use crate::protocol::Address;
+use crate::system::DistributedLla;
+
+/// Rounds between supervisor checks (diagnostic sample + possible
+/// action). Five rounds ≈ one price/latency settling exchange.
+pub const CHECK_INTERVAL_ROUNDS: usize = 5;
+
+/// Diagnostic window, in checks, fed to the verdict classifier.
+pub const SUPERVISOR_WINDOW: usize = 32;
+
+/// Checks skipped after any remediation before the next one may fire —
+/// the hysteresis that lets an action take effect before it is judged.
+pub const ACTION_COOLDOWN_CHECKS: u32 = 8;
+
+/// First gamma-calm clamp: adaptive step sizes may grow to at most this
+/// multiple of their initial value after the calm.
+pub const CALM_INITIAL_MULTIPLE: f64 = 8.0;
+
+/// Each escalated calm tightens the clamp by this factor.
+pub const CALM_TIGHTEN: f64 = 0.5;
+
+/// The clamp never tightens below this multiple (γ pinned at initial).
+pub const CALM_FLOOR_MULTIPLE: f64 = 1.0;
+
+/// Rollback outage length, in rounds: how long controllers stay down
+/// during a checkpoint-rollback remediation.
+pub const ROLLBACK_OUTAGE_ROUNDS: f64 = 0.5;
+
+/// Price at or above which a resource is provision-eligible.
+pub const PROVISION_PRICE_THRESHOLD: f64 = 1.0;
+
+/// Usage/availability at or above which a pricey resource counts as
+/// saturated (the admission probe for placement).
+pub const PROVISION_USAGE_FRACTION: f64 = 0.95;
+
+/// Consecutive checks of price-over-threshold saturation before a
+/// replica is provisioned.
+pub const PROVISION_SUSTAIN_CHECKS: u32 = 6;
+
+/// Price at or below which a replica counts as idle (retire-eligible).
+pub const RETIRE_PRICE_EPSILON: f64 = 1e-6;
+
+/// Usage/availability at or below which a zero-price resource counts as
+/// idle. The wide gap to [`PROVISION_USAGE_FRACTION`] is the
+/// provision/retire hysteresis band.
+pub const RETIRE_USAGE_FRACTION: f64 = 0.4;
+
+/// Consecutive idle checks before a replica is retired (longer than the
+/// provision sustain: capacity is cheap, thrash is not).
+pub const RETIRE_SUSTAIN_CHECKS: u32 = 12;
+
+/// Replica ceiling per resource.
+pub const MAX_REPLICAS: u32 = 8;
+
+/// Supervisor policy knobs. [`Default`] wires the documented consts;
+/// `enabled: false` makes the engine inert (no samples, no actions — the
+/// deployment behaves bit-identically to an unsupervised run).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Master switch; `false` disables sampling and every action.
+    pub enabled: bool,
+    /// Rounds between checks ([`CHECK_INTERVAL_ROUNDS`]).
+    pub check_interval_rounds: usize,
+    /// Diagnostic window in checks ([`SUPERVISOR_WINDOW`]).
+    pub window: usize,
+    /// Checks skipped after an action ([`ACTION_COOLDOWN_CHECKS`]).
+    pub action_cooldown_checks: u32,
+    /// Replica ceiling per resource ([`MAX_REPLICAS`]).
+    pub max_replicas: u32,
+    /// Provision price bar ([`PROVISION_PRICE_THRESHOLD`]).
+    pub provision_price_threshold: f64,
+    /// Whether elastic capacity (provision/retire) is allowed; with
+    /// `false` the supervisor falls back to shedding alone.
+    pub elastic: bool,
+    /// Overload detector settings, counted in *checks* (not rounds).
+    pub overload: OverloadConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: true,
+            check_interval_rounds: CHECK_INTERVAL_ROUNDS,
+            window: SUPERVISOR_WINDOW,
+            action_cooldown_checks: ACTION_COOLDOWN_CHECKS,
+            max_replicas: MAX_REPLICAS,
+            provision_price_threshold: PROVISION_PRICE_THRESHOLD,
+            elastic: true,
+            overload: OverloadConfig {
+                violation_threshold: 0.05,
+                sustain_iters: 6,
+                cooldown_iters: 24,
+            },
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// An inert supervisor: no samples taken, no actions applied.
+    pub fn disabled() -> Self {
+        SupervisorConfig { enabled: false, ..SupervisorConfig::default() }
+    }
+}
+
+/// Stable remediation names (events, CSV, and report surfaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemediationKind {
+    /// Broadcast step-size reset + growth clamp.
+    GammaCalm,
+    /// Scripted controller outage restoring epoch-valid checkpoints.
+    Rollback,
+    /// Broadcast dual re-announcement probe.
+    DualResync,
+    /// Utility-aware eviction of the lowest-marginal elastic task.
+    Shed,
+    /// Elastic replica added to a saturated, pricey resource.
+    Provision,
+    /// Elastic replica removed from an idle, price-free resource.
+    Retire,
+}
+
+impl RemediationKind {
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RemediationKind::GammaCalm => "gamma-calm",
+            RemediationKind::Rollback => "rollback",
+            RemediationKind::DualResync => "dual-resync",
+            RemediationKind::Shed => "shed",
+            RemediationKind::Provision => "provision",
+            RemediationKind::Retire => "retire",
+        }
+    }
+}
+
+/// One action the supervisor applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Remediation {
+    /// Protocol round at which the action fired.
+    pub round: usize,
+    /// What was done.
+    pub kind: RemediationKind,
+    /// Affected slot (resource for provision/retire, task for shed).
+    pub slot: Option<usize>,
+    /// Action magnitude: clamp multiple, replica count, victims shed.
+    pub value: f64,
+}
+
+/// The closed-loop supervisor. Drive it by alternating
+/// [`DistributedLla::run_rounds`] with [`check`](Self::check), or let
+/// [`run_supervised`] do the pacing.
+#[derive(Debug)]
+pub struct SupervisorEngine {
+    config: SupervisorConfig,
+    diag: DiagnosticsEngine,
+    monitor: OverloadMonitor,
+    checks: usize,
+    cooldown: u32,
+    calm_multiple: f64,
+    shed_batch: usize,
+    provision_streak: u32,
+    retire_streak: (usize, u32),
+    actions: Vec<Remediation>,
+}
+
+impl SupervisorEngine {
+    /// A supervisor with the given policy.
+    pub fn new(config: SupervisorConfig) -> Self {
+        let diag = DiagnosticsEngine::with_window(config.window);
+        let monitor = OverloadMonitor::new(config.overload);
+        SupervisorEngine {
+            config,
+            diag,
+            monitor,
+            checks: 0,
+            cooldown: 0,
+            calm_multiple: CALM_INITIAL_MULTIPLE,
+            shed_batch: 1,
+            provision_streak: 0,
+            retire_streak: (usize::MAX, 0),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Every remediation applied so far, in order.
+    pub fn actions(&self) -> &[Remediation] {
+        &self.actions
+    }
+
+    /// Checks performed so far.
+    pub fn checks(&self) -> usize {
+        self.checks
+    }
+
+    /// The latest diagnosis of the supervisor's own window.
+    pub fn diagnosis(&self) -> lla_telemetry::Diagnosis {
+        self.diag.diagnose()
+    }
+
+    /// One supervision step: sample the deployment, classify, and apply
+    /// at most one remediation class (graduated, cooldown-gated).
+    /// Returns the actions applied this check (empty on a healthy or
+    /// cooling system).
+    pub fn check(&mut self, dist: &mut DistributedLla) -> Vec<Remediation> {
+        if !self.config.enabled {
+            return Vec::new();
+        }
+        self.checks += 1;
+        let sample = dist.diag_sample();
+        self.diag.push(sample);
+
+        // The overload detector observes every check, cooldown or not —
+        // its sustain counter must track real time.
+        let lats = dist.allocation();
+        let report = IterationReport {
+            iteration: self.checks,
+            utility: dist.utility(),
+            max_resource_violation: dist.problem().max_resource_violation(lats.lats()),
+            max_path_violation: dist.problem().max_path_violation(lats.lats()),
+        };
+        let overloaded = self.monitor.observe(&report);
+
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Vec::new();
+        }
+
+        let diagnosis = self.diag.diagnose();
+        let mut fired = Vec::new();
+        if overloaded {
+            // Sustained overload outranks the verdict: it *causes*
+            // divergence, and capacity/shedding (not rollback) is the
+            // graduated response to it.
+            self.remediate_overload(dist, &mut fired);
+        } else {
+            self.shed_batch = 1;
+        }
+        // Verdict-driven remediation — also the fallback when overload
+        // remediation is exhausted (every task inelastic, capacity at
+        // the ceiling): a thrash or stall verdict still gets its cure.
+        if fired.is_empty() {
+            if diagnosis.confident {
+                match diagnosis.verdict {
+                    Verdict::Stalled => self.remediate_stall(dist, &mut fired),
+                    Verdict::GammaThrash => self.remediate_thrash(dist, &mut fired),
+                    Verdict::Diverging => self.remediate_divergence(dist, &mut fired),
+                    Verdict::Converging | Verdict::Oscillating => {
+                        // A settled window ends the calm-escalation episode.
+                        if diagnosis.verdict == Verdict::Converging {
+                            self.calm_multiple = CALM_INITIAL_MULTIPLE;
+                        }
+                    }
+                }
+            }
+            if fired.is_empty() && !overloaded {
+                self.elastic_step(dist, &mut fired);
+            }
+        }
+        if !fired.is_empty() {
+            self.cooldown = self.config.action_cooldown_checks;
+        }
+        self.actions.extend(fired.iter().cloned());
+        fired
+    }
+
+    fn record(
+        &mut self,
+        dist: &DistributedLla,
+        kind: RemediationKind,
+        slot: Option<usize>,
+        value: f64,
+        fired: &mut Vec<Remediation>,
+    ) {
+        let tel = dist.dist_telemetry();
+        tel.remediations.inc();
+        let mut ev = TelemetryEvent::new(dist.runtime().now(), "remediation")
+            .with("action", kind.as_str())
+            .with("value", value);
+        if let Some(s) = slot {
+            ev = ev.with("slot", s);
+        }
+        tel.events.emit(ev);
+        fired.push(Remediation { round: dist.rounds(), kind, slot, value });
+    }
+
+    /// Stall: frozen agents or pinned prices while infeasible. A dual
+    /// re-sync probe makes every agent re-announce immediately, which
+    /// refreshes staleness clocks without waiting for tick phases.
+    fn remediate_stall(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        dist.broadcast_dual_resync();
+        self.diag.clear();
+        self.record(dist, RemediationKind::DualResync, None, 0.0, fired);
+    }
+
+    /// Gamma thrash: adaptive steps repeatedly doubling and resetting.
+    /// Calm resets them and clamps future growth; each escalation within
+    /// an episode tightens the clamp by [`CALM_TIGHTEN`].
+    fn remediate_thrash(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        let clamp = self.calm_multiple;
+        dist.broadcast_gamma_calm(clamp);
+        self.calm_multiple = (clamp * CALM_TIGHTEN).max(CALM_FLOOR_MULTIPLE);
+        self.diag.clear();
+        self.record(dist, RemediationKind::GammaCalm, None, clamp, fired);
+    }
+
+    /// Divergence: sustained constraint violation with no downward
+    /// trend — the duals are poisoned. A brief scripted outage of every
+    /// live controller forces a restart; each controller restores its
+    /// last epoch-valid checkpoint (warm rollback) or restarts cold if
+    /// validation rejects it.
+    fn remediate_divergence(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        let now = dist.runtime().now();
+        let outage = ROLLBACK_OUTAGE_ROUNDS * dist.config().round_length;
+        let mut plan = FaultPlan::new();
+        let slots: Vec<usize> = dist.task_slots().to_vec();
+        for &slot in &slots {
+            plan = plan.crash_for(now + 1e-9, outage, Address::Controller(slot));
+        }
+        dist.schedule_faults(&plan);
+        self.diag.clear();
+        self.record(dist, RemediationKind::Rollback, None, slots.len() as f64, fired);
+    }
+
+    /// Sustained overload: capacity first (provision the priciest
+    /// saturated resource), shedding as the fallback — and the shed
+    /// batch escalates on every consecutive overloaded action.
+    fn remediate_overload(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        if self.try_provision(dist, fired) {
+            return;
+        }
+        let batch = self.shed_batch;
+        for _ in 0..batch {
+            let lats = dist.allocation();
+            let Some(victim) = select_victim(dist.problem(), lats.lats()) else {
+                break;
+            };
+            let slot = dist.task_slots()[victim.index()];
+            dist.evict_task(slot).expect("victim is live");
+            self.monitor.note_eviction();
+            self.record(dist, RemediationKind::Shed, Some(slot), batch as f64, fired);
+        }
+        if fired.is_empty() {
+            // Every task is inelastic and capacity is exhausted: nothing
+            // graduated is left. Surface it rather than spin.
+            dist.dist_telemetry().events.emit(
+                TelemetryEvent::new(dist.runtime().now(), "remediation_exhausted")
+                    .with("violation", self.diag.diagnose().violation_factor),
+            );
+        } else {
+            self.shed_batch += 1;
+        }
+    }
+
+    /// Price-driven elastic capacity outside overload: provision on a
+    /// sustained pricey+saturated signal, retire on a sustained
+    /// idle+price-free signal. The provision and retire bars are far
+    /// apart ([`PROVISION_USAGE_FRACTION`] vs [`RETIRE_USAGE_FRACTION`])
+    /// so the loop cannot flap.
+    fn elastic_step(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        if !self.config.elastic {
+            return;
+        }
+        if self.provision_candidate(dist).is_some() {
+            self.provision_streak += 1;
+            if self.provision_streak >= PROVISION_SUSTAIN_CHECKS {
+                self.try_provision(dist, fired);
+            }
+        } else {
+            self.provision_streak = 0;
+        }
+        if !fired.is_empty() {
+            return;
+        }
+        if let Some(slot) = self.retire_candidate(dist) {
+            let streak = if self.retire_streak.0 == slot { self.retire_streak.1 + 1 } else { 1 };
+            self.retire_streak = (slot, streak);
+            if streak >= RETIRE_SUSTAIN_CHECKS {
+                let replicas = dist.resource_replicas(slot).expect("candidate is live") - 1;
+                dist.set_resource_replicas(slot, replicas).expect("candidate is live");
+                self.retire_streak = (usize::MAX, 0);
+                self.record(dist, RemediationKind::Retire, Some(slot), f64::from(replicas), fired);
+            }
+        } else {
+            self.retire_streak = (usize::MAX, 0);
+        }
+    }
+
+    /// The priciest saturated resource still under the replica ceiling,
+    /// as `(slot, price)` — the admission probe for placement.
+    fn provision_candidate(&self, dist: &mut DistributedLla) -> Option<(usize, f64)> {
+        let lats = dist.allocation();
+        let mut best: Option<(usize, f64)> = None;
+        for dense in 0..dist.problem().resources().len() {
+            let slot = dist.resource_slots()[dense];
+            let Some(mu) = dist.resource_price(slot) else { continue };
+            let problem = dist.problem();
+            let r = &problem.resources()[dense];
+            let usage = problem.resource_usage(r.id(), lats.lats());
+            let saturated =
+                r.availability() > 0.0 && usage / r.availability() >= PROVISION_USAGE_FRACTION;
+            if mu >= self.config.provision_price_threshold
+                && saturated
+                && r.replicas() < self.config.max_replicas
+                && best.is_none_or(|(_, b)| mu > b)
+            {
+                best = Some((slot, mu));
+            }
+        }
+        best
+    }
+
+    /// An idle elastic resource: more than one replica, zero price, low
+    /// usage. Lowest-price first; dense order breaks ties.
+    fn retire_candidate(&self, dist: &mut DistributedLla) -> Option<usize> {
+        let lats = dist.allocation();
+        for dense in 0..dist.problem().resources().len() {
+            let slot = dist.resource_slots()[dense];
+            let Some(mu) = dist.resource_price(slot) else { continue };
+            let problem = dist.problem();
+            let r = &problem.resources()[dense];
+            let usage = problem.resource_usage(r.id(), lats.lats());
+            if r.replicas() > 1
+                && mu <= RETIRE_PRICE_EPSILON
+                && r.availability() > 0.0
+                && usage / r.availability() <= RETIRE_USAGE_FRACTION
+            {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Provisions one replica on the current candidate; `true` if an
+    /// action fired.
+    fn try_provision(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) -> bool {
+        if !self.config.elastic {
+            return false;
+        }
+        let Some((slot, _)) = self.provision_candidate(dist) else {
+            return false;
+        };
+        let replicas = dist.resource_replicas(slot).expect("candidate is live") + 1;
+        dist.set_resource_replicas(slot, replicas).expect("candidate is live");
+        self.monitor.note_admission();
+        self.provision_streak = 0;
+        self.record(dist, RemediationKind::Provision, Some(slot), f64::from(replicas), fired);
+        true
+    }
+}
+
+/// Runs `rounds` protocol rounds with supervision interleaved every
+/// [`check_interval_rounds`](SupervisorConfig::check_interval_rounds).
+/// With a disabled supervisor this is exactly
+/// [`DistributedLla::run_rounds`] — same rounds, same messages, same
+/// event log bytes. Returns the remediations applied during this span.
+pub fn run_supervised(
+    dist: &mut DistributedLla,
+    sup: &mut SupervisorEngine,
+    rounds: usize,
+) -> Vec<Remediation> {
+    if !sup.config().enabled {
+        dist.run_rounds(rounds);
+        return Vec::new();
+    }
+    let interval = sup.config().check_interval_rounds.max(1);
+    let mut fired = Vec::new();
+    let mut done = 0;
+    while done < rounds {
+        let chunk = interval.min(rounds - done);
+        dist.run_rounds(chunk);
+        done += chunk;
+        fired.extend(sup.check(dist));
+    }
+    fired
+}

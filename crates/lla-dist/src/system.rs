@@ -194,6 +194,7 @@ impl DistributedLla {
             Address::ControlPlane,
             Box::new(
                 ControlPlaneAgent::new(problem.tasks().len(), problem.resources().len())
+                    .with_robustness(config.robustness)
                     .with_telemetry(tel.clone()),
             ),
             config.robustness.retransmit_interval,
@@ -230,6 +231,17 @@ impl DistributedLla {
     /// The deployed problem.
     pub fn problem(&self) -> &Problem {
         &self.problem
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.config
+    }
+
+    /// Current price `μ` of the live resource agent in `slot` (`None`
+    /// while the agent is crashed or the slot is dormant).
+    pub fn resource_price(&mut self, slot: usize) -> Option<f64> {
+        self.runtime.actor_as::<ResourceAgent>(Address::Resource(slot)).map(|a| a.mu())
     }
 
     /// The underlying virtual runtime (fault counters, clock).
@@ -323,9 +335,9 @@ impl DistributedLla {
     /// Prices come from the live resource agents; `frozen_agents` counts
     /// agents currently in staleness-TTL degraded mode; the relative
     /// price step is measured between consecutive `diag_sample` calls.
-    /// `gamma_doublings` is reported as 0 — per-agent step adaptation is
-    /// not aggregated across the deployment (the gamma-thrash verdict is
-    /// a centralized-optimizer diagnostic).
+    /// `gamma_doublings` sums the step-adaptation growth events of every
+    /// live agent's price state — an agent crash resets its contribution,
+    /// which the engine's saturating window delta absorbs.
     pub fn diag_sample(&mut self) -> DiagSample {
         let lats = self.dense_lats();
         let mut worst = 0.0f64;
@@ -347,11 +359,13 @@ impl DistributedLla {
             }
         }
         let mut frozen = 0u64;
+        let mut doublings = 0u64;
         let mut prices = Vec::with_capacity(self.resource_slots.len());
         for &slot in &self.resource_slots {
             match self.runtime.actor_as::<ResourceAgent>(Address::Resource(slot)) {
                 Some(agent) => {
                     prices.push(agent.mu());
+                    doublings += agent.gamma_doublings();
                     if agent.is_degraded() {
                         frozen += 1;
                     }
@@ -361,6 +375,7 @@ impl DistributedLla {
         }
         for &slot in &self.task_slots {
             if let Some(ctl) = self.runtime.actor_as::<TaskController>(Address::Controller(slot)) {
+                doublings += ctl.gamma_doublings();
                 if ctl.is_degraded() {
                     frozen += 1;
                 }
@@ -380,7 +395,7 @@ impl DistributedLla {
             iteration: self.rounds as u64,
             utility: self.utility(),
             worst_violation_factor: worst,
-            gamma_doublings: 0,
+            gamma_doublings: doublings,
             max_rel_price_step,
             frozen_agents: frozen,
             prices,
@@ -673,6 +688,85 @@ impl DistributedLla {
             Message::ResourceRetire { slot, epoch: self.epoch, seq: 0 },
         );
         Ok(moved)
+    }
+
+    /// Replica count of the resource in `slot`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] if no live resource occupies
+    /// `slot`.
+    pub fn resource_replicas(&self, slot: usize) -> Result<u32, ModelError> {
+        Ok(self.problem.resources()[self.resource_dense(slot)?].replicas())
+    }
+
+    /// Elastic capacity: sets the replica count of the resource in
+    /// `slot`. Effective availability scales to `replicas × base`; the
+    /// change is recorded as a new topology epoch (cause
+    /// [`ReplicaProvision`](MembershipCause::ReplicaProvision) or
+    /// [`ReplicaRetire`](MembershipCause::ReplicaRetire)) and announced
+    /// through the control plane's reliable membership path, so every
+    /// agent warm-starts across it like any other capacity change.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] if no live resource occupies
+    /// `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` (retire the resource instead).
+    pub fn set_resource_replicas(&mut self, slot: usize, replicas: u32) -> Result<(), ModelError> {
+        assert!(replicas > 0, "replicas must be >= 1; retire the resource instead");
+        let dense = self.resource_dense(slot)?;
+        let problem = Arc::make_mut(&mut self.problem);
+        let id = problem.resources()[dense].id();
+        let before = problem.resources()[dense].replicas();
+        if replicas == before {
+            return Ok(());
+        }
+        problem.set_resource_replicas(id, replicas);
+        let (cause, kind) = if replicas > before {
+            self.tel.replica_provisions.inc();
+            (MembershipCause::ReplicaProvision, "replica_provision")
+        } else {
+            self.tel.replica_retires.inc();
+            (MembershipCause::ReplicaRetire, "replica_retire")
+        };
+        self.push_epoch(cause);
+        self.tel.membership_changes.inc();
+        self.tel.events.emit(
+            TelemetryEvent::new(self.runtime.now(), kind)
+                .with("slot", slot)
+                .with("replicas", u64::from(replicas))
+                .with("epoch", self.epoch),
+        );
+        self.runtime.inject(
+            Address::ControlPlane,
+            Message::ReplicaUpdate { slot, replicas, epoch: self.epoch, seq: 0 },
+        );
+        Ok(())
+    }
+
+    /// Supervisor remediation: broadcast a [`Message::GammaCalm`] through
+    /// the control plane's reliable path — every live agent resets its
+    /// adaptive step sizes and clamps future growth to
+    /// `initial × max_multiple`.
+    pub fn broadcast_gamma_calm(&mut self, max_multiple: f64) {
+        self.tel.events.emit(
+            TelemetryEvent::new(self.runtime.now(), "gamma_calm")
+                .with("max_multiple", max_multiple),
+        );
+        self.runtime.inject(Address::ControlPlane, Message::GammaCalm { max_multiple, seq: 0 });
+    }
+
+    /// Supervisor remediation: broadcast a [`Message::DualResync`] probe
+    /// through the control plane's reliable path — every live agent
+    /// immediately re-announces its current prices/latencies, refreshing
+    /// peers' staleness clocks.
+    pub fn broadcast_dual_resync(&mut self) {
+        self.tel.events.emit(TelemetryEvent::new(self.runtime.now(), "dual_resync"));
+        self.runtime.inject(Address::ControlPlane, Message::DualResync { seq: 0 });
     }
 }
 

@@ -56,12 +56,22 @@ pub struct DistTelemetry {
     pub degraded_ticks: Counter,
     /// Reliable-dissemination retransmissions (unacked updates resent).
     pub retransmits: Counter,
+    /// Pending updates abandoned after exhausting the retransmit budget.
+    pub retransmit_give_ups: Counter,
+    /// Checkpoint restores refused by epoch/shape validation.
+    pub checkpoint_rejections: Counter,
     /// Membership changes applied through the facade.
     pub membership_changes: Counter,
     /// Tasks shed by the overload governor.
     pub sheds: Counter,
     /// Epoch applications where an agent's warm duals survived the jump.
     pub warm_start_hits: Counter,
+    /// Remediation actions taken by the supervisor.
+    pub remediations: Counter,
+    /// Elastic replicas provisioned by the supervisor.
+    pub replica_provisions: Counter,
+    /// Elastic replicas retired by the supervisor.
+    pub replica_retires: Counter,
 }
 
 impl DistTelemetry {
@@ -115,6 +125,14 @@ impl DistTelemetry {
                 "lla_dist_retransmits_total",
                 "reliable-dissemination retransmissions (unacked updates resent)",
             ),
+            retransmit_give_ups: c(
+                "lla_dist_retransmit_give_ups_total",
+                "pending updates abandoned after exhausting the retransmit budget",
+            ),
+            checkpoint_rejections: c(
+                "lla_dist_checkpoint_rejections_total",
+                "checkpoint restores refused by epoch/shape validation",
+            ),
             membership_changes: c(
                 "lla_dist_membership_changes_total",
                 "membership changes applied through the facade",
@@ -123,6 +141,18 @@ impl DistTelemetry {
             warm_start_hits: c(
                 "lla_dist_warm_start_hits_total",
                 "epoch applications where an agent's warm duals survived",
+            ),
+            remediations: c(
+                "lla_dist_remediations_total",
+                "remediation actions taken by the supervisor",
+            ),
+            replica_provisions: c(
+                "lla_dist_replica_provisions_total",
+                "elastic replicas provisioned by the supervisor",
+            ),
+            replica_retires: c(
+                "lla_dist_replica_retires_total",
+                "elastic replicas retired by the supervisor",
             ),
         }
     }

@@ -16,7 +16,9 @@
 //!   --no-correction    disable online model error correction (simulate)
 //!   --format F         text | prometheus | json   (telemetry; default text)
 //!   --diagnose         classify the run's convergence behavior
-//!                      (telemetry; text and json formats)
+//!                      (telemetry; text and json formats); exits 3 when
+//!                      the verdict is diverging or stalled, so scripts
+//!                      and CI gates can alert on an unhealthy run
 //! ```
 //!
 //! See `crates/lla-spec` for the specification format and
@@ -27,7 +29,7 @@ use lla::core::{
     StepSizePolicy,
 };
 use lla::sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
-use lla::telemetry::{DiagnosticsEngine, MetricsRegistry};
+use lla::telemetry::{DiagnosticsEngine, MetricsRegistry, Verdict};
 use std::process::ExitCode;
 
 struct Options {
@@ -197,7 +199,7 @@ fn cmd_optimize(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_telemetry(opts: &Options) -> Result<(), String> {
+fn cmd_telemetry(opts: &Options) -> Result<ExitCode, String> {
     let problem = load(&opts.spec_path)?;
     let registry = MetricsRegistry::new();
     let mut opt = Optimizer::new(
@@ -226,7 +228,12 @@ fn cmd_telemetry(opts: &Options) -> Result<(), String> {
                 return Err("--diagnose supports --format text|json".to_owned())
             }
         }
-        return Ok(());
+        // An unhealthy verdict is a distinct, scriptable exit code (3),
+        // separated from usage errors (2) and I/O failures (1).
+        return Ok(match diagnosis.verdict {
+            Verdict::Diverging | Verdict::Stalled => ExitCode::from(3),
+            _ => ExitCode::SUCCESS,
+        });
     }
     opt.run_to_convergence(opts.iters);
     match opts.format {
@@ -234,7 +241,7 @@ fn cmd_telemetry(opts: &Options) -> Result<(), String> {
         OutputFormat::Prometheus => print!("{}", registry.prometheus_text()),
         OutputFormat::Json => println!("{}", opt.health_snapshot().to_json()),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_schedulability(opts: &Options) -> Result<(), String> {
@@ -299,17 +306,17 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
-        "check" => load(&opts.spec_path).map(|p| summarize(&p)),
-        "optimize" => cmd_optimize(&opts),
-        "schedulability" => cmd_schedulability(&opts),
-        "simulate" => cmd_simulate(&opts),
+        "check" => load(&opts.spec_path).map(|p| summarize(&p)).map(|()| ExitCode::SUCCESS),
+        "optimize" => cmd_optimize(&opts).map(|()| ExitCode::SUCCESS),
+        "schedulability" => cmd_schedulability(&opts).map(|()| ExitCode::SUCCESS),
+        "simulate" => cmd_simulate(&opts).map(|()| ExitCode::SUCCESS),
         "telemetry" => cmd_telemetry(&opts),
         _ => {
             return usage();
         }
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

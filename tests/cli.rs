@@ -111,6 +111,42 @@ fn telemetry_json_format_is_one_object() {
 }
 
 #[test]
+fn telemetry_diagnose_exit_code_gates_on_verdict() {
+    // Healthy run: the diagnosis prints and the process exits 0.
+    let out = cli()
+        .args(["telemetry", "examples/workloads/trading.lla", "--iters", "20000", "--diagnose"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("diagnosis: converging"), "diagnosis: {stdout}");
+
+    // Overloaded deployment: the verdict is diverging and the exit code
+    // is 3 — distinct from usage errors (2) and I/O failures (1), so CI
+    // gates can alert on an unhealthy run specifically.
+    let spec = std::env::temp_dir().join("lla_cli_overloaded.lla");
+    std::fs::write(
+        &spec,
+        "resource cpu kind=cpu lag=1.0 availability=1.0\n\
+         task a critical=50 utility=inelastic umax=100 sharpness=8 trigger=periodic period=50\n\
+         \x20 subtask s resource=cpu exec=40.0\n\
+         task b critical=50 utility=inelastic umax=100 sharpness=8 trigger=periodic period=50\n\
+         \x20 subtask s resource=cpu exec=40.0\n\
+         task c critical=50 utility=inelastic umax=100 sharpness=8 trigger=periodic period=50\n\
+         \x20 subtask s resource=cpu exec=40.0\n",
+    )
+    .expect("write spec");
+    let out = cli()
+        .args(["telemetry", spec.to_str().expect("utf-8 path"), "--iters", "600", "--diagnose"])
+        .output()
+        .expect("spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(3), "diagnosis: {stdout}");
+    assert!(stdout.contains("diagnosis: diverging"), "diagnosis: {stdout}");
+    let _ = std::fs::remove_file(&spec);
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = cli().args(["check", "no/such/file.lla"]).output().expect("spawn");
     assert!(!out.status.success());
