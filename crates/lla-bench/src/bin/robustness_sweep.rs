@@ -51,7 +51,9 @@ fn fault_sweep(progress: &EventLog) {
     let u_ref = {
         let mut degraded = workload.generate().expect("valid config");
         let rid = degraded.resources()[0].id();
-        degraded.set_resource_availability(rid, DEGRADED_AVAILABILITY);
+        degraded
+            .set_resource_availability(rid, DEGRADED_AVAILABILITY)
+            .expect("degraded availability is valid");
         let mut opt =
             Optimizer::new(degraded, paper_optimizer_config(StepSizePolicy::adaptive(1.0)));
         opt.run_to_convergence(20_000);

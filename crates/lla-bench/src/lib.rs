@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod corruption;
 pub mod render;
 pub mod supervised;
 

@@ -363,9 +363,20 @@ impl Optimizer {
     }
 
     /// Updates a resource's availability `B_r` mid-run; LLA adapts.
-    pub fn set_resource_availability(&mut self, r: crate::ids::ResourceId, availability: f64) {
-        self.problem.set_resource_availability(r, availability);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownResourceId`] or
+    /// [`ModelError::InvalidParameter`] (non-finite or out-of-`[0, 1]`
+    /// availability); the optimizer state is untouched on error.
+    pub fn set_resource_availability(
+        &mut self,
+        r: crate::ids::ResourceId,
+        availability: f64,
+    ) -> Result<(), ModelError> {
+        self.problem.set_resource_availability(r, availability)?;
         self.rearm();
+        Ok(())
     }
 
     /// Updates a subtask's additive latency error correction `ê` (§6.3).
@@ -1176,7 +1187,7 @@ mod tests {
         assert!(first.converged);
         let u_before = opt.utility();
         // Halve resource 0's availability; re-converge.
-        opt.set_resource_availability(ResourceId::new(0), 0.5);
+        opt.set_resource_availability(ResourceId::new(0), 0.5).unwrap();
         assert!(!opt.has_converged(), "detector must re-arm after a change");
         let second = opt.run_to_convergence(10_000);
         assert!(second.converged, "must re-converge after availability change");

@@ -950,7 +950,7 @@ mod tests {
         let settings = AllocationSettings::default();
         let plan = Plan::lower(&p, &settings);
         assert_eq!(plan.epoch(), p.epoch());
-        p.set_resource_availability(ResourceId::new(0), 0.8);
+        p.set_resource_availability(ResourceId::new(0), 0.8).unwrap();
         assert_ne!(plan.epoch(), p.epoch(), "mutation must invalidate the plan");
         let rebuilt = Plan::lower(&p, &settings);
         assert_eq!(rebuilt.epoch(), p.epoch());

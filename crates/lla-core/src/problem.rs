@@ -152,24 +152,48 @@ impl Problem {
     /// Updates a resource's availability `B_r` at runtime (LLA adapts and
     /// re-converges).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the id is out of range.
-    pub fn set_resource_availability(&mut self, id: ResourceId, availability: f64) {
-        self.resources[id.index()].set_availability(availability);
+    /// Returns [`ModelError::UnknownResourceId`] if the id is out of
+    /// range, or [`ModelError::InvalidParameter`] if `availability` is
+    /// non-finite or outside `[0, 1]`. On error nothing changes — the
+    /// epoch does not advance.
+    pub fn set_resource_availability(
+        &mut self,
+        id: ResourceId,
+        availability: f64,
+    ) -> Result<(), ModelError> {
+        let len = self.resources.len();
+        let slot = self
+            .resources
+            .get_mut(id.index())
+            .ok_or(ModelError::UnknownResourceId { resource: id, len })?;
+        slot.set_availability(availability)?;
         self.epoch += 1;
+        Ok(())
     }
 
     /// Updates a resource's replica count at runtime (elastic capacity:
     /// effective `B_r` becomes `replicas × base availability`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the id is out of range or `replicas == 0`.
-    pub fn set_resource_replicas(&mut self, id: ResourceId, replicas: u32) {
-        assert!(replicas >= 1, "a resource needs at least one replica");
-        self.resources[id.index()].set_replicas(replicas);
+    /// Returns [`ModelError::UnknownResourceId`] if the id is out of
+    /// range, or [`ModelError::InvalidParameter`] if `replicas == 0`. On
+    /// error nothing changes — the epoch does not advance.
+    pub fn set_resource_replicas(
+        &mut self,
+        id: ResourceId,
+        replicas: u32,
+    ) -> Result<(), ModelError> {
+        let len = self.resources.len();
+        let slot = self
+            .resources
+            .get_mut(id.index())
+            .ok_or(ModelError::UnknownResourceId { resource: id, len })?;
+        slot.set_replicas(replicas)?;
         self.epoch += 1;
+        Ok(())
     }
 
     /// A single task.
@@ -722,7 +746,7 @@ mod tests {
         let mut p = two_cpu_problem();
         let before = p.clone();
         assert_eq!(p.epoch(), 0);
-        p.set_resource_availability(ResourceId::new(0), 0.9);
+        p.set_resource_availability(ResourceId::new(0), 0.9).unwrap();
         assert_eq!(p.epoch(), 1);
         p.set_correction(p.tasks()[0].subtask_id(0), -0.5);
         assert_eq!(p.epoch(), 2);
@@ -737,7 +761,8 @@ mod tests {
         p.set_resource_availability(
             ResourceId::new(0),
             before.resource(ResourceId::new(0)).availability(),
-        );
+        )
+        .unwrap();
         p.set_correction(p.tasks()[0].subtask_id(0), 0.0);
         p.set_demand_scale(p.tasks()[0].subtask_id(0), 1.0);
         assert_eq!(p, before);
@@ -748,14 +773,34 @@ mod tests {
     fn replica_count_scales_capacity_and_bumps_epoch() {
         let mut p = two_cpu_problem();
         let before = p.epoch();
-        p.set_resource_replicas(ResourceId::new(1), 3);
+        p.set_resource_replicas(ResourceId::new(1), 3).unwrap();
         assert_eq!(p.epoch(), before + 1);
         assert!((p.resource(ResourceId::new(1)).availability() - 2.4).abs() < 1e-12);
         // The violation margin widens with the extra replicas.
         let lats = vec![vec![3.0, 3.0], vec![3.0]];
         let scaled = p.max_resource_violation(&lats);
-        p.set_resource_replicas(ResourceId::new(1), 1);
+        p.set_resource_replicas(ResourceId::new(1), 1).unwrap();
         assert!(scaled < p.max_resource_violation(&lats));
+    }
+
+    #[test]
+    fn runtime_mutators_reject_bad_input_without_bumping_epoch() {
+        let mut p = two_cpu_problem();
+        let epoch = p.epoch();
+        for bad in [f64::NAN, f64::INFINITY, -0.1, 1.5] {
+            assert!(p.set_resource_availability(ResourceId::new(0), bad).is_err());
+        }
+        assert!(matches!(
+            p.set_resource_availability(ResourceId::new(9), 0.5),
+            Err(ModelError::UnknownResourceId { len: 2, .. })
+        ));
+        assert!(p.set_resource_replicas(ResourceId::new(0), 0).is_err());
+        assert!(matches!(
+            p.set_resource_replicas(ResourceId::new(9), 2),
+            Err(ModelError::UnknownResourceId { len: 2, .. })
+        ));
+        assert_eq!(p.epoch(), epoch, "rejected mutations must not dirty compiled plans");
+        assert_eq!(p.resource(ResourceId::new(0)).availability(), 1.0);
     }
 
     #[test]

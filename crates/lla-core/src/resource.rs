@@ -133,13 +133,38 @@ impl Resource {
     ///
     /// LLA runs continuously; availability may change at runtime (e.g. a
     /// failure or a competing reservation) and the optimizer re-converges.
-    pub fn set_availability(&mut self, availability: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `availability` is
+    /// non-finite or outside `[0, 1]` — runtime updates arrive from the
+    /// outside world (operators, sensors, the wire), so unlike the
+    /// construction-time builders this mutator refuses bad input instead
+    /// of deferring to [`validate`](Self::validate).
+    pub fn set_availability(&mut self, availability: f64) -> Result<(), ModelError> {
+        if !availability.is_finite() || !(0.0..=1.0).contains(&availability) {
+            return Err(ModelError::InvalidParameter {
+                what: "resource availability (B_r)",
+                value: availability,
+            });
+        }
         self.availability = availability;
+        Ok(())
     }
 
     /// Updates the replica count (elastic capacity; `≥ 1`).
-    pub fn set_replicas(&mut self, replicas: u32) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `replicas == 0`: a
+    /// resource with zero replicas has zero effective capacity, which
+    /// would divide the price gradient by zero.
+    pub fn set_replicas(&mut self, replicas: u32) -> Result<(), ModelError> {
+        if replicas == 0 {
+            return Err(ModelError::InvalidParameter { what: "resource replicas", value: 0.0 });
+        }
         self.replicas = replicas;
+        Ok(())
     }
 
     /// The scheduling lag `l_r` in milliseconds.
@@ -222,8 +247,24 @@ mod tests {
     #[test]
     fn set_availability_updates() {
         let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu);
-        r.set_availability(0.5);
+        r.set_availability(0.5).unwrap();
         assert_eq!(r.availability(), 0.5);
+    }
+
+    #[test]
+    fn set_availability_rejects_bad_values() {
+        let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu);
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(r.set_availability(bad).is_err(), "availability {bad} should be rejected");
+        }
+        assert_eq!(r.availability(), 1.0, "rejected updates must not change state");
+    }
+
+    #[test]
+    fn set_replicas_rejects_zero() {
+        let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu);
+        assert!(r.set_replicas(0).is_err());
+        assert_eq!(r.replicas(), 1);
     }
 
     #[test]
@@ -231,7 +272,7 @@ mod tests {
         let mut r = Resource::new(ResourceId::new(0), ResourceKind::Cpu).with_availability(0.8);
         assert_eq!(r.replicas(), 1);
         assert_eq!(r.availability(), 0.8);
-        r.set_replicas(3);
+        r.set_replicas(3).unwrap();
         assert_eq!(r.replicas(), 3);
         assert_eq!(r.base_availability(), 0.8);
         assert!((r.availability() - 2.4).abs() < 1e-12);

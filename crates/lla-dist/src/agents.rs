@@ -495,8 +495,20 @@ impl ResourceAgent {
         true
     }
 
-    fn apply_availability(&mut self, availability: f64) {
-        self.problem.set_resource_availability(self.problem.resources()[self.r].id(), availability);
+    /// Applies an availability update, refusing values the model layer
+    /// rejects (non-finite or outside `[0, 1]`) — a corrupted or hostile
+    /// update must not poison `B_r` and with it every price gradient.
+    fn apply_availability(&mut self, now: f64, availability: f64) {
+        let id = self.problem.resources()[self.r].id();
+        if self.problem.set_resource_availability(id, availability).is_err() {
+            self.tel.values_rejected.inc();
+            self.tel.events.emit(
+                TelemetryEvent::new(now, "value_rejected")
+                    .with("agent", "resource")
+                    .with("slot", self.slot)
+                    .with("field", "availability"),
+            );
+        }
     }
 
     /// Handles a supervisor command; returns `true` if it was one.
@@ -599,6 +611,18 @@ impl Actor for ResourceAgent {
                 if self.dormant {
                     return;
                 }
+                if !latency.is_finite() || latency <= 0.0 {
+                    // A non-positive latency would push the price gradient
+                    // through `share(lat) → ∞`; refuse it at the boundary.
+                    self.tel.values_rejected.inc();
+                    self.tel.events.emit(
+                        TelemetryEvent::new(now, "value_rejected")
+                            .with("agent", "resource")
+                            .with("slot", self.slot)
+                            .with("field", "latency"),
+                    );
+                    return;
+                }
                 if let Some(pos) = self.hosted.iter().position(|&k| k == (task, subtask)) {
                     self.latencies[pos] = latency;
                     self.last_heard = now;
@@ -608,11 +632,11 @@ impl Actor for ResourceAgent {
                 if seq == 0 {
                     // Out-of-band management command (bypass path).
                     if resource == self.slot && !self.dormant {
-                        self.apply_availability(availability);
+                        self.apply_availability(now, availability);
                     }
                 } else {
                     if resource == self.slot && seq > self.last_avail_seq && !self.dormant {
-                        self.apply_availability(availability);
+                        self.apply_availability(now, availability);
                         self.last_avail_seq = seq;
                     }
                     // Always ack, even duplicates — the ack may have been
@@ -1146,6 +1170,19 @@ impl Actor for TaskController {
                 if self.dormant {
                     return;
                 }
+                if !mu.is_finite() || mu < 0.0 {
+                    // A negative μ_r would feed `sqrt(μ·demand)` a negative
+                    // argument and NaN the allocation; non-finite is the
+                    // same poison one step later.
+                    self.tel.values_rejected.inc();
+                    self.tel.events.emit(
+                        TelemetryEvent::new(now, "value_rejected")
+                            .with("agent", "controller")
+                            .with("slot", self.slot)
+                            .with("field", "mu"),
+                    );
+                    return;
+                }
                 if let Some(r) = self.resource_dense(resource) {
                     self.prices.set_mu(r, mu);
                     self.congested[r] = congested;
@@ -1174,12 +1211,19 @@ impl Actor for TaskController {
                 };
                 if apply && !self.dormant {
                     if let Some(r) = self.resource_dense(resource) {
-                        self.problem.set_resource_availability(
-                            self.problem.resources()[r].id(),
-                            availability,
-                        );
-                        // B_r feeds the plan's clamping boxes.
-                        self.rebuild_plan();
+                        let id = self.problem.resources()[r].id();
+                        if self.problem.set_resource_availability(id, availability).is_ok() {
+                            // B_r feeds the plan's clamping boxes.
+                            self.rebuild_plan();
+                        } else {
+                            self.tel.values_rejected.inc();
+                            self.tel.events.emit(
+                                TelemetryEvent::new(now, "value_rejected")
+                                    .with("agent", "controller")
+                                    .with("slot", self.slot)
+                                    .with("field", "availability"),
+                            );
+                        }
                     }
                 }
             }

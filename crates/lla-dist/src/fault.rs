@@ -63,6 +63,14 @@ pub enum FaultKind {
         /// The new availability fraction.
         availability: f64,
     },
+    /// Change the wire-mode frame-corruption probability (no effect on a
+    /// struct-passing run — there are no bytes to corrupt). Fault plans
+    /// use paired events to open and close corruption windows for A/B
+    /// survival soaks.
+    SetCorruption {
+        /// The new per-copy corruption probability, in `[0, 1]`.
+        probability: f64,
+    },
 }
 
 /// A deterministic schedule of faults, driven by the virtual clock.
@@ -145,6 +153,30 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a change of the wire-mode frame-corruption probability
+    /// at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is negative/non-finite or `probability` is not in
+    /// `[0, 1]`.
+    pub fn set_corruption(mut self, at: f64, probability: f64) -> Self {
+        assert!(at.is_finite() && at >= 0.0, "event time must be finite and ≥ 0");
+        assert!(
+            probability.is_finite() && (0.0..=1.0).contains(&probability),
+            "corruption probability {probability} outside [0, 1]"
+        );
+        self.events.push(FaultEvent { at, kind: FaultKind::SetCorruption { probability } });
+        self
+    }
+
+    /// Schedules a corruption window: probability `probability` from `at`
+    /// for `duration` ms, then back to zero.
+    pub fn corrupt_window(self, at: f64, duration: f64, probability: f64) -> Self {
+        assert!(duration.is_finite() && duration >= 0.0, "window duration must be ≥ 0");
+        self.set_corruption(at, probability).set_corruption(at + duration, 0.0)
+    }
+
     /// The scheduled events, in insertion order (the runtime orders them
     /// by time on its event queue).
     pub fn events(&self) -> &[FaultEvent] {
@@ -180,6 +212,21 @@ mod tests {
             plan.events()[3].kind,
             FaultKind::SetAvailability { resource: 2, availability: 0.5 }
         );
+    }
+
+    #[test]
+    fn corruption_window_opens_and_closes() {
+        let plan = FaultPlan::new().corrupt_window(50.0, 25.0, 0.1);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.events()[0].kind, FaultKind::SetCorruption { probability: 0.1 });
+        assert_eq!(plan.events()[1].at, 75.0);
+        assert_eq!(plan.events()[1].kind, FaultKind::SetCorruption { probability: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption probability")]
+    fn rejects_corruption_probability_above_one() {
+        let _ = FaultPlan::new().set_corruption(0.0, 1.2);
     }
 
     #[test]

@@ -7,8 +7,15 @@
 //!
 //! * [`protocol`] — the `Price`/`Latency` message protocol and actor
 //!   addresses.
+//! * [`codec`] — a zero-dependency validated wire codec: every message
+//!   encodes to a length-prefixed, CRC-checksummed frame and decodes
+//!   through a strict `decode → validate` pipeline returning typed
+//!   [`FrameError`]s, so no NaN price or absurd id ever crosses the wire
+//!   boundary into agent state.
 //! * [`network`] — a seeded delay/jitter/loss model standing in for a real
-//!   network.
+//!   network, plus [`FrameCorruptor`](network::FrameCorruptor): seeded
+//!   byte-flip/truncation/field-fuzz corruption of encoded frames for
+//!   adversarial-input soaks.
 //! * [`runtime`] — a deterministic virtual-time actor runtime.
 //! * [`fault`] — [`FaultPlan`](fault::FaultPlan): scheduled partitions,
 //!   crashes/restarts, and availability drops on the virtual clock,
@@ -37,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod agents;
+pub mod codec;
 pub mod fault;
 pub mod network;
 pub mod protocol;
@@ -50,8 +58,9 @@ pub use agents::{
     CheckpointStore, ControlPlaneAgent, ControllerCheckpoint, MembershipCause, RobustnessConfig,
     TopologyEpoch, TopologyStore,
 };
+pub use codec::{decode, decode_frame, encode, FrameError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use network::{NetworkModel, NetworkSampler};
+pub use network::{CorruptionModel, FrameCorruptor, NetworkModel, NetworkSampler};
 pub use protocol::{Address, Message};
 pub use runtime::{Actor, Outbox, VirtualRuntime};
 pub use supervisor::{

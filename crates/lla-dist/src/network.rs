@@ -11,6 +11,7 @@
 //! clock, so they live in the runtime's fault layer
 //! ([`FaultPlan`](crate::fault::FaultPlan)).
 
+use crate::codec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -189,6 +190,144 @@ impl NetworkSampler {
     }
 }
 
+/// Parameters of injected frame corruption (applies in wire mode only —
+/// corruption garbles *bytes*, and only wire mode has bytes to garble).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionModel {
+    /// Probability that a delivered frame copy is corrupted, in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl CorruptionModel {
+    /// No corruption.
+    pub fn off() -> Self {
+        CorruptionModel { probability: 0.0 }
+    }
+
+    /// Corrupts each delivered frame copy independently with probability
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_probability(p: f64) -> Self {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "corruption probability {p} outside [0, 1]"
+        );
+        CorruptionModel { probability: p }
+    }
+
+    /// Whether this model never corrupts.
+    pub fn is_off(&self) -> bool {
+        self.probability == 0.0
+    }
+}
+
+impl Default for CorruptionModel {
+    fn default() -> Self {
+        CorruptionModel::off()
+    }
+}
+
+/// Seeded, deterministic frame corruptor: byte flips, truncations, and
+/// field fuzz over encoded [`codec`] frames.
+///
+/// Three mutation classes, chosen per corruption by the seeded RNG:
+///
+/// * **byte-flip** (½ of corruptions) — XOR one random bit anywhere in
+///   the frame, length prefix and checksum included. Models line noise;
+///   always caught by the CRC or the framing.
+/// * **truncation** (¼) — cut the frame to a random proper prefix.
+///   Models a dropped tail; caught by the length/truncation checks.
+/// * **field-fuzz** (¼) — overwrite up to 8 random payload bytes with
+///   random values and *recompute the checksum*. Models a byzantine
+///   sender: valid framing around garbage values, exercising the
+///   semantic validation layer rather than the transport layer. A fuzzed
+///   value that happens to land inside its domain is delivered — that is
+///   the residual perturbation LLA's price dynamics must (and do)
+///   re-converge through.
+///
+/// The corruptor draws randomness **only** when its probability is
+/// nonzero and **never** from the [`NetworkSampler`]'s stream, so a
+/// wire-mode run with zero corruption is bit-identical to a plain run.
+#[derive(Debug, Clone)]
+pub struct FrameCorruptor {
+    model: CorruptionModel,
+    rng: StdRng,
+    corrupted: u64,
+}
+
+impl FrameCorruptor {
+    /// Creates a corruptor with its own seeded RNG.
+    pub fn new(model: CorruptionModel, seed: u64) -> Self {
+        FrameCorruptor { model, rng: StdRng::seed_from_u64(seed), corrupted: 0 }
+    }
+
+    /// The current corruption probability.
+    pub fn probability(&self) -> f64 {
+        self.model.probability
+    }
+
+    /// Changes the corruption probability (fault plans use this to open
+    /// and close corruption windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_probability(&mut self, p: f64) {
+        self.model = CorruptionModel::with_probability(p);
+    }
+
+    /// Possibly corrupts `frame` in place; returns whether it mutated.
+    pub fn maybe_corrupt(&mut self, frame: &mut Vec<u8>) -> bool {
+        if self.model.probability == 0.0 || frame.is_empty() {
+            return false;
+        }
+        if !self.rng.gen_bool(self.model.probability) {
+            return false;
+        }
+        self.corrupted += 1;
+        match self.rng.gen_range(0..4u8) {
+            0 | 1 => self.flip_bit(frame),
+            2 => {
+                let keep = self.rng.gen_range(0..frame.len());
+                frame.truncate(keep);
+            }
+            _ => self.fuzz_field(frame),
+        }
+        true
+    }
+
+    fn flip_bit(&mut self, frame: &mut [u8]) {
+        let byte = self.rng.gen_range(0..frame.len());
+        let bit = self.rng.gen_range(0..8u8);
+        frame[byte] ^= 1 << bit;
+    }
+
+    fn fuzz_field(&mut self, frame: &mut [u8]) {
+        // Payload region: skip the 4-byte length prefix and the tag byte,
+        // stop before the 4-byte checksum. Frames too small to have a
+        // payload fall back to a bit flip.
+        let lo = 5;
+        let hi = frame.len().saturating_sub(4);
+        if hi <= lo {
+            self.flip_bit(frame);
+            return;
+        }
+        let span = (hi - lo).min(8);
+        let start = lo + self.rng.gen_range(0..=(hi - lo - span));
+        let noise = self.rng.gen::<u64>().to_le_bytes();
+        frame[start..start + span].copy_from_slice(&noise[..span]);
+        codec::refresh_checksum(frame);
+    }
+
+    /// Frames corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +427,79 @@ mod tests {
             assert_eq!(s.sample_deliveries(), vec![0.0]);
         }
         assert_eq!(s.duplicated(), 0);
+    }
+
+    fn sample_frame() -> Vec<u8> {
+        codec::encode(&crate::protocol::Message::Price { resource: 1, mu: 2.5, congested: false })
+    }
+
+    #[test]
+    fn corruptor_off_never_mutates_or_draws() {
+        // A corruptor held at zero probability draws no randomness: after
+        // 100 idle calls its first real corruption matches a fresh
+        // corruptor's byte for byte.
+        let mut idle = FrameCorruptor::new(CorruptionModel::off(), 42);
+        for _ in 0..100 {
+            let mut f = sample_frame();
+            assert!(!idle.maybe_corrupt(&mut f));
+            assert_eq!(f, sample_frame());
+        }
+        idle.set_probability(1.0);
+        let mut fresh = FrameCorruptor::new(CorruptionModel::with_probability(1.0), 42);
+        let (mut a, mut b) = (sample_frame(), sample_frame());
+        assert!(idle.maybe_corrupt(&mut a));
+        assert!(fresh.maybe_corrupt(&mut b));
+        assert_eq!(a, b);
+        assert_eq!(idle.corrupted(), 1);
+    }
+
+    #[test]
+    fn corruptor_is_deterministic_and_respects_rate() {
+        let run = || {
+            let mut c = FrameCorruptor::new(CorruptionModel::with_probability(0.3), 9);
+            let mut frames = Vec::new();
+            for _ in 0..2000 {
+                let mut f = sample_frame();
+                c.maybe_corrupt(&mut f);
+                frames.push(f);
+            }
+            (frames, c.corrupted())
+        };
+        let (a, hits_a) = run();
+        let (b, hits_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(hits_a, hits_b);
+        let rate = hits_a as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed corruption rate {rate}");
+    }
+
+    #[test]
+    fn every_corruption_changes_the_frame_and_most_are_rejected() {
+        let mut c = FrameCorruptor::new(CorruptionModel::with_probability(1.0), 7);
+        let mut rejected = 0usize;
+        let n = 500;
+        for _ in 0..n {
+            let clean = sample_frame();
+            let mut f = clean.clone();
+            assert!(c.maybe_corrupt(&mut f));
+            if codec::decode(&f).is_err() {
+                rejected += 1;
+            } else {
+                // A field-fuzz survivor must still be a semantically
+                // valid message — that is the whole guarantee.
+                assert_ne!(f, clean);
+                let msg = codec::decode(&f).unwrap();
+                assert!(codec::validate(&msg).is_ok());
+            }
+        }
+        // Bit flips and truncations are always caught; only in-domain
+        // field fuzz can slip through, so rejections dominate.
+        assert!(rejected > n / 2, "only {rejected}/{n} corruptions rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption probability")]
+    fn corruption_model_rejects_bad_probability() {
+        let _ = CorruptionModel::with_probability(1.5);
     }
 }

@@ -13,8 +13,9 @@
 //! outlive both the sender's crash and a partition's onset, as on a real
 //! network).
 
+use crate::codec;
 use crate::fault::{FaultKind, FaultPlan};
-use crate::network::{NetworkModel, NetworkSampler};
+use crate::network::{CorruptionModel, FrameCorruptor, NetworkModel, NetworkSampler};
 use crate::protocol::{Address, Message};
 use crate::telemetry::DistTelemetry;
 use lla_telemetry::{Event as TelemetryEvent, TraceCtx, Value};
@@ -141,6 +142,22 @@ impl ActivePartition {
     }
 }
 
+/// State of the opt-in wire mode: every delivery round-trips through the
+/// [`codec`], optionally corrupted in flight.
+#[derive(Debug)]
+struct WireState {
+    corruptor: FrameCorruptor,
+    /// Frames refused by the decode → validate pipeline.
+    frames_rejected: u64,
+    /// Corrupted frames that still decoded to a *valid* message (in-domain
+    /// field fuzz — the residual perturbation the optimizer re-converges
+    /// through).
+    corrupted_delivered: u64,
+    /// Rejections attributed to each sender — the evidence book the
+    /// supervisor's quarantine policy reads.
+    rejections_by_sender: HashMap<Address, u64>,
+}
+
 /// The virtual-time runtime.
 #[derive(Debug)]
 pub struct VirtualRuntime {
@@ -161,6 +178,15 @@ pub struct VirtualRuntime {
     /// Latest scheduled arrival time per destination, for reorder
     /// detection: a new delivery landing before it means out-of-order.
     latest_arrival: HashMap<Address, f64>,
+    /// Wire mode (encode → corrupt? → decode → validate per delivery);
+    /// `None` keeps the struct-passing fast path.
+    wire: Option<WireState>,
+    /// Senders whose messages are currently dropped at the network
+    /// ingress (supervisor quarantine). Acks still pass so the reliable
+    /// control plane does not retransmit forever.
+    quarantined: HashSet<Address>,
+    /// Messages dropped because their sender was quarantined.
+    quarantine_drops: u64,
     /// Passive instrumentation (counters + virtual-clock events);
     /// disabled by default. Never affects scheduling, sampling, or
     /// message flow.
@@ -187,8 +213,87 @@ impl VirtualRuntime {
             restarts: 0,
             messages_reordered: 0,
             latest_arrival: HashMap::new(),
+            wire: None,
+            quarantined: HashSet::new(),
+            quarantine_drops: 0,
             tel: DistTelemetry::disabled(),
         }
+    }
+
+    /// Switches the runtime into wire mode: every delivery is encoded to
+    /// a frame, optionally corrupted by `corruption`, then decoded and
+    /// validated before it reaches the receiver. The corruptor draws from
+    /// its own RNG (seeded by `corruption_seed`), never from the network
+    /// sampler's stream — so a wire-mode run with zero corruption is
+    /// bit-identical to a plain run (pinned in tests).
+    pub fn enable_wire_mode(&mut self, corruption: CorruptionModel, corruption_seed: u64) {
+        self.wire = Some(WireState {
+            corruptor: FrameCorruptor::new(corruption, corruption_seed),
+            frames_rejected: 0,
+            corrupted_delivered: 0,
+            rejections_by_sender: HashMap::new(),
+        });
+    }
+
+    /// Whether deliveries round-trip through the wire codec.
+    pub fn wire_mode(&self) -> bool {
+        self.wire.is_some()
+    }
+
+    /// Frames refused by the decode → validate pipeline (wire mode only).
+    pub fn frames_rejected(&self) -> u64 {
+        self.wire.as_ref().map_or(0, |w| w.frames_rejected)
+    }
+
+    /// Frames corrupted in flight so far (wire mode only).
+    pub fn frames_corrupted(&self) -> u64 {
+        self.wire.as_ref().map_or(0, |w| w.corruptor.corrupted())
+    }
+
+    /// Corrupted frames that still decoded to a valid message (in-domain
+    /// field fuzz slipping past the validators by being plausible).
+    pub fn corrupted_delivered(&self) -> u64 {
+        self.wire.as_ref().map_or(0, |w| w.corrupted_delivered)
+    }
+
+    /// Frame rejections attributed to each sender, sorted by address —
+    /// the evidence the supervisor's quarantine policy consumes.
+    pub fn frame_rejections_by_sender(&self) -> Vec<(Address, u64)> {
+        let Some(wire) = self.wire.as_ref() else { return Vec::new() };
+        let mut book: Vec<(Address, u64)> =
+            wire.rejections_by_sender.iter().map(|(a, n)| (*a, *n)).collect();
+        book.sort_unstable_by_key(|(a, _)| *a);
+        book
+    }
+
+    /// Quarantines `addr`: its future sends (except acks) are dropped at
+    /// the network ingress. Returns whether the agent was newly
+    /// quarantined.
+    pub fn quarantine(&mut self, addr: Address) -> bool {
+        self.quarantined.insert(addr)
+    }
+
+    /// Releases `addr` from quarantine. Returns whether it was
+    /// quarantined.
+    pub fn release_quarantine(&mut self, addr: Address) -> bool {
+        self.quarantined.remove(&addr)
+    }
+
+    /// Whether `addr` is currently quarantined.
+    pub fn is_quarantined(&self, addr: Address) -> bool {
+        self.quarantined.contains(&addr)
+    }
+
+    /// Currently quarantined agents, sorted by address.
+    pub fn quarantined_agents(&self) -> Vec<Address> {
+        let mut v: Vec<Address> = self.quarantined.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Messages dropped because their sender was quarantined.
+    pub fn quarantine_drops(&self) -> u64 {
+        self.quarantine_drops
     }
 
     /// Attaches telemetry handles; subsequent runtime activity mirrors
@@ -308,6 +413,28 @@ impl VirtualRuntime {
         for (to, msg) in outbox.msgs {
             self.messages_sent += 1;
             self.tel.messages_sent.inc();
+            // Quarantined senders are silenced at the network ingress —
+            // except for acks, which must keep flowing or the reliable
+            // control plane would retransmit to them forever.
+            let is_ack = matches!(
+                msg,
+                Message::AvailabilityAck { .. }
+                    | Message::MembershipAck { .. }
+                    | Message::CommandAck { .. }
+            );
+            if !is_ack && self.quarantined.contains(&from) {
+                self.quarantine_drops += 1;
+                if tracing {
+                    self.tel.spans.instant_with(
+                        "quarantine-drop",
+                        &from.to_string(),
+                        self.now,
+                        parent,
+                        vec![("to", Value::from(to.to_string()))],
+                    );
+                }
+                continue;
+            }
             if self.is_partitioned(from, to) {
                 self.dropped_by_partition += 1;
                 self.tel.dropped_by_partition.inc();
@@ -338,6 +465,49 @@ impl VirtualRuntime {
                 self.tel.messages_duplicated.add(deliveries.len() as u64 - 1);
             }
             for (copy, delay) in deliveries.into_iter().enumerate() {
+                // Wire mode: this copy travels as bytes — encode, maybe
+                // corrupt, then decode → validate. A frame the pipeline
+                // refuses never becomes a delivery event.
+                let msg = if let Some(wire) = self.wire.as_mut() {
+                    let mut frame = codec::encode(&msg);
+                    let corrupted = wire.corruptor.maybe_corrupt(&mut frame);
+                    if corrupted {
+                        self.tel.frames_corrupted.inc();
+                    }
+                    match codec::decode(&frame)
+                        .and_then(|decoded| codec::validate(&decoded).map(|()| decoded))
+                    {
+                        Ok(decoded) => {
+                            if corrupted {
+                                wire.corrupted_delivered += 1;
+                            }
+                            decoded
+                        }
+                        Err(err) => {
+                            wire.frames_rejected += 1;
+                            *wire.rejections_by_sender.entry(from).or_insert(0) += 1;
+                            self.tel.frames_rejected.inc();
+                            self.tel.events.emit(
+                                TelemetryEvent::new(self.now, "frame_rejected")
+                                    .with("from", from.to_string())
+                                    .with("to", to.to_string())
+                                    .with("cause", err.cause()),
+                            );
+                            if tracing {
+                                self.tel.spans.instant_with(
+                                    "frame-reject",
+                                    &to.to_string(),
+                                    self.now,
+                                    parent,
+                                    vec![("cause", Value::from(err.cause()))],
+                                );
+                            }
+                            continue;
+                        }
+                    }
+                } else {
+                    msg.clone()
+                };
                 let at = self.now + delay;
                 // A delivery landing before one already scheduled for the
                 // same destination will arrive out of send order.
@@ -367,7 +537,7 @@ impl VirtualRuntime {
                 } else {
                     TraceCtx::NONE
                 };
-                self.push(at, EventKind::Deliver(to, msg.clone(), ctx));
+                self.push(at, EventKind::Deliver(to, msg, ctx));
             }
         }
     }
@@ -424,6 +594,14 @@ impl VirtualRuntime {
                         TraceCtx::NONE
                     };
                     self.dispatch(addr, outbox, ctx);
+                }
+            }
+            FaultKind::SetCorruption { probability } => {
+                self.tel.events.emit(
+                    TelemetryEvent::new(self.now, "corruption").with("probability", probability),
+                );
+                if let Some(wire) = self.wire.as_mut() {
+                    wire.corruptor.set_probability(probability);
                 }
             }
             FaultKind::SetAvailability { resource, availability } => {
@@ -879,5 +1057,137 @@ mod tests {
         let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
         rt.register(Address::Resource(0), recorder(None), 1.0, 0.0);
         rt.register(Address::Resource(0), recorder(None), 1.0, 0.0);
+    }
+
+    #[test]
+    fn wire_mode_without_corruption_is_bit_identical() {
+        // Same seed, a deliberately messy network: the wire round-trip
+        // must not change a single delivery, drop, duplicate, or arrival
+        // time relative to struct passing.
+        let run = |wire: bool| {
+            let model =
+                NetworkModel::lossy(1.0, 2.0, 0.1).with_duplication(0.1).with_reordering(0.1, 9.0);
+            let mut rt = VirtualRuntime::new(model, 11);
+            if wire {
+                rt.enable_wire_mode(CorruptionModel::off(), 0xC0FFEE);
+            }
+            rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 5.0, 0.0);
+            rt.register(Address::Controller(0), recorder(None), 5.0, 2.5);
+            rt.run_until(500.0);
+            let received = rt
+                .actor_as::<Recorder>(Address::Controller(0))
+                .expect("registered")
+                .received
+                .clone();
+            (rt.messages_sent(), rt.messages_dropped(), rt.messages_reordered(), received)
+        };
+        let plain = run(false);
+        let wired = run(true);
+        assert_eq!(plain.0, wired.0);
+        assert_eq!(plain.1, wired.1);
+        assert_eq!(plain.2, wired.2);
+        // Bit-exact payloads: compare the f64 bits of every delivery.
+        assert_eq!(plain.3.len(), wired.3.len());
+        for ((ta, ma), (tb, mb)) in plain.3.iter().zip(wired.3.iter()) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(ma, mb);
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_and_attributed() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.enable_wire_mode(CorruptionModel::with_probability(1.0), 21);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 1.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        rt.run_until(200.0);
+        assert_eq!(rt.messages_sent(), 200);
+        assert_eq!(rt.frames_corrupted(), 200, "p = 1 corrupts every frame");
+        let rejected = rt.frames_rejected();
+        let slipped = rt.corrupted_delivered();
+        assert_eq!(rejected + slipped, 200, "every corrupted frame is rejected or slips as valid");
+        assert!(rejected > 100, "most corruptions must be caught, got {rejected}");
+        let book = rt.frame_rejections_by_sender();
+        assert_eq!(book, vec![(Address::Resource(0), rejected)]);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        assert_eq!(rec.received.len() as u64, slipped);
+        // Whatever slipped through still carries only valid values.
+        for (_, msg) in &rec.received {
+            assert!(codec::validate(msg).is_ok());
+        }
+    }
+
+    #[test]
+    fn corruption_window_fault_opens_and_closes() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.enable_wire_mode(CorruptionModel::off(), 5);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 1.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        rt.schedule_faults(&FaultPlan::new().corrupt_window(50.0, 50.0, 1.0));
+        rt.run_until(200.0);
+        // Ticks in [50, 100) are corrupted; everything else passes clean.
+        assert_eq!(rt.frames_corrupted(), 50);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        assert_eq!(rec.received.len() as u64, 150 + rt.corrupted_delivered());
+    }
+
+    #[test]
+    fn quarantine_silences_sender_until_release() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), recorder(Some(Address::Controller(0))), 10.0, 0.0);
+        rt.register(Address::Controller(0), recorder(None), 1000.0, 0.0);
+        rt.run_until(20.0);
+        assert!(rt.quarantine(Address::Resource(0)), "newly quarantined");
+        assert!(!rt.quarantine(Address::Resource(0)), "already quarantined");
+        assert_eq!(rt.quarantined_agents(), vec![Address::Resource(0)]);
+        rt.run_until(50.0);
+        assert!(rt.release_quarantine(Address::Resource(0)));
+        assert!(!rt.is_quarantined(Address::Resource(0)));
+        rt.run_until(80.0);
+        // Ticks at 0,10 delivered; 20,30,40 quarantined; 50,60,70 delivered.
+        assert_eq!(rt.quarantine_drops(), 3);
+        let rec = rt.actor_as::<Recorder>(Address::Controller(0)).expect("registered");
+        assert_eq!(rec.received.len(), 5);
+    }
+
+    /// Replies to every delivery with an ack, so quarantine exemption is
+    /// observable.
+    #[derive(Debug)]
+    struct Acker {
+        acked: u64,
+    }
+
+    impl Actor for Acker {
+        fn on_tick(&mut self, _now: f64, _outbox: &mut Outbox) {}
+        fn on_message(&mut self, _now: f64, _msg: Message, outbox: &mut Outbox) {
+            self.acked += 1;
+            outbox.send(
+                Address::ControlPlane,
+                Message::AvailabilityAck {
+                    resource: 0,
+                    seq: self.acked,
+                    from: Address::Resource(0),
+                },
+            );
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn quarantined_sender_acks_still_pass() {
+        let mut rt = VirtualRuntime::new(NetworkModel::perfect(), 0);
+        rt.register(Address::Resource(0), Box::new(Acker { acked: 0 }), 1000.0, 0.0);
+        rt.register(Address::ControlPlane, recorder(None), 1000.0, 0.0);
+        rt.quarantine(Address::Resource(0));
+        rt.inject(
+            Address::Resource(0),
+            Message::AvailabilityUpdate { resource: 0, availability: 0.5, seq: 1 },
+        );
+        rt.run_until(10.0);
+        assert_eq!(rt.quarantine_drops(), 0, "acks are exempt");
+        let rec = rt.actor_as::<Recorder>(Address::ControlPlane).expect("registered");
+        assert_eq!(rec.received.len(), 1, "the ack reached the control plane");
     }
 }

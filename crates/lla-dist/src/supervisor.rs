@@ -86,6 +86,18 @@ pub const RETIRE_SUSTAIN_CHECKS: u32 = 12;
 /// Replica ceiling per resource.
 pub const MAX_REPLICAS: u32 = 8;
 
+/// New frame rejections attributed to one sender within a single check
+/// interval that trigger quarantine. One or two rejections are what
+/// random corruption produces; a sustained per-sender stream is either a
+/// sick agent or an adversary, and either way its traffic is poison.
+pub const QUARANTINE_REJECTION_THRESHOLD: u64 = 3;
+
+/// Checks a quarantined agent stays silenced. On release the supervisor
+/// broadcasts a [`DualResync`](crate::protocol::Message::DualResync) so
+/// the rehabilitated agent (and everyone who stopped hearing from it)
+/// re-announces immediately instead of waiting out staleness TTLs.
+pub const QUARANTINE_RELEASE_CHECKS: u32 = 4;
+
 /// Supervisor policy knobs. [`Default`] wires the documented consts;
 /// `enabled: false` makes the engine inert (no samples, no actions — the
 /// deployment behaves bit-identically to an unsupervised run).
@@ -108,6 +120,11 @@ pub struct SupervisorConfig {
     pub elastic: bool,
     /// Overload detector settings, counted in *checks* (not rounds).
     pub overload: OverloadConfig,
+    /// Per-sender rejection delta per check that triggers quarantine
+    /// ([`QUARANTINE_REJECTION_THRESHOLD`]).
+    pub quarantine_rejection_threshold: u64,
+    /// Quarantine term, in checks ([`QUARANTINE_RELEASE_CHECKS`]).
+    pub quarantine_release_checks: u32,
 }
 
 impl Default for SupervisorConfig {
@@ -125,6 +142,8 @@ impl Default for SupervisorConfig {
                 sustain_iters: 6,
                 cooldown_iters: 24,
             },
+            quarantine_rejection_threshold: QUARANTINE_REJECTION_THRESHOLD,
+            quarantine_release_checks: QUARANTINE_RELEASE_CHECKS,
         }
     }
 }
@@ -151,6 +170,8 @@ pub enum RemediationKind {
     Provision,
     /// Elastic replica removed from an idle, price-free resource.
     Retire,
+    /// Sender silenced for repeatedly emitting invalid frames.
+    Quarantine,
 }
 
 impl RemediationKind {
@@ -163,6 +184,7 @@ impl RemediationKind {
             RemediationKind::Shed => "shed",
             RemediationKind::Provision => "provision",
             RemediationKind::Retire => "retire",
+            RemediationKind::Quarantine => "quarantine",
         }
     }
 }
@@ -195,6 +217,15 @@ pub struct SupervisorEngine {
     provision_streak: u32,
     retire_streak: (usize, u32),
     actions: Vec<Remediation>,
+    /// Per-sender rejected-frame totals at the previous check, for the
+    /// quarantine policy's delta computation.
+    last_rejections: Vec<(Address, u64)>,
+    /// Quarantined agents and the checks left until release.
+    quarantined: Vec<(Address, u32)>,
+    /// Consecutive checks that saw new retransmit give-ups.
+    give_up_strikes: u32,
+    /// Give-up counter total at the previous check.
+    last_give_ups: u64,
 }
 
 impl SupervisorEngine {
@@ -213,6 +244,10 @@ impl SupervisorEngine {
             provision_streak: 0,
             retire_streak: (usize::MAX, 0),
             actions: Vec::new(),
+            last_rejections: Vec::new(),
+            quarantined: Vec::new(),
+            give_up_strikes: 0,
+            last_give_ups: 0,
         }
     }
 
@@ -259,13 +294,26 @@ impl SupervisorEngine {
         };
         let overloaded = self.monitor.observe(&report);
 
+        // The quarantine book runs every check, cooldown or not: releases
+        // are a scheduled obligation and an actively hostile sender must
+        // not enjoy the hysteresis granted to convergence remediation.
+        let mut fired = Vec::new();
+        self.quarantine_step(dist, &mut fired);
+
         if self.cooldown > 0 {
             self.cooldown -= 1;
-            return Vec::new();
+            self.actions.extend(fired.iter().cloned());
+            return fired;
         }
 
         let diagnosis = self.diag.diagnose();
-        let mut fired = Vec::new();
+        if !fired.is_empty() {
+            // A quarantine action this check: skip convergence remediation
+            // (the traffic change must settle first) but start the cooldown.
+            self.cooldown = self.config.action_cooldown_checks;
+            self.actions.extend(fired.iter().cloned());
+            return fired;
+        }
         if overloaded {
             // Sustained overload outranks the verdict: it *causes*
             // divergence, and capacity/shedding (not rollback) is the
@@ -320,6 +368,84 @@ impl SupervisorEngine {
         }
         tel.events.emit(ev);
         fired.push(Remediation { round: dist.rounds(), kind, slot, value });
+    }
+
+    /// Adversarial-traffic maintenance, run every check:
+    ///
+    /// 1. Quarantine terms count down; an expired term releases the agent
+    ///    and broadcasts a dual re-sync so it warms back in immediately.
+    /// 2. Any sender whose attributed frame-rejection count grew by
+    ///    [`quarantine_rejection_threshold`](SupervisorConfig::quarantine_rejection_threshold)
+    ///    or more since the last check is quarantined.
+    /// 3. Retransmit give-ups escalate: the first striking check gets a
+    ///    dual re-sync (the abandoned update's information re-flows with
+    ///    the next announcements); repeated strikes quarantine the worst
+    ///    rejection offender if one exists — an agent that both starves
+    ///    the reliable path of acks and emits garbage is presumed sick.
+    fn quarantine_step(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        let mut released = false;
+        self.quarantined.retain_mut(|(addr, left)| {
+            if *left > 1 {
+                *left -= 1;
+                return true;
+            }
+            released |= dist.release_agent(*addr);
+            false
+        });
+        if released {
+            dist.broadcast_dual_resync();
+            self.record(dist, RemediationKind::DualResync, None, 0.0, fired);
+        }
+
+        let current = dist.frame_rejections_by_sender();
+        for &(addr, total) in &current {
+            let before =
+                self.last_rejections.iter().find(|&&(a, _)| a == addr).map_or(0, |&(_, n)| n);
+            let delta = total.saturating_sub(before);
+            if delta >= self.config.quarantine_rejection_threshold {
+                self.quarantine(dist, addr, delta, fired);
+            }
+        }
+        self.last_rejections = current;
+
+        let give_ups = dist.dist_telemetry().retransmit_give_ups.get();
+        let fresh_give_ups = give_ups.saturating_sub(self.last_give_ups);
+        self.last_give_ups = give_ups;
+        if fresh_give_ups == 0 {
+            self.give_up_strikes = 0;
+            return;
+        }
+        self.give_up_strikes += 1;
+        if self.give_up_strikes == 1 {
+            dist.broadcast_dual_resync();
+            self.record(dist, RemediationKind::DualResync, None, fresh_give_ups as f64, fired);
+        } else if let Some(&(addr, total)) =
+            self.last_rejections.iter().max_by_key(|&&(_, n)| n).filter(|&&(_, n)| n > 0)
+        {
+            self.quarantine(dist, addr, total, fired);
+        } else {
+            dist.broadcast_dual_resync();
+            self.record(dist, RemediationKind::DualResync, None, fresh_give_ups as f64, fired);
+        }
+    }
+
+    /// Quarantines `addr` (idempotent) and records the action.
+    fn quarantine(
+        &mut self,
+        dist: &mut DistributedLla,
+        addr: Address,
+        rejections: u64,
+        fired: &mut Vec<Remediation>,
+    ) {
+        if !dist.quarantine_agent(addr) {
+            return;
+        }
+        self.quarantined.push((addr, self.config.quarantine_release_checks.max(1)));
+        let slot = match addr {
+            Address::Resource(s) | Address::Controller(s) => Some(s),
+            Address::ControlPlane => None,
+        };
+        self.record(dist, RemediationKind::Quarantine, slot, rejections as f64, fired);
     }
 
     /// Stall: frozen agents or pinned prices while infeasible. A dual

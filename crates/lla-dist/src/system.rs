@@ -46,6 +46,15 @@ pub struct DistConfig {
     /// checkpointing and staleness degradation, preserving bit-equivalence
     /// with the centralized optimizer.
     pub robustness: RobustnessConfig,
+    /// When `true`, every delivery round-trips through the validated wire
+    /// codec ([`crate::codec`]): encode → (optional corruption) → decode,
+    /// with malformed frames rejected and counted. With zero corruption
+    /// the round trip is bit-exact, so a wire-mode run is bit-identical
+    /// to a struct-passing one (tested).
+    pub wire_mode: bool,
+    /// Per-copy frame-corruption probability in wire mode, in `[0, 1]`.
+    /// Ignored unless [`wire_mode`](Self::wire_mode) is on.
+    pub corruption: f64,
 }
 
 impl Default for DistConfig {
@@ -58,6 +67,8 @@ impl Default for DistConfig {
             round_length: 10.0,
             tick_jitter: 0.0,
             robustness: RobustnessConfig::default(),
+            wire_mode: false,
+            corruption: 0.0,
         }
     }
 }
@@ -136,6 +147,15 @@ impl DistributedLla {
         });
         let mut runtime = VirtualRuntime::new(config.network, config.seed);
         runtime.attach_telemetry(tel.clone());
+        if config.wire_mode {
+            // The corruptor's stream is derived from — but independent of —
+            // the network sampler's, so opening a corruption window never
+            // shifts delay/loss decisions.
+            runtime.enable_wire_mode(
+                crate::network::CorruptionModel::with_probability(config.corruption),
+                config.seed.wrapping_add(0xC0DEC),
+            );
+        }
 
         use rand::{Rng, SeedableRng};
         let mut jitter_rng = rand::rngs::StdRng::seed_from_u64(config.seed.wrapping_add(0xa5));
@@ -285,10 +305,12 @@ impl DistributedLla {
             self.pending_availability.retain(|&(at, slot, availability)| {
                 if at < t_end {
                     if let Some(dense) = resource_slots.iter().position(|&s| s == slot) {
-                        problem.set_resource_availability(
-                            problem.resources()[dense].id(),
-                            availability,
-                        );
+                        problem
+                            .set_resource_availability(
+                                problem.resources()[dense].id(),
+                                availability,
+                            )
+                            .expect("fault plans validate availability at construction");
                     }
                     false
                 } else {
@@ -412,32 +434,117 @@ impl DistributedLla {
         self.runtime.messages_dropped()
     }
 
+    /// Frames the decode → validate pipeline refused (wire mode only).
+    pub fn frames_rejected(&self) -> u64 {
+        self.runtime.frames_rejected()
+    }
+
+    /// Frames mutated in flight by injected corruption (wire mode only).
+    pub fn frames_corrupted(&self) -> u64 {
+        self.runtime.frames_corrupted()
+    }
+
+    /// Corrupted frames that still decoded and validated — in-domain
+    /// field fuzz the codec cannot distinguish from a legitimate value.
+    /// LLA absorbs these as ordinary perturbations and re-converges.
+    pub fn corrupted_delivered(&self) -> u64 {
+        self.runtime.corrupted_delivered()
+    }
+
+    /// Rejected-frame counts attributed to each sender, sorted by
+    /// address. The supervisor's quarantine policy reads deltas of this.
+    pub fn frame_rejections_by_sender(&self) -> Vec<(Address, u64)> {
+        self.runtime.frame_rejections_by_sender()
+    }
+
+    /// Quarantines `addr`: the runtime drops its outbound messages (acks
+    /// excepted, so reliable dissemination can still settle) until
+    /// [`release_agent`](Self::release_agent). Returns `false` if it was
+    /// already quarantined.
+    pub fn quarantine_agent(&mut self, addr: Address) -> bool {
+        let fresh = self.runtime.quarantine(addr);
+        if fresh {
+            self.tel.agent_quarantines.inc();
+            self.tel.events.emit(
+                TelemetryEvent::new(self.runtime.now(), "agent_quarantined")
+                    .with("agent", addr.to_string()),
+            );
+        }
+        fresh
+    }
+
+    /// Releases `addr` from quarantine. Returns `false` if it was not
+    /// quarantined.
+    pub fn release_agent(&mut self, addr: Address) -> bool {
+        let released = self.runtime.release_quarantine(addr);
+        if released {
+            self.tel.events.emit(
+                TelemetryEvent::new(self.runtime.now(), "agent_released")
+                    .with("agent", addr.to_string()),
+            );
+        }
+        released
+    }
+
+    /// The currently quarantined agents, sorted by address.
+    pub fn quarantined_agents(&self) -> Vec<Address> {
+        self.runtime.quarantined_agents()
+    }
+
+    /// Messages dropped at the ingress gate because their sender was
+    /// quarantined.
+    pub fn quarantine_drops(&self) -> u64 {
+        self.runtime.quarantine_drops()
+    }
+
     /// Announces a change of resource availability through the
     /// control-plane agent: the update is assigned a sequence number and
     /// disseminated over the (possibly lossy) network with
     /// retransmit-until-ack, so it reaches every agent even under heavy
     /// loss. LLA re-converges from the current prices.
-    pub fn set_resource_availability(&mut self, r: ResourceId, availability: f64) {
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] or
+    /// [`ModelError::InvalidParameter`] (non-finite or out-of-`[0, 1]`
+    /// availability); nothing is announced on error.
+    pub fn set_resource_availability(
+        &mut self,
+        r: ResourceId,
+        availability: f64,
+    ) -> Result<(), ModelError> {
         let slot = self.resource_slots[r.index()];
-        Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
+        Arc::make_mut(&mut self.problem).set_resource_availability(r, availability)?;
         self.runtime.inject(
             Address::ControlPlane,
             Message::AvailabilityUpdate { resource: slot, availability, seq: 0 },
         );
+        Ok(())
     }
 
     /// Announces a change of resource availability out of band: delivered
     /// to every agent immediately and reliably, bypassing both the network
     /// model and the control plane. This is the idealized baseline the
     /// reliable path is tested against.
-    pub fn set_resource_availability_bypass(&mut self, r: ResourceId, availability: f64) {
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownResourceId`] or
+    /// [`ModelError::InvalidParameter`] (non-finite or out-of-`[0, 1]`
+    /// availability); nothing is announced on error.
+    pub fn set_resource_availability_bypass(
+        &mut self,
+        r: ResourceId,
+        availability: f64,
+    ) -> Result<(), ModelError> {
         let slot = self.resource_slots[r.index()];
-        Arc::make_mut(&mut self.problem).set_resource_availability(r, availability);
+        Arc::make_mut(&mut self.problem).set_resource_availability(r, availability)?;
         let msg = Message::AvailabilityUpdate { resource: slot, availability, seq: 0 };
         self.runtime.inject(Address::Resource(slot), msg.clone());
         for &t in &self.task_slots {
             self.runtime.inject(Address::Controller(t), msg.clone());
         }
+        Ok(())
     }
 
     /// Current topology epoch (0 until the first membership change).
@@ -711,13 +818,9 @@ impl DistributedLla {
     /// # Errors
     ///
     /// [`ModelError::UnknownResourceId`] if no live resource occupies
-    /// `slot`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `replicas == 0` (retire the resource instead).
+    /// `slot`, or [`ModelError::InvalidParameter`] if `replicas == 0`
+    /// (retire the resource instead).
     pub fn set_resource_replicas(&mut self, slot: usize, replicas: u32) -> Result<(), ModelError> {
-        assert!(replicas > 0, "replicas must be >= 1; retire the resource instead");
         let dense = self.resource_dense(slot)?;
         let problem = Arc::make_mut(&mut self.problem);
         let id = problem.resources()[dense].id();
@@ -725,7 +828,7 @@ impl DistributedLla {
         if replicas == before {
             return Ok(());
         }
-        problem.set_resource_replicas(id, replicas);
+        problem.set_resource_replicas(id, replicas)?;
         let (cause, kind) = if replicas > before {
             self.tel.replica_provisions.inc();
             (MembershipCause::ReplicaProvision, "replica_provision")
@@ -867,7 +970,7 @@ mod tests {
         dist.run_rounds(800);
         let before = dist.utility();
 
-        dist.set_resource_availability(ResourceId::new(0), 0.5);
+        dist.set_resource_availability(ResourceId::new(0), 0.5).unwrap();
         dist.run_rounds(1_500);
         let after = dist.utility();
         assert!(after <= before + 1e-6, "losing capacity cannot raise utility: {after} > {before}");
@@ -886,7 +989,7 @@ mod tests {
             },
         );
         opt.run(800);
-        opt.set_resource_availability(ResourceId::new(0), 0.5);
+        opt.set_resource_availability(ResourceId::new(0), 0.5).unwrap();
         opt.run(1_500);
         assert!(
             (dist.utility() - opt.utility()).abs() < 1e-9,
@@ -905,8 +1008,8 @@ mod tests {
         let mut bypass = DistributedLla::new(problem(), config());
         reliable.run_rounds(400);
         bypass.run_rounds(400);
-        reliable.set_resource_availability(ResourceId::new(0), 0.5);
-        bypass.set_resource_availability_bypass(ResourceId::new(0), 0.5);
+        reliable.set_resource_availability(ResourceId::new(0), 0.5).unwrap();
+        bypass.set_resource_availability_bypass(ResourceId::new(0), 0.5).unwrap();
         reliable.run_rounds(400);
         bypass.run_rounds(400);
         for (round, (a, b)) in

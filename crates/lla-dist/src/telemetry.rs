@@ -72,6 +72,14 @@ pub struct DistTelemetry {
     pub replica_provisions: Counter,
     /// Elastic replicas retired by the supervisor.
     pub replica_retires: Counter,
+    /// Frames corrupted in flight by injected network corruption.
+    pub frames_corrupted: Counter,
+    /// Frames refused by the wire codec's decode → validate pipeline.
+    pub frames_rejected: Counter,
+    /// Message values refused by agent-side numeric guardrails.
+    pub values_rejected: Counter,
+    /// Agents quarantined by the supervisor for repeated invalid traffic.
+    pub agent_quarantines: Counter,
 }
 
 impl DistTelemetry {
@@ -153,6 +161,22 @@ impl DistTelemetry {
             replica_retires: c(
                 "lla_dist_replica_retires_total",
                 "elastic replicas retired by the supervisor",
+            ),
+            frames_corrupted: c(
+                "lla_dist_frames_corrupted_total",
+                "frames corrupted in flight by injected network corruption",
+            ),
+            frames_rejected: c(
+                "lla_dist_frames_rejected_total",
+                "frames refused by the wire codec's decode/validate pipeline",
+            ),
+            values_rejected: c(
+                "lla_dist_values_rejected_total",
+                "message values refused by agent-side numeric guardrails",
+            ),
+            agent_quarantines: c(
+                "lla_dist_agent_quarantines_total",
+                "agents quarantined by the supervisor for repeated invalid traffic",
             ),
         }
     }

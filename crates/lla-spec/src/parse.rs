@@ -41,19 +41,38 @@ impl<'a> Pairs<'a> {
         Ok(Pairs { line, map })
     }
 
+    /// A float key. `f64::parse` happily accepts `NaN`, `inf`, and
+    /// `-inf`; none of them is a meaningful model parameter and letting
+    /// one through would poison every downstream gradient, so non-finite
+    /// values are rejected here for *every* float key.
     fn float(&self, key: &str) -> Result<Option<f64>, SpecError> {
         match self.map.get(key) {
             None => Ok(None),
-            Some(v) => v.parse::<f64>().map(Some).map_err(|_| SpecError::InvalidValue {
-                line: self.line,
-                key: key.to_string(),
-                value: v.to_string(),
-            }),
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x.is_finite() => Ok(Some(x)),
+                _ => Err(SpecError::InvalidValue {
+                    line: self.line,
+                    key: key.to_string(),
+                    value: v.to_string(),
+                }),
+            },
         }
     }
 
-    fn required_float(&self, key: &'static str) -> Result<f64, SpecError> {
-        self.float(key)?.ok_or(SpecError::MissingField { line: self.line, field: key })
+    /// A float key that must also be non-negative — physical quantities
+    /// (times, rates, capacities) where a negative value is never
+    /// meaningful. Signed keys (the quadratic utility's `offset`, `lin`,
+    /// `quad`, which the model validates by shape) use
+    /// [`float`](Self::float) directly.
+    fn nonneg_float(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.float(key)? {
+            Some(x) if x < 0.0 => Err(self.invalid(key)),
+            other => Ok(other),
+        }
+    }
+
+    fn required_nonneg(&self, key: &'static str) -> Result<f64, SpecError> {
+        self.nonneg_float(key)?.ok_or(SpecError::MissingField { line: self.line, field: key })
     }
 
     fn usize(&self, key: &str) -> Result<Option<usize>, SpecError> {
@@ -134,10 +153,10 @@ impl Parser {
         };
         let id = ResourceId::new(self.resources.len());
         let mut r = Resource::new(id, kind).with_name(name);
-        if let Some(lag) = pairs.float("lag")? {
+        if let Some(lag) = pairs.nonneg_float("lag")? {
             r = r.with_lag(lag);
         }
-        if let Some(b) = pairs.float("availability")? {
+        if let Some(b) = pairs.nonneg_float("availability")? {
             r = r.with_availability(b);
         }
         self.resource_names.insert(name.to_string(), id);
@@ -169,11 +188,11 @@ impl Parser {
                 "percentile",
             ],
         )?;
-        let critical = pairs.required_float("critical")?;
+        let critical = pairs.required_nonneg("critical")?;
 
         let utility = match pairs.str("utility").unwrap_or("linear") {
             "linear" => {
-                let k = pairs.float("k")?.unwrap_or(2.0);
+                let k = pairs.nonneg_float("k")?.unwrap_or(2.0);
                 if k < 1.0 || critical <= 0.0 {
                     return Err(pairs.invalid("k"));
                 }
@@ -181,8 +200,8 @@ impl Parser {
             }
             "negative_latency" => UtilityFn::negative_latency(),
             "inelastic" => {
-                let umax = pairs.float("umax")?.unwrap_or(100.0);
-                let sharpness = pairs.float("sharpness")?.unwrap_or(6.0);
+                let umax = pairs.nonneg_float("umax")?.unwrap_or(100.0);
+                let sharpness = pairs.nonneg_float("sharpness")?.unwrap_or(6.0);
                 if umax <= 0.0 || sharpness <= 0.0 || critical <= 0.0 {
                     return Err(pairs.invalid("umax"));
                 }
@@ -197,14 +216,16 @@ impl Parser {
         };
 
         let trigger = match pairs.str("trigger").unwrap_or("periodic") {
-            "periodic" => TriggerSpec::Periodic { period: pairs.float("period")?.unwrap_or(100.0) },
+            "periodic" => {
+                TriggerSpec::Periodic { period: pairs.nonneg_float("period")?.unwrap_or(100.0) }
+            }
             "poisson" => TriggerSpec::Poisson {
                 rate: pairs
-                    .float("rate")?
+                    .nonneg_float("rate")?
                     .ok_or(SpecError::MissingField { line, field: "rate" })?,
             },
             "bursty" => TriggerSpec::Bursty {
-                period: pairs.float("period")?.unwrap_or(100.0),
+                period: pairs.nonneg_float("period")?.unwrap_or(100.0),
                 burst: pairs
                     .usize("burst")?
                     .ok_or(SpecError::MissingField { line, field: "burst" })?,
@@ -222,6 +243,9 @@ impl Parser {
             None | Some("worst") => PercentileSpec::WorstCase,
             Some(v) => {
                 let p: f64 = v.parse().map_err(|_| pairs.invalid("percentile"))?;
+                if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+                    return Err(pairs.invalid("percentile"));
+                }
                 PercentileSpec::Percentile(p)
             }
         };
@@ -247,8 +271,8 @@ impl Parser {
         let resource = *self.resource_names.get(resource_name).ok_or_else(|| {
             SpecError::UnknownName { line, entity: "resource", name: resource_name.to_string() }
         })?;
-        let exec = pairs.required_float("exec")?;
-        let cap = pairs.float("max_latency")?;
+        let exec = pairs.required_nonneg("exec")?;
+        let cap = pairs.nonneg_float("max_latency")?;
 
         let task =
             self.current.as_mut().ok_or(SpecError::OutsideTask { line, keyword: "subtask" })?;
@@ -435,6 +459,63 @@ task batch critical=80 utility=negative_latency trigger=poisson rate=0.01 aggreg
     fn bad_float_rejected() {
         let e = parse("resource r lag=fast\n").unwrap_err();
         assert!(matches!(e, SpecError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn non_finite_floats_rejected_everywhere() {
+        // `f64::parse` accepts all of these spellings; the parser must not.
+        for spec in [
+            "resource r lag=NaN\n",
+            "resource r availability=inf\n",
+            "resource r lag=-infinity\n",
+            "resource r\ntask t critical=nan\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10 trigger=poisson rate=inf\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10 utility=quadratic offset=NaN\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10\n subtask s resource=r exec=Infinity\n",
+        ] {
+            let e = parse(spec).unwrap_err();
+            assert!(matches!(e, SpecError::InvalidValue { .. }), "{spec:?} got {e:?}");
+        }
+    }
+
+    #[test]
+    fn negative_physical_quantities_rejected() {
+        for spec in [
+            "resource r lag=-1\n",
+            "resource r availability=-0.5\n",
+            "resource r\ntask t critical=-10\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10 period=-5\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10\n subtask s resource=r exec=-1\n",
+            "resource r\ntask t critical=10\n subtask s resource=r exec=1 max_latency=-2\n",
+        ] {
+            let e = parse(spec).unwrap_err();
+            assert!(matches!(e, SpecError::InvalidValue { .. }), "{spec:?} got {e:?}");
+        }
+    }
+
+    #[test]
+    fn signed_utility_offset_still_parses() {
+        // The quadratic offset is legitimately signed — only the
+        // non-finite spellings are barred for it.
+        let p = parse(
+            "resource r\ntask t critical=10 utility=quadratic offset=-5 lin=0.5 quad=0.01\n subtask s resource=r exec=1\n",
+        )
+        .unwrap();
+        assert!(
+            matches!(p.tasks()[0].utility_fn(), UtilityFn::Quadratic { offset, .. } if *offset == -5.0)
+        );
+    }
+
+    #[test]
+    fn out_of_range_percentile_rejected() {
+        for spec in [
+            "resource r\ntask t critical=10 percentile=NaN\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10 percentile=101\n subtask s resource=r exec=1\n",
+            "resource r\ntask t critical=10 percentile=-1\n subtask s resource=r exec=1\n",
+        ] {
+            let e = parse(spec).unwrap_err();
+            assert!(matches!(e, SpecError::InvalidValue { .. }), "{spec:?} got {e:?}");
+        }
     }
 
     #[test]

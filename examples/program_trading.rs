@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report_state(&opt, "before cpu1 degradation");
 
     // 40% of cpu1 is suddenly reserved by another tenant: LLA adapts.
-    opt.set_resource_availability(ResourceId::new(2), 0.6);
+    opt.set_resource_availability(ResourceId::new(2), 0.6).unwrap();
     let outcome = opt.run_to_convergence(10_000);
     println!("\nre-convergence after losing 40% of cpu1: {outcome:?}\n");
     report_state(&opt, "after cpu1 degradation");

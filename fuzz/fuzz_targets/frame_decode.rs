@@ -1,0 +1,30 @@
+//! Fuzz target: the frame decoder must never panic, and anything it
+//! accepts must be canonical — re-encoding an accepted message yields
+//! the input bytes exactly. Seeded from `corpus/frame_decode/` (valid
+//! encodings plus the committed corrupted-frame vectors).
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+use lla_dist::codec;
+
+fuzz_target!(|data: &[u8]| {
+    // Single-frame decode → validate: may reject, must not panic.
+    if let Ok(msg) = codec::decode(data) {
+        let _ = codec::validate(&msg);
+        // The codec has exactly one encoding per message, so decode and
+        // encode are mutually inverse on accepted inputs.
+        assert_eq!(codec::encode(&msg), data, "accepted frame must be canonical");
+    }
+    // Stream walking must make progress and terminate.
+    let mut at = 0usize;
+    while at < data.len() {
+        match codec::decode_frame(&data[at..]) {
+            Ok((_, used)) => {
+                assert!(used > 0, "stream decode must consume bytes");
+                at += used;
+            }
+            Err(_) => break,
+        }
+    }
+});

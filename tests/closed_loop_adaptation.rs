@@ -111,7 +111,7 @@ fn availability_drop_is_absorbed() {
     assert_eq!(sim.dropped(), 0);
 
     // CPU 1 loses a third of its capacity.
-    opt.set_resource_availability(ResourceId::new(1), 0.6);
+    opt.set_resource_availability(ResourceId::new(1), 0.6).unwrap();
     let outcome = opt.run_to_convergence(20_000);
     assert!(outcome.converged, "must re-converge after availability drop: {outcome:?}");
     let shares1: Vec<Vec<f64>> =

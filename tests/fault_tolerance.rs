@@ -187,8 +187,8 @@ fn reliable_availability_update_survives_heavy_loss() {
     lossy.run_rounds(800);
     ideal.run_rounds(800);
     // Reliable dissemination under loss vs out-of-band bypass.
-    lossy.set_resource_availability(ResourceId::new(0), 0.5);
-    ideal.set_resource_availability_bypass(ResourceId::new(0), 0.5);
+    lossy.set_resource_availability(ResourceId::new(0), 0.5).unwrap();
+    ideal.set_resource_availability_bypass(ResourceId::new(0), 0.5).unwrap();
     lossy.run_rounds(3_000);
     ideal.run_rounds(3_000);
 
@@ -234,7 +234,7 @@ fn duplication_and_reordering_do_not_break_convergence() {
         },
     );
     dist.run_rounds(800);
-    dist.set_resource_availability(ResourceId::new(0), 0.5);
+    dist.set_resource_availability(ResourceId::new(0), 0.5).unwrap();
     dist.run_rounds(3_000);
     assert!(dist.runtime().messages_duplicated() > 100, "duplication must be active");
 
