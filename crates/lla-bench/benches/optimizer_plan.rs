@@ -7,8 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lla_bench::naive_round;
-use lla_core::{Optimizer, OptimizerConfig, PriceState, StepSizePolicy};
-use lla_workloads::large_scale_workload;
+use lla_core::{
+    Optimizer, OptimizerConfig, PriceState, ShardSpec, ShardedOptimizer, StepSizePolicy,
+};
+use lla_workloads::{clustered_workload, large_scale_workload};
 use std::hint::black_box;
 
 fn config() -> OptimizerConfig {
@@ -34,6 +36,14 @@ fn bench_optimizer_plan(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("plan", tasks), &tasks, |b, &tasks| {
             let problem = large_scale_workload(tasks, 42).expect("valid config");
             let mut opt = Optimizer::new(problem, config());
+            b.iter(|| black_box(opt.step()));
+        });
+
+        group.bench_with_input(BenchmarkId::new("sharded_4", tasks), &tasks, |b, &tasks| {
+            let (problem, _) = clustered_workload(tasks, 4, 42).expect("valid geometry");
+            let spec = ShardSpec::contiguous(tasks, 4);
+            let mut opt =
+                ShardedOptimizer::new(problem, config(), spec).expect("spec is a partition");
             b.iter(|| black_box(opt.step()));
         });
     }

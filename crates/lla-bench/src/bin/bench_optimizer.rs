@@ -1,45 +1,239 @@
 //! Optimizer scaling benchmark: per-iteration cost of the compiled-plan
-//! hot path vs the naive nested-`Vec` round, on `large_scale_workload` at
-//! 100, 1 000 and 10 000 tasks — plus the cost of the telemetry layer
-//! (disabled registry vs live counters/gauges/histograms vs recording
-//! causal spans) at each point.
+//! hot path vs the naive nested-`Vec` round on `large_scale_workload` at
+//! 100 / 1 000 / 10 000 tasks (plus telemetry-layer cost at each point),
+//! and the **sharded scaling sweep** on `clustered_workload` at 100 000
+//! and 1 000 000 tasks: monolithic vs [`ShardedOptimizer`] rounds with
+//! per-shard cost decomposition, rounds-to-converge, and the modeled
+//! parallel efficiency at one core per shard.
 //!
 //! Progress goes to **stderr** through the telemetry event layer; stdout
 //! carries only the machine-readable JSON document, which is also written
 //! to `BENCH_optimizer.json` in the working directory (run from the
-//! repository root). Build with `--release`; with `--features parallel`
-//! the plan side additionally fans the per-task allocation out across
-//! worker threads (bit-identical results).
+//! repository root). The document holds one *variant* object per build
+//! flavor (`parallel_feature` false/true); each run refreshes its own
+//! variant fragment under `results/` and re-merges the document, so
+//! running both commands yields both axes:
 //!
 //! ```text
 //! cargo run --release -p lla-bench --bin bench_optimizer
 //! cargo run --release -p lla-bench --features parallel --bin bench_optimizer
 //! ```
-
-use lla_bench::{bench_optimizer_point, OptimizerBenchPoint};
+//!
+//! `bench_optimizer -- --smoke` instead runs the CI regression guard: a
+//! small sharded point (4 shards × 2 500 tasks) that fails (exit 1) if
+//! the sharded round's sequential per-iteration cost exceeds the
+//! monolithic step by more than 25%.
+//!
+//! [`ShardedOptimizer`]: lla_core::ShardedOptimizer
+use lla_bench::{
+    bench_optimizer_point, bench_sharded_sweep, OptimizerBenchPoint, ShardedBenchPoint,
+    ShardedSweepConfig,
+};
 use lla_telemetry::{Event, EventLog};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// `(tasks, warmup iterations, timed iterations)` — iteration counts taper
-/// with scale so the whole sweep stays under a minute in release mode.
-const POINTS: [(usize, usize, usize); 3] = [(100, 50, 2_000), (1_000, 20, 200), (10_000, 3, 30)];
+/// `(tasks, warmup iterations, timed iterations, convergence budget)` —
+/// iteration counts taper with scale so the flat sweep stays fast in
+/// release mode.
+const POINTS: [(usize, usize, usize, usize); 3] =
+    [(100, 50, 2_000, 5_000), (1_000, 20, 200, 5_000), (10_000, 3, 30, 3_000)];
+
+/// Sharded sweep geometry. Shard counts divide the cluster count so
+/// contiguous shards align with cluster boundaries and the problem is
+/// identical across shard counts; warmup/iters/reps taper with scale.
+struct SweepGeometry {
+    tasks: usize,
+    clusters: usize,
+    shard_counts: &'static [usize],
+    warmup: usize,
+    iters: usize,
+    reps: usize,
+    converge_budget: usize,
+}
+
+const SHARDED_SWEEPS: [SweepGeometry; 2] = [
+    SweepGeometry {
+        tasks: 100_000,
+        clusters: 8,
+        shard_counts: &[1, 2, 4, 8],
+        warmup: 2,
+        iters: 10,
+        reps: 2,
+        converge_budget: 3_000,
+    },
+    SweepGeometry {
+        tasks: 1_000_000,
+        clusters: 8,
+        shard_counts: &[1, 8],
+        warmup: 1,
+        iters: 3,
+        reps: 1,
+        converge_budget: 600,
+    },
+];
 
 const SEED: u64 = 42;
+
+/// CI guard threshold: sequential sharded overhead over monolithic.
+const SMOKE_MAX_OVERHEAD: f64 = 0.25;
+
+fn fmt_rounds(rounds: Option<usize>) -> String {
+    rounds.map_or_else(|| "null".to_string(), |r| r.to_string())
+}
+
+fn flat_point_json(p: &OptimizerBenchPoint) -> String {
+    format!(
+        "{{\"tasks\": {}, \"subtasks\": {}, \"naive_ns_per_iter\": {:.1}, \
+         \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}, \
+         \"rounds_to_converge\": {}, \
+         \"telemetry_disabled_ns_per_iter\": {:.1}, \
+         \"telemetry_enabled_ns_per_iter\": {:.1}, \
+         \"span_enabled_ns_per_iter\": {:.1}, \
+         \"telemetry_disabled_overhead\": {:.4}, \
+         \"telemetry_enabled_overhead\": {:.4}, \
+         \"span_enabled_overhead\": {:.4}}}",
+        p.tasks,
+        p.subtasks,
+        p.naive_ns_per_iter,
+        p.plan_ns_per_iter,
+        p.speedup(),
+        fmt_rounds(p.rounds_to_converge),
+        p.telemetry_disabled_ns_per_iter,
+        p.telemetry_enabled_ns_per_iter,
+        p.span_enabled_ns_per_iter,
+        p.telemetry_disabled_overhead(),
+        p.telemetry_enabled_overhead(),
+        p.span_enabled_overhead()
+    )
+}
+
+fn sharded_point_json(p: &ShardedBenchPoint) -> String {
+    format!(
+        "{{\"tasks\": {}, \"subtasks\": {}, \"shards\": {}, \
+         \"shared_resources\": {}, \"monolithic_ns_per_iter\": {:.1}, \
+         \"sharded_wall_ns_per_iter\": {:.1}, \
+         \"critical_path_ns_per_iter\": {:.1}, \
+         \"coordinator_ns_per_iter\": {:.1}, \
+         \"modeled_speedup\": {:.3}, \"parallel_efficiency\": {:.3}, \
+         \"sequential_overhead\": {:.4}, \"rounds_to_converge\": {}}}",
+        p.tasks,
+        p.subtasks,
+        p.shards,
+        p.shared_resources,
+        p.monolithic_ns_per_iter,
+        p.sharded_wall_ns_per_iter,
+        p.critical_path_ns_per_iter,
+        p.coordinator_ns_per_iter,
+        p.modeled_speedup(),
+        p.parallel_efficiency(),
+        p.sequential_overhead(),
+        fmt_rounds(p.rounds_to_converge)
+    )
+}
+
+/// Renders one variant object (indented for its slot in the document).
+fn variant_json(
+    parallel: bool,
+    flat: &[OptimizerBenchPoint],
+    sharded: &[ShardedBenchPoint],
+) -> String {
+    let mut v = String::from("    {\n");
+    let _ = writeln!(v, "      \"parallel_feature\": {parallel},");
+    let _ = writeln!(v, "      \"points\": [");
+    for (i, p) in flat.iter().enumerate() {
+        let comma = if i + 1 < flat.len() { "," } else { "" };
+        let _ = writeln!(v, "        {}{comma}", flat_point_json(p));
+    }
+    let _ = writeln!(v, "      ],");
+    let _ = writeln!(v, "      \"sharded_points\": [");
+    for (i, p) in sharded.iter().enumerate() {
+        let comma = if i + 1 < sharded.len() { "," } else { "" };
+        let _ = writeln!(v, "        {}{comma}", sharded_point_json(p));
+    }
+    let _ = writeln!(v, "      ]");
+    v.push_str("    }");
+    v
+}
+
+/// Merges whichever variant fragments exist (sequential first) into the
+/// top-level document.
+fn merged_document(results_dir: &std::path::Path) -> String {
+    let mut variants = Vec::new();
+    for name in ["bench_optimizer_variant_seq.json", "bench_optimizer_variant_par.json"] {
+        if let Ok(frag) = std::fs::read_to_string(results_dir.join(name)) {
+            variants.push(frag.trim_end().to_string());
+        }
+    }
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"optimizer_plan\",");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"variants\": [");
+    let _ = writeln!(json, "{}", variants.join(",\n"));
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    json
+}
+
+/// The CI regression guard (`--smoke`): 4 shards × 2 500 tasks, fail when
+/// the sequential sharded round costs >25% more per iteration than the
+/// monolithic step.
+fn run_smoke(progress: &EventLog, start: Instant) -> i32 {
+    let points = bench_sharded_sweep(&ShardedSweepConfig {
+        num_tasks: 10_000,
+        num_clusters: 4,
+        shard_counts: vec![4],
+        seed: SEED,
+        warmup: 2,
+        iters: 10,
+        reps: 3,
+        converge_budget: 0,
+    });
+    let p = &points[0];
+    let overhead = p.sequential_overhead();
+    progress.emit(
+        Event::new(start.elapsed().as_secs_f64(), "sharded_smoke")
+            .with("tasks", p.tasks)
+            .with("shards", p.shards)
+            .with("monolithic_ns_per_iter", p.monolithic_ns_per_iter)
+            .with("sharded_wall_ns_per_iter", p.sharded_wall_ns_per_iter)
+            .with("sequential_overhead", overhead)
+            .with("limit", SMOKE_MAX_OVERHEAD),
+    );
+    println!(
+        "{{\"benchmark\": \"sharded_smoke\", \"seed\": {SEED}, \"point\": {}, \
+         \"overhead_limit\": {SMOKE_MAX_OVERHEAD}, \"pass\": {}}}",
+        sharded_point_json(p),
+        overhead <= SMOKE_MAX_OVERHEAD
+    );
+    if overhead > SMOKE_MAX_OVERHEAD {
+        progress.emit(Event::new(start.elapsed().as_secs_f64(), "note").with(
+            "msg",
+            format!("FAIL: sharded overhead {overhead:.4} exceeds {SMOKE_MAX_OVERHEAD}"),
+        ));
+        return 1;
+    }
+    0
+}
 
 fn main() {
     let parallel = cfg!(feature = "parallel");
     let progress = EventLog::recording().with_stderr_echo();
     let start = Instant::now();
+
+    if std::env::args().any(|a| a == "--smoke") {
+        std::process::exit(run_smoke(&progress, start));
+    }
+
     progress.emit(
         Event::new(0.0, "note")
-            .with("msg", "optimizer iteration cost: naive vs compiled plan vs telemetry")
+            .with("msg", "optimizer iteration cost: naive vs plan vs telemetry vs sharded")
             .with("parallel", parallel),
     );
 
-    let mut results: Vec<OptimizerBenchPoint> = Vec::new();
-    for (tasks, warmup, iters) in POINTS {
-        let p = bench_optimizer_point(tasks, SEED, warmup, iters);
+    let mut flat: Vec<OptimizerBenchPoint> = Vec::new();
+    for (tasks, warmup, iters, budget) in POINTS {
+        let p = bench_optimizer_point(tasks, SEED, warmup, iters, budget);
         progress.emit(
             Event::new(start.elapsed().as_secs_f64(), "bench_point")
                 .with("tasks", p.tasks)
@@ -47,45 +241,58 @@ fn main() {
                 .with("naive_ns_per_iter", p.naive_ns_per_iter)
                 .with("plan_ns_per_iter", p.plan_ns_per_iter)
                 .with("speedup", p.speedup())
+                .with("rounds_to_converge", fmt_rounds(p.rounds_to_converge))
                 .with("telemetry_disabled_overhead", p.telemetry_disabled_overhead())
                 .with("telemetry_enabled_overhead", p.telemetry_enabled_overhead())
                 .with("span_enabled_overhead", p.span_enabled_overhead()),
         );
-        results.push(p);
+        flat.push(p);
     }
 
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"optimizer_plan\",");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"parallel_feature\": {parallel},");
-    let _ = writeln!(json, "  \"points\": [");
-    for (i, p) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"tasks\": {}, \"subtasks\": {}, \"naive_ns_per_iter\": {:.1}, \
-             \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}, \
-             \"telemetry_disabled_ns_per_iter\": {:.1}, \
-             \"telemetry_enabled_ns_per_iter\": {:.1}, \
-             \"span_enabled_ns_per_iter\": {:.1}, \
-             \"telemetry_disabled_overhead\": {:.4}, \
-             \"telemetry_enabled_overhead\": {:.4}, \
-             \"span_enabled_overhead\": {:.4}}}{comma}",
-            p.tasks,
-            p.subtasks,
-            p.naive_ns_per_iter,
-            p.plan_ns_per_iter,
-            p.speedup(),
-            p.telemetry_disabled_ns_per_iter,
-            p.telemetry_enabled_ns_per_iter,
-            p.span_enabled_ns_per_iter,
-            p.telemetry_disabled_overhead(),
-            p.telemetry_enabled_overhead(),
-            p.span_enabled_overhead()
+    let mut sharded: Vec<ShardedBenchPoint> = Vec::new();
+    for g in SHARDED_SWEEPS {
+        let sweep = ShardedSweepConfig {
+            num_tasks: g.tasks,
+            num_clusters: g.clusters,
+            shard_counts: g.shard_counts.to_vec(),
+            seed: SEED,
+            warmup: g.warmup,
+            iters: g.iters,
+            reps: g.reps,
+            converge_budget: g.converge_budget,
+        };
+        for p in bench_sharded_sweep(&sweep) {
+            progress.emit(
+                Event::new(start.elapsed().as_secs_f64(), "sharded_point")
+                    .with("tasks", p.tasks)
+                    .with("shards", p.shards)
+                    .with("monolithic_ns_per_iter", p.monolithic_ns_per_iter)
+                    .with("critical_path_ns_per_iter", p.critical_path_ns_per_iter)
+                    .with("parallel_efficiency", p.parallel_efficiency())
+                    .with("rounds_to_converge", fmt_rounds(p.rounds_to_converge)),
+            );
+            sharded.push(p);
+        }
+    }
+
+    // Refresh this build flavor's fragment, then merge whatever fragments
+    // exist into the document (the other flavor's numbers survive).
+    let results_dir = std::path::Path::new("results");
+    let fragment = variant_json(parallel, &flat, &sharded);
+    let frag_name = if parallel {
+        "bench_optimizer_variant_par.json"
+    } else {
+        "bench_optimizer_variant_seq.json"
+    };
+    if let Err(e) = std::fs::create_dir_all(results_dir)
+        .and_then(|()| std::fs::write(results_dir.join(frag_name), &fragment))
+    {
+        progress.emit(
+            Event::new(start.elapsed().as_secs_f64(), "note")
+                .with("msg", format!("variant fragment not written: {e}")),
         );
     }
-    let _ = writeln!(json, "  ]");
-    json.push_str("}\n");
+    let json = merged_document(results_dir);
 
     // Machine output: stdout carries exactly the JSON document.
     print!("{json}");

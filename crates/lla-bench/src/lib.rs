@@ -25,12 +25,13 @@ pub mod supervised;
 
 use lla_core::{
     allocate_latencies, Aggregation, Allocation, AllocationSettings, Optimizer, OptimizerConfig,
-    PriceState, Problem, StepSizePolicy,
+    PriceState, Problem, ShardSpec, ShardedOptimizer, StepSizePolicy,
 };
 use lla_sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
 use lla_telemetry::{HealthSnapshot, MetricsRegistry, SpanRecorder};
 use lla_workloads::{
-    base_workload_with, large_scale_workload, prototype_workload, scaled_workload, PrototypeParams,
+    base_workload_with, clustered_workload, large_scale_workload, prototype_workload,
+    scaled_workload, PrototypeParams,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -325,6 +326,10 @@ pub struct OptimizerBenchPoint {
     /// span recorder attached (one causal span per iteration on top of
     /// the bare step).
     pub span_enabled_ns_per_iter: f64,
+    /// Iterations a fresh optimizer needed to formally converge on this
+    /// workload, `None` if the measurement was skipped (budget 0) or the
+    /// budget ran out.
+    pub rounds_to_converge: Option<usize>,
 }
 
 impl OptimizerBenchPoint {
@@ -364,6 +369,7 @@ pub fn bench_optimizer_point(
     seed: u64,
     warmup: usize,
     iters: usize,
+    converge_budget: usize,
 ) -> OptimizerBenchPoint {
     let problem = large_scale_workload(num_tasks, seed).expect("generator config is valid");
     let subtasks = problem.tasks().iter().map(|t| t.len()).sum();
@@ -435,6 +441,17 @@ pub fn bench_optimizer_point(
         start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
     });
 
+    // Rounds to formal convergence (utility stable + prices quiescent +
+    // feasible) from a fresh start — the other axis the scaling story
+    // needs besides per-iteration cost.
+    let rounds_to_converge = if converge_budget > 0 {
+        let mut opt = Optimizer::new(problem.clone(), config);
+        let outcome = opt.run_to_convergence(converge_budget);
+        outcome.converged.then_some(outcome.iterations)
+    } else {
+        None
+    };
+
     OptimizerBenchPoint {
         tasks: num_tasks,
         subtasks,
@@ -443,7 +460,184 @@ pub fn bench_optimizer_point(
         telemetry_disabled_ns_per_iter,
         telemetry_enabled_ns_per_iter,
         span_enabled_ns_per_iter,
+        rounds_to_converge,
     }
+}
+
+/// One point of the sharded scaling sweep: a fixed clustered problem
+/// optimized monolithically and with `shards` shards, with the sharded
+/// round's cost decomposed per shard ([`ShardedOptimizer::step_timed`]).
+///
+/// Efficiency reporting is honest about the measurement machine: every
+/// phase is *executed* sequentially and `critical_path_ns_per_iter` is
+/// the modeled round cost with one free core per shard (slowest shard +
+/// sequential coordinator round). `sharded_wall_ns_per_iter` is what the
+/// round actually cost wall-clock on this machine.
+#[derive(Debug, Clone)]
+pub struct ShardedBenchPoint {
+    /// Number of tasks in the workload.
+    pub tasks: usize,
+    /// Total subtasks.
+    pub subtasks: usize,
+    /// Shard count of this point.
+    pub shards: usize,
+    /// Resources shared between shards (coordinator-priced).
+    pub shared_resources: usize,
+    /// Mean nanoseconds per monolithic [`Optimizer::step`] on the same
+    /// problem.
+    pub monolithic_ns_per_iter: f64,
+    /// Mean wall-clock nanoseconds per sharded round, executed
+    /// sequentially.
+    pub sharded_wall_ns_per_iter: f64,
+    /// Mean modeled nanoseconds per round with one core per shard:
+    /// `max_s(shard cost) + coordinator cost`.
+    pub critical_path_ns_per_iter: f64,
+    /// Mean nanoseconds of the coordinator round alone.
+    pub coordinator_ns_per_iter: f64,
+    /// Rounds a fresh sharded optimizer needed to formally converge;
+    /// `None` if skipped (budget 0) or the budget ran out.
+    pub rounds_to_converge: Option<usize>,
+}
+
+impl ShardedBenchPoint {
+    /// Modeled parallel efficiency at one core per shard:
+    /// `monolithic / (shards × critical path)`. 1.0 is perfect linear
+    /// scaling; the gap is shard imbalance + the sequential coordinator +
+    /// per-shard resource-array overhead.
+    pub fn parallel_efficiency(&self) -> f64 {
+        self.monolithic_ns_per_iter / (self.shards as f64 * self.critical_path_ns_per_iter)
+    }
+
+    /// Modeled speedup over the monolithic step at one core per shard.
+    pub fn modeled_speedup(&self) -> f64 {
+        self.monolithic_ns_per_iter / self.critical_path_ns_per_iter
+    }
+
+    /// Sequential-execution overhead of sharding: total sharded work per
+    /// round relative to the monolithic step (what a one-core machine
+    /// pays for the decomposition; the CI guard bounds this).
+    pub fn sequential_overhead(&self) -> f64 {
+        self.sharded_wall_ns_per_iter / self.monolithic_ns_per_iter - 1.0
+    }
+}
+
+/// Geometry and measurement protocol for [`bench_sharded_sweep`].
+#[derive(Debug, Clone)]
+pub struct ShardedSweepConfig {
+    /// Total tasks in the clustered workload.
+    pub num_tasks: usize,
+    /// Clusters in the generator; every entry of `shard_counts` must
+    /// divide it so contiguous shards align with cluster boundaries.
+    pub num_clusters: usize,
+    /// Shard counts to measure — one [`ShardedBenchPoint`] each.
+    pub shard_counts: Vec<usize>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Untimed warmup rounds per measurement.
+    pub warmup: usize,
+    /// Timed rounds per measurement.
+    pub iters: usize,
+    /// Repetitions; every reported number is the best of these.
+    pub reps: usize,
+    /// Rounds-to-convergence budget (0 = skip).
+    pub converge_budget: usize,
+}
+
+/// Runs the sharded scaling sweep on one clustered workload
+/// ([`clustered_workload`] with `num_clusters` clusters): measures the
+/// monolithic per-iteration cost once, then one [`ShardedBenchPoint`] per
+/// entry of `shard_counts`. All measurements are best-of-`reps` over
+/// `warmup` untimed + `iters` timed rounds; `converge_budget` (0 = skip)
+/// bounds the rounds-to-convergence run at the largest shard count only —
+/// convergence rounds are shard-count independent in practice, and at the
+/// million-task point one run is already minutes.
+pub fn bench_sharded_sweep(sweep: &ShardedSweepConfig) -> Vec<ShardedBenchPoint> {
+    let &ShardedSweepConfig {
+        num_tasks,
+        num_clusters,
+        seed,
+        warmup,
+        iters,
+        reps,
+        converge_budget,
+        ..
+    } = sweep;
+    let shard_counts = &sweep.shard_counts;
+    let (problem, _) = clustered_workload(num_tasks, num_clusters, seed).expect("valid geometry");
+    let subtasks = problem.tasks().iter().map(|t| t.len()).sum();
+    let config = OptimizerConfig {
+        step_policy: StepSizePolicy::sign_adaptive(1.0),
+        ..OptimizerConfig::default()
+    };
+    let reps = reps.max(1);
+
+    let monolithic_ns_per_iter = (0..reps)
+        .map(|_| {
+            let mut opt = Optimizer::new(problem.clone(), config);
+            for _ in 0..warmup {
+                std::hint::black_box(opt.step());
+            }
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(opt.step());
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let spec = ShardSpec::contiguous(problem.tasks().len(), shards);
+            let mut best_wall = f64::INFINITY;
+            let mut best_crit = f64::INFINITY;
+            let mut best_coord = f64::INFINITY;
+            let mut shared_resources = 0;
+            for _ in 0..reps {
+                let mut opt = ShardedOptimizer::new(problem.clone(), config, spec.clone())
+                    .expect("contiguous spec is a partition");
+                shared_resources = opt.num_shared_resources();
+                for _ in 0..warmup {
+                    std::hint::black_box(opt.step());
+                }
+                let mut crit = 0.0;
+                let mut coord = 0.0;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    let (rep, timing) = opt.step_timed();
+                    std::hint::black_box(rep);
+                    crit += timing.critical_path_ns();
+                    coord += timing.coordinator_ns;
+                }
+                let wall = start.elapsed().as_secs_f64() * 1e9 / iters.max(1) as f64;
+                if wall < best_wall {
+                    best_wall = wall;
+                    best_crit = crit / iters.max(1) as f64;
+                    best_coord = coord / iters.max(1) as f64;
+                }
+            }
+            let rounds_to_converge =
+                if converge_budget > 0 && shards == *shard_counts.iter().max().unwrap_or(&1) {
+                    let mut opt = ShardedOptimizer::new(problem.clone(), config, spec.clone())
+                        .expect("contiguous spec is a partition");
+                    let outcome = opt.run_to_convergence(converge_budget);
+                    outcome.converged.then_some(outcome.iterations)
+                } else {
+                    None
+                };
+            ShardedBenchPoint {
+                tasks: num_tasks,
+                subtasks,
+                shards,
+                shared_resources,
+                monolithic_ns_per_iter,
+                sharded_wall_ns_per_iter: best_wall,
+                critical_path_ns_per_iter: best_crit,
+                coordinator_ns_per_iter: best_coord,
+                rounds_to_converge,
+            }
+        })
+        .collect()
 }
 
 /// Result of the Figure 7 schedulability experiment.

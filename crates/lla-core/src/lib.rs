@@ -80,6 +80,7 @@ pub mod prices;
 pub mod problem;
 pub mod resource;
 pub mod schedulability;
+pub mod shard;
 pub mod share;
 pub mod subtask;
 pub mod task;
@@ -103,6 +104,7 @@ pub use prices::{PriceState, StepSizePolicy};
 pub use problem::{MembershipReport, Problem};
 pub use resource::{Resource, ResourceKind};
 pub use schedulability::{analyze_schedulability, SchedulabilityConfig, SchedulabilityVerdict};
+pub use shard::{ResourceOwner, ShardSpec, ShardStepTiming, ShardedOptimizer};
 pub use share::ShareModel;
 pub use subtask::Subtask;
 pub use task::{Aggregation, Task, TaskBuilder, TriggerSpec};

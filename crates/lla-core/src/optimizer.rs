@@ -511,8 +511,19 @@ impl Optimizer {
         };
         if stale {
             let plan = Plan::lower(&self.problem, &self.config.allocation);
-            let scratch = plan.scratch();
-            self.plan = Some(Box::new(PlanCtx { plan, scratch }));
+            match &mut self.plan {
+                // Re-lowering reuses the existing scratch pool: membership
+                // epochs resize the buffers in place instead of
+                // reallocating all seven per epoch.
+                Some(ctx) => {
+                    ctx.scratch.resize_for(&plan);
+                    ctx.plan = plan;
+                }
+                None => {
+                    let scratch = plan.scratch();
+                    self.plan = Some(Box::new(PlanCtx { plan, scratch }));
+                }
+            }
             if let Some(tel) = &self.telemetry {
                 tel.plan_lowerings.inc();
             }

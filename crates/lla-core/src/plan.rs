@@ -186,6 +186,39 @@ impl PlanScratch {
     pub fn path_lat(&self) -> &[f64] {
         &self.path_lat
     }
+
+    /// Congestion bits written by the most recent price phase (indexed by
+    /// global resource).
+    pub fn congested(&self) -> &[bool] {
+        &self.congested
+    }
+
+    /// Mutable congestion bits — a sharded coordinator broadcasts shared-
+    /// resource congestion into each shard's scratch through this.
+    pub fn congested_mut(&mut self) -> &mut [bool] {
+        &mut self.congested
+    }
+
+    /// Resizes this scratch in place to fit `plan`, reusing existing
+    /// buffer capacity. Re-lowerings call this instead of
+    /// [`Plan::scratch`] so a membership epoch does not reallocate every
+    /// scratch buffer; contents are reset to zero.
+    pub fn resize_for(&mut self, plan: &Plan) {
+        fn fit(v: &mut Vec<f64>, n: usize) {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+        let ns = plan.num_subtasks();
+        let nr = plan.num_resources();
+        fit(&mut self.prev, ns);
+        fit(&mut self.lats, ns);
+        fit(&mut self.lambda, ns);
+        fit(&mut self.usage, nr);
+        fit(&mut self.grad_r, nr);
+        fit(&mut self.path_lat, plan.num_paths());
+        self.congested.clear();
+        self.congested.resize(nr, false);
+    }
 }
 
 /// A compiled, structure-of-arrays lowering of one [`Problem`] at one
@@ -226,29 +259,61 @@ impl Plan {
     /// Lowers `problem` into a dense iteration plan, snapshotting its
     /// current [`Problem::epoch`].
     pub fn lower(problem: &Problem, settings: &AllocationSettings) -> Plan {
-        let nt = problem.tasks().len();
+        Self::lower_impl(problem, settings, None)
+    }
+
+    /// Lowers only the given global task indices (plan-local task order =
+    /// slice order), keeping **global** resource indexing: `sub_res` and
+    /// the per-resource CSR windows still index the full resource set, so
+    /// a subset plan shares μ vectors and usage/congestion layouts with
+    /// every other subset of the same problem. Resources untouched by the
+    /// subset get empty windows (their usage lowers to `0.0`). This is the
+    /// shard lowering used by
+    /// [`ShardedOptimizer`](crate::shard::ShardedOptimizer): re-lowering
+    /// one shard after a membership epoch costs O(shard subtasks +
+    /// resources), not O(problem).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` contains an out-of-range index.
+    pub fn lower_subset(problem: &Problem, settings: &AllocationSettings, tasks: &[usize]) -> Plan {
+        Self::lower_impl(problem, settings, Some(tasks))
+    }
+
+    fn lower_impl(
+        problem: &Problem,
+        settings: &AllocationSettings,
+        subset: Option<&[usize]>,
+    ) -> Plan {
+        let nt_global = problem.tasks().len();
         let nr = problem.resources().len();
-        let ns = problem.num_subtasks();
-        let np = problem.num_paths();
-        assert!(ns < u32::MAX as usize, "problem too large for u32 subtask indices");
+        let ns_global = problem.num_subtasks();
+        let np_global = problem.num_paths();
+        assert!(ns_global < u32::MAX as usize, "problem too large for u32 subtask indices");
+        let nt = subset.map_or(nt_global, <[usize]>::len);
 
         let mut task_sub_off = Vec::with_capacity(nt + 1);
         let mut task_path_off = Vec::with_capacity(nt + 1);
-        let mut path_sub_off = Vec::with_capacity(np + 1);
+        let mut path_sub_off = Vec::with_capacity(if subset.is_some() { 1 } else { np_global + 1 });
         let mut path_subs = Vec::new();
-        let mut demand = Vec::with_capacity(ns);
-        let mut correction = Vec::with_capacity(ns);
-        let mut lo = Vec::with_capacity(ns);
-        let mut hi = Vec::with_capacity(ns);
-        let mut weight = Vec::with_capacity(ns);
-        let mut sub_res = Vec::with_capacity(ns);
+        let mut demand = Vec::new();
+        let mut correction = Vec::new();
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        let mut weight = Vec::new();
+        let mut sub_res = Vec::new();
         let mut critical_time = Vec::with_capacity(nt);
         let mut utility = Vec::with_capacity(nt);
+        // Global task index → flat subtask base within this plan
+        // (usize::MAX for tasks outside the subset).
+        let mut flat_base = vec![usize::MAX; nt_global];
         task_sub_off.push(0);
         task_path_off.push(0);
         path_sub_off.push(0);
-        for task in problem.tasks() {
+        let mut lower_task = |gt: usize| {
+            let task = &problem.tasks()[gt];
             let (lo_t, hi_t) = clamping_box(problem, task, settings);
+            flat_base[gt] = demand.len();
             for s in 0..task.len() {
                 let model = problem.share_model(task.subtask_id(s));
                 demand.push(model.demand());
@@ -266,15 +331,22 @@ impl Plan {
             task_path_off.push(path_sub_off.len() - 1);
             critical_time.push(task.critical_time());
             utility.push(task.utility_fn().clone());
+        };
+        match subset {
+            Some(tasks) => tasks.iter().for_each(|&gt| lower_task(gt)),
+            None => (0..nt_global).for_each(&mut lower_task),
         }
 
         let mut res_sub_off = Vec::with_capacity(nr + 1);
-        let mut res_subs = Vec::with_capacity(ns);
+        let mut res_subs = Vec::new();
         let mut availability = Vec::with_capacity(nr);
         res_sub_off.push(0);
         for r in problem.resources() {
             for sid in problem.subtasks_on(r.id()) {
-                res_subs.push((task_sub_off[sid.task().index()] + sid.index()) as u32);
+                let base = flat_base[sid.task().index()];
+                if base != usize::MAX {
+                    res_subs.push((base + sid.index()) as u32);
+                }
             }
             res_sub_off.push(res_subs.len());
             availability.push(r.availability());
@@ -528,6 +600,44 @@ impl Plan {
         for (r, &g) in grad_r.iter().enumerate() {
             prices.apply_resource_step(r, g);
         }
+        self.path_price_steps(prices, scratch);
+    }
+
+    /// The shard-local half of the price phase: computes usage and path
+    /// latencies from `scratch.lats`, resets step tracking, then applies
+    /// μ steps (Eq. 8) and congestion bits **only** for resources marked
+    /// in `owned`. Unowned entries of `scratch.usage` still hold this
+    /// plan's *partial* usage so a coordinator can aggregate them; their
+    /// μ steps and congestion bits come from the coordinator round. The
+    /// per-resource step order and arithmetic match [`price_update`]
+    /// exactly, so with every resource owned this is bit-identical to the
+    /// resource half of the monolithic step.
+    pub fn owned_resource_steps(
+        &self,
+        prices: &mut PriceState,
+        scratch: &mut PlanScratch,
+        owned: &[bool],
+    ) {
+        let PlanScratch { lats, usage, grad_r, path_lat, congested, .. } = scratch;
+        self.usage_into(lats, usage);
+        self.path_latencies_into(lats, path_lat);
+        prices.reset_step_tracking();
+        for r in 0..self.num_resources() {
+            if owned[r] {
+                let g = self.availability[r] - usage[r];
+                grad_r[r] = g;
+                congested[r] = g < 0.0;
+                prices.apply_resource_step(r, g);
+            }
+        }
+    }
+
+    /// The per-path half of the price phase (Eq. 9): applies one λ step
+    /// per path from the path latencies and congestion bits already in
+    /// `scratch`. Sharded drivers call this *after* the coordinator has
+    /// broadcast shared-resource congestion into `scratch.congested`.
+    pub fn path_price_steps(&self, prices: &mut PriceState, scratch: &PlanScratch) {
+        let PlanScratch { path_lat, congested, .. } = scratch;
         for t in 0..self.num_tasks() {
             let ct = self.critical_time[t];
             let base = self.task_sub_off[t];
@@ -540,6 +650,21 @@ impl Plan {
                 prices.apply_path_step(t, p, grad, traverses_congested);
             }
         }
+    }
+
+    /// Per-resource availability `B_r` as lowered (global resource order).
+    pub fn availability(&self) -> &[f64] {
+        &self.availability
+    }
+
+    /// Number of root-to-leaf paths of plan-local task `t`.
+    pub fn num_task_paths(&self, t: usize) -> usize {
+        self.task_path_off[t + 1] - self.task_path_off[t]
+    }
+
+    /// Plan-local task `t`'s range within the flat per-path arrays.
+    pub fn task_path_range(&self, t: usize) -> std::ops::Range<usize> {
+        self.task_path_off[t]..self.task_path_off[t + 1]
     }
 
     /// `Σ_i U_i` over a flat latency vector, replicating
@@ -634,6 +759,46 @@ impl Plan {
         boundary_tol: f64,
         scratch: &mut PlanScratch,
     ) -> KktReport {
+        let (stat, comp, worst_path) = self.kkt_task_terms(lats, prices, boundary_tol, scratch);
+        let mut comp = comp;
+        let mut worst_res = f64::NEG_INFINITY;
+        for r in 0..self.num_resources() {
+            let usage: f64 = self.res_subs[self.res_sub_off[r]..self.res_sub_off[r + 1]]
+                .iter()
+                .map(|&gs| {
+                    let s = gs as usize;
+                    let eff = lats[s] - self.correction[s];
+                    if eff <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        self.demand[s] / eff
+                    }
+                })
+                .sum();
+            comp = comp.max((prices.mu(r) * (self.availability[r] - usage)).abs());
+            worst_res = worst_res.max(usage - self.availability[r]);
+        }
+        KktReport {
+            max_stationarity_residual: stat,
+            max_resource_violation: worst_res.max(0.0),
+            max_path_violation: worst_path.max(0.0),
+            max_complementary_slackness: comp,
+        }
+    }
+
+    /// The per-task terms of [`kkt_report`](Self::kkt_report):
+    /// `(max stationarity residual, max path complementary slackness,
+    /// worst path violation)` over this plan's tasks. Sharded drivers sum
+    /// resource usage across shards separately (a single shard sees only
+    /// partial usage of shared resources, so the per-resource terms cannot
+    /// be evaluated shard-locally).
+    pub(crate) fn kkt_task_terms(
+        &self,
+        lats: &[f64],
+        prices: &PriceState,
+        boundary_tol: f64,
+        scratch: &mut PlanScratch,
+    ) -> (f64, f64, f64) {
         let mut stat = 0.0f64;
         let mut comp = 0.0f64;
         let mut worst_path = f64::NEG_INFINITY;
@@ -672,29 +837,7 @@ impl Plan {
                 stat = stat.max(residual.abs());
             }
         }
-        let mut worst_res = f64::NEG_INFINITY;
-        for r in 0..self.num_resources() {
-            let usage: f64 = self.res_subs[self.res_sub_off[r]..self.res_sub_off[r + 1]]
-                .iter()
-                .map(|&gs| {
-                    let s = gs as usize;
-                    let eff = lats[s] - self.correction[s];
-                    if eff <= 0.0 {
-                        f64::INFINITY
-                    } else {
-                        self.demand[s] / eff
-                    }
-                })
-                .sum();
-            comp = comp.max((prices.mu(r) * (self.availability[r] - usage)).abs());
-            worst_res = worst_res.max(usage - self.availability[r]);
-        }
-        KktReport {
-            max_stationarity_residual: stat,
-            max_resource_violation: worst_res.max(0.0),
-            max_path_violation: worst_path.max(0.0),
-            max_complementary_slackness: comp,
-        }
+        (stat, comp, worst_path)
     }
 }
 

@@ -288,6 +288,88 @@ impl PriceState {
         self.policy
     }
 
+    /// Shard-shaped price state (crate-internal, used by
+    /// [`crate::shard::ShardedOptimizer`]): a full-size μ/γ_r mirror over
+    /// **every** global resource — so plan kernels can index it with
+    /// global `sub_res` ids — but λ rows only for the shard's `tasks`
+    /// (plan-local row order = slice order).
+    pub(crate) fn for_shard(problem: &Problem, tasks: &[usize], policy: StepSizePolicy) -> Self {
+        let g0 = policy.initial_gamma();
+        let nr = problem.resources().len();
+        let rows: Vec<usize> =
+            tasks.iter().map(|&t| problem.tasks()[t].graph().paths().len()).collect();
+        PriceState {
+            mu: vec![0.0; nr],
+            lambda: rows.iter().map(|&n| vec![0.0; n]).collect(),
+            gamma_r: vec![g0; nr],
+            gamma_p: rows.iter().map(|&n| vec![g0; n]).collect(),
+            last_grad_r: vec![0.0; nr],
+            last_grad_p: rows.iter().map(|&n| vec![0.0; n]).collect(),
+            last_max_rel_step: f64::INFINITY,
+            rejected_samples: 0,
+            gamma_doublings: 0,
+            policy,
+        }
+    }
+
+    /// Raw `(μ, γ, last_grad)` triple for resource `r` — ownership
+    /// transfers between a shard and its coordinator move the *full*
+    /// adaptive state, not just the price.
+    pub(crate) fn resource_dual_raw(&self, r: usize) -> (f64, f64, f64) {
+        (self.mu[r], self.gamma_r[r], self.last_grad_r[r])
+    }
+
+    /// Installs a raw resource-dual triple taken from
+    /// [`resource_dual_raw`](Self::resource_dual_raw).
+    pub(crate) fn set_resource_dual_raw(&mut self, r: usize, raw: (f64, f64, f64)) {
+        self.mu[r] = raw.0;
+        self.gamma_r[r] = raw.1;
+        self.last_grad_r[r] = raw.2;
+    }
+
+    /// Raw `(λ, γ, last_grad)` triple for path `p` of λ-row `row`.
+    pub(crate) fn path_dual_raw(&self, row: usize, p: usize) -> (f64, f64, f64) {
+        (self.lambda[row][p], self.gamma_p[row][p], self.last_grad_p[row][p])
+    }
+
+    /// Installs a raw path-dual triple taken from
+    /// [`path_dual_raw`](Self::path_dual_raw).
+    pub(crate) fn set_path_dual_raw(&mut self, row: usize, p: usize, raw: (f64, f64, f64)) {
+        self.lambda[row][p] = raw.0;
+        self.gamma_p[row][p] = raw.1;
+        self.last_grad_p[row][p] = raw.2;
+    }
+
+    /// Appends a fresh zero-dual λ row of `paths` entries (a task joining
+    /// a shard is appended at the end of its plan-local order).
+    pub(crate) fn push_lambda_row(&mut self, paths: usize) {
+        let g0 = self.policy.initial_gamma();
+        self.lambda.push(vec![0.0; paths]);
+        self.gamma_p.push(vec![g0; paths]);
+        self.last_grad_p.push(vec![0.0; paths]);
+    }
+
+    /// Removes λ row `row`, shifting later rows down (a task leaving a
+    /// shard; plan-local order of the survivors is preserved).
+    pub(crate) fn remove_lambda_row(&mut self, row: usize) {
+        self.lambda.remove(row);
+        self.gamma_p.remove(row);
+        self.last_grad_p.remove(row);
+    }
+
+    /// Overwrites the diagnostic bookkeeping (used when assembling a
+    /// global state from shard states for checkpoint export).
+    pub(crate) fn set_bookkeeping(
+        &mut self,
+        last_max_rel_step: f64,
+        rejected: u64,
+        doublings: u64,
+    ) {
+        self.last_max_rel_step = last_max_rel_step;
+        self.rejected_samples = rejected;
+        self.gamma_doublings = doublings;
+    }
+
     /// Remediation hook for gamma-thrash (supervisor §12): resets every
     /// per-entity step size back to the policy's initial value and clamps
     /// the adaptive growth cap to `initial × max_multiple`. A multiple of

@@ -946,17 +946,34 @@ impl TaskController {
         Ok(())
     }
 
-    /// Re-lowers the compiled task plan after anything that feeds it
-    /// changed: the problem (availability updates move the clamping
-    /// boxes), this controller's dense task index, or the task set shape
-    /// (epochs replace the problem wholesale, so epoch counters cannot be
-    /// compared across it).
+    /// Re-lowers the compiled task plan and rebuilds the checkpoint
+    /// template wholesale. Epoch transitions replace the problem (and may
+    /// rebind this controller's dense task index), so everything derived
+    /// from it is rebuilt.
     fn rebuild_plan(&mut self) {
         let id = self.problem.tasks()[self.t].id();
         self.plan = TaskPlan::lower(&self.problem, id, &self.settings);
         self.lambda_scratch.resize(self.plan.len(), 0.0);
         self.next_lats.resize(self.plan.len(), 0.0);
         self.checkpoint_template = self.problem.initial_allocation();
+    }
+
+    /// Incremental follow-up to a single resource's availability change:
+    /// `B_r` feeds the clamping boxes, so the compiled plan is re-lowered
+    /// only when this controller's task actually runs on `r`, and only the
+    /// checkpoint-template rows of tasks touching `r` are recomputed —
+    /// O(affected), not O(problem), per update.
+    fn on_availability_applied(&mut self, r: usize) {
+        for ti in 0..self.problem.tasks().len() {
+            let task = &self.problem.tasks()[ti];
+            if task.subtasks().iter().any(|s| s.resource().index() == r) {
+                self.checkpoint_template[ti] = self.problem.initial_task_allocation(task.id());
+            }
+        }
+        if self.used_resources.binary_search(&r).is_ok() {
+            let id = self.problem.tasks()[self.t].id();
+            self.plan = TaskPlan::lower(&self.problem, id, &self.settings);
+        }
     }
 
     /// Staleness of the oldest relevant price at virtual time `now`.
@@ -1213,8 +1230,7 @@ impl Actor for TaskController {
                     if let Some(r) = self.resource_dense(resource) {
                         let id = self.problem.resources()[r].id();
                         if self.problem.set_resource_availability(id, availability).is_ok() {
-                            // B_r feeds the plan's clamping boxes.
-                            self.rebuild_plan();
+                            self.on_availability_applied(r);
                         } else {
                             self.tel.values_rejected.inc();
                             self.tel.events.emit(

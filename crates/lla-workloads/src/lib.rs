@@ -6,6 +6,9 @@
 //!   workload of Figure 4 / Table 1, its 6- and 12-task scalings (§5.3),
 //!   the unschedulable variant (§5.4), and the 4-task prototype workload of
 //!   §6.2.
+//! * [`partition`] — clustered large-scale workloads (per-cluster resource
+//!   pools plus a thin shared backbone) and task-set partitioners feeding
+//!   [`lla_core::ShardedOptimizer`]'s shard specs.
 //! * [`random`] — a seeded generator of random workloads with a
 //!   *constructive schedulability guarantee*: it derives critical times
 //!   from a witness allocation, so generated workloads are schedulable by
@@ -18,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod paper;
+pub mod partition;
 pub mod random;
 
 pub use paper::{
     base_workload, base_workload_with, prototype_workload, scaled_workload, PrototypeParams,
 };
+pub use partition::{clustered_workload, partition_by_affinity, ClusteredWorkloadConfig};
 pub use random::{large_scale_workload, RandomWorkloadConfig, TaskShape};

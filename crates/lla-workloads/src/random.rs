@@ -102,10 +102,10 @@ pub fn large_scale_workload(num_tasks: usize, seed: u64) -> Result<Problem, Mode
     .generate()
 }
 
-struct TaskDraft {
-    resources: Vec<ResourceId>,
-    exec_times: Vec<f64>,
-    edges: Vec<(usize, usize)>,
+pub(crate) struct TaskDraft {
+    pub(crate) resources: Vec<ResourceId>,
+    pub(crate) exec_times: Vec<f64>,
+    pub(crate) edges: Vec<(usize, usize)>,
 }
 
 impl RandomWorkloadConfig {
@@ -132,9 +132,20 @@ impl RandomWorkloadConfig {
             drafts.push(self.draw_task(t, &mut rng)?);
         }
 
+        self.assemble(resources, &drafts)
+    }
+
+    /// Phases 2–3 of generation: witness allocation → critical times →
+    /// [`Problem`]. Shared with the clustered generator in
+    /// [`partition`](crate::partition), which draws its own structures.
+    pub(crate) fn assemble(
+        &self,
+        resources: Vec<Resource>,
+        drafts: &[TaskDraft],
+    ) -> Result<Problem, ModelError> {
         // Phase 2: witness allocation. Count subtasks per resource.
-        let mut per_resource = vec![0usize; self.num_resources];
-        for d in &drafts {
+        let mut per_resource = vec![0usize; resources.len()];
+        for d in drafts {
             for r in &d.resources {
                 per_resource[r.index()] += 1;
             }
@@ -157,7 +168,7 @@ impl RandomWorkloadConfig {
             .collect();
 
         // Phase 3: critical times from the witness critical path.
-        let mut tasks: Vec<Task> = Vec::with_capacity(self.num_tasks);
+        let mut tasks: Vec<Task> = Vec::with_capacity(drafts.len());
         for (t, d) in drafts.iter().enumerate() {
             let id = TaskId::new(t);
             let graph = SubtaskGraph::new(id, d.resources.len(), &d.edges)?;
@@ -214,6 +225,20 @@ impl RandomWorkloadConfig {
     }
 
     fn draw_task(&self, index: usize, rng: &mut StdRng) -> Result<TaskDraft, ModelError> {
+        let pool: Vec<usize> = (0..self.num_resources).collect();
+        self.draw_task_in_pool(index, rng, &pool)
+    }
+
+    /// Draws one task whose resources come from `pool` (global resource
+    /// indices). The clustered generator in [`partition`](crate::partition)
+    /// uses this to confine a cluster's tasks to the cluster's resource
+    /// slice.
+    pub(crate) fn draw_task_in_pool(
+        &self,
+        index: usize,
+        rng: &mut StdRng,
+        pool: &[usize],
+    ) -> Result<TaskDraft, ModelError> {
         let n = rng.gen_range(self.min_subtasks..=self.max_subtasks);
         let shape = match self.shape {
             TaskShape::Mixed => match index % 4 {
@@ -267,12 +292,21 @@ impl RandomWorkloadConfig {
         };
 
         // Distinct resources within a task when possible (§2.1 assumption).
-        let mut resources: Vec<ResourceId> = if n <= self.num_resources {
-            let mut pool: Vec<usize> = (0..self.num_resources).collect();
-            pool.shuffle(rng);
-            pool[..n].iter().map(|&i| ResourceId::new(i)).collect()
+        let mut resources: Vec<ResourceId> = if n <= pool.len() {
+            // Rejection-sample n distinct picks: n is at most the subtask
+            // cap while the pool scales with the workload (hundreds of
+            // thousands of resources at the 1M-task point), so a full
+            // O(|pool|) shuffle per task would dominate generation.
+            let mut picks: Vec<usize> = Vec::with_capacity(n);
+            while picks.len() < n {
+                let c = pool[rng.gen_range(0..pool.len())];
+                if !picks.contains(&c) {
+                    picks.push(c);
+                }
+            }
+            picks.into_iter().map(ResourceId::new).collect()
         } else {
-            (0..n).map(|_| ResourceId::new(rng.gen_range(0..self.num_resources))).collect()
+            (0..n).map(|_| ResourceId::new(pool[rng.gen_range(0..pool.len())])).collect()
         };
         // Stable order is irrelevant to the math; shuffle for variety.
         resources.shuffle(rng);
