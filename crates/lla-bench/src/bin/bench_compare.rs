@@ -1,0 +1,163 @@
+//! Perf-regression gate: diffs the newest `bench_optimizer` history
+//! record against the committed baseline and exits nonzero on
+//! regression.
+//!
+//! ```text
+//! cargo run --release -p lla-bench --bin bench_compare -- [flags]
+//!
+//!   --history <path>     history JSONL (default results/bench_history.jsonl)
+//!   --baseline <path>    baseline JSON (default results/bench_baseline.json)
+//!   --label <l>          gate only records with this label (smoke|full)
+//!   --write-baseline     seed/overwrite the baseline from the newest
+//!                        record (default tolerances; see lla_bench::perf)
+//!   --synthetic-regression <frac>
+//!                        inflate every *_ns_per_iter metric of the newest
+//!                        record by `frac` before comparing — the CI
+//!                        self-test that proves the gate trips
+//! ```
+//!
+//! Exit codes: `0` pass, `1` regression detected, `2` usage error,
+//! `3` missing/unreadable history or baseline.
+//!
+//! Absolute ns/iter is machine-specific, so CI re-seeds the baseline on
+//! the runner (`--write-baseline` from a first smoke run) before gating
+//! a second run; the committed baseline serves the machine that produced
+//! `BENCH_optimizer.json`.
+
+use lla_bench::perf::{latest_record, Baseline, BASELINE_PATH, HISTORY_PATH};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    history: PathBuf,
+    baseline: PathBuf,
+    label: Option<String>,
+    write_baseline: bool,
+    synthetic_regression: Option<f64>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_compare [--history <path>] [--baseline <path>] [--label <l>] \
+         [--write-baseline] [--synthetic-regression <frac>]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        history: PathBuf::from(HISTORY_PATH),
+        baseline: PathBuf::from(BASELINE_PATH),
+        label: None,
+        write_baseline: false,
+        synthetic_regression: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--history" => opts.history = args.next().map(PathBuf::from).ok_or_else(usage)?,
+            "--baseline" => opts.baseline = args.next().map(PathBuf::from).ok_or_else(usage)?,
+            "--label" => opts.label = Some(args.next().ok_or_else(usage)?),
+            "--write-baseline" => opts.write_baseline = true,
+            "--synthetic-regression" => {
+                let frac = args.next().ok_or_else(usage)?;
+                opts.synthetic_regression =
+                    Some(frac.parse::<f64>().map_err(|_| usage()).and_then(|f| {
+                        if f.is_finite() && f >= 0.0 {
+                            Ok(f)
+                        } else {
+                            Err(usage())
+                        }
+                    })?);
+            }
+            "--help" | "-h" => {
+                let _ = usage();
+                return Err(ExitCode::SUCCESS);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let mut record = match latest_record(&opts.history, opts.label.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    eprintln!(
+        "bench_compare: latest record ts={} label={} parallel={} ({} metrics)",
+        record.ts,
+        record.label,
+        record.parallel,
+        record.metrics.len()
+    );
+
+    if opts.write_baseline {
+        let baseline = Baseline::from_record(&record);
+        if let Some(dir) = opts.baseline.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&opts.baseline, baseline.to_json()) {
+            eprintln!("bench_compare: cannot write {}: {e}", opts.baseline.display());
+            return ExitCode::from(3);
+        }
+        eprintln!(
+            "bench_compare: wrote {} ({} gated metrics)",
+            opts.baseline.display(),
+            baseline.metrics.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(frac) = opts.synthetic_regression {
+        for (name, value) in &mut record.metrics {
+            if name.ends_with("_ns_per_iter") {
+                *value *= 1.0 + frac;
+            }
+        }
+        eprintln!("bench_compare: applied synthetic +{:.0}% to *_ns_per_iter", frac * 100.0);
+    }
+
+    let baseline = match std::fs::read_to_string(&opts.baseline)
+        .map_err(|e| format!("cannot read {}: {e}", opts.baseline.display()))
+        .and_then(|text| Baseline::parse(&text))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_compare: {e} (seed it with --write-baseline)");
+            return ExitCode::from(3);
+        }
+    };
+
+    let comparisons = baseline.compare(&record);
+    if comparisons.is_empty() {
+        eprintln!(
+            "bench_compare: no baseline metric present in the record — nothing gated \
+             (label mismatch between baseline and record?)"
+        );
+        return ExitCode::from(3);
+    }
+    for c in &comparisons {
+        println!("{}", c.render());
+    }
+    let regressions = comparisons.iter().filter(|c| c.regressed).count();
+    if regressions > 0 {
+        eprintln!("bench_compare: FAIL — {regressions}/{} metrics regressed", comparisons.len());
+        ExitCode::from(1)
+    } else {
+        eprintln!("bench_compare: pass — {} metrics within tolerance", comparisons.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -24,7 +24,13 @@
 //! the sharded round's sequential per-iteration cost exceeds the
 //! monolithic step by more than 25%.
 //!
+//! Every run (full and smoke) also appends one timestamped record to
+//! `results/bench_history.jsonl`; `bench_compare` diffs the newest
+//! record against `results/bench_baseline.json` and exits nonzero on
+//! regression (see `lla_bench::perf` for the tolerance policy).
+//!
 //! [`ShardedOptimizer`]: lla_core::ShardedOptimizer
+use lla_bench::perf::{self, BenchRecord};
 use lla_bench::{
     bench_optimizer_point, bench_sharded_sweep, OptimizerBenchPoint, ShardedBenchPoint,
     ShardedSweepConfig,
@@ -82,29 +88,51 @@ fn fmt_rounds(rounds: Option<usize>) -> String {
     rounds.map_or_else(|| "null".to_string(), |r| r.to_string())
 }
 
+/// Appends `record` to `results/bench_history.jsonl`, reporting (but not
+/// failing on) I/O errors — the benchmark numbers on stdout still stand.
+fn append_history(record: &BenchRecord, progress: &EventLog, start: Instant) {
+    let path = std::path::Path::new(perf::HISTORY_PATH);
+    match record.append_to(path) {
+        Ok(()) => progress.emit(
+            Event::new(start.elapsed().as_secs_f64(), "note")
+                .with("msg", format!("appended {} record to {}", record.label, perf::HISTORY_PATH)),
+        ),
+        Err(e) => progress.emit(
+            Event::new(start.elapsed().as_secs_f64(), "note")
+                .with("msg", format!("history not written: {e}")),
+        ),
+    }
+}
+
 fn flat_point_json(p: &OptimizerBenchPoint) -> String {
     format!(
         "{{\"tasks\": {}, \"subtasks\": {}, \"naive_ns_per_iter\": {:.1}, \
          \"plan_ns_per_iter\": {:.1}, \"speedup\": {:.3}, \
-         \"rounds_to_converge\": {}, \
+         \"rounds_to_converge\": {}, \"converged\": {}, \"max_rounds\": {}, \
          \"telemetry_disabled_ns_per_iter\": {:.1}, \
          \"telemetry_enabled_ns_per_iter\": {:.1}, \
          \"span_enabled_ns_per_iter\": {:.1}, \
+         \"profile_disabled_ns_per_iter\": {:.1}, \
          \"telemetry_disabled_overhead\": {:.4}, \
          \"telemetry_enabled_overhead\": {:.4}, \
-         \"span_enabled_overhead\": {:.4}}}",
+         \"span_enabled_overhead\": {:.4}, \
+         \"profile_disabled_overhead\": {:.4}}}",
         p.tasks,
         p.subtasks,
         p.naive_ns_per_iter,
         p.plan_ns_per_iter,
         p.speedup(),
         fmt_rounds(p.rounds_to_converge),
+        p.converged,
+        p.max_rounds,
         p.telemetry_disabled_ns_per_iter,
         p.telemetry_enabled_ns_per_iter,
         p.span_enabled_ns_per_iter,
+        p.profile_disabled_ns_per_iter,
         p.telemetry_disabled_overhead(),
         p.telemetry_enabled_overhead(),
-        p.span_enabled_overhead()
+        p.span_enabled_overhead(),
+        p.profile_disabled_overhead()
     )
 }
 
@@ -116,7 +144,8 @@ fn sharded_point_json(p: &ShardedBenchPoint) -> String {
          \"critical_path_ns_per_iter\": {:.1}, \
          \"coordinator_ns_per_iter\": {:.1}, \
          \"modeled_speedup\": {:.3}, \"parallel_efficiency\": {:.3}, \
-         \"sequential_overhead\": {:.4}, \"rounds_to_converge\": {}}}",
+         \"sequential_overhead\": {:.4}, \"rounds_to_converge\": {}, \
+         \"converged\": {}, \"max_rounds\": {}}}",
         p.tasks,
         p.subtasks,
         p.shards,
@@ -128,7 +157,9 @@ fn sharded_point_json(p: &ShardedBenchPoint) -> String {
         p.modeled_speedup(),
         p.parallel_efficiency(),
         p.sequential_overhead(),
-        fmt_rounds(p.rounds_to_converge)
+        fmt_rounds(p.rounds_to_converge),
+        p.converged,
+        p.max_rounds
     )
 }
 
@@ -177,7 +208,8 @@ fn merged_document(results_dir: &std::path::Path) -> String {
 
 /// The CI regression guard (`--smoke`): 4 shards × 2 500 tasks, fail when
 /// the sequential sharded round costs >25% more per iteration than the
-/// monolithic step.
+/// monolithic step. Also appends a `smoke`-labeled record to the perf
+/// history so `bench_compare` can gate on it.
 fn run_smoke(progress: &EventLog, start: Instant) -> i32 {
     let points = bench_sharded_sweep(&ShardedSweepConfig {
         num_tasks: 10_000,
@@ -187,10 +219,13 @@ fn run_smoke(progress: &EventLog, start: Instant) -> i32 {
         warmup: 2,
         iters: 10,
         reps: 3,
-        converge_budget: 0,
+        converge_budget: 2_000,
     });
     let p = &points[0];
     let overhead = p.sequential_overhead();
+    let mut record = BenchRecord::now("smoke", cfg!(feature = "parallel"));
+    perf::record_sharded_point(&mut record, p, "smoke");
+    append_history(&record, progress, start);
     progress.emit(
         Event::new(start.elapsed().as_secs_f64(), "sharded_smoke")
             .with("tasks", p.tasks)
@@ -274,6 +309,15 @@ fn main() {
             sharded.push(p);
         }
     }
+
+    let mut record = BenchRecord::now("full", parallel);
+    for p in &flat {
+        perf::record_flat_point(&mut record, p);
+    }
+    for p in &sharded {
+        perf::record_sharded_point(&mut record, p, &format!("sharded.{}.{}", p.tasks, p.shards));
+    }
+    append_history(&record, &progress, start);
 
     // Refresh this build flavor's fragment, then merge whatever fragments
     // exist into the document (the other flavor's numbers survive).

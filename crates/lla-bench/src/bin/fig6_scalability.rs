@@ -9,7 +9,8 @@
 //! task count. The extra wall-clock columns report the per-iteration cost
 //! at each scale.
 
-use lla_bench::{run_fig6_point, Series};
+use lla_bench::render::profile_panel;
+use lla_bench::{run_fig6_point, run_fig6_profile, Series};
 
 fn main() {
     const BUDGET: usize = 8_000;
@@ -96,4 +97,11 @@ fn main() {
             .map(|p| (p.us_per_iteration * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
+
+    // Where the iterations go: a profiled re-run of the ×64 point,
+    // rendered as the self-time panel (wall-clock, non-deterministic —
+    // informational only, never part of the CSV).
+    let profile = run_fig6_profile(64, BUDGET);
+    println!("\nphase profile of the x64 point:");
+    print!("{}", profile_panel(&profile, 10, 100));
 }

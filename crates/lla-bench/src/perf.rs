@@ -1,0 +1,708 @@
+//! Perf-regression history: timestamped benchmark records, a committed
+//! baseline with per-metric noise tolerances, and the comparison logic
+//! behind the `bench_compare` gate.
+//!
+//! `bench_optimizer` appends one [`BenchRecord`] per run to
+//! `results/bench_history.jsonl` (one JSON object per line, append-only,
+//! so the perf trajectory survives `BENCH_optimizer.json` being
+//! overwritten). `bench_compare` loads the newest record, compares every
+//! metric named in a baseline file against its tolerance, and exits
+//! nonzero on regression. Because absolute ns/iter is machine-specific,
+//! CI re-seeds the baseline on the runner (`--write-baseline`) before
+//! gating; the committed `results/bench_baseline.json` serves developers
+//! on the machine that produced `BENCH_optimizer.json`.
+//!
+//! Everything here is std-only: records and baselines are written with
+//! deterministic formatting and read back by the minimal JSON parser in
+//! this module (objects, arrays, strings, numbers, booleans, null — all
+//! this subsystem emits).
+
+use crate::{OptimizerBenchPoint, ShardedBenchPoint};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Default history path, relative to the repository root.
+pub const HISTORY_PATH: &str = "results/bench_history.jsonl";
+/// Default baseline path, relative to the repository root.
+pub const BASELINE_PATH: &str = "results/bench_baseline.json";
+
+/// Relative tolerance for `*_ns_per_iter` metrics (lower is better).
+/// Generous enough for run-to-run scheduler noise on one machine, tight
+/// enough that the synthetic 30% regression check always trips.
+pub const NS_TOLERANCE: f64 = 0.25;
+/// Absolute tolerance for overhead-ratio metrics (values near zero, so
+/// relative comparison is meaningless).
+pub const OVERHEAD_TOLERANCE: f64 = 0.10;
+/// Relative tolerance for `rounds_to_converge` (lower is better; the
+/// round count is deterministic, but leave headroom for intentional
+/// step-policy changes to be re-baselined consciously).
+pub const ROUNDS_TOLERANCE: f64 = 0.05;
+
+/// One benchmark run: a Unix timestamp, a label (`smoke` or `full`), the
+/// build flavor, and a flat name → value metric map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Seconds since the Unix epoch when the run finished.
+    pub ts: u64,
+    /// Run label: `smoke` (CI guard geometry) or `full` (the whole
+    /// sweep).
+    pub label: String,
+    /// Whether the `parallel` feature was compiled in.
+    pub parallel: bool,
+    /// Flat metric map, e.g. `smoke.sharded_wall_ns_per_iter`.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchRecord {
+    /// A record stamped with the current wall clock.
+    pub fn now(label: &str, parallel: bool) -> Self {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        BenchRecord { ts, label: label.to_string(), parallel, metrics: BTreeMap::new() }
+    }
+
+    /// Inserts one metric (builder style).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.insert(name.into(), value);
+        self
+    }
+
+    /// One deterministic JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"ts\": {}, \"label\": \"{}\", \"parallel\": {}, \"metrics\": {{",
+            self.ts, self.label, self.parallel
+        );
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { ", " } else { "" };
+            let _ = write!(out, "\"{k}\": {}{comma}", fmt_num(*v));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a line written by [`to_json_line`](Self::to_json_line).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or missing/mistyped fields.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let v = Json::parse(line)?;
+        let obj = v.as_object().ok_or("record line is not a JSON object")?;
+        let ts = obj.get("ts").and_then(Json::as_f64).ok_or("missing numeric `ts`")? as u64;
+        let label =
+            obj.get("label").and_then(Json::as_str).ok_or("missing string `label`")?.to_string();
+        let parallel =
+            obj.get("parallel").and_then(Json::as_bool).ok_or("missing bool `parallel`")?;
+        let metrics_obj =
+            obj.get("metrics").and_then(Json::as_object).ok_or("missing object `metrics`")?;
+        let mut metrics = BTreeMap::new();
+        for (k, v) in metrics_obj {
+            metrics
+                .insert(k.clone(), v.as_f64().ok_or_else(|| format!("metric `{k}` not numeric"))?);
+        }
+        Ok(BenchRecord { ts, label, parallel, metrics })
+    }
+
+    /// Appends this record to the JSONL history at `path` (creating
+    /// parent directories as needed).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut text = std::fs::read_to_string(path).unwrap_or_default();
+        text.push_str(&self.to_json_line());
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+/// Flattens one flat-sweep point into `flat.{tasks}.*` metrics.
+pub fn record_flat_point(record: &mut BenchRecord, p: &OptimizerBenchPoint) {
+    let k = |name: &str| format!("flat.{}.{name}", p.tasks);
+    record
+        .metric(k("naive_ns_per_iter"), p.naive_ns_per_iter)
+        .metric(k("plan_ns_per_iter"), p.plan_ns_per_iter)
+        .metric(k("telemetry_disabled_ns_per_iter"), p.telemetry_disabled_ns_per_iter)
+        .metric(k("telemetry_enabled_ns_per_iter"), p.telemetry_enabled_ns_per_iter)
+        .metric(k("span_enabled_ns_per_iter"), p.span_enabled_ns_per_iter)
+        .metric(k("profile_disabled_ns_per_iter"), p.profile_disabled_ns_per_iter)
+        .metric(k("telemetry_disabled_overhead"), p.telemetry_disabled_overhead())
+        .metric(k("telemetry_enabled_overhead"), p.telemetry_enabled_overhead())
+        .metric(k("span_enabled_overhead"), p.span_enabled_overhead())
+        .metric(k("profile_disabled_overhead"), p.profile_disabled_overhead());
+    if let Some(rounds) = p.rounds_to_converge {
+        record
+            .metric(k("rounds_to_converge"), rounds as f64)
+            .metric(k("converged"), f64::from(u8::from(p.converged)));
+    }
+}
+
+/// Flattens one sharded-sweep point into `{prefix}.*` metrics — callers
+/// pass `sharded.{tasks}.{shards}` for sweep points or `smoke` for the
+/// CI guard point.
+pub fn record_sharded_point(record: &mut BenchRecord, p: &ShardedBenchPoint, prefix: &str) {
+    let k = |name: &str| format!("{prefix}.{name}");
+    record
+        .metric(k("monolithic_ns_per_iter"), p.monolithic_ns_per_iter)
+        .metric(k("sharded_wall_ns_per_iter"), p.sharded_wall_ns_per_iter)
+        .metric(k("critical_path_ns_per_iter"), p.critical_path_ns_per_iter)
+        .metric(k("coordinator_ns_per_iter"), p.coordinator_ns_per_iter)
+        .metric(k("sequential_overhead"), p.sequential_overhead());
+    if let Some(rounds) = p.rounds_to_converge {
+        record
+            .metric(k("rounds_to_converge"), rounds as f64)
+            .metric(k("converged"), f64::from(u8::from(p.converged)));
+    }
+}
+
+/// Loads the newest history record, optionally restricted to a label.
+///
+/// # Errors
+///
+/// Unreadable file, no (matching) records, or a malformed newest line.
+pub fn latest_record(path: &Path, label: Option<&str>) -> Result<BenchRecord, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let line = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .rfind(|l| {
+            label.is_none_or(|want| BenchRecord::from_json_line(l).is_ok_and(|r| r.label == want))
+        })
+        .ok_or_else(|| format!("no matching records in {}", path.display()))?;
+    BenchRecord::from_json_line(line)
+}
+
+/// How one baseline metric is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Lower is better: regression when `value > base × (1 + tol)`.
+    Lower,
+    /// Higher is better: regression when `value < base × (1 − tol)`.
+    Higher,
+    /// Band: regression when `|value − base| > tol` (absolute).
+    Abs,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::Lower => "lower",
+            Direction::Higher => "higher",
+            Direction::Abs => "abs",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lower" => Ok(Direction::Lower),
+            "higher" => Ok(Direction::Higher),
+            "abs" => Ok(Direction::Abs),
+            other => Err(format!("unknown direction `{other}`")),
+        }
+    }
+}
+
+/// One gated metric in a [`Baseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineMetric {
+    /// The reference value.
+    pub value: f64,
+    /// Noise tolerance (relative for `lower`/`higher`, absolute for
+    /// `abs`).
+    pub tol: f64,
+    /// Comparison direction.
+    pub direction: Direction,
+}
+
+/// The committed comparison target: per-metric reference values with
+/// explicit tolerances and directions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Gated metrics by name.
+    pub metrics: BTreeMap<String, BaselineMetric>,
+}
+
+/// Classifies a metric name into its default comparison rule — the
+/// documented tolerance policy `--write-baseline` applies:
+///
+/// * `*_ns_per_iter` → lower is better, ±[`NS_TOLERANCE`] relative;
+/// * `*overhead*` → absolute band of [`OVERHEAD_TOLERANCE`] (ratios near
+///   zero);
+/// * `*rounds_to_converge` → lower is better, ±[`ROUNDS_TOLERANCE`];
+/// * `*converged` → higher is better, zero tolerance (a point that
+///   stops converging is always a regression);
+/// * everything else (speedups, efficiencies, counts) is informational
+///   and not gated.
+pub fn default_rule(name: &str) -> Option<(f64, Direction)> {
+    if name.ends_with("_ns_per_iter") {
+        Some((NS_TOLERANCE, Direction::Lower))
+    } else if name.contains("overhead") {
+        Some((OVERHEAD_TOLERANCE, Direction::Abs))
+    } else if name.ends_with("rounds_to_converge") {
+        Some((ROUNDS_TOLERANCE, Direction::Lower))
+    } else if name.ends_with("converged") {
+        Some((0.0, Direction::Higher))
+    } else {
+        None
+    }
+}
+
+/// One comparison outcome from [`Baseline::compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Latest-run value.
+    pub value: f64,
+    /// The metric's tolerance.
+    pub tol: f64,
+    /// The metric's direction.
+    pub direction: Direction,
+    /// Whether the value breached the tolerance in the bad direction.
+    pub regressed: bool,
+}
+
+impl Comparison {
+    /// One aligned report line, e.g.
+    /// `FAIL smoke.sharded_wall_ns_per_iter 13441.0 -> 18000.2 (+33.9%, tol 25.0%)`.
+    pub fn render(&self) -> String {
+        let verdict = if self.regressed { "FAIL" } else { "  ok" };
+        let delta = match self.direction {
+            Direction::Abs => format!("{:+.4} abs, tol {:.4}", self.value - self.base, self.tol),
+            _ if self.base.abs() > f64::EPSILON => format!(
+                "{:+.1}%, tol {:.1}%",
+                (self.value / self.base - 1.0) * 100.0,
+                self.tol * 100.0
+            ),
+            _ => format!("base 0, tol {:.1}%", self.tol * 100.0),
+        };
+        format!("{verdict} {} {:.4} -> {:.4} ({delta})", self.name, self.base, self.value)
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a record, applying [`default_rule`] to
+    /// every metric (ungated metrics are dropped).
+    pub fn from_record(record: &BenchRecord) -> Self {
+        let mut metrics = BTreeMap::new();
+        for (name, &value) in &record.metrics {
+            if let Some((tol, direction)) = default_rule(name) {
+                metrics.insert(name.clone(), BaselineMetric { value, tol, direction });
+            }
+        }
+        Baseline { metrics }
+    }
+
+    /// Deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": {\n");
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {{\"value\": {}, \"tol\": {}, \"direction\": \"{}\"}}{comma}",
+                fmt_num(m.value),
+                fmt_num(m.tol),
+                m.direction.as_str()
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a document written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or missing/mistyped fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_object().ok_or("baseline is not a JSON object")?;
+        let metrics_obj =
+            obj.get("metrics").and_then(Json::as_object).ok_or("missing object `metrics`")?;
+        let mut metrics = BTreeMap::new();
+        for (name, entry) in metrics_obj {
+            let e = entry.as_object().ok_or_else(|| format!("metric `{name}` not an object"))?;
+            let value = e
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("`{name}`: no value"))?;
+            let tol =
+                e.get("tol").and_then(Json::as_f64).ok_or_else(|| format!("`{name}`: no tol"))?;
+            let direction = Direction::parse(
+                e.get("direction")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("`{name}`: no direction"))?,
+            )?;
+            metrics.insert(name.clone(), BaselineMetric { value, tol, direction });
+        }
+        Ok(Baseline { metrics })
+    }
+
+    /// Compares `record` against this baseline: one [`Comparison`] per
+    /// baseline metric present in the record (absent metrics are
+    /// skipped — a smoke record gates only smoke metrics).
+    pub fn compare(&self, record: &BenchRecord) -> Vec<Comparison> {
+        let mut out = Vec::new();
+        for (name, m) in &self.metrics {
+            let Some(&value) = record.metrics.get(name) else { continue };
+            let regressed = match m.direction {
+                Direction::Lower => value > m.value * (1.0 + m.tol) + f64::EPSILON,
+                Direction::Higher => value < m.value * (1.0 - m.tol) - f64::EPSILON,
+                Direction::Abs => (value - m.value).abs() > m.tol,
+            };
+            out.push(Comparison {
+                name: name.clone(),
+                base: m.value,
+                value,
+                tol: m.tol,
+                direction: m.direction,
+                regressed,
+            });
+        }
+        out
+    }
+}
+
+/// Shortest-roundtrip float rendering with a guaranteed decimal point or
+/// exponent so the output parses back as f64 unambiguously.
+fn fmt_num(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// A parsed JSON value — the minimal std-only reader for this module's
+/// own documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is not preserved (sorted by key).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors, with a byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {}", *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Copy the full UTF-8 sequence starting at this byte.
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let ch = s.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+                let _ = c;
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number bytes")?;
+    s.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number `{s}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> BenchRecord {
+        let mut r = BenchRecord {
+            ts: 1_700_000_000,
+            label: "smoke".into(),
+            parallel: false,
+            metrics: BTreeMap::new(),
+        };
+        r.metric("smoke.monolithic_ns_per_iter", 10_000.0)
+            .metric("smoke.sharded_wall_ns_per_iter", 11_000.0)
+            .metric("smoke.sequential_overhead", 0.1)
+            .metric("smoke.rounds_to_converge", 120.0)
+            .metric("smoke.converged", 1.0)
+            .metric("smoke.modeled_speedup", 2.5);
+        r
+    }
+
+    #[test]
+    fn record_roundtrips_through_json_line() {
+        let r = record();
+        let parsed = BenchRecord::from_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn latest_record_reads_last_matching_line() {
+        let dir = std::env::temp_dir().join("lla_perf_test_history");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("bench_history.jsonl");
+        let mut a = record();
+        a.ts = 1;
+        let mut b = record();
+        b.ts = 2;
+        b.metric("smoke.monolithic_ns_per_iter", 9_999.0);
+        a.append_to(&path).unwrap();
+        b.append_to(&path).unwrap();
+        let latest = latest_record(&path, Some("smoke")).unwrap();
+        assert_eq!(latest.ts, 2);
+        assert_eq!(latest.metrics["smoke.monolithic_ns_per_iter"], 9_999.0);
+        assert!(latest_record(&path, Some("full")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn baseline_roundtrips_and_applies_default_rules() {
+        let base = Baseline::from_record(&record());
+        // speedup is informational → dropped; the five gated ones stay.
+        assert_eq!(base.metrics.len(), 5);
+        assert_eq!(base.metrics["smoke.monolithic_ns_per_iter"].direction, Direction::Lower);
+        assert_eq!(base.metrics["smoke.sequential_overhead"].direction, Direction::Abs);
+        assert_eq!(base.metrics["smoke.converged"].direction, Direction::Higher);
+        let parsed = Baseline::parse(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = Baseline::from_record(&record());
+        let mut run = record();
+        run.metric("smoke.sharded_wall_ns_per_iter", 11_000.0 * 1.20); // within 25%
+        let cmp = base.compare(&run);
+        assert!(cmp.iter().all(|c| !c.regressed), "{cmp:?}");
+    }
+
+    #[test]
+    fn compare_flags_30_percent_ns_regression() {
+        let base = Baseline::from_record(&record());
+        let mut run = record();
+        run.metric("smoke.sharded_wall_ns_per_iter", 11_000.0 * 1.30);
+        let cmp = base.compare(&run);
+        let bad: Vec<_> = cmp.iter().filter(|c| c.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "smoke.sharded_wall_ns_per_iter");
+        assert!(bad[0].render().starts_with("FAIL "));
+    }
+
+    #[test]
+    fn compare_flags_convergence_loss_and_round_growth() {
+        let base = Baseline::from_record(&record());
+        let mut run = record();
+        run.metric("smoke.converged", 0.0).metric("smoke.rounds_to_converge", 180.0);
+        let bad: Vec<String> =
+            base.compare(&run).into_iter().filter(|c| c.regressed).map(|c| c.name).collect();
+        assert_eq!(bad, vec!["smoke.converged", "smoke.rounds_to_converge"]);
+    }
+
+    #[test]
+    fn compare_skips_metrics_absent_from_the_run() {
+        let base = Baseline::from_record(&record());
+        let run =
+            BenchRecord { ts: 3, label: "smoke".into(), parallel: false, metrics: BTreeMap::new() };
+        assert!(base.compare(&run).is_empty());
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v =
+            Json::parse(r#"{"a": [1, 2.5, -3e2], "s": "x\"\nA", "t": true, "n": null}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj["a"].as_array().unwrap();
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert_eq!(obj["s"].as_str(), Some("x\"\nA"));
+        assert_eq!(obj["t"].as_bool(), Some(true));
+        assert_eq!(obj["n"], Json::Null);
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+    }
+}

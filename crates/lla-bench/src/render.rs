@@ -1,8 +1,9 @@
 //! Minimal terminal rendering for experiment output: sparklines and
 //! multi-series ASCII charts, so the figure binaries can *show* the curves
-//! they regenerate.
+//! they regenerate — plus the phase-profile panel that turns a
+//! [`ProfileSnapshot`] into a self-time bar table.
 
-use lla_telemetry::{Diagnosis, HealthSnapshot};
+use lla_telemetry::{Diagnosis, HealthSnapshot, ProfileSnapshot};
 
 /// Unicode block characters from low to high.
 const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -110,6 +111,65 @@ pub fn dashboard_with_diagnosis(
     out
 }
 
+/// Formats a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders a phase-profile panel: the `top` frames by self time as a bar
+/// table (share of total root wall time), with full `;`-joined stack
+/// paths, call counts, and adaptive time units. Empty snapshots render a
+/// one-line placeholder so callers can print unconditionally.
+pub fn profile_panel(profile: &ProfileSnapshot, top: usize, width: usize) -> String {
+    let total = profile.root_total_ns();
+    if profile.is_empty() || total == 0 {
+        return String::from("profile: (no samples)\n");
+    }
+    let frames = profile.top_self(top);
+    let mut out = format!("profile (total {}, top {} by self time)\n", fmt_ns(total), frames.len());
+    let label_width = frames.iter().map(|f| f.path.chars().count()).max().unwrap_or(0);
+    let bar_width = width.saturating_sub(label_width + 30).max(8);
+    for f in &frames {
+        let share = f.self_ns as f64 / total as f64;
+        let filled = ((share.min(1.0)) * bar_width as f64).round() as usize;
+        let bar = format!("{}{}", "█".repeat(filled), "·".repeat(bar_width - filled));
+        out.push_str(&format!(
+            "{:>label_width$}  {bar} {:5.1}%  {:>9}  x{}\n",
+            f.path,
+            share * 100.0,
+            fmt_ns(f.self_ns),
+            f.calls
+        ));
+    }
+    out
+}
+
+/// [`dashboard_with_diagnosis`] plus a phase-profile panel appended when
+/// the snapshot has samples.
+pub fn dashboard_with_profile(
+    health: &HealthSnapshot,
+    utilities: &[f64],
+    diagnosis: Option<&Diagnosis>,
+    profile: &ProfileSnapshot,
+    width: usize,
+) -> String {
+    let mut out = dashboard_with_diagnosis(health, utilities, diagnosis, width);
+    if !profile.is_empty() {
+        out.push('\n');
+        out.push_str(&profile_panel(profile, 12, width));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +266,61 @@ mod tests {
         assert!(out.contains("diagnosis: converging"), "missing diagnosis block:\n{out}");
         // The plain dashboard is the prefix of the diagnosed one.
         assert!(out.starts_with(&dashboard(&health, &[1.0, 2.0], 60)));
+    }
+
+    #[test]
+    fn profile_panel_lists_top_frames_with_shares() {
+        use lla_telemetry::Profiler;
+        let prof = Profiler::recording();
+        {
+            let _outer = prof.scope("round");
+            for _ in 0..3 {
+                let _inner = prof.scope("allocate");
+                std::hint::black_box(0u64);
+            }
+        }
+        let snap = prof.snapshot();
+        let panel = profile_panel(&snap, 8, 80);
+        assert!(panel.starts_with("profile (total "), "missing header:\n{panel}");
+        assert!(panel.contains("round;allocate"), "missing child path:\n{panel}");
+        assert!(panel.contains("x3"), "missing call count:\n{panel}");
+    }
+
+    #[test]
+    fn profile_panel_handles_empty_snapshot() {
+        use lla_telemetry::Profiler;
+        let snap = Profiler::disabled().snapshot();
+        assert_eq!(profile_panel(&snap, 8, 80), "profile: (no samples)\n");
+    }
+
+    #[test]
+    fn dashboard_with_profile_appends_panel() {
+        use lla_telemetry::Profiler;
+        let health = HealthSnapshot {
+            converged: true,
+            feasible: true,
+            iteration: 1,
+            utility: 1.0,
+            max_stationarity_residual: 0.0,
+            max_resource_violation: 0.0,
+            max_path_violation: 0.0,
+            max_complementary_slackness: 0.0,
+            worst_violation_factor: 0.5,
+            resources: vec![],
+            shed_count: 0,
+            membership_changes: 0,
+            failovers: 0,
+        };
+        let prof = Profiler::recording();
+        {
+            let _g = prof.scope("step");
+        }
+        let out = dashboard_with_profile(&health, &[], None, &prof.snapshot(), 60);
+        assert!(out.contains("profile (total "), "missing profile panel:\n{out}");
+        // An empty snapshot leaves the dashboard untouched.
+        let plain =
+            dashboard_with_profile(&health, &[], None, &Profiler::disabled().snapshot(), 60);
+        assert_eq!(plain, dashboard_with_diagnosis(&health, &[], None, 60));
     }
 
     #[test]

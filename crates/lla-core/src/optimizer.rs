@@ -21,8 +21,8 @@ use crate::resource::Resource;
 use crate::task::{Task, TaskBuilder};
 use crate::trace::{Trace, TraceRecord};
 use lla_telemetry::{
-    Counter, DiagSample, Gauge, HealthSnapshot, Histogram, MetricsRegistry, ResourceHealth,
-    SpanRecorder, TraceCtx,
+    Counter, DiagSample, Gauge, HealthSnapshot, Histogram, MetricsRegistry, Profiler,
+    ResourceHealth, SpanRecorder, TraceCtx,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -195,6 +195,10 @@ pub struct Optimizer {
     /// [`attach_spans`](Optimizer::attach_spans)); one span per iteration
     /// on the iteration-index clock.
     spans: Option<SpanRecorder>,
+    /// Phase profiler (disabled by default — a disabled handle's scopes
+    /// are branch-on-bool no-ops, see
+    /// [`attach_profiler`](Optimizer::attach_profiler)).
+    profiler: Profiler,
 }
 
 #[derive(Debug, Clone)]
@@ -297,6 +301,7 @@ impl Optimizer {
             last_violations: None,
             telemetry: None,
             spans: None,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -330,6 +335,22 @@ impl Optimizer {
     /// recorder).
     pub fn detach_spans(&mut self) {
         self.spans = None;
+    }
+
+    /// Starts charging per-kernel wall time and call counts to
+    /// `profiler`: every [`step`](Optimizer::step) opens a `step` scope
+    /// with `allocate` / `price` / `lagrangian` / `trace` children, plan
+    /// (re-)lowering a `plan_lower` scope, and [`kkt`](Optimizer::kkt) a
+    /// `kkt` scope. Purely passive — it never touches a float the
+    /// algorithm uses — and a disabled profiler costs one branch per
+    /// scope.
+    pub fn attach_profiler(&mut self, profiler: &Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Stops profiling (recorded scopes stay in the profiler).
+    pub fn detach_profiler(&mut self) {
+        self.profiler = Profiler::disabled();
     }
 
     /// The problem being optimized.
@@ -510,6 +531,7 @@ impl Optimizer {
             None => true,
         };
         if stale {
+            let _prof = self.profiler.scope("plan_lower");
             let plan = Plan::lower(&self.problem, &self.config.allocation);
             match &mut self.plan {
                 // Re-lowering reuses the existing scratch pool: membership
@@ -539,22 +561,32 @@ impl Optimizer {
     /// while remaining bit-identical to the naive nested evaluation.
     pub fn step(&mut self) -> IterationReport {
         self.ensure_plan();
+        let _step_prof = self.profiler.scope("step");
         // Phase timing only when telemetry is attached to a *live*
         // registry; the plain path performs no clock reads at all.
         let timed = self.telemetry.as_ref().is_some_and(|t| t.enabled);
         let mut ctx = self.plan.take().expect("ensure_plan always installs a plan");
         let PlanCtx { plan, scratch } = &mut *ctx;
         let t0 = timed.then(Instant::now);
-        plan.flatten_into(&self.lats, scratch.prev_mut());
-        plan.allocate_into(&self.prices, scratch);
-        plan.unflatten_into(scratch.lats(), &mut self.lats);
+        {
+            let _prof = self.profiler.scope("allocate");
+            plan.flatten_into(&self.lats, scratch.prev_mut());
+            plan.allocate_into(&self.prices, scratch);
+            plan.unflatten_into(scratch.lats(), &mut self.lats);
+        }
         let t1 = timed.then(Instant::now);
-        plan.price_update(&mut self.prices, scratch);
+        {
+            let _prof = self.profiler.scope("price");
+            plan.price_update(&mut self.prices, scratch);
+        }
         let t2 = timed.then(Instant::now);
 
+        let lagr_prof = self.profiler.scope("lagrangian");
         let utility = plan.total_utility(scratch.lats());
         let max_resource_violation = plan.max_resource_violation(scratch.usage());
         let max_path_violation = plan.max_path_violation(scratch.path_lat());
+        drop(lagr_prof);
+        let _trace_prof = self.profiler.scope("trace");
         let report = IterationReport {
             iteration: self.iteration,
             utility,
@@ -662,6 +694,7 @@ impl Optimizer {
 
     /// KKT optimality diagnostics at the current point.
     pub fn kkt(&self) -> KktReport {
+        let _prof = self.profiler.scope("kkt");
         kkt_report(&self.problem, &self.lats, &self.prices, &self.config.allocation, 1e-9)
     }
 

@@ -73,7 +73,7 @@ use crate::plan::{Plan, PlanScratch};
 use crate::prices::PriceState;
 use crate::problem::{MembershipReport, Problem};
 use crate::task::TaskBuilder;
-use lla_telemetry::{Counter, Gauge, MetricsRegistry};
+use lla_telemetry::{Counter, Gauge, MetricsRegistry, Profiler};
 
 /// Which authority applies the μ price step for a resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +244,9 @@ pub struct ShardedOptimizer {
     last_utility: f64,
     last_violations: Option<(f64, f64)>,
     telemetry: Option<Box<ShardTelemetry>>,
+    /// Phase profiler (disabled by default; see
+    /// [`attach_profiler`](Self::attach_profiler)).
+    profiler: Profiler,
 }
 
 impl ShardedOptimizer {
@@ -369,6 +372,7 @@ impl ShardedOptimizer {
             last_utility,
             last_violations: None,
             telemetry: None,
+            profiler: Profiler::disabled(),
         })
     }
 
@@ -496,8 +500,26 @@ impl ShardedOptimizer {
         self.telemetry = None;
     }
 
+    /// Starts charging per-phase wall time and call counts to
+    /// `profiler`: every round opens a `round` scope with
+    /// `allocation_phase` (per-shard `shard_local` children, attributed
+    /// from worker threads under the `parallel` feature),
+    /// `coordinator` (with a `broadcast` child), `path_phase`
+    /// (`shard_path` children), and `merge` nested under it; shard
+    /// re-lowerings open a `plan_lower` scope. Purely passive, and a
+    /// disabled profiler costs one branch per scope.
+    pub fn attach_profiler(&mut self, profiler: &Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Stops profiling (recorded scopes stay in the profiler).
+    pub fn detach_profiler(&mut self) {
+        self.profiler = Profiler::disabled();
+    }
+
     /// Executes one three-phase round (see the [module docs](self)).
     pub fn step(&mut self) -> IterationReport {
+        let _prof = self.profiler.scope("round");
         self.allocation_phase();
         let coord_violation = self.coordinator_round();
         self.path_phase();
@@ -531,6 +553,7 @@ impl ShardedOptimizer {
     /// Deterministic tail of a round: fixed-shard-order reduction of
     /// utility/violations, convergence bookkeeping, telemetry.
     fn merge_round(&mut self, coord_violation: f64) -> IterationReport {
+        let _prof = self.profiler.scope("merge");
         let mut utility = 0.0;
         let mut res_v = f64::NEG_INFINITY;
         let mut path_v = f64::NEG_INFINITY;
@@ -576,16 +599,23 @@ impl ShardedOptimizer {
     /// worker per shard under the `parallel` feature; single-shard runs
     /// keep the plan's *inner* task-level fan-out instead.
     fn allocation_phase(&mut self) {
+        let _prof = self.profiler.scope("allocation_phase");
         #[cfg(feature = "parallel")]
         if self.shards.len() > 1 {
+            let ctx = self.profiler.ctx();
+            let profiler = &self.profiler;
             rayon::scope(|s| {
                 for sh in self.shards.iter_mut() {
-                    s.spawn(move || sh.local_step(false));
+                    s.spawn(move || {
+                        let _shard_prof = profiler.scope_in(ctx, "shard_local");
+                        sh.local_step(false);
+                    });
                 }
             });
             return;
         }
         for sh in self.shards.iter_mut() {
+            let _shard_prof = self.profiler.scope("shard_local");
             sh.local_step(true);
         }
     }
@@ -597,6 +627,7 @@ impl ShardedOptimizer {
     /// Returns the worst resource violation over coordinator-owned
     /// resources.
     fn coordinator_round(&mut self) -> f64 {
+        let _prof = self.profiler.scope("coordinator");
         self.coordinator.reset_step_tracking();
         let mut worst = f64::NEG_INFINITY;
         for &r in &self.coordinated {
@@ -609,6 +640,7 @@ impl ShardedOptimizer {
             self.coordinator.apply_resource_step(r, g);
             worst = worst.max(total - self.availability[r]);
             let mu = self.coordinator.mu(r);
+            let _bcast_prof = self.profiler.scope("broadcast");
             for sh in self.shards.iter_mut() {
                 if sh.touches[r] {
                     sh.prices.set_mu(r, mu);
@@ -621,16 +653,23 @@ impl ShardedOptimizer {
 
     /// Phase 3: per-shard λ steps (fans out under `parallel`).
     fn path_phase(&mut self) {
+        let _prof = self.profiler.scope("path_phase");
         #[cfg(feature = "parallel")]
         if self.shards.len() > 1 {
+            let ctx = self.profiler.ctx();
+            let profiler = &self.profiler;
             rayon::scope(|s| {
                 for sh in self.shards.iter_mut() {
-                    s.spawn(move || sh.path_steps());
+                    s.spawn(move || {
+                        let _shard_prof = profiler.scope_in(ctx, "shard_path");
+                        sh.path_steps();
+                    });
                 }
             });
             return;
         }
         for sh in self.shards.iter_mut() {
+            let _shard_prof = self.profiler.scope("shard_path");
             sh.path_steps();
         }
     }
@@ -956,6 +995,7 @@ impl ShardedOptimizer {
     /// Re-lowers shard `k`'s plan against the live problem, reusing its
     /// scratch pool, and counts the lowering in telemetry.
     fn relower_shard(&mut self, k: usize) {
+        let _prof = self.profiler.scope("plan_lower");
         let sh = &mut self.shards[k];
         let plan = Plan::lower_subset(&self.problem, &self.config.allocation, &sh.tasks);
         sh.scratch.resize_for(&plan);

@@ -658,6 +658,7 @@ impl VirtualRuntime {
             let mut outbox = Outbox::default();
             match event.kind {
                 EventKind::Tick(addr) => {
+                    let _prof = self.tel.profiler.scope("tick");
                     if !self.crashed.contains(&addr) {
                         if let Some(actor) = self.actors.get_mut(&addr) {
                             actor.on_tick(self.now, &mut outbox);
@@ -682,6 +683,7 @@ impl VirtualRuntime {
                     self.dispatch(addr, outbox, ctx);
                 }
                 EventKind::Deliver(addr, msg, ctx) => {
+                    let _prof = self.tel.profiler.scope("dispatch");
                     if self.crashed.contains(&addr) {
                         self.dropped_at_crashed += 1;
                         self.tel.dropped_at_crashed.inc();

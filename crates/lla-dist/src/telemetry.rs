@@ -18,7 +18,7 @@
 //! clock — which is why a fixed-seed chaos soak yields a byte-identical
 //! JSONL event log on every run.
 
-use lla_telemetry::{Counter, EventLog, MetricsRegistry, SpanRecorder, TelemetryHub};
+use lla_telemetry::{Counter, EventLog, MetricsRegistry, Profiler, SpanRecorder, TelemetryHub};
 
 /// Shared counter handles + event log for the `lla-dist` layer.
 #[derive(Debug, Clone)]
@@ -29,6 +29,11 @@ pub struct DistTelemetry {
     /// with the virtual clock (disabled by default; see
     /// [`with_spans`](Self::with_spans)).
     pub spans: SpanRecorder,
+    /// Phase profiler for the event loop: `tick` / `dispatch` scopes per
+    /// processed runtime event (disabled by default; see
+    /// [`with_profiler`](Self::with_profiler)). Wall-clock only — never
+    /// part of the deterministic virtual-clock exports.
+    pub profiler: Profiler,
     /// Messages handed to the network.
     pub messages_sent: Counter,
     /// Messages dropped by random network loss.
@@ -90,6 +95,7 @@ impl DistTelemetry {
         DistTelemetry {
             events,
             spans: SpanRecorder::disabled(),
+            profiler: Profiler::disabled(),
             messages_sent: c("lla_dist_messages_sent_total", "messages handed to the network"),
             messages_dropped: c(
                 "lla_dist_messages_dropped_total",
@@ -192,6 +198,14 @@ impl DistTelemetry {
     #[must_use]
     pub fn with_spans(mut self, spans: SpanRecorder) -> Self {
         self.spans = spans;
+        self
+    }
+
+    /// Replace the profiler channel (builder style) — usually with
+    /// [`Profiler::recording()`].
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 

@@ -11,6 +11,7 @@ use crate::arrivals::ArrivalProcess;
 use crate::ps::{FluidJob, PsResource};
 use crate::stats::{Histogram, LatencyStats};
 use lla_core::Problem;
+use lla_telemetry::Profiler;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -109,6 +110,10 @@ pub struct Simulator {
     deadline_misses: Vec<u64>,
     dropped: u64,
     exec_rng: StdRng,
+    /// Phase profiler for the event loop (disabled by default; see
+    /// [`attach_profiler`](Self::attach_profiler)). Wall-clock only —
+    /// it never reads or influences simulation state.
+    profiler: Profiler,
 }
 
 impl Simulator {
@@ -197,7 +202,21 @@ impl Simulator {
             deadline_misses: vec![0; n_tasks],
             dropped: 0,
             exec_rng: StdRng::seed_from_u64(config.seed.wrapping_add(0x5eed)),
+            profiler: Profiler::disabled(),
         }
+    }
+
+    /// Starts charging the event loop's phases to `profiler`: every
+    /// [`run_until`](Self::run_until) event opens a `sim_event` scope
+    /// with `advance` / `completions` / `arrivals` children. Purely
+    /// passive; a disabled profiler costs one branch per scope.
+    pub fn attach_profiler(&mut self, profiler: &Profiler) {
+        self.profiler = profiler.clone();
+    }
+
+    /// Stops profiling (recorded scopes stay in the profiler).
+    pub fn detach_profiler(&mut self) {
+        self.profiler = Profiler::disabled();
     }
 
     /// Current simulation time (milliseconds).
@@ -301,12 +320,20 @@ impl Simulator {
             debug_assert!(t_next >= self.now - TIME_EPS, "time went backwards");
 
             let dt = (t_next - self.now).max(0.0);
-            for r in &mut self.resources {
-                r.advance(dt);
+            let _event_prof = self.profiler.scope("sim_event");
+            {
+                let _prof = self.profiler.scope("advance");
+                for r in &mut self.resources {
+                    r.advance(dt);
+                }
             }
             self.now = t_next;
 
-            self.drain_completions();
+            {
+                let _prof = self.profiler.scope("completions");
+                self.drain_completions();
+            }
+            let _prof = self.profiler.scope("arrivals");
             self.drain_arrivals();
         }
     }

@@ -22,6 +22,10 @@
 //! * [`SpanRecorder`] / [`TraceCtx`] — causal spans on the virtual clock
 //!   with Chrome `trace_event` export and per-round critical-path
 //!   extraction, same no-op-when-disabled handle discipline.
+//! * [`Profiler`] — hierarchical scoped-guard phase profiling: self and
+//!   total nanoseconds plus call counts per scope path, thread-aware
+//!   accumulation, folded-stack flamegraph export, and a deterministic
+//!   call-count tree kept separate from the wall-clock timings.
 //! * [`DiagnosticsEngine`] — an online classifier over per-round
 //!   [`DiagSample`]s: `Converging | Oscillating | GammaThrash |
 //!   Diverging | Stalled`, with per-resource price evidence.
@@ -36,6 +40,7 @@
 pub mod diagnostics;
 pub mod events;
 pub mod health;
+pub mod profile;
 pub mod registry;
 pub mod spans;
 
@@ -45,6 +50,7 @@ pub use diagnostics::{
 };
 pub use events::{Event, EventLog, Value};
 pub use health::{HealthSnapshot, ResourceHealth, HEALTHY_MAX_VIOLATION_FACTOR};
+pub use profile::{ProfileCtx, ProfileFrame, ProfileGuard, ProfileSnapshot, Profiler};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use spans::{PathStep, RoundCriticalPath, Span, SpanRecorder, TraceCtx};
 

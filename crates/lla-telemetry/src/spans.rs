@@ -216,11 +216,72 @@ impl SpanRecorder {
     /// timestamps (`virtual ms × 1000`). Output is byte-deterministic for
     /// a given recording: one event per line, record order preserved.
     pub fn to_chrome_json(&self) -> String {
-        let store = self.core.lock().expect("span store poisoned");
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         let mut first = true;
-        for (tid, name) in store.tracks.iter().enumerate() {
+        self.write_chrome_events(&mut out, &mut first);
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// [`to_chrome_json`](Self::to_chrome_json) with the frames of a
+    /// profiler snapshot merged in as a second process (`pid` 2, track
+    /// "profiler"): each scope node becomes one `"ph":"X"` event whose
+    /// microsecond duration is its inclusive time and whose start is laid
+    /// out depth-first — children nest inside their parent and siblings
+    /// abut — so the aggregate tree renders as a flamegraph alongside the
+    /// virtual-clock spans.
+    pub fn to_chrome_json_with_profile(&self, profile: &crate::profile::ProfileSnapshot) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let mut first = true;
+        self.write_chrome_events(&mut out, &mut first);
+        if !profile.is_empty() {
             push_event_sep(&mut out, &mut first);
+            out.push_str(
+                "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"thread_name\",\
+                 \"args\":{\"name\":\"profiler\"}}",
+            );
+            // (start µs, consumed µs) per open ancestor; frames arrive in
+            // depth-first order so a stack reconstructs the layout.
+            let mut stack: Vec<(f64, f64)> = Vec::new();
+            let mut root_cursor = 0.0_f64;
+            for f in &profile.frames {
+                stack.truncate(f.depth);
+                let total_us = f.total_ns as f64 / 1_000.0;
+                let start = match stack.last_mut() {
+                    Some((parent_start, consumed)) => {
+                        let start = *parent_start + *consumed;
+                        *consumed += total_us;
+                        start
+                    }
+                    None => {
+                        let start = root_cursor;
+                        root_cursor += total_us;
+                        start
+                    }
+                };
+                stack.push((start, 0.0));
+                push_event_sep(&mut out, &mut first);
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":{},\"dur\":{},\"name\":\"{}\",\
+                     \"args\":{{\"calls\":{},\"self_ns\":{}}}}}",
+                    json_value(&Value::F64(start)),
+                    json_value(&Value::F64(total_us)),
+                    json_escape(&f.path),
+                    f.calls,
+                    f.self_ns
+                ));
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes the track-metadata and span events shared by both Chrome
+    /// exporters (byte-identical to the historical single-process form).
+    fn write_chrome_events(&self, out: &mut String, first: &mut bool) {
+        let store = self.core.lock().expect("span store poisoned");
+        for (tid, name) in store.tracks.iter().enumerate() {
+            push_event_sep(out, first);
             out.push_str(&format!(
                 "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
                  \"args\":{{\"name\":\"{}\"}}}}",
@@ -228,7 +289,7 @@ impl SpanRecorder {
             ));
         }
         for s in &store.spans {
-            push_event_sep(&mut out, &mut first);
+            push_event_sep(out, first);
             out.push_str(&format!(
                 "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"{}\",\
                  \"args\":{{\"trace\":{},\"span\":{}",
@@ -247,8 +308,6 @@ impl SpanRecorder {
             }
             out.push_str("}}");
         }
-        out.push_str("\n]}\n");
-        out
     }
 
     /// The critical path of one trace: the root-to-leaf parent chain

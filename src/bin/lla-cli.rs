@@ -6,6 +6,8 @@
 //! lla-cli schedulability <spec> [options]      §5.4 schedulability verdict
 //! lla-cli simulate <spec> [options]            closed loop with error correction
 //! lla-cli telemetry <spec> [options]           run to convergence, expose health
+//! lla-cli profile <spec> [options]             run to convergence, report
+//!                                              where the wall time went
 //!
 //! options:
 //!   --iters N          iteration budget (default 10000)
@@ -15,11 +17,16 @@
 //!   --window MS        window length in ms (simulate; default 2000)
 //!   --no-correction    disable online model error correction (simulate)
 //!   --format F         text | prometheus | json   (telemetry; default text)
+//!                      text | folded | json       (profile; default text)
+//!   --top N            rows in the profile table (profile; default 10)
 //!   --diagnose         classify the run's convergence behavior
 //!                      (telemetry; text and json formats); exits 3 when
 //!                      the verdict is diverging or stalled, so scripts
 //!                      and CI gates can alert on an unhealthy run
 //! ```
+//!
+//! `profile --format folded` emits folded stacks (`a;b;c <ns>` lines) that
+//! any flamegraph renderer consumes directly.
 //!
 //! See `crates/lla-spec` for the specification format and
 //! `examples/workloads/*.lla` for samples.
@@ -29,7 +36,7 @@ use lla::core::{
     StepSizePolicy,
 };
 use lla::sim::{ClosedLoop, ClosedLoopConfig, SimConfig};
-use lla::telemetry::{DiagnosticsEngine, MetricsRegistry, Verdict};
+use lla::telemetry::{DiagnosticsEngine, MetricsRegistry, Profiler, Verdict};
 use std::process::ExitCode;
 
 struct Options {
@@ -42,6 +49,7 @@ struct Options {
     correction: bool,
     format: OutputFormat,
     diagnose: bool,
+    top: usize,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -49,14 +57,15 @@ enum OutputFormat {
     Text,
     Prometheus,
     Json,
+    Folded,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lla-cli <check|optimize|schedulability|simulate|telemetry> <spec.lla> \
+        "usage: lla-cli <check|optimize|schedulability|simulate|telemetry|profile> <spec.lla> \
          [--iters N] [--policy adaptive|sign|fixed=G] [--csv FILE] \
-         [--windows N] [--window MS] [--no-correction] [--format text|prometheus|json] \
-         [--diagnose]"
+         [--windows N] [--window MS] [--no-correction] \
+         [--format text|prometheus|json|folded] [--top N] [--diagnose]"
     );
     ExitCode::from(2)
 }
@@ -72,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         correction: true,
         format: OutputFormat::Text,
         diagnose: false,
+        top: 10,
     };
     let mut it = args.iter();
     opts.spec_path = it.next().ok_or("missing spec path")?.clone();
@@ -114,11 +124,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-correction" => opts.correction = false,
             "--diagnose" => opts.diagnose = true,
+            "--top" => {
+                opts.top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|_| "--top must be an integer")?;
+            }
             "--format" => {
                 opts.format = match it.next().ok_or("--format needs a value")?.as_str() {
                     "text" => OutputFormat::Text,
                     "prometheus" => OutputFormat::Prometheus,
                     "json" => OutputFormat::Json,
+                    "folded" => OutputFormat::Folded,
                     other => return Err(format!("unknown format `{other}`")),
                 };
             }
@@ -224,7 +242,7 @@ fn cmd_telemetry(opts: &Options) -> Result<ExitCode, String> {
         match opts.format {
             OutputFormat::Text => print!("{}", diagnosis.render()),
             OutputFormat::Json => println!("{}", diagnosis.to_json()),
-            OutputFormat::Prometheus => {
+            OutputFormat::Prometheus | OutputFormat::Folded => {
                 return Err("--diagnose supports --format text|json".to_owned())
             }
         }
@@ -240,8 +258,71 @@ fn cmd_telemetry(opts: &Options) -> Result<ExitCode, String> {
         OutputFormat::Text => println!("{}", opt.health_snapshot()),
         OutputFormat::Prometheus => print!("{}", registry.prometheus_text()),
         OutputFormat::Json => println!("{}", opt.health_snapshot().to_json()),
+        OutputFormat::Folded => {
+            return Err("telemetry supports --format text|prometheus|json".to_owned())
+        }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Nanoseconds with an adaptive unit, for the profile table.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), String> {
+    let problem = load(&opts.spec_path)?;
+    let mut opt = Optimizer::new(
+        problem,
+        OptimizerConfig { step_policy: opts.policy, ..OptimizerConfig::default() },
+    );
+    let profiler = Profiler::recording();
+    opt.attach_profiler(&profiler);
+    let outcome = opt.run_to_convergence(opts.iters);
+    let snapshot = profiler.snapshot();
+    match opts.format {
+        OutputFormat::Text => {
+            println!(
+                "converged: {} after {} iterations (wall {})",
+                outcome.converged,
+                outcome.iterations,
+                fmt_ns(snapshot.root_total_ns())
+            );
+            let frames = snapshot.top_self(opts.top);
+            let total = snapshot.root_total_ns().max(1) as f64;
+            let path_width =
+                frames.iter().map(|f| f.path.chars().count()).max().unwrap_or(5).max(5);
+            println!(
+                "{:>path_width$} {:>10} {:>10} {:>10} {:>7}",
+                "phase", "calls", "total", "self", "self%"
+            );
+            for f in &frames {
+                println!(
+                    "{:>path_width$} {:>10} {:>10} {:>10} {:>6.1}%",
+                    f.path,
+                    f.calls,
+                    fmt_ns(f.total_ns),
+                    fmt_ns(f.self_ns),
+                    f.self_ns as f64 / total * 100.0
+                );
+            }
+        }
+        OutputFormat::Folded => print!("{}", snapshot.folded_ns()),
+        OutputFormat::Json => println!("{}", snapshot.to_json()),
+        OutputFormat::Prometheus => {
+            return Err("profile supports --format text|folded|json".to_owned())
+        }
+    }
+    Ok(())
 }
 
 fn cmd_schedulability(opts: &Options) -> Result<(), String> {
@@ -311,6 +392,7 @@ fn main() -> ExitCode {
         "schedulability" => cmd_schedulability(&opts).map(|()| ExitCode::SUCCESS),
         "simulate" => cmd_simulate(&opts).map(|()| ExitCode::SUCCESS),
         "telemetry" => cmd_telemetry(&opts),
+        "profile" => cmd_profile(&opts).map(|()| ExitCode::SUCCESS),
         _ => {
             return usage();
         }

@@ -260,14 +260,17 @@ fn assert_prometheus_conformant(text: &str) {
 }
 
 /// Full-stack conformance: run the centralized optimizer *and* a lossy
-/// distributed deployment against one shared registry, then validate the
-/// entire exposition — every counter, gauge, and histogram either layer
+/// distributed deployment against one shared registry — with the phase
+/// profiler's summary gauges published alongside — then validate the
+/// entire exposition: every counter, gauge, and histogram any layer
 /// registers.
 #[test]
 fn prometheus_exposition_is_conformant_for_every_registered_metric() {
     let hub = TelemetryHub::recording();
     let mut opt = Optimizer::new(trace_problem(), OptimizerConfig::default());
     opt.attach_telemetry(&hub.metrics);
+    let profiler = lla_telemetry::Profiler::recording();
+    opt.attach_profiler(&profiler);
     for _ in 0..50 {
         opt.step();
     }
@@ -281,10 +284,16 @@ fn prometheus_exposition_is_conformant_for_every_registered_metric() {
         DistTelemetry::from_hub(&hub),
     );
     dist.run_rounds(50);
+    profiler.publish_summary(&hub.metrics);
 
     let text = hub.metrics.prometheus_text();
     assert!(text.contains("lla_dist_messages_sent_total"), "dist family present:\n{text}");
     assert!(text.contains("# TYPE"), "typed exposition:\n{text}");
+    assert!(
+        text.contains("lla_profile_self_seconds_allocate"),
+        "profiler self-time gauges present:\n{text}"
+    );
+    assert!(text.contains("lla_profile_calls_step"), "profiler call-count gauges present:\n{text}");
     assert_prometheus_conformant(&text);
     // The disabled registry exposes nothing at all — and trivially
     // conforms.
