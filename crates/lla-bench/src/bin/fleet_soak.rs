@@ -1,0 +1,55 @@
+//! Fleet-telemetry soak harness: the base workload with per-agent
+//! telemetry reports shipped every round over a lossy, duplicating
+//! network, and a scripted availability drop on resource 0 in the middle
+//! of the run. The collector merges the reports into a fleet view and
+//! the deterministic SLO engine walks the `fleet-overload` rule through
+//! pending → firing while the window is open and resolves it after
+//! capacity recovers.
+//!
+//! stderr carries the human-readable fleet panel (per-agent table plus
+//! the alert timeline). stdout carries only machine output: a one-line
+//! JSON summary. Also writes `results/fleet_alerts.jsonl` (the
+//! byte-deterministic alert timeline) and `results/fleet_events.jsonl`
+//! (the full structured event stream).
+
+use lla_bench::fleet::{run_fleet_soak, FleetSoakConfig};
+use lla_telemetry::TelemetryHub;
+
+fn main() {
+    let config = FleetSoakConfig::default();
+    let hub = TelemetryHub::recording();
+    let report = run_fleet_soak(&config, &hub);
+
+    eprintln!(
+        "fleet soak: seed={} loss={} duplication={} window=[{}, {}]",
+        config.seed,
+        config.loss,
+        config.duplication,
+        config.overload_start(),
+        config.overload_end()
+    );
+    eprint!("{}", report.panel);
+
+    println!(
+        "{{\"alerts\": {}, \"fired_during_overload\": {}, \"resolved_after_recovery\": {}, \
+         \"firing_at_end\": {}, \"reports_merged\": {}, \"reports_stale\": {}, \
+         \"reports_lost\": {}, \"watermark_regressions\": {}}}",
+        report.alerts.len(),
+        report.fired_during_overload,
+        report.resolved_after_recovery,
+        report.firing_at_end,
+        report.reports_merged,
+        report.reports_stale,
+        report.reports_lost,
+        report.watermark_regressions
+    );
+
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/fleet_alerts.jsonl", report.alerts_jsonl()))
+        .and_then(|()| std::fs::write("results/fleet_events.jsonl", hub.events.to_jsonl()))
+    {
+        eprintln!("results not written: {e}");
+    } else {
+        eprintln!("wrote results/fleet_alerts.jsonl and results/fleet_events.jsonl");
+    }
+}

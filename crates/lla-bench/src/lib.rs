@@ -20,6 +20,7 @@
 
 pub mod churn;
 pub mod corruption;
+pub mod fleet;
 pub mod perf;
 pub mod render;
 pub mod supervised;

@@ -3,7 +3,7 @@
 //! they regenerate — plus the phase-profile panel that turns a
 //! [`ProfileSnapshot`] into a self-time bar table.
 
-use lla_telemetry::{Diagnosis, HealthSnapshot, ProfileSnapshot};
+use lla_telemetry::{Diagnosis, Event, HealthSnapshot, ProfileSnapshot, TelemetryCollector};
 
 /// Unicode block characters from low to high.
 const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -170,6 +170,35 @@ pub fn dashboard_with_profile(
     out
 }
 
+/// Renders the fleet-telemetry panel: the collector's per-agent metric
+/// table followed by the alert timeline, one line per structured alert
+/// event. Lines longer than `width` are truncated. An empty timeline
+/// renders a one-line placeholder so callers can print unconditionally.
+pub fn fleet_panel(view: &TelemetryCollector, alerts: &[Event], width: usize) -> String {
+    let mut out = String::from("fleet view\n");
+    out.push_str(&view.render_table());
+    if alerts.is_empty() {
+        out.push_str("alerts: (none)\n");
+        return out;
+    }
+    out.push_str(&format!("alert timeline ({} events)\n", alerts.len()));
+    for e in alerts {
+        let field = |k: &str| e.field(k).map(ToString::to_string).unwrap_or_default();
+        let line = format!(
+            "  t={:>6}  {:<24} {:<9} {:<8} delta={} threshold={}",
+            e.time,
+            field("rule"),
+            field("state"),
+            field("severity"),
+            field("value"),
+            field("threshold"),
+        );
+        out.extend(line.trim_end().chars().take(width.max(16)));
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +361,36 @@ mod tests {
         assert!(table.contains("1.00"));
         assert!(table.contains("20.00"));
         assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn fleet_panel_shows_table_and_alert_timeline() {
+        use lla_telemetry::{MetricDef, TelemetryReport};
+        let dict = [MetricDef { name: "ticks", help: "ticks" }];
+        let mut view = TelemetryCollector::new(&dict);
+        view.ingest(&TelemetryReport {
+            agent: "controller[0]".into(),
+            seq: 1,
+            watermark: 10.0,
+            deltas: vec![(0, 4)],
+        });
+        let empty = fleet_panel(&view, &[], 80);
+        assert!(empty.contains("controller[0]"), "missing agent row:\n{empty}");
+        assert!(empty.contains("alerts: (none)"));
+
+        let alerts = [Event::new(39.0, "alert")
+            .with("rule", "fleet-overload")
+            .with("state", "firing")
+            .with("severity", "critical")
+            .with("value", 7u64)
+            .with("threshold", 0u64)];
+        let panel = fleet_panel(&view, &alerts, 80);
+        assert!(panel.contains("alert timeline (1 events)"), "{panel}");
+        assert!(panel.contains("t=    39  fleet-overload"), "{panel}");
+        assert!(panel.contains("firing"));
+        // Narrow widths truncate the line instead of wrapping.
+        let narrow = fleet_panel(&view, &alerts, 20);
+        let line = narrow.lines().last().unwrap();
+        assert!(line.chars().count() <= 20, "{line:?}");
     }
 }

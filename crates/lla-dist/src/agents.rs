@@ -2,6 +2,10 @@
 //! controllers, and the control-plane agent that disseminates availability
 //! changes reliably.
 
+use crate::fleet::{
+    AgentTelemetry, M_CHECKPOINTS, M_DEGRADED_TICKS, M_LATENCY_UPDATES, M_MESSAGES_IN,
+    M_MESSAGES_OUT, M_OVERLOADED_TICKS, M_PRICE_UPDATES, M_TICKS, M_VALUE_REJECTIONS,
+};
 use crate::protocol::{Address, Message};
 use crate::runtime::{Actor, Outbox};
 use crate::telemetry::DistTelemetry;
@@ -299,6 +303,10 @@ pub struct ResourceAgent {
     /// Highest supervisor-command sequence applied (volatile).
     last_cmd_seq: u64,
     tel: DistTelemetry,
+    /// Per-agent fleet scope + shipping books. The shipping books are
+    /// durable (see [`AgentTelemetry`]): `on_crash` leaves them alone so
+    /// the report sequence stays monotone across restarts.
+    ftel: AgentTelemetry,
 }
 
 impl ResourceAgent {
@@ -329,6 +337,7 @@ impl ResourceAgent {
             last_avail_seq: 0,
             last_cmd_seq: 0,
             tel: DistTelemetry::disabled(),
+            ftel: AgentTelemetry::noop(),
         };
         agent.resync_from_problem();
         agent
@@ -344,6 +353,19 @@ impl ResourceAgent {
     pub fn with_telemetry(mut self, tel: DistTelemetry) -> Self {
         self.tel = tel;
         self
+    }
+
+    /// Attaches this agent's fleet scope (scoped counters + optional
+    /// report shipping).
+    pub fn with_fleet(mut self, ftel: AgentTelemetry) -> Self {
+        self.ftel = ftel;
+        self
+    }
+
+    /// Read access to the fleet scope, e.g. to compare reports emitted
+    /// against the collector's merge accounting in tests.
+    pub fn fleet_telemetry(&self) -> &AgentTelemetry {
+        &self.ftel
     }
 
     /// Attaches the shared topology store and fixes the agent's protocol
@@ -502,6 +524,7 @@ impl ResourceAgent {
         let id = self.problem.resources()[self.r].id();
         if self.problem.set_resource_availability(id, availability).is_err() {
             self.tel.values_rejected.inc();
+            self.ftel.inc(M_VALUE_REJECTIONS);
             self.tel.events.emit(
                 TelemetryEvent::new(now, "value_rejected")
                     .with("agent", "resource")
@@ -554,8 +577,12 @@ impl ResourceAgent {
 impl Actor for ResourceAgent {
     fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
         if self.dormant {
+            // Dormant agents still report (empty deltas) so the fleet
+            // watermark keeps advancing.
+            self.ftel.maybe_report(now, Address::Resource(self.slot), outbox);
             return;
         }
+        self.ftel.inc(M_TICKS);
         let was_degraded = self.degraded;
         self.degraded = now - self.last_heard > self.robustness.staleness_ttl;
         if self.degraded != was_degraded {
@@ -576,6 +603,7 @@ impl Actor for ResourceAgent {
         }
         if self.degraded {
             self.tel.degraded_ticks.inc();
+            self.ftel.inc(M_DEGRADED_TICKS);
         }
         let mu = if self.degraded {
             // Latency inputs are stale (partition, crashed controllers):
@@ -587,6 +615,10 @@ impl Actor for ResourceAgent {
             let availability = self.problem.resources()[self.r].availability();
             let grad = availability - usage;
             self.congested = grad < 0.0;
+            if self.congested {
+                self.ftel.inc(M_OVERLOADED_TICKS);
+            }
+            self.ftel.inc(M_PRICE_UPDATES);
             self.prices.apply_resource_step(self.r, grad)
         };
         for &t in &self.subscribers {
@@ -595,9 +627,12 @@ impl Actor for ResourceAgent {
                 Message::Price { resource: self.slot, mu, congested: self.congested },
             );
         }
+        self.ftel.add(M_MESSAGES_OUT, self.subscribers.len() as u64);
+        self.ftel.maybe_report(now, Address::Resource(self.slot), outbox);
     }
 
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
+        self.ftel.inc(M_MESSAGES_IN);
         if self.on_membership(&msg, outbox) {
             return;
         }
@@ -615,6 +650,7 @@ impl Actor for ResourceAgent {
                     // A non-positive latency would push the price gradient
                     // through `share(lat) → ∞`; refuse it at the boundary.
                     self.tel.values_rejected.inc();
+                    self.ftel.inc(M_VALUE_REJECTIONS);
                     self.tel.events.emit(
                         TelemetryEvent::new(now, "value_rejected")
                             .with("agent", "resource")
@@ -748,6 +784,9 @@ pub struct TaskController {
     /// this controller's row is overwritten per checkpoint.
     checkpoint_template: Vec<Vec<f64>>,
     tel: DistTelemetry,
+    /// Per-agent fleet scope + shipping books (durable across crashes,
+    /// like the checkpoint store — see [`AgentTelemetry`]).
+    ftel: AgentTelemetry,
 }
 
 impl TaskController {
@@ -805,6 +844,7 @@ impl TaskController {
             next_lats,
             checkpoint_template,
             tel: DistTelemetry::disabled(),
+            ftel: AgentTelemetry::noop(),
         }
     }
 
@@ -818,6 +858,19 @@ impl TaskController {
     pub fn with_telemetry(mut self, tel: DistTelemetry) -> Self {
         self.tel = tel;
         self
+    }
+
+    /// Attaches this controller's fleet scope (scoped counters + optional
+    /// report shipping).
+    pub fn with_fleet(mut self, ftel: AgentTelemetry) -> Self {
+        self.ftel = ftel;
+        self
+    }
+
+    /// Read access to the fleet scope, e.g. to compare reports emitted
+    /// against the collector's merge accounting in tests.
+    pub fn fleet_telemetry(&self) -> &AgentTelemetry {
+        &self.ftel
     }
 
     /// Attaches the shared topology store and fixes the controller's
@@ -1093,9 +1146,13 @@ impl TaskController {
 impl Actor for TaskController {
     fn on_tick(&mut self, now: f64, outbox: &mut Outbox) {
         if self.dormant {
+            // Dormant controllers still report (empty deltas) so the
+            // fleet watermark keeps advancing.
+            self.ftel.maybe_report(now, Address::Controller(self.slot), outbox);
             return;
         }
         self.ticks += 1;
+        self.ftel.inc(M_TICKS);
         let was_degraded = self.degraded;
         self.degraded = self.staleness(now) > self.robustness.staleness_ttl;
         if self.degraded != was_degraded {
@@ -1122,6 +1179,7 @@ impl Actor for TaskController {
             // staleness clock.
             self.degraded_ticks += 1;
             self.tel.degraded_ticks.inc();
+            self.ftel.inc(M_DEGRADED_TICKS);
         } else {
             // Path price computation from the *previous* allocation —
             // matching the centralized iteration order, where prices
@@ -1154,6 +1212,8 @@ impl Actor for TaskController {
                     Message::Latency { task: self.slot, subtask: s, latency: self.lats[s] },
                 );
             }
+            self.ftel.inc(M_LATENCY_UPDATES);
+            self.ftel.add(M_MESSAGES_OUT, task.subtasks().len() as u64);
         }
 
         if let Some(store) = &self.checkpoints {
@@ -1169,11 +1229,14 @@ impl Actor for TaskController {
                 );
                 self.last_checkpoint = now;
                 self.tel.checkpoint_saves.inc();
+                self.ftel.inc(M_CHECKPOINTS);
             }
         }
+        self.ftel.maybe_report(now, Address::Controller(self.slot), outbox);
     }
 
     fn on_message(&mut self, now: f64, msg: Message, outbox: &mut Outbox) {
+        self.ftel.inc(M_MESSAGES_IN);
         if self.on_membership(now, &msg, outbox) {
             return;
         }
@@ -1192,6 +1255,7 @@ impl Actor for TaskController {
                     // argument and NaN the allocation; non-finite is the
                     // same poison one step later.
                     self.tel.values_rejected.inc();
+                    self.ftel.inc(M_VALUE_REJECTIONS);
                     self.tel.events.emit(
                         TelemetryEvent::new(now, "value_rejected")
                             .with("agent", "controller")
@@ -1233,6 +1297,7 @@ impl Actor for TaskController {
                             self.on_availability_applied(r);
                         } else {
                             self.tel.values_rejected.inc();
+                            self.ftel.inc(M_VALUE_REJECTIONS);
                             self.tel.events.emit(
                                 TelemetryEvent::new(now, "value_rejected")
                                     .with("agent", "controller")

@@ -43,8 +43,8 @@
 use crate::protocol::{Address, Message};
 
 /// Maximum accepted body (tag + payload) length in bytes. The largest
-/// real message body is 25 bytes; the cap bounds the damage of a
-/// corrupted length prefix.
+/// real message body is a full telemetry report at 143 bytes; the cap
+/// bounds the damage of a corrupted length prefix.
 pub const MAX_BODY: usize = 256;
 
 /// Maximum accepted task/resource/subtask slot index on the wire.
@@ -70,6 +70,17 @@ pub const MAX_WIRE_LATENCY: f64 = 1e300;
 
 /// Maximum accepted gamma-calm growth multiple on the wire.
 pub const MAX_WIRE_MULTIPLE: f64 = 1e9;
+
+/// Maximum accepted delta entries in one telemetry report. The fleet
+/// metric dictionary is far smaller; the cap bounds a forged count byte.
+pub const MAX_WIRE_REPORT_ENTRIES: usize = 24;
+
+/// Maximum accepted dictionary slot index in a telemetry report delta.
+pub const MAX_WIRE_REPORT_SLOT: u8 = 63;
+
+/// Maximum accepted telemetry watermark (virtual ms) on the wire. Same
+/// rationale as [`MAX_WIRE_PRICE`]: a garbage filter, not a domain bound.
+pub const MAX_WIRE_WATERMARK: f64 = 1e300;
 
 /// Frame-level overhead: length prefix (4) + trailing checksum (4).
 pub const FRAME_OVERHEAD: usize = 8;
@@ -239,10 +250,12 @@ const TAG_REPLICA_UPDATE: u8 = 0x0B;
 const TAG_GAMMA_CALM: u8 = 0x0C;
 const TAG_DUAL_RESYNC: u8 = 0x0D;
 const TAG_COMMAND_ACK: u8 = 0x0E;
+const TAG_TELEMETRY_REPORT: u8 = 0x0F;
 
 const ADDR_RESOURCE: u8 = 0x00;
 const ADDR_CONTROLLER: u8 = 0x01;
 const ADDR_CONTROL_PLANE: u8 = 0x02;
+const ADDR_COLLECTOR: u8 = 0x03;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -277,6 +290,10 @@ fn put_addr(buf: &mut Vec<u8>, addr: Address) {
         }
         Address::ControlPlane => {
             buf.push(ADDR_CONTROL_PLANE);
+            put_u32(buf, 0);
+        }
+        Address::Collector => {
+            buf.push(ADDR_COLLECTOR);
             put_u32(buf, 0);
         }
     }
@@ -366,6 +383,17 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             body.push(TAG_COMMAND_ACK);
             put_u64(&mut body, seq);
             put_addr(&mut body, from);
+        }
+        Message::TelemetryReport { from, seq, watermark, ref deltas } => {
+            body.push(TAG_TELEMETRY_REPORT);
+            put_addr(&mut body, from);
+            put_u64(&mut body, seq);
+            put_f64(&mut body, watermark);
+            body.push(u8::try_from(deltas.len()).expect("report entries exceed u8 range"));
+            for &(slot, delta) in deltas {
+                body.push(slot);
+                put_u32(&mut body, delta);
+            }
         }
     }
     debug_assert!(body.len() <= MAX_BODY);
@@ -461,6 +489,7 @@ impl<'a> Rd<'a> {
             ADDR_RESOURCE => Ok(Address::Resource(id)),
             ADDR_CONTROLLER => Ok(Address::Controller(id)),
             ADDR_CONTROL_PLANE => Ok(Address::ControlPlane),
+            ADDR_COLLECTOR => Ok(Address::Collector),
             tag => Err(FrameError::BadAddress { tag }),
         }
     }
@@ -527,6 +556,34 @@ pub fn validate(msg: &Message) -> Result<(), FrameError> {
         Message::GammaCalm { max_multiple, .. } => {
             finite("gamma-calm max multiple", max_multiple)?;
             in_domain("gamma-calm max multiple", max_multiple, false, 1.0, MAX_WIRE_MULTIPLE)?;
+        }
+        Message::TelemetryReport { watermark, ref deltas, .. } => {
+            finite("report watermark", watermark)?;
+            in_domain("report watermark", watermark, false, 0.0, MAX_WIRE_WATERMARK)?;
+            if deltas.len() > MAX_WIRE_REPORT_ENTRIES {
+                return Err(FrameError::OutOfRange {
+                    field: "report entries",
+                    value: deltas.len() as u64,
+                });
+            }
+            // Slots strictly increasing: rejects forged duplicates and
+            // keeps the encoding canonical (one byte layout per report).
+            let mut prev: Option<u8> = None;
+            for &(slot, _) in deltas {
+                if slot > MAX_WIRE_REPORT_SLOT {
+                    return Err(FrameError::OutOfRange {
+                        field: "report slot",
+                        value: u64::from(slot),
+                    });
+                }
+                if prev.is_some_and(|p| slot <= p) {
+                    return Err(FrameError::OutOfRange {
+                        field: "report slot order",
+                        value: u64::from(slot),
+                    });
+                }
+                prev = Some(slot);
+            }
         }
         Message::AvailabilityAck { .. }
         | Message::TaskJoin { .. }
@@ -648,6 +705,25 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Message, usize), FrameError> {
         TAG_GAMMA_CALM => Message::GammaCalm { max_multiple: rd.f64()?, seq: rd.seq("calm seq")? },
         TAG_DUAL_RESYNC => Message::DualResync { seq: rd.seq("resync seq")? },
         TAG_COMMAND_ACK => Message::CommandAck { seq: rd.seq("ack seq")?, from: rd.addr()? },
+        TAG_TELEMETRY_REPORT => {
+            let from = rd.addr()?;
+            let seq = rd.seq("report seq")?;
+            let watermark = rd.f64()?;
+            let count = rd.u8()? as usize;
+            if count > MAX_WIRE_REPORT_ENTRIES {
+                return Err(FrameError::OutOfRange {
+                    field: "report entries",
+                    value: count as u64,
+                });
+            }
+            let mut deltas = Vec::with_capacity(count);
+            for _ in 0..count {
+                let slot = rd.u8()?;
+                let delta = rd.u32()?;
+                deltas.push((slot, delta));
+            }
+            Message::TelemetryReport { from, seq, watermark, deltas }
+        }
         tag => return Err(FrameError::UnknownTag { tag }),
     };
     if rd.remaining() != 0 {
@@ -678,6 +754,12 @@ mod tests {
             Message::GammaCalm { max_multiple: 8.0, seq: 15 },
             Message::DualResync { seq: 16 },
             Message::CommandAck { seq: 16, from: Address::ControlPlane },
+            Message::TelemetryReport {
+                from: Address::Resource(2),
+                seq: 17,
+                watermark: 190.0,
+                deltas: vec![(0, 19), (3, 2), (5, 40)],
+            },
         ]
     }
 
@@ -841,6 +923,56 @@ mod tests {
         assert!(validate(&Message::Price { resource: 0, mu: f64::NAN, congested: false }).is_err());
         assert!(validate(&Message::Latency { task: 0, subtask: 0, latency: -1.0 }).is_err());
         assert!(validate(&Message::DualResync { seq: 3 }).is_ok());
+    }
+
+    #[test]
+    fn telemetry_report_garbage_is_rejected() {
+        let base = |deltas: Vec<(u8, u32)>| Message::TelemetryReport {
+            from: Address::Resource(0),
+            seq: 1,
+            watermark: 10.0,
+            deltas,
+        };
+        // Non-increasing slots (dup or out of order) are forged layouts.
+        for deltas in [vec![(3, 1), (3, 2)], vec![(5, 1), (2, 2)]] {
+            assert!(matches!(
+                validate(&base(deltas)),
+                Err(FrameError::OutOfRange { field: "report slot order", .. })
+            ));
+        }
+        assert!(matches!(
+            validate(&base(vec![(MAX_WIRE_REPORT_SLOT + 1, 1)])),
+            Err(FrameError::OutOfRange { field: "report slot", .. })
+        ));
+        let too_many: Vec<(u8, u32)> =
+            (0..=MAX_WIRE_REPORT_ENTRIES as u8).map(|i| (i, 1)).collect();
+        assert!(matches!(
+            validate(&base(too_many)),
+            Err(FrameError::OutOfRange { field: "report entries", .. })
+        ));
+        let mut bad = base(vec![]);
+        if let Message::TelemetryReport { watermark, .. } = &mut bad {
+            *watermark = f64::NAN;
+        }
+        assert!(matches!(
+            validate(&bad),
+            Err(FrameError::NonFiniteFloat { field: "report watermark" })
+        ));
+    }
+
+    #[test]
+    fn full_size_telemetry_report_fits_the_body_cap() {
+        let deltas: Vec<(u8, u32)> =
+            (0..MAX_WIRE_REPORT_ENTRIES as u8).map(|i| (i, u32::MAX)).collect();
+        let msg = Message::TelemetryReport {
+            from: Address::Collector,
+            seq: MAX_WIRE_SEQ,
+            watermark: MAX_WIRE_WATERMARK,
+            deltas,
+        };
+        let frame = encode(&msg);
+        assert!(frame.len() - FRAME_OVERHEAD <= MAX_BODY, "{} bytes", frame.len());
+        assert_eq!(decode(&frame).unwrap(), msg);
     }
 
     #[test]

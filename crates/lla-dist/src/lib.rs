@@ -33,6 +33,11 @@
 //!   diagnostic verdicts drive graduated remediation (gamma calm,
 //!   checkpoint rollback, dual re-sync, escalating shedding) and
 //!   price-driven elastic replica capacity.
+//! * [`fleet`] — the fleet telemetry plane: per-agent
+//!   [`AgentTelemetry`](fleet::AgentTelemetry) scopes shipped as
+//!   delta-encoded, watermarked `TelemetryReport` frames to a
+//!   [`CollectorAgent`](fleet::CollectorAgent) that merges them into a
+//!   deterministic fleet view and evaluates SLO alert rules.
 //! * [`system`] — [`DistributedLla`]: a full deployment on the virtual
 //!   runtime. With a perfect network and round-based ticking it is
 //!   **bit-equivalent** to the centralized [`lla_core::Optimizer`] (tested);
@@ -46,6 +51,7 @@
 pub mod agents;
 pub mod codec;
 pub mod fault;
+pub mod fleet;
 pub mod network;
 pub mod protocol;
 pub mod runtime;
@@ -60,6 +66,7 @@ pub use agents::{
 };
 pub use codec::{decode, decode_frame, encode, FrameError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fleet::{default_slo_rules, AgentTelemetry, CollectorAgent, AGENT_METRICS};
 pub use network::{CorruptionModel, FrameCorruptor, NetworkModel, NetworkSampler};
 pub use protocol::{Address, Message};
 pub use runtime::{Actor, Outbox, VirtualRuntime};

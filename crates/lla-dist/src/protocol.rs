@@ -31,6 +31,11 @@ pub enum Address {
     /// reliably (sequence numbers + retransmission) over the lossy
     /// network.
     ControlPlane,
+    /// The fleet telemetry collector: agents ship their
+    /// [`Message::TelemetryReport`]s here. Registered only when telemetry
+    /// shipping is enabled; it never sends, so it cannot perturb the
+    /// protocol.
+    Collector,
 }
 
 impl std::fmt::Display for Address {
@@ -39,6 +44,7 @@ impl std::fmt::Display for Address {
             Address::Resource(r) => write!(f, "resource[{r}]"),
             Address::Controller(t) => write!(f, "controller[{t}]"),
             Address::ControlPlane => write!(f, "control-plane"),
+            Address::Collector => write!(f, "collector"),
         }
     }
 }
@@ -209,6 +215,24 @@ pub enum Message {
         /// The acknowledging agent.
         from: Address,
     },
+    /// Agent → collector: a delta-encoded, watermarked telemetry report
+    /// (see [`lla_telemetry::collect`]). Fire-and-forget over the lossy
+    /// network — the collector tolerates loss, duplication, and
+    /// reordering via the per-agent sequence number, and accounts for
+    /// every report as merged, stale, or lost.
+    TelemetryReport {
+        /// The reporting agent.
+        from: Address,
+        /// Per-agent report sequence, starting at 1.
+        seq: u64,
+        /// Virtual-clock watermark: every scope update up to this instant
+        /// is covered by the deltas shipped through this report.
+        watermark: f64,
+        /// `(dictionary slot, counter delta)` pairs, slots strictly
+        /// increasing, zero deltas omitted (delta encoding keeps the body
+        /// far under the frame cap).
+        deltas: Vec<(u8, u32)>,
+    },
 }
 
 impl Message {
@@ -230,6 +254,7 @@ impl Message {
             Message::GammaCalm { .. } => "gamma-calm",
             Message::DualResync { .. } => "dual-resync",
             Message::CommandAck { .. } => "command-ack",
+            Message::TelemetryReport { .. } => "telemetry-report",
         }
     }
 
@@ -303,6 +328,7 @@ mod tests {
         assert_eq!(Address::Resource(2).to_string(), "resource[2]");
         assert_eq!(Address::Controller(0).to_string(), "controller[0]");
         assert_eq!(Address::ControlPlane.to_string(), "control-plane");
+        assert_eq!(Address::Collector.to_string(), "collector");
     }
 
     #[test]
@@ -326,6 +352,10 @@ mod tests {
             (Message::GammaCalm { max_multiple: 4.0, seq: 1 }, "gamma-calm"),
             (Message::DualResync { seq: 1 }, "dual-resync"),
             (Message::CommandAck { seq: 1, from }, "command-ack"),
+            (
+                Message::TelemetryReport { from, seq: 1, watermark: 10.0, deltas: vec![(0, 1)] },
+                "telemetry-report",
+            ),
         ];
         for (msg, kind) in msgs {
             assert_eq!(msg.kind(), kind);

@@ -29,9 +29,12 @@
 //! deployments can tune without recompiling.
 
 use lla_core::{select_victim, IterationReport, OverloadConfig, OverloadMonitor};
-use lla_telemetry::{DiagnosticsEngine, Event as TelemetryEvent, Verdict};
+use lla_telemetry::{
+    AgentScope, AlertSeverity, DiagnosticsEngine, Event as TelemetryEvent, Verdict,
+};
 
 use crate::fault::FaultPlan;
+use crate::fleet::{AGENT_METRICS, M_TICKS};
 use crate::protocol::Address;
 use crate::system::DistributedLla;
 
@@ -172,6 +175,9 @@ pub enum RemediationKind {
     Retire,
     /// Sender silenced for repeatedly emitting invalid frames.
     Quarantine,
+    /// Dual re-sync probe triggered by a firing critical SLO alert from
+    /// the fleet collector.
+    AlertProbe,
 }
 
 impl RemediationKind {
@@ -185,6 +191,7 @@ impl RemediationKind {
             RemediationKind::Provision => "provision",
             RemediationKind::Retire => "retire",
             RemediationKind::Quarantine => "quarantine",
+            RemediationKind::AlertProbe => "alert-probe",
         }
     }
 }
@@ -226,6 +233,10 @@ pub struct SupervisorEngine {
     give_up_strikes: u32,
     /// Give-up counter total at the previous check.
     last_give_ups: u64,
+    /// The supervisor's own fleet scope (`agent="supervisor"` on the
+    /// deployment's registry), created lazily on the first check since
+    /// the engine is constructed before it meets a deployment.
+    scope: Option<AgentScope>,
 }
 
 impl SupervisorEngine {
@@ -248,6 +259,7 @@ impl SupervisorEngine {
             quarantined: Vec::new(),
             give_up_strikes: 0,
             last_give_ups: 0,
+            scope: None,
         }
     }
 
@@ -280,6 +292,11 @@ impl SupervisorEngine {
             return Vec::new();
         }
         self.checks += 1;
+        self.scope
+            .get_or_insert_with(|| {
+                AgentScope::new(&dist.dist_telemetry().registry, "supervisor", AGENT_METRICS)
+            })
+            .inc(M_TICKS);
         let sample = dist.diag_sample();
         self.diag.push(sample);
 
@@ -339,6 +356,9 @@ impl SupervisorEngine {
                     }
                 }
             }
+            if fired.is_empty() {
+                self.alert_step(dist, &mut fired);
+            }
             if fired.is_empty() && !overloaded {
                 self.elastic_step(dist, &mut fired);
             }
@@ -368,6 +388,23 @@ impl SupervisorEngine {
         }
         tel.events.emit(ev);
         fired.push(Remediation { round: dist.rounds(), kind, slot, value });
+    }
+
+    /// Fleet-alert-driven remediation: when the collector has a firing
+    /// *critical* SLO alert (e.g. sustained fleet overload seen through
+    /// the telemetry plane rather than the facade's own books), broadcast
+    /// a dual re-sync probe so every agent re-announces its duals and the
+    /// fleet's view of the pressure refreshes. Warning-severity alerts
+    /// are observability signals only. A no-op without a collector —
+    /// deployments with shipping off behave exactly as before.
+    fn alert_step(&mut self, dist: &mut DistributedLla, fired: &mut Vec<Remediation>) {
+        let critical =
+            dist.firing_alerts().iter().filter(|a| a.severity == AlertSeverity::Critical).count();
+        if critical == 0 {
+            return;
+        }
+        dist.broadcast_dual_resync();
+        self.record(dist, RemediationKind::AlertProbe, None, critical as f64, fired);
     }
 
     /// Adversarial-traffic maintenance, run every check:
@@ -443,7 +480,7 @@ impl SupervisorEngine {
         self.quarantined.push((addr, self.config.quarantine_release_checks.max(1)));
         let slot = match addr {
             Address::Resource(s) | Address::Controller(s) => Some(s),
-            Address::ControlPlane => None,
+            Address::ControlPlane | Address::Collector => None,
         };
         self.record(dist, RemediationKind::Quarantine, slot, rejections as f64, fired);
     }

@@ -5,6 +5,7 @@ use crate::agents::{
     SharedLats, TaskController, TopologyEpoch, TopologyStore,
 };
 use crate::fault::{FaultKind, FaultPlan};
+use crate::fleet::{AgentTelemetry, CollectorAgent};
 use crate::network::NetworkModel;
 use crate::protocol::{Address, Message};
 use crate::runtime::VirtualRuntime;
@@ -55,6 +56,16 @@ pub struct DistConfig {
     /// Per-copy frame-corruption probability in wire mode, in `[0, 1]`.
     /// Ignored unless [`wire_mode`](Self::wire_mode) is on.
     pub corruption: f64,
+    /// Virtual ms between per-agent telemetry reports; `0.0` (the
+    /// default) disables the fleet telemetry plane entirely — no
+    /// collector is registered and no report is ever sent, so a default
+    /// deployment is byte-identical to one without the plane. When
+    /// positive, every agent ships delta-encoded, watermarked
+    /// [`Message::TelemetryReport`]s to the
+    /// [`CollectorAgent`](crate::fleet::CollectorAgent) at this cadence
+    /// over the same (lossy, reordering, partitionable) network as
+    /// protocol traffic.
+    pub report_cadence: f64,
 }
 
 impl Default for DistConfig {
@@ -69,6 +80,7 @@ impl Default for DistConfig {
             robustness: RobustnessConfig::default(),
             wire_mode: false,
             corruption: 0.0,
+            report_cadence: 0.0,
         }
     }
 }
@@ -188,7 +200,12 @@ impl DistributedLla {
                     .with_robustness(config.robustness)
                     .with_checkpoints(checkpoints.clone())
                     .with_membership(topology.clone(), t, 0)
-                    .with_telemetry(tel.clone()),
+                    .with_telemetry(tel.clone())
+                    .with_fleet(AgentTelemetry::new(
+                        &tel,
+                        Address::Controller(t),
+                        config.report_cadence,
+                    )),
                 ),
                 interval,
                 phase,
@@ -202,7 +219,12 @@ impl DistributedLla {
                     ResourceAgent::new(r, (*problem).clone(), config.step_policy)
                         .with_robustness(config.robustness)
                         .with_membership(topology.clone(), r, 0)
-                        .with_telemetry(tel.clone()),
+                        .with_telemetry(tel.clone())
+                        .with_fleet(AgentTelemetry::new(
+                            &tel,
+                            Address::Resource(r),
+                            config.report_cadence,
+                        )),
                 ),
                 interval,
                 phase,
@@ -220,6 +242,22 @@ impl DistributedLla {
             config.robustness.retransmit_interval,
             0.5 * config.round_length,
         );
+        if config.report_cadence > 0.0 {
+            // The collector ticks late in the round (phase 0.9·round) so
+            // each evaluation sees the reports shipped earlier that round.
+            // It never sends, so registering it cannot perturb the
+            // protocol; with cadence 0 it is not registered at all and the
+            // deployment is byte-identical to a pre-fleet one.
+            runtime.register(
+                Address::Collector,
+                Box::new(CollectorAgent::new(
+                    tel.clone(),
+                    crate::fleet::default_slo_rules(config.round_length),
+                )),
+                config.round_length,
+                0.9 * config.round_length,
+            );
+        }
 
         let next_task_slot = task_slots.len();
         let next_resource_slot = resource_slots.len();
@@ -629,7 +667,12 @@ impl DistributedLla {
                 .with_robustness(self.config.robustness)
                 .with_checkpoints(self.checkpoints.clone())
                 .with_membership(self.topology.clone(), slot, self.epoch)
-                .with_telemetry(self.tel.clone()),
+                .with_telemetry(self.tel.clone())
+                .with_fleet(AgentTelemetry::new(
+                    &self.tel,
+                    Address::Controller(slot),
+                    self.config.report_cadence,
+                )),
             ),
             self.config.round_length,
             self.next_phase(0.25),
@@ -736,7 +779,12 @@ impl DistributedLla {
                 ResourceAgent::new(dense, (*self.problem).clone(), self.config.step_policy)
                     .with_robustness(self.config.robustness)
                     .with_membership(self.topology.clone(), slot, self.epoch)
-                    .with_telemetry(self.tel.clone()),
+                    .with_telemetry(self.tel.clone())
+                    .with_fleet(AgentTelemetry::new(
+                        &self.tel,
+                        Address::Resource(slot),
+                        self.config.report_cadence,
+                    )),
             ),
             self.config.round_length,
             self.next_phase(0.75),
@@ -870,6 +918,34 @@ impl DistributedLla {
     pub fn broadcast_dual_resync(&mut self) {
         self.tel.events.emit(TelemetryEvent::new(self.runtime.now(), "dual_resync"));
         self.runtime.inject(Address::ControlPlane, Message::DualResync { seq: 0 });
+    }
+
+    /// The fleet collector, if the deployment has one (i.e.
+    /// [`DistConfig::report_cadence`] is positive).
+    pub fn collector(&mut self) -> Option<&CollectorAgent> {
+        self.runtime.actor_as::<CollectorAgent>(Address::Collector).map(|c| &*c)
+    }
+
+    /// The merged fleet view, if a collector is deployed.
+    pub fn fleet_view(&mut self) -> Option<&lla_telemetry::TelemetryCollector> {
+        self.collector().map(CollectorAgent::fleet)
+    }
+
+    /// Every currently-firing SLO alert (empty without a collector).
+    pub fn firing_alerts(&mut self) -> Vec<lla_telemetry::FiringAlert> {
+        self.collector().map(CollectorAgent::firing).unwrap_or_default()
+    }
+
+    /// Replaces the collector's SLO rule set (resets alert state).
+    /// Returns `false` when no collector is deployed.
+    pub fn install_slo_rules(&mut self, rules: Vec<lla_telemetry::SloRule>) -> bool {
+        match self.runtime.actor_as::<CollectorAgent>(Address::Collector) {
+            Some(collector) => {
+                collector.set_rules(rules);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -23,6 +23,12 @@ use lla_telemetry::{Counter, EventLog, MetricsRegistry, Profiler, SpanRecorder, 
 /// Shared counter handles + event log for the `lla-dist` layer.
 #[derive(Debug, Clone)]
 pub struct DistTelemetry {
+    /// The registry every handle was created on — kept so per-agent
+    /// [`AgentScope`](lla_telemetry::AgentScope)s and the fleet
+    /// collector's export can register labeled series on the same
+    /// surface. Disabled registries yield no-op handles, preserving the
+    /// zero-cost default.
+    pub registry: MetricsRegistry,
     /// Virtual-clock-stamped structured events.
     pub events: EventLog,
     /// Causal spans: one trace per tick-initiated message chain, stamped
@@ -93,6 +99,7 @@ impl DistTelemetry {
     pub fn new(registry: &MetricsRegistry, events: EventLog) -> Self {
         let c = |name, help| registry.counter(name, help);
         DistTelemetry {
+            registry: registry.clone(),
             events,
             spans: SpanRecorder::disabled(),
             profiler: Profiler::disabled(),

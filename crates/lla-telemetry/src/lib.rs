@@ -29,6 +29,14 @@
 //! * [`DiagnosticsEngine`] — an online classifier over per-round
 //!   [`DiagSample`]s: `Converging | Oscillating | GammaThrash |
 //!   Diverging | Stalled`, with per-resource price evidence.
+//! * [`TelemetryCollector`] / [`AgentScope`] — the fleet telemetry plane:
+//!   per-agent scoped counters (labeled series keyed by an `agent`
+//!   label), delta-encoded watermarked [`TelemetryReport`]s, and a
+//!   loss/dup/reorder-tolerant collector producing a deterministic fleet
+//!   view.
+//! * [`SloEngine`] — declarative [`SloRule`]s evaluated over the fleet
+//!   view on the virtual clock, driving a pending → firing → resolved
+//!   alert state machine whose transitions are byte-deterministic events.
 //!
 //! The crate is deliberately dependency-free (std only) so it can sit
 //! below `lla-core` in the workspace graph.
@@ -37,13 +45,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod collect;
 pub mod diagnostics;
 pub mod events;
 pub mod health;
 pub mod profile;
 pub mod registry;
+pub mod slo;
 pub mod spans;
 
+pub use collect::{
+    AgentScope, AgentView, DeltaTracker, IngestOutcome, MetricDef, TelemetryCollector,
+    TelemetryReport, MAX_REORDER_HORIZON,
+};
 pub use diagnostics::{
     DiagSample, Diagnosis, DiagnosticsEngine, Verdict, DIVERGENCE_FACTOR, GAMMA_THRASH_DENSITY,
     OSCILLATION_BAND, STALL_FROZEN_FRACTION,
@@ -52,6 +66,7 @@ pub use events::{Event, EventLog, Value};
 pub use health::{HealthSnapshot, ResourceHealth, HEALTHY_MAX_VIOLATION_FACTOR};
 pub use profile::{ProfileCtx, ProfileFrame, ProfileGuard, ProfileSnapshot, Profiler};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use slo::{AlertCmp, AlertSeverity, AlertState, FiringAlert, SloEngine, SloRule};
 pub use spans::{PathStep, RoundCriticalPath, Span, SpanRecorder, TraceCtx};
 
 /// One bundle of the two telemetry channels — a metrics registry and an

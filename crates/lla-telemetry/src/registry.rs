@@ -168,10 +168,63 @@ enum MetricKind {
     Histogram(Histogram),
 }
 
+impl MetricKind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricKind::Counter(_) => "counter",
+            MetricKind::Gauge(_) => "gauge",
+            MetricKind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One metric *family*: a `# HELP`/`# TYPE` header plus one series per
+/// label set. The unlabeled series uses the empty label key; all series
+/// in a family share one metric kind.
 #[derive(Debug, Clone)]
 struct Metric {
     help: &'static str,
-    kind: MetricKind,
+    series: BTreeMap<String, MetricKind>,
+}
+
+/// Renders a label set as its canonical exposition key: pairs sorted by
+/// label name, values escaped, joined as `a="x",b="y"`. The empty slice
+/// renders as the empty string (the unlabeled series).
+///
+/// # Panics
+///
+/// Panics on an invalid label name (must match `[a-zA-Z_][a-zA-Z0-9_]*`),
+/// a duplicate label name, or the reserved histogram label `le` — label
+/// names come from code, so these are programming errors.
+fn render_label_key(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    for (i, (name, _)) in pairs.iter().enumerate() {
+        let mut chars = name.chars();
+        let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+        let tail_ok = chars.all(|c| c.is_ascii_alphanumeric() || c == '_');
+        assert!(head_ok && tail_ok, "invalid label name {name:?}");
+        assert!(*name != "le", "label name \"le\" is reserved for histogram buckets");
+        assert!(i == 0 || pairs[i - 1].0 != *name, "duplicate label name {name:?}");
+    }
+    let mut out = String::new();
+    for (i, (name, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}=\"{}\"", escape_label_value(value));
+    }
+    out
+}
+
+/// Joins a series' label key with an extra pair (used to splice `le` into
+/// histogram bucket lines).
+fn join_label_keys(key: &str, extra: &str) -> String {
+    if key.is_empty() {
+        extra.to_owned()
+    } else {
+        format!("{key},{extra}")
+    }
 }
 
 /// The registry: a name → metric table behind a mutex that is touched
@@ -207,48 +260,73 @@ impl MetricsRegistry {
         self.enabled
     }
 
+    /// Registers (or looks up) a series in `name`'s family, creating the
+    /// family on first registration. All series in a family must share
+    /// one metric kind.
+    fn series(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricKind,
+    ) -> MetricKind {
+        let key = render_label_key(labels);
+        let mut table = self.table.lock().expect("metrics registry poisoned");
+        let family = table
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric { help, series: BTreeMap::new() });
+        if let Some(existing) = family.series.values().next() {
+            let existing = existing.type_name();
+            let entry = family.series.entry(key).or_insert_with(make);
+            assert!(
+                entry.type_name() == existing,
+                "metric {name:?} already registered with a different kind"
+            );
+            entry.clone()
+        } else {
+            family.series.entry(key).or_insert_with(make).clone()
+        }
+    }
+
     /// Register (or look up) a counter. Re-registering the same name
     /// returns a handle to the same cell; re-registering under a
     /// different metric kind panics.
     pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled counter series. The same
+    /// `(name, labels)` pair shares one cell; label order is irrelevant
+    /// (pairs are canonicalized by label name).
+    pub fn counter_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
         if !self.enabled {
             return Counter::disabled();
         }
-        let mut table = self.table.lock().expect("metrics registry poisoned");
-        match &table
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric {
-                help,
-                kind: MetricKind::Counter(Counter {
-                    enabled: true,
-                    cell: Arc::new(AtomicU64::new(0)),
-                }),
-            })
-            .kind
-        {
-            MetricKind::Counter(c) => c.clone(),
+        match self.series(name, help, labels, || {
+            MetricKind::Counter(Counter { enabled: true, cell: Arc::new(AtomicU64::new(0)) })
+        }) {
+            MetricKind::Counter(c) => c,
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
 
     /// Register (or look up) a gauge.
     pub fn gauge(&self, name: &str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a labeled gauge series.
+    pub fn gauge_with(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
         if !self.enabled {
             return Gauge::disabled();
         }
-        let mut table = self.table.lock().expect("metrics registry poisoned");
-        match &table
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric {
-                help,
-                kind: MetricKind::Gauge(Gauge {
-                    enabled: true,
-                    bits: Arc::new(AtomicU64::new(0f64.to_bits())),
-                }),
+        match self.series(name, help, labels, || {
+            MetricKind::Gauge(Gauge {
+                enabled: true,
+                bits: Arc::new(AtomicU64::new(0f64.to_bits())),
             })
-            .kind
-        {
-            MetricKind::Gauge(g) => g.clone(),
+        }) {
+            MetricKind::Gauge(g) => g,
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -257,19 +335,24 @@ impl MetricsRegistry {
     /// increasing bucket bounds. A later registration under the same name
     /// returns the original handle (its bounds win).
     pub fn histogram(&self, name: &str, help: &'static str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Register (or look up) a labeled histogram series.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
         if !self.enabled {
             return Histogram::disabled();
         }
-        let mut table = self.table.lock().expect("metrics registry poisoned");
-        match &table
-            .entry(name.to_owned())
-            .or_insert_with(|| Metric {
-                help,
-                kind: MetricKind::Histogram(Histogram::with_bounds(true, bounds)),
-            })
-            .kind
-        {
-            MetricKind::Histogram(h) => h.clone(),
+        match self.series(name, help, labels, || {
+            MetricKind::Histogram(Histogram::with_bounds(true, bounds))
+        }) {
+            MetricKind::Histogram(h) => h,
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
     }
@@ -282,32 +365,41 @@ impl MetricsRegistry {
         let table = self.table.lock().expect("metrics registry poisoned");
         let mut out = String::new();
         for (name, metric) in table.iter() {
+            let Some(first) = metric.series.values().next() else { continue };
             let _ = writeln!(out, "# HELP {name} {}", escape_help(metric.help));
-            match &metric.kind {
-                MetricKind::Counter(c) => {
-                    let _ = writeln!(out, "# TYPE {name} counter");
-                    let _ = writeln!(out, "{name} {}", c.get());
-                }
-                MetricKind::Gauge(g) => {
-                    let _ = writeln!(out, "# TYPE {name} gauge");
-                    let _ = writeln!(out, "{name} {}", fmt_f64(g.get()));
-                }
-                MetricKind::Histogram(h) => {
-                    let _ = writeln!(out, "# TYPE {name} histogram");
-                    let counts = h.bucket_counts();
-                    let mut cumulative = 0u64;
-                    for (bound, c) in h.bounds().iter().zip(&counts) {
-                        cumulative += c;
+            let _ = writeln!(out, "# TYPE {name} {}", first.type_name());
+            for (key, series) in metric.series.iter() {
+                // The unlabeled series renders bare; labeled series carry
+                // their canonical `{a="x",b="y"}` key.
+                let braced = if key.is_empty() { String::new() } else { format!("{{{key}}}") };
+                match series {
+                    MetricKind::Counter(c) => {
+                        let _ = writeln!(out, "{name}{braced} {}", c.get());
+                    }
+                    MetricKind::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{braced} {}", fmt_f64(g.get()));
+                    }
+                    MetricKind::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        for (bound, c) in h.bounds().iter().zip(&counts) {
+                            cumulative += c;
+                            let le = format!("le=\"{}\"", escape_label_value(&fmt_f64(*bound)));
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{{{}}} {cumulative}",
+                                join_label_keys(key, &le)
+                            );
+                        }
+                        cumulative += counts.last().copied().unwrap_or(0);
                         let _ = writeln!(
                             out,
-                            "{name}_bucket{{le=\"{}\"}} {cumulative}",
-                            escape_label_value(&fmt_f64(*bound))
+                            "{name}_bucket{{{}}} {cumulative}",
+                            join_label_keys(key, "le=\"+Inf\"")
                         );
+                        let _ = writeln!(out, "{name}_sum{braced} {}", fmt_f64(h.sum()));
+                        let _ = writeln!(out, "{name}_count{braced} {}", h.count());
                     }
-                    cumulative += counts.last().copied().unwrap_or(0);
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                    let _ = writeln!(out, "{name}_sum {}", fmt_f64(h.sum()));
-                    let _ = writeln!(out, "{name}_count {}", h.count());
                 }
             }
         }
@@ -459,6 +551,69 @@ mod tests {
         );
         // The embedded newline must not have split the HELP comment.
         assert_eq!(text.lines().count(), 3, "HELP, TYPE, and one sample: {text}");
+    }
+
+    #[test]
+    fn labeled_series_share_a_family_and_render_canonically() {
+        let reg = MetricsRegistry::new();
+        reg.counter("lla_l_total", "labeled").add(1);
+        reg.counter_with("lla_l_total", "labeled", &[("agent", "resource[0]")]).add(2);
+        // Label order is canonicalized: (b, a) and (a, b) share one cell.
+        let c1 = reg.counter_with("lla_l_total", "labeled", &[("b", "2"), ("a", "1")]);
+        let c2 = reg.counter_with("lla_l_total", "labeled", &[("a", "1"), ("b", "2")]);
+        c1.add(3);
+        c2.add(4);
+        assert_eq!(c1.get(), 7);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE lla_l_total counter"));
+        assert_eq!(text.matches("# TYPE lla_l_total").count(), 1, "one header per family");
+        assert!(text.contains("lla_l_total 1\n"));
+        assert!(text.contains("lla_l_total{agent=\"resource[0]\"} 2"));
+        assert!(text.contains("lla_l_total{a=\"1\",b=\"2\"} 7"));
+    }
+
+    #[test]
+    fn labeled_histogram_splices_le_after_series_labels() {
+        let reg = MetricsRegistry::new();
+        let h =
+            reg.histogram_with("lla_lh_seconds", "labeled histogram", &[("shard", "3")], &[1.0]);
+        h.observe(0.5);
+        h.observe(2.0);
+        let text = reg.prometheus_text();
+        assert!(text.contains("lla_lh_seconds_bucket{shard=\"3\",le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lla_lh_seconds_bucket{shard=\"3\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lla_lh_seconds_sum{shard=\"3\"} 2.5"), "{text}");
+        assert!(text.contains("lla_lh_seconds_count{shard=\"3\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("lla_h_total", "hostile", &[("agent", "a\\b\"c\nd")]).inc();
+        let text = reg.prometheus_text();
+        assert!(text.contains("lla_h_total{agent=\"a\\\\b\\\"c\\nd\"} 1"), "{text}");
+        // The raw newline must not have leaked into the exposition.
+        assert_eq!(text.lines().count(), 3, "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn labeled_kind_mismatch_within_a_family_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter_with("lla_mix", "a", &[("agent", "x")]);
+        let _ = reg.gauge_with("lla_mix", "a", &[("agent", "y")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn invalid_label_names_are_rejected() {
+        let _ = render_label_key(&[("0bad", "v")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn le_label_name_is_reserved() {
+        let _ = render_label_key(&[("le", "v")]);
     }
 
     #[test]

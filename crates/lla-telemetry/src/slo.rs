@@ -1,0 +1,350 @@
+//! Deterministic SLO alerting over the fleet view.
+//!
+//! Declarative [`SloRule`]s are evaluated on the virtual clock against a
+//! [`TelemetryCollector`]: each evaluation computes the *delta* of the
+//! rule's metric since the previous evaluation (a rate per evaluation
+//! interval) and compares it against the threshold. The alert state
+//! machine is the Prometheus one:
+//!
+//! ```text
+//!            cond                   held for `for_ms`
+//! inactive ───────► pending ──────────────────────────► firing
+//!     ▲                │ !cond (cancelled)                 │ !cond
+//!     └────────────────┴───────────────────────────────────┘ (resolved)
+//! ```
+//!
+//! Every transition is emitted as a structured `alert` event stamped with
+//! the virtual clock, so a seeded run produces a byte-deterministic alert
+//! timeline.
+
+use crate::collect::TelemetryCollector;
+use crate::events::{Event, EventLog};
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertSeverity {
+    /// Worth a look.
+    Warning,
+    /// Worth a page — and a supervisor remediation trigger.
+    Critical,
+}
+
+impl AlertSeverity {
+    /// Stable kebab-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertSeverity::Warning => "warning",
+            AlertSeverity::Critical => "critical",
+        }
+    }
+}
+
+/// Comparison between the observed per-evaluation delta and the rule
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertCmp {
+    /// Delta strictly greater than the threshold.
+    Gt,
+    /// Delta at least the threshold.
+    Ge,
+    /// Delta strictly less than the threshold.
+    Lt,
+    /// Delta at most the threshold.
+    Le,
+}
+
+impl AlertCmp {
+    /// Stable symbol.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertCmp::Gt => ">",
+            AlertCmp::Ge => ">=",
+            AlertCmp::Lt => "<",
+            AlertCmp::Le => "<=",
+        }
+    }
+
+    fn holds(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertCmp::Gt => value > threshold,
+            AlertCmp::Ge => value >= threshold,
+            AlertCmp::Lt => value < threshold,
+            AlertCmp::Le => value <= threshold,
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name (the alert's identity in events and logs).
+    pub name: String,
+    /// Dictionary metric name (see
+    /// [`MetricDef::name`](crate::collect::MetricDef)).
+    pub metric: String,
+    /// Restrict to one agent's series, or `None` for the fleet aggregate.
+    pub agent: Option<String>,
+    /// Comparison applied to the per-evaluation delta.
+    pub cmp: AlertCmp,
+    /// Threshold the delta is compared against.
+    pub threshold: f64,
+    /// How long (virtual ms) the condition must hold before the alert
+    /// moves from pending to firing. `0.0` fires on the same evaluation.
+    pub for_ms: f64,
+    /// Severity attached to the alert's events.
+    pub severity: AlertSeverity,
+}
+
+/// Alert state on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlertState {
+    /// Condition false.
+    Inactive,
+    /// Condition true since `since`, not yet held `for_ms`.
+    Pending {
+        /// When the condition first held.
+        since: f64,
+    },
+    /// Condition held `for_ms`; firing since `since`.
+    Firing {
+        /// When the alert started firing.
+        since: f64,
+    },
+}
+
+impl AlertState {
+    /// Stable kebab-case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending { .. } => "pending",
+            AlertState::Firing { .. } => "firing",
+        }
+    }
+}
+
+/// A currently-firing alert, as consumed by the supervisor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiringAlert {
+    /// The rule's name.
+    pub rule: String,
+    /// The rule's severity.
+    pub severity: AlertSeverity,
+    /// When the alert started firing (virtual ms).
+    pub since: f64,
+}
+
+#[derive(Debug, Clone)]
+struct RuleState {
+    state: AlertState,
+    baseline: Option<f64>,
+}
+
+/// Evaluates a rule set over successive fleet views, driving the alert
+/// state machine and emitting transition events.
+#[derive(Debug, Clone)]
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    states: Vec<RuleState>,
+    transitions: u64,
+}
+
+impl SloEngine {
+    /// An engine over the given rules.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let states = rules
+            .iter()
+            .map(|_| RuleState { state: AlertState::Inactive, baseline: None })
+            .collect();
+        SloEngine { rules, states, transitions: 0 }
+    }
+
+    /// The installed rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Replace the rule set; all alert state resets to inactive.
+    pub fn set_rules(&mut self, rules: Vec<SloRule>) {
+        *self = SloEngine::new(rules);
+    }
+
+    /// Total state transitions so far (pending + firing + resolutions).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Current state of rule `idx`.
+    pub fn state(&self, idx: usize) -> AlertState {
+        self.states[idx].state
+    }
+
+    /// Every currently-firing alert.
+    pub fn firing(&self) -> Vec<FiringAlert> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter_map(|(rule, st)| match st.state {
+                AlertState::Firing { since } => {
+                    Some(FiringAlert { rule: rule.name.clone(), severity: rule.severity, since })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluate every rule against `fleet` at virtual time `now`,
+    /// emitting one `alert` event per state transition into `events`.
+    ///
+    /// The first evaluation of a rule only establishes its delta baseline
+    /// (a rule cannot fire on absolute totals accumulated before the
+    /// engine started watching).
+    pub fn evaluate(&mut self, now: f64, fleet: &TelemetryCollector, events: &EventLog) {
+        for (rule, st) in self.rules.iter().zip(self.states.iter_mut()) {
+            let value = fleet.metric_value(&rule.metric, rule.agent.as_deref()).unwrap_or(0.0);
+            let Some(baseline) = st.baseline.replace(value) else { continue };
+            let delta = value - baseline;
+            let cond = rule.cmp.holds(delta, rule.threshold);
+            let emit = |state: &'static str, transitions: &mut u64| {
+                *transitions += 1;
+                events.emit(
+                    Event::new(now, "alert")
+                        .with("rule", rule.name.clone())
+                        .with("metric", rule.metric.clone())
+                        .with("scope", rule.agent.clone().unwrap_or_else(|| "fleet".to_owned()))
+                        .with("state", state)
+                        .with("severity", rule.severity.as_str())
+                        .with("value", delta)
+                        .with("threshold", rule.threshold),
+                );
+            };
+            match (st.state, cond) {
+                (AlertState::Inactive, true) => {
+                    st.state = AlertState::Pending { since: now };
+                    emit("pending", &mut self.transitions);
+                }
+                (AlertState::Pending { .. }, false) => {
+                    st.state = AlertState::Inactive;
+                    emit("cancelled", &mut self.transitions);
+                }
+                (AlertState::Firing { .. }, false) => {
+                    st.state = AlertState::Inactive;
+                    emit("resolved", &mut self.transitions);
+                }
+                _ => {}
+            }
+            if let AlertState::Pending { since } = st.state {
+                if cond && now - since >= rule.for_ms {
+                    st.state = AlertState::Firing { since: now };
+                    emit("firing", &mut self.transitions);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{MetricDef, TelemetryCollector, TelemetryReport};
+
+    const DICT: &[MetricDef] = &[MetricDef { name: "overloaded_ticks", help: "overload" }];
+
+    fn rule(for_ms: f64) -> SloRule {
+        SloRule {
+            name: "overload".into(),
+            metric: "overloaded_ticks".into(),
+            agent: None,
+            cmp: AlertCmp::Gt,
+            threshold: 0.0,
+            for_ms,
+            severity: AlertSeverity::Critical,
+        }
+    }
+
+    fn feed(col: &mut TelemetryCollector, seq: u64, watermark: f64, delta: u64) {
+        let deltas = if delta > 0 { vec![(0, delta)] } else { vec![] };
+        col.ingest(&TelemetryReport { agent: "a".into(), seq, watermark, deltas });
+    }
+
+    #[test]
+    fn pending_firing_resolved_lifecycle() {
+        let mut col = TelemetryCollector::new(DICT);
+        let mut slo = SloEngine::new(vec![rule(20.0)]);
+        let events = EventLog::recording();
+
+        feed(&mut col, 1, 0.0, 0);
+        slo.evaluate(0.0, &col, &events); // baseline
+        assert_eq!(slo.state(0), AlertState::Inactive);
+
+        feed(&mut col, 2, 10.0, 3);
+        slo.evaluate(10.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Pending { since: 10.0 });
+
+        feed(&mut col, 3, 20.0, 2);
+        slo.evaluate(20.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Pending { since: 10.0 });
+
+        feed(&mut col, 4, 30.0, 2);
+        slo.evaluate(30.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Firing { since: 30.0 });
+        assert_eq!(slo.firing().len(), 1);
+
+        feed(&mut col, 5, 40.0, 0);
+        slo.evaluate(40.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Inactive);
+        assert!(slo.firing().is_empty());
+
+        let kinds: Vec<String> = events
+            .snapshot()
+            .iter()
+            .filter(|e| e.kind == "alert")
+            .map(|e| format!("{:?}", e.field("state").unwrap()))
+            .collect();
+        assert_eq!(kinds.len(), 3, "pending, firing, resolved");
+        assert_eq!(slo.transitions(), 3);
+    }
+
+    #[test]
+    fn pending_cancels_without_firing_when_condition_clears() {
+        let mut col = TelemetryCollector::new(DICT);
+        let mut slo = SloEngine::new(vec![rule(50.0)]);
+        let events = EventLog::recording();
+        feed(&mut col, 1, 0.0, 0);
+        slo.evaluate(0.0, &col, &events);
+        feed(&mut col, 2, 10.0, 1);
+        slo.evaluate(10.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Pending { since: 10.0 });
+        feed(&mut col, 3, 20.0, 0);
+        slo.evaluate(20.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Inactive);
+        assert_eq!(slo.transitions(), 2, "pending then cancelled");
+    }
+
+    #[test]
+    fn zero_for_duration_fires_on_the_same_evaluation() {
+        let mut col = TelemetryCollector::new(DICT);
+        let mut slo = SloEngine::new(vec![rule(0.0)]);
+        let events = EventLog::recording();
+        feed(&mut col, 1, 0.0, 0);
+        slo.evaluate(0.0, &col, &events);
+        feed(&mut col, 2, 10.0, 1);
+        slo.evaluate(10.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Firing { since: 10.0 });
+    }
+
+    #[test]
+    fn per_agent_rules_track_only_their_agent() {
+        let mut col = TelemetryCollector::new(DICT);
+        let mut r = rule(0.0);
+        r.agent = Some("b".into());
+        let mut slo = SloEngine::new(vec![r]);
+        let events = EventLog::recording();
+        feed(&mut col, 1, 0.0, 0);
+        slo.evaluate(0.0, &col, &events);
+        // Agent `a` overloads; the rule watches `b` and stays quiet.
+        feed(&mut col, 2, 10.0, 5);
+        slo.evaluate(10.0, &col, &events);
+        assert_eq!(slo.state(0), AlertState::Inactive);
+    }
+}

@@ -8,6 +8,10 @@
 //! lla-cli telemetry <spec> [options]           run to convergence, expose health
 //! lla-cli profile <spec> [options]             run to convergence, report
 //!                                              where the wall time went
+//! lla-cli fleet <spec> [options]               distributed run with the fleet
+//!                                              telemetry plane on: per-agent
+//!                                              table, SLO alert log, or
+//!                                              labeled Prometheus exposition
 //!
 //! options:
 //!   --iters N          iteration budget (default 10000)
@@ -23,7 +27,18 @@
 //!                      (telemetry; text and json formats); exits 3 when
 //!                      the verdict is diverging or stalled, so scripts
 //!                      and CI gates can alert on an unhealthy run
+//!   --rounds N         protocol rounds to run (fleet; default 200)
+//!   --seed S           network seed (fleet; default 0)
+//!   --loss P           network loss probability in [0,1) (fleet; default 0)
 //! ```
+//!
+//! `fleet` runs the spec on the virtual-time distributed deployment with
+//! per-agent telemetry shipping enabled (one report per round). `--format
+//! text` prints the collector's merged per-agent table plus the alert
+//! timeline; `--format json` emits the alert events as JSONL; `--format
+//! prometheus` dumps the full exposition including the `agent`-labeled
+//! fleet series. Exits 3 while any SLO alert is still firing at the end
+//! of the run, so CI gates can alert on an unhealthy fleet.
 //!
 //! `profile --format folded` emits folded stacks (`a;b;c <ns>` lines) that
 //! any flamegraph renderer consumes directly.
@@ -50,6 +65,9 @@ struct Options {
     format: OutputFormat,
     diagnose: bool,
     top: usize,
+    rounds: usize,
+    seed: u64,
+    loss: f64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -62,10 +80,11 @@ enum OutputFormat {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lla-cli <check|optimize|schedulability|simulate|telemetry|profile> <spec.lla> \
-         [--iters N] [--policy adaptive|sign|fixed=G] [--csv FILE] \
+        "usage: lla-cli <check|optimize|schedulability|simulate|telemetry|profile|fleet> \
+         <spec.lla> [--iters N] [--policy adaptive|sign|fixed=G] [--csv FILE] \
          [--windows N] [--window MS] [--no-correction] \
-         [--format text|prometheus|json|folded] [--top N] [--diagnose]"
+         [--format text|prometheus|json|folded] [--top N] [--diagnose] \
+         [--rounds N] [--seed S] [--loss P]"
     );
     ExitCode::from(2)
 }
@@ -82,6 +101,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format: OutputFormat::Text,
         diagnose: false,
         top: 10,
+        rounds: 200,
+        seed: 0,
+        loss: 0.0,
     };
     let mut it = args.iter();
     opts.spec_path = it.next().ok_or("missing spec path")?.clone();
@@ -124,6 +146,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-correction" => opts.correction = false,
             "--diagnose" => opts.diagnose = true,
+            "--rounds" => {
+                opts.rounds = it
+                    .next()
+                    .ok_or("--rounds needs a value")?
+                    .parse()
+                    .map_err(|_| "--rounds must be an integer")?;
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?;
+            }
+            "--loss" => {
+                opts.loss = it
+                    .next()
+                    .ok_or("--loss needs a value")?
+                    .parse()
+                    .map_err(|_| "--loss must be a probability")?;
+                if !(0.0..1.0).contains(&opts.loss) {
+                    return Err("--loss must be in [0, 1)".to_owned());
+                }
+            }
             "--top" => {
                 opts.top = it
                     .next()
@@ -325,6 +371,67 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(opts: &Options) -> Result<ExitCode, String> {
+    use lla::dist::{DistConfig, DistTelemetry, DistributedLla, NetworkModel};
+    let problem = load(&opts.spec_path)?;
+    let hub = lla::telemetry::TelemetryHub::recording();
+    let config = DistConfig {
+        network: if opts.loss > 0.0 {
+            NetworkModel::lossy(0.5, 1.0, opts.loss)
+        } else {
+            NetworkModel::perfect()
+        },
+        seed: opts.seed,
+        report_cadence: DistConfig::default().round_length,
+        ..DistConfig::default()
+    };
+    let mut dist = DistributedLla::with_telemetry(problem, config, DistTelemetry::from_hub(&hub));
+    dist.run_rounds(opts.rounds);
+    let firing = dist.firing_alerts();
+    let alerts: Vec<lla::telemetry::Event> =
+        hub.events.snapshot().into_iter().filter(|e| e.kind == "alert").collect();
+    match opts.format {
+        OutputFormat::Text => {
+            let view = dist.fleet_view().expect("fleet plane is on");
+            print!("{}", view.render_table());
+            if alerts.is_empty() {
+                println!("alerts: none");
+            } else {
+                println!("alerts:");
+                for e in &alerts {
+                    let s = |k: &str| match e.field(k) {
+                        Some(v) => v.to_string(),
+                        None => "?".to_owned(),
+                    };
+                    println!(
+                        "  t={:>8.1} {:<9} {} ({} {})",
+                        e.time,
+                        s("state"),
+                        s("rule"),
+                        s("metric"),
+                        s("value")
+                    );
+                }
+            }
+            for f in &firing {
+                println!("FIRING: {} ({}) since t={:.1}", f.rule, f.severity.as_str(), f.since);
+            }
+        }
+        OutputFormat::Json => {
+            for e in &alerts {
+                println!("{}", e.to_json());
+            }
+        }
+        OutputFormat::Prometheus => print!("{}", hub.metrics.prometheus_text()),
+        OutputFormat::Folded => {
+            return Err("fleet supports --format text|json|prometheus".to_owned())
+        }
+    }
+    // A fleet still in alert at the end of the run is scriptably
+    // unhealthy — same exit-code contract as `telemetry --diagnose`.
+    Ok(if firing.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(3) })
+}
+
 fn cmd_schedulability(opts: &Options) -> Result<(), String> {
     let problem = load(&opts.spec_path)?;
     let config = SchedulabilityConfig {
@@ -393,6 +500,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts).map(|()| ExitCode::SUCCESS),
         "telemetry" => cmd_telemetry(&opts),
         "profile" => cmd_profile(&opts).map(|()| ExitCode::SUCCESS),
+        "fleet" => cmd_fleet(&opts),
         _ => {
             return usage();
         }

@@ -1,0 +1,196 @@
+//! Fleet-telemetry plane integration tests: the golden alert timeline the
+//! CI smoke job diffs, the collector's merge accounting under loss ×
+//! duplication × reordering × partitions, and the pin that the plane is
+//! fully dormant unless `report_cadence` is set.
+
+use lla_bench::fleet::{run_fleet_soak, FleetSoakConfig};
+use lla_dist::agents::{ResourceAgent, TaskController};
+use lla_dist::fleet::{M_MESSAGES_IN, M_TICKS};
+use lla_dist::{
+    Address, AgentTelemetry, DistConfig, DistTelemetry, DistributedLla, FaultPlan, NetworkModel,
+};
+use lla_telemetry::TelemetryHub;
+use lla_workloads::base_workload;
+
+/// The seeded soak must walk the default `fleet-overload` rule through
+/// Firing while the scripted availability drop is open, resolve it after
+/// capacity recovers, and reproduce the committed alert timeline byte for
+/// byte. Regenerate with `LLA_REGEN_GOLDEN=1 cargo test --test
+/// fleet_telemetry`.
+#[test]
+fn fleet_soak_alert_timeline_matches_golden_file() {
+    let hub = TelemetryHub::recording();
+    let report = run_fleet_soak(&FleetSoakConfig::default(), &hub);
+    assert!(
+        report.fired_during_overload,
+        "the overload SLO must fire during the scripted window; alerts:\n{}",
+        report.alerts_jsonl()
+    );
+    assert!(
+        report.resolved_after_recovery,
+        "the window's firing episode must resolve after recovery; alerts:\n{}",
+        report.alerts_jsonl()
+    );
+    assert_eq!(report.watermark_regressions, 0, "per-agent watermarks are monotone");
+
+    let jsonl = report.alerts_jsonl();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fleet_alerts.jsonl");
+    if std::env::var_os("LLA_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &jsonl).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden file present (LLA_REGEN_GOLDEN=1 cargo test --test fleet_telemetry regenerates it)",
+    );
+    assert_eq!(
+        jsonl, golden,
+        "alert timeline drifted from tests/golden/fleet_alerts.jsonl; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+/// Runs a shipping-enabled deployment over `network` with `plan`'s faults
+/// and returns it quiesced after `rounds` rounds.
+fn run_plane(network: NetworkModel, seed: u64, plan: &FaultPlan, rounds: usize) -> DistributedLla {
+    let hub = TelemetryHub::recording();
+    let mut dist = DistributedLla::with_telemetry(
+        base_workload(),
+        DistConfig { network, seed, report_cadence: 10.0, ..DistConfig::default() },
+        DistTelemetry::from_hub(&hub),
+    );
+    dist.schedule_faults(plan);
+    dist.run_rounds(rounds);
+    dist
+}
+
+/// Sums `f` over every agent's shipping books.
+fn sum_over_agents(dist: &mut DistributedLla, f: impl Fn(&AgentTelemetry) -> u64) -> u64 {
+    let (tasks, resources) = (base_workload().tasks().len(), base_workload().resources().len());
+    let mut sum = 0;
+    for t in 0..tasks {
+        let ctl = dist
+            .runtime_mut()
+            .actor_as::<TaskController>(Address::Controller(t))
+            .expect("controller registered");
+        sum += f(ctl.fleet_telemetry());
+    }
+    for r in 0..resources {
+        let res = dist
+            .runtime_mut()
+            .actor_as::<ResourceAgent>(Address::Resource(r))
+            .expect("resource registered");
+        sum += f(res.fleet_telemetry());
+    }
+    sum
+}
+
+/// Property-style sweep: under loss × duplication × reordering × a
+/// collector partition window, the collector's books must stay closed —
+/// watermarks never rewind, every sequence at or below an agent's
+/// high-water mark is either merged or accounted lost, and no agent's
+/// merge frontier outruns what it actually emitted.
+#[test]
+fn collector_accounting_closes_under_adversarial_delivery() {
+    for (seed, loss, dup, reorder) in [
+        (1u64, 0.10, 0.10, 0.20),
+        (2, 0.25, 0.05, 0.10),
+        (3, 0.00, 0.20, 0.30),
+        (4, 0.15, 0.15, 0.00),
+    ] {
+        let network =
+            NetworkModel::lossy(0.5, 1.0, loss).with_duplication(dup).with_reordering(reorder, 5.0);
+        // Cut every resource off from the collector for a window mid-run:
+        // their reports vanish, the seq gaps must surface as losses.
+        let resources: Vec<Address> =
+            (0..base_workload().resources().len()).map(Address::Resource).collect();
+        let plan = FaultPlan::new().partition(400.0, 200.0, resources, vec![Address::Collector]);
+        let mut dist = run_plane(network, seed, &plan, 120);
+
+        let emitted = sum_over_agents(&mut dist, AgentTelemetry::emitted);
+        let view = dist.fleet_view().expect("shipping enabled");
+        let label = format!("seed={seed} loss={loss} dup={dup} reorder={reorder}");
+        assert_eq!(view.watermark_regressions(), 0, "{label}: watermark rewound");
+        assert!(view.reports_merged() > 0, "{label}: no reports made it");
+        let frontier: u64 =
+            view.agent_labels().iter().map(|a| view.agent(a).unwrap().last_seq()).sum();
+        assert_eq!(
+            view.reports_merged() + view.reports_lost(),
+            frontier,
+            "{label}: merged + lost must cover every seq at or below the merge frontier"
+        );
+        assert!(
+            frontier <= emitted,
+            "{label}: merge frontier {frontier} outran the {emitted} reports agents emitted"
+        );
+        if dup > 0.0 {
+            assert!(view.reports_stale() > 0, "{label}: duplication must hit the seq dedupe");
+        }
+        if loss > 0.0 {
+            assert!(view.reports_lost() > 0, "{label}: loss + partition must surface as lost");
+        }
+        let fleet_wm = view.fleet_watermark().expect("every agent reported");
+        assert!(fleet_wm <= dist.runtime().now(), "watermarks come from the virtual clock");
+    }
+}
+
+/// With duplication and reordering but zero loss, delivery is exactly-once
+/// after dedupe: nothing is ever evicted as permanently lost, so every
+/// provisionally-lost report is a live reorder hole, and the fleet tick
+/// totals exactly match the merged sequence prefix of each agent.
+#[test]
+fn duplication_and_reordering_without_loss_merge_exactly_once() {
+    let network =
+        NetworkModel::lossy(0.5, 1.0, 0.0).with_duplication(0.3).with_reordering(0.3, 4.0);
+    let mut dist = run_plane(network, 7, &FaultPlan::new(), 100);
+    let emitted = sum_over_agents(&mut dist, AgentTelemetry::emitted);
+    let view = dist.fleet_view().expect("shipping enabled");
+    assert!(view.reports_stale() > 0, "duplicates must be dropped as stale");
+    assert_eq!(view.watermark_regressions(), 0);
+    // No loss: any hole is a late frame still in flight, never an eviction.
+    let live_holes: u64 =
+        view.agent_labels().iter().map(|a| view.agent(a).unwrap().holes() as u64).sum();
+    assert_eq!(view.reports_lost(), live_holes, "no report may be evicted as lost");
+    // Exactly-once: merged covers each frontier sequence exactly once even
+    // though ~30% of frames were delivered twice, so merged never exceeds
+    // what the agents emitted.
+    let frontier: u64 = view.agent_labels().iter().map(|a| view.agent(a).unwrap().last_seq()).sum();
+    assert_eq!(view.reports_merged() + view.reports_lost(), frontier);
+    assert!(frontier <= emitted);
+    assert!(view.fleet_total(M_TICKS) > 0);
+    assert!(view.fleet_total(M_MESSAGES_IN) > 0);
+}
+
+/// The plane is opt-in: with the default config (`report_cadence: 0.0`)
+/// no collector exists, no alerts can fire, SLO rules have nowhere to
+/// install, and the run is indistinguishable from one that never heard of
+/// fleet telemetry (the committed churn/trace goldens pin the byte-level
+/// half of this claim).
+#[test]
+fn default_config_keeps_the_plane_fully_dormant() {
+    let hub = TelemetryHub::recording();
+    let mut dist = DistributedLla::with_telemetry(
+        base_workload(),
+        DistConfig::default(),
+        DistTelemetry::from_hub(&hub),
+    );
+    dist.run_rounds(50);
+    assert!(dist.fleet_view().is_none(), "no collector without a cadence");
+    assert!(dist.firing_alerts().is_empty());
+    assert!(!dist.install_slo_rules(Vec::new()), "nowhere to install rules");
+    assert_eq!(
+        sum_over_agents(&mut dist, AgentTelemetry::emitted),
+        0,
+        "no agent may ship reports when the plane is off"
+    );
+    let events = hub.events.to_jsonl();
+    assert!(!events.contains("\"alert\""), "no alert events without a collector");
+
+    // An explicit 0.0 cadence is the same dormant configuration.
+    let hub_explicit = TelemetryHub::recording();
+    let mut explicit = DistributedLla::with_telemetry(
+        base_workload(),
+        DistConfig { report_cadence: 0.0, ..DistConfig::default() },
+        DistTelemetry::from_hub(&hub_explicit),
+    );
+    explicit.run_rounds(50);
+    assert_eq!(events, hub_explicit.events.to_jsonl());
+}

@@ -156,13 +156,89 @@ fn causal_trace_export_matches_golden_file() {
 
 /// Validates one Prometheus text-format (0.0.4) exposition: every family
 /// has exactly one `# HELP` immediately followed by one `# TYPE`, names
-/// are legal, every sample parses, histogram buckets are cumulative and
-/// end at `+Inf` with a matching `_count`.
+/// are legal, every sample parses (bare or labeled — label values are
+/// scanned escape-aware, so quotes/backslashes/newlines inside values
+/// must be escaped per spec), label sets are unique within a family, and
+/// histogram buckets are cumulative and end at `+Inf` with a matching
+/// `_count` — per labeled series.
 fn assert_prometheus_conformant(text: &str) {
     fn legal_name(name: &str) -> bool {
         !name.is_empty()
             && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || "_:".contains(c))
             && name.chars().all(|c| c.is_ascii_alphanumeric() || "_:".contains(c))
+    }
+
+    fn legal_label_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    }
+
+    /// Splits one sample line into `(metric name, label pairs, value)`,
+    /// unescaping label values with an escape-aware scan (a naive
+    /// split-on-space or split-on-brace misparses values containing
+    /// spaces, braces, or escaped quotes).
+    fn parse_sample(line: &str) -> (&str, Vec<(String, String)>, &str) {
+        let bytes = line.as_bytes();
+        let name_end = bytes
+            .iter()
+            .position(|&b| b == b'{' || b == b' ')
+            .unwrap_or_else(|| panic!("sample has no value: {line:?}"));
+        let name = &line[..name_end];
+        let mut labels = Vec::new();
+        let mut i = name_end;
+        if bytes[i] == b'{' {
+            i += 1;
+            loop {
+                let label_start = i;
+                while i < bytes.len() && bytes[i] != b'=' {
+                    i += 1;
+                }
+                let label = &line[label_start..i];
+                assert!(legal_label_name(label), "illegal label name {label:?} in {line:?}");
+                i += 1; // '='
+                assert_eq!(bytes.get(i), Some(&b'"'), "label value must be quoted: {line:?}");
+                i += 1;
+                // UTF-8 continuation bytes never collide with ASCII, so a
+                // byte scan for the structural characters is safe.
+                let mut value = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\\') => {
+                            let esc = bytes.get(i + 1);
+                            match esc {
+                                Some(b'\\') => value.push(b'\\'),
+                                Some(b'"') => value.push(b'"'),
+                                Some(b'n') => value.push(b'\n'),
+                                other => panic!("illegal escape \\{other:?} in {line:?}"),
+                            }
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            value.push(b);
+                            i += 1;
+                        }
+                        None => panic!("unterminated label value in {line:?}"),
+                    }
+                }
+                let value = String::from_utf8(value).expect("exposition is UTF-8");
+                labels.push((label.to_owned(), value));
+                match bytes.get(i) {
+                    Some(b',') => i += 1,
+                    Some(b'}') => {
+                        i += 1;
+                        break;
+                    }
+                    other => panic!("expected ',' or '}}', got {other:?} in {line:?}"),
+                }
+            }
+        }
+        assert_eq!(bytes.get(i), Some(&b' '), "value must follow the series in {line:?}");
+        (name, labels, &line[i + 1..])
     }
 
     let mut families = 0usize;
@@ -193,64 +269,101 @@ fn assert_prometheus_conformant(text: &str) {
         }
         assert!(!samples.is_empty(), "{name}: family exposes no samples");
         match kind {
-            "counter" => {
-                assert_eq!(samples.len(), 1, "{name}: one sample per counter");
-                let (n, v) = samples[0].split_once(' ').expect("name value");
-                assert_eq!(n, name);
-                v.parse::<u64>().unwrap_or_else(|_| {
-                    panic!("{name}: counter value must be a non-negative integer, got {v:?}")
-                });
-            }
-            "gauge" => {
-                assert_eq!(samples.len(), 1, "{name}: one sample per gauge");
-                let (n, v) = samples[0].split_once(' ').expect("name value");
-                assert_eq!(n, name);
-                assert!(
-                    v.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&v),
-                    "{name}: unparseable gauge value {v:?}"
-                );
+            "counter" | "gauge" => {
+                let mut seen: Vec<Vec<(String, String)>> = Vec::new();
+                for s in &samples {
+                    let (n, labels, v) = parse_sample(s);
+                    assert_eq!(n, name, "{name}: sample must name its family, got {s:?}");
+                    assert!(
+                        labels.windows(2).all(|w| w[0].0 < w[1].0),
+                        "{name}: label names must be sorted and unique, got {s:?}"
+                    );
+                    assert!(!seen.contains(&labels), "{name}: duplicate label set {s:?}");
+                    seen.push(labels);
+                    if kind == "counter" {
+                        v.parse::<u64>().unwrap_or_else(|_| {
+                            panic!(
+                                "{name}: counter value must be a non-negative integer, got {v:?}"
+                            )
+                        });
+                    } else {
+                        assert!(
+                            v.parse::<f64>().is_ok() || ["NaN", "+Inf", "-Inf"].contains(&v),
+                            "{name}: unparseable gauge value {v:?}"
+                        );
+                    }
+                }
             }
             "histogram" => {
-                let mut cumulative = None;
-                let mut last_le = f64::NEG_INFINITY;
-                let mut saw_inf = false;
-                let (mut sum, mut count) = (None, None);
+                // One bucket/sum/count book per labeled series: the label
+                // set minus `le` identifies the series.
+                #[derive(Default)]
+                struct Series {
+                    cumulative: Option<u64>,
+                    last_le: f64,
+                    saw_inf: bool,
+                    sum: Option<f64>,
+                    count: Option<u64>,
+                }
+                let mut series: Vec<(Vec<(String, String)>, Series)> = Vec::new();
+                fn book(
+                    series: &mut Vec<(Vec<(String, String)>, Series)>,
+                    key: Vec<(String, String)>,
+                ) -> usize {
+                    match series.iter().position(|(k, _)| *k == key) {
+                        Some(i) => i,
+                        None => {
+                            series.push((
+                                key,
+                                Series { last_le: f64::NEG_INFINITY, ..Series::default() },
+                            ));
+                            series.len() - 1
+                        }
+                    }
+                }
                 for s in &samples {
-                    let (n, v) = s.split_once(' ').expect("name value");
-                    if let Some(le) = n
-                        .strip_prefix(name)
-                        .and_then(|r| r.strip_prefix("_bucket{le=\""))
-                        .and_then(|r| r.strip_suffix("\"}"))
-                    {
-                        assert!(!saw_inf, "{name}: no bucket may follow +Inf");
+                    let (n, mut labels, v) = parse_sample(s);
+                    if n == format!("{name}_bucket") {
+                        let le_at = labels
+                            .iter()
+                            .position(|(k, _)| k == "le")
+                            .unwrap_or_else(|| panic!("{name}: bucket without le: {s:?}"));
+                        let (_, le) = labels.remove(le_at);
+                        let idx = book(&mut series, labels);
+                        let st = &mut series[idx].1;
+                        assert!(!st.saw_inf, "{name}: no bucket may follow +Inf");
                         let c: u64 = v.parse().expect("bucket count");
                         assert!(
-                            cumulative.is_none_or(|prev| c >= prev),
+                            st.cumulative.is_none_or(|prev| c >= prev),
                             "{name}: bucket counts must be cumulative"
                         );
-                        cumulative = Some(c);
+                        st.cumulative = Some(c);
                         if le == "+Inf" {
-                            saw_inf = true;
+                            st.saw_inf = true;
                         } else {
                             let le: f64 = le.parse().expect("finite le bound");
-                            assert!(le > last_le, "{name}: le bounds must increase");
-                            last_le = le;
+                            assert!(le > st.last_le, "{name}: le bounds must increase");
+                            st.last_le = le;
                         }
                     } else if n == format!("{name}_sum") {
-                        sum = Some(v.parse::<f64>().expect("sum"));
+                        let idx = book(&mut series, labels);
+                        series[idx].1.sum = Some(v.parse::<f64>().expect("sum"));
                     } else if n == format!("{name}_count") {
-                        count = Some(v.parse::<u64>().expect("count"));
+                        let idx = book(&mut series, labels);
+                        series[idx].1.count = Some(v.parse::<u64>().expect("count"));
                     } else {
                         panic!("{name}: unexpected histogram sample {s:?}");
                     }
                 }
-                assert!(saw_inf, "{name}: histogram must end with a +Inf bucket");
-                assert!(sum.is_some(), "{name}: missing _sum");
-                assert_eq!(
-                    count.expect("missing _count"),
-                    cumulative.expect("buckets present"),
-                    "{name}: _count must equal the +Inf bucket"
-                );
+                for (key, st) in &series {
+                    assert!(st.saw_inf, "{name}{key:?}: histogram must end with a +Inf bucket");
+                    assert!(st.sum.is_some(), "{name}{key:?}: missing _sum");
+                    assert_eq!(
+                        st.count.expect("missing _count"),
+                        st.cumulative.expect("buckets present"),
+                        "{name}{key:?}: _count must equal the +Inf bucket"
+                    );
+                }
             }
             _ => unreachable!(),
         }
@@ -279,6 +392,7 @@ fn prometheus_exposition_is_conformant_for_every_registered_metric() {
         DistConfig {
             network: NetworkModel::lossy(0.5, 1.0, 0.2),
             seed: 7,
+            report_cadence: 10.0,
             ..DistConfig::default()
         },
         DistTelemetry::from_hub(&hub),
@@ -288,6 +402,14 @@ fn prometheus_exposition_is_conformant_for_every_registered_metric() {
 
     let text = hub.metrics.prometheus_text();
     assert!(text.contains("lla_dist_messages_sent_total"), "dist family present:\n{text}");
+    assert!(
+        text.contains("lla_agent_ticks_total{agent=\"controller[0]\"}"),
+        "per-agent labeled series present:\n{text}"
+    );
+    assert!(
+        text.contains("lla_fleet_ticks_total{agent="),
+        "collector-merged fleet series present:\n{text}"
+    );
     assert!(text.contains("# TYPE"), "typed exposition:\n{text}");
     assert!(
         text.contains("lla_profile_self_seconds_allocate"),
@@ -298,6 +420,42 @@ fn prometheus_exposition_is_conformant_for_every_registered_metric() {
     // The disabled registry exposes nothing at all — and trivially
     // conforms.
     assert_eq!(lla_telemetry::MetricsRegistry::disabled().prometheus_text(), "");
+}
+
+/// Hostile label *values* — embedded quotes, backslashes, newlines,
+/// spaces, braces, commas, even a spoofed `le="…"` — must escape into a
+/// conformant exposition: the registry owns the escaping, and the
+/// validator's escape-aware scanner must round-trip every value.
+#[test]
+fn labeled_exposition_with_hostile_label_values_is_conformant() {
+    let reg = lla_telemetry::MetricsRegistry::new();
+    let hostile = [
+        "quote\"quote",
+        "back\\slash",
+        "multi\nline",
+        "spaced out",
+        "{brace,le=\"0.5\"} 9",
+        "trailing\\",
+    ];
+    for (i, v) in hostile.iter().enumerate() {
+        reg.counter_with("lla_test_hostile_total", "hostile counter labels", &[("agent", v)])
+            .add(i as u64 + 1);
+        reg.gauge_with("lla_test_hostile_ms", "hostile gauge labels", &[("agent", v)])
+            .set(i as f64);
+    }
+    reg.histogram_with(
+        "lla_test_hostile_seconds",
+        "hostile histogram labels",
+        &[("agent", hostile[0])],
+        &[0.1, 1.0],
+    )
+    .observe(0.5);
+    let text = reg.prometheus_text();
+    assert_prometheus_conformant(&text);
+    assert!(text.contains(r#"agent="quote\"quote""#), "quotes escaped: {text}");
+    assert!(text.contains(r#"agent="back\\slash""#), "backslashes escaped: {text}");
+    assert!(text.contains(r#"agent="multi\nline""#), "newlines escaped: {text}");
+    assert_eq!(text.matches('\n').count(), text.lines().count(), "no raw newline survives");
 }
 
 #[test]

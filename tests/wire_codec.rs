@@ -38,7 +38,7 @@ fn random_message(rng: &mut StdRng) -> Message {
     let slot = rng.gen_range(0usize..10_000);
     let epoch = rng.gen_range(0u64..1 << 40);
     let seq = rng.gen_range(0u64..1 << 40);
-    match rng.gen_range(0u32..14) {
+    match rng.gen_range(0u32..15) {
         0 => Message::Price {
             resource: slot,
             mu: rng.gen_range(0.0..1e9f64),
@@ -64,7 +64,24 @@ fn random_message(rng: &mut StdRng) -> Message {
         10 => Message::ReplicaUpdate { slot, replicas: rng.gen_range(1u32..=1 << 16), epoch, seq },
         11 => Message::GammaCalm { max_multiple: rng.gen_range(1.0..1e6f64), seq },
         12 => Message::DualResync { seq },
-        _ => Message::CommandAck { seq, from: random_address(rng) },
+        13 => Message::CommandAck { seq, from: random_address(rng) },
+        _ => {
+            // Strictly increasing slots, as the wire format requires.
+            let count = rng.gen_range(0usize..=8);
+            let mut slots: Vec<u8> = (0..=codec::MAX_WIRE_REPORT_SLOT).collect();
+            for i in 0..count {
+                let j = rng.gen_range(i..slots.len());
+                slots.swap(i, j);
+            }
+            let mut picked = slots[..count].to_vec();
+            picked.sort_unstable();
+            Message::TelemetryReport {
+                from: random_address(rng),
+                seq,
+                watermark: rng.gen_range(0.0..1e9f64),
+                deltas: picked.into_iter().map(|s| (s, rng.gen_range(0u32..1 << 30))).collect(),
+            }
+        }
     }
 }
 
